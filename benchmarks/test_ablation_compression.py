@@ -1,0 +1,77 @@
+"""Ablation: string-table compression of postings (Section IV-C).
+
+Airphant compresses the repeated blob names inside postings into integer
+keys before serializing superposts.  This ablation measures the bytes a
+query must download per superpost with and without that compression.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.bench.tables import format_table
+from repro.core.superpost import Superpost
+from repro.index.serialization import (
+    StringTable,
+    decode_superpost,
+    encode_superpost,
+    encode_varint,
+)
+from repro.index.builder import AirphantBuilder
+from repro.core.config import SketchConfig
+from repro.search.searcher import AirphantSearcher
+from repro.workloads.queries import sample_query_words
+
+
+def _uncompressed_size(superpost: Superpost) -> int:
+    """Size of the same superpost with blob names stored inline (no table)."""
+    total = len(encode_varint(len(superpost)))
+    for posting in superpost.sorted_postings():
+        name = posting.blob.encode("utf-8")
+        total += len(encode_varint(len(name))) + len(name)
+        total += len(encode_varint(posting.offset)) + len(encode_varint(posting.length))
+    return total
+
+
+def _run(catalog):
+    corpus = catalog.corpus("spark")
+    profile = catalog.profile("spark")
+    config = SketchConfig(num_bins=1024, num_layers=2, seed=23)
+    AirphantBuilder(catalog.store, config=config).build_from_documents(
+        corpus.documents, index_name="ablation/compression"
+    )
+    searcher = AirphantSearcher.open(catalog.store, index_name="ablation/compression")
+    words = sample_query_words(profile, 30, seed=71)
+
+    compressed_bytes = 0
+    uncompressed_bytes = 0
+    table = StringTable()
+    for word in words:
+        for pointer in searcher.mht.pointers_for(word):
+            if pointer.is_empty:
+                continue
+            payload = catalog.store.backend.get_range(
+                pointer.blob, pointer.offset, pointer.length
+            )
+            compressed_bytes += len(payload)
+            superpost = decode_superpost(payload, _searcher_string_table(searcher))
+            uncompressed_bytes += _uncompressed_size(superpost)
+            encode_superpost(superpost, table)
+    return compressed_bytes, uncompressed_bytes
+
+
+def _searcher_string_table(searcher: AirphantSearcher) -> StringTable:
+    return searcher._string_table  # test-only access to the decoded header
+
+
+def test_ablation_string_table_compression(benchmark, catalog):
+    compressed, uncompressed = benchmark.pedantic(_run, args=(catalog,), rounds=1, iterations=1)
+    ratio = uncompressed / compressed
+    table = format_table(
+        ["encoding", "bytes fetched over 30 queries"],
+        [["string-table compression (Airphant)", compressed], ["inline blob names", uncompressed]],
+    )
+    save_result("ablation_compression", table + f"\nsavings: {ratio:.2f}x")
+
+    # Inline blob names would inflate the bytes every query downloads.
+    assert uncompressed > compressed
+    benchmark.extra_info["compression_ratio"] = ratio

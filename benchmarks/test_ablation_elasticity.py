@@ -1,0 +1,55 @@
+"""Ablation: elastic (decoupled) vs peak-provisioned (coupled) compute fleets.
+
+Complements the Figure 9 cost model with a time-domain simulation: the same
+peak-trough demand trace is served by an autoscaling fleet of Airphant
+Searcher nodes (possible because all index state lives on cloud storage) and
+by a fixed fleet sized for the peak (what a coupled cluster must run).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.bench.tables import format_table
+from repro.cost.model import PeakTroughWorkload
+from repro.deploy.simulator import AutoscalingPolicy, DeploymentSimulator
+from repro.deploy.workload import WorkloadTrace
+
+#: The paper's Figure 9 operating point: peak = one Elasticsearch server's
+#: throughput, trough = peak / 20, peak for 20% of the time.
+WORKLOAD = PeakTroughWorkload(peak_ops=154.08, trough_ops=154.08 / 20, peak_fraction=0.2)
+
+
+def _run():
+    trace = WorkloadTrace.from_peak_trough(
+        WORKLOAD, num_intervals=288, interval_seconds=300, jitter=0.1, seed=73
+    )
+    simulator = DeploymentSimulator(node_throughput_ops=5.71, node_monthly_cost=13.23)
+    return simulator.compare(trace, AutoscalingPolicy(headroom=0.1, cold_start_seconds=2.0))
+
+
+def test_ablation_elastic_vs_fixed_fleet(benchmark):
+    reports = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            report.policy_name,
+            report.peak_nodes,
+            report.node_hours,
+            report.monthly_compute_cost,
+            report.unserved_fraction,
+            report.late_fraction,
+        ]
+        for report in reports.values()
+    ]
+    table = format_table(
+        ["policy", "peak nodes", "node hours", "monthly compute $", "unserved", "late"], rows
+    )
+    save_result("ablation_elasticity", table)
+
+    coupled = reports["coupled (fixed fleet)"]
+    decoupled = reports["decoupled (autoscaling)"]
+    # Elasticity pays: far fewer node-hours for the same served workload.
+    assert decoupled.node_hours < 0.6 * coupled.node_hours
+    assert decoupled.unserved_fraction < 0.01
+    # The price of elasticity is a small fraction of queries hitting cold starts.
+    assert decoupled.late_fraction < 0.05

@@ -1,0 +1,75 @@
+"""Figure 5: average and expected false positives vs (B, L) on Cranfield.
+
+The paper shows that (a) the analytical expectation F(L) closely tracks the
+observed average number of false positives, and (b) for a fixed bin budget B
+the error drops rapidly as L grows from 1 and eventually rises again once the
+bins per layer become too few.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.bench.tables import format_series
+from repro.core.analysis import expected_false_positives
+from repro.core.sketch import IoUSketch
+from repro.workloads.queries import sample_query_words
+
+#: Bin budgets and layer counts swept (the paper uses B in 500..5000, L in 1..16,
+#: scaled here to the smaller Cranfield-like corpus).
+BIN_BUDGETS = [500, 1000, 2000, 4000]
+LAYER_COUNTS = [1, 2, 4, 6, 8, 12, 16]
+NUM_QUERY_WORDS = 80
+
+
+def _observed_false_positives(documents, profile, num_bins, num_layers, query_words):
+    sketch = IoUSketch.build(num_layers=num_layers, total_bins=num_bins, seed=3)
+    truth: dict[str, set] = {}
+    for document in documents:
+        for word in set(document.text.split()):
+            truth.setdefault(word, set()).add(document.ref)
+    for word, postings in truth.items():
+        sketch.insert(word, postings)
+    total = sum(sketch.false_positives(word, truth[word]) for word in query_words)
+    return total / len(query_words)
+
+
+def _run(catalog):
+    documents = catalog.corpus("cranfield").documents
+    profile = catalog.profile("cranfield")
+    query_words = sample_query_words(profile, NUM_QUERY_WORDS, seed=5)
+    observed: dict[int, list[float]] = {}
+    expected: dict[int, list[float]] = {}
+    for num_bins in BIN_BUDGETS:
+        observed[num_bins] = [
+            _observed_false_positives(documents, profile, num_bins, layers, query_words)
+            for layers in LAYER_COUNTS
+        ]
+        expected[num_bins] = [
+            expected_false_positives(layers, num_bins, profile) for layers in LAYER_COUNTS
+        ]
+    return observed, expected
+
+
+def test_fig05_false_positives_vs_layers(benchmark, catalog):
+    observed, expected = benchmark.pedantic(_run, args=(catalog,), rounds=1, iterations=1)
+
+    lines = ["(a) observed average false positives per query"]
+    for num_bins, series in observed.items():
+        lines.append(format_series(f"B={num_bins}", LAYER_COUNTS, series))
+    lines.append("")
+    lines.append("(b) expected false positives F(L)")
+    for num_bins, series in expected.items():
+        lines.append(format_series(f"B={num_bins}", LAYER_COUNTS, series))
+    save_result("fig05_false_positives", "\n".join(lines))
+
+    for num_bins in BIN_BUDGETS:
+        # Multi-layer sketches beat the single-layer hash table dramatically.
+        assert observed[num_bins][1] < observed[num_bins][0]
+        assert min(observed[num_bins]) < 0.2 * observed[num_bins][0] + 1e-9
+        # The analytical expectation tracks the observation at L = 1 to within
+        # sampling noise (80 query words on a small corpus).
+        assert observed[num_bins][0] <= 3.0 * expected[num_bins][0] + 5.0
+        assert expected[num_bins][0] <= 3.0 * observed[num_bins][0] + 5.0
+    # Larger bin budgets give fewer false positives at every layer count.
+    for index in range(len(LAYER_COUNTS)):
+        assert observed[BIN_BUDGETS[-1]][index] <= observed[BIN_BUDGETS[0]][index] + 1e-9

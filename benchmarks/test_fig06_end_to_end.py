@@ -1,0 +1,85 @@
+"""Figure 6: end-to-end search latencies of all five engines on all corpora.
+
+The headline experiment.  The paper reports mean and 99th-percentile search
+latency for Lucene, Elasticsearch, SQLite, HashTable, and Airphant on seven
+corpora, with Airphant fastest (or close) everywhere except the tiny
+Cranfield corpus, where Lucene's fully-cached term index wins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_BENCH_CONFIG, save_result
+from repro.bench.harness import build_standard_engines, run_comparison
+from repro.bench.tables import format_table
+from repro.workloads.queries import QueryWorkload
+
+#: Corpora benchmarked (all seven of the paper's datasets, scaled down).
+DATASETS = ["diag", "unif", "zipf", "cranfield", "hdfs", "windows", "spark"]
+QUERIES_PER_DATASET = 25
+ENGINES = ["Lucene", "Elasticsearch", "SQLite", "HashTable", "Airphant"]
+
+
+def _engine_overrides(dataset: str) -> dict[str, dict[str, object]]:
+    """Per-dataset engine tweaks.
+
+    Cranfield is the one corpus we use at its *real* size (1398 abstracts), so
+    the baselines keep realistic multi-megabyte caches — their term indexes fit
+    entirely, which is exactly why Lucene wins on Cranfield in the paper.  The
+    log and synthetic corpora are scaled down ~1000x, so their caches stay at
+    the scaled defaults chosen by the harness.
+    """
+    if dataset != "cranfield":
+        return {}
+    real_cache = {"cache_bytes": 2 * 1024 * 1024}
+    return {"Lucene": dict(real_cache), "SQLite": dict(real_cache), "Elasticsearch": dict(real_cache)}
+
+
+def _run_dataset(catalog, dataset: str):
+    corpus = catalog.corpus(dataset)
+    profile = catalog.profile(dataset)
+    engines = build_standard_engines(
+        catalog.store,
+        corpus.documents,
+        config=DEFAULT_BENCH_CONFIG,
+        engine_names=ENGINES,
+        corpus_name=f"fig06/{dataset}",
+        engine_overrides=_engine_overrides(dataset),
+    )
+    workload = QueryWorkload.from_profile(
+        profile, num_queries=QUERIES_PER_DATASET, top_k=10, seed=13
+    )
+    return run_comparison(engines, workload)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig06_end_to_end_latency(benchmark, catalog, dataset):
+    runs = benchmark.pedantic(_run_dataset, args=(catalog, dataset), rounds=1, iterations=1)
+
+    rows = [
+        [name, run.stats.mean_ms, run.stats.p99_ms, run.mean_false_positives]
+        for name, run in runs.items()
+    ]
+    table = format_table(["engine", "mean ms", "p99 ms", "false positives/query"], rows)
+    save_result(f"fig06_end_to_end_{dataset}", table)
+
+    airphant = runs["Airphant"].stats.mean_ms
+    benchmark.extra_info["airphant_mean_ms"] = airphant
+
+    # Airphant stays well under a second on every (scaled) corpus.
+    assert airphant < 1000.0
+
+    if dataset == "cranfield":
+        # The paper's one exception: Lucene is faster on the small Cranfield
+        # corpus because its whole term index fits in cache.
+        assert runs["Lucene"].stats.mean_ms < 2 * airphant
+    else:
+        # Everywhere else Airphant beats the wait-heavy hierarchical indexes.
+        assert airphant < runs["Lucene"].stats.mean_ms
+        assert airphant < runs["Elasticsearch"].stats.mean_ms
+        assert airphant <= runs["SQLite"].stats.mean_ms * 1.05
+    # The single-layer HashTable pays for its false positives on every corpus
+    # where terms share bins (diag has one term per document, so it is exact).
+    if dataset not in ("diag",):
+        assert runs["HashTable"].mean_false_positives >= runs["Airphant"].mean_false_positives

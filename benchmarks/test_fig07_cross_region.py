@@ -1,0 +1,81 @@
+"""Figures 7, 12, 13: cross-region end-to-end search latencies.
+
+The storage bucket stays in the US; the compute node moves to Europe and
+Asia.  Every engine slows down as the round-trip time grows; the paper's
+point is that Airphant's absolute latency stays lowest and its slowdown is no
+worse than the hierarchical baselines'.  Figure 7 reports Windows; Figures 12
+and 13 report all datasets from London and Singapore — we sweep a
+representative subset to keep the benchmark quick.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_BENCH_CONFIG, save_result
+from repro.bench.harness import build_standard_engines, run_workload
+from repro.bench.tables import format_table
+from repro.storage.latency import REGION_PROFILES
+from repro.workloads.queries import QueryWorkload
+
+REGIONS = ["us-central1", "europe-west2", "asia-southeast1"]
+ENGINES = ["Lucene", "Elasticsearch", "SQLite", "HashTable", "Airphant"]
+DATASETS = ["windows", "hdfs"]  # Figure 7 uses Windows; HDFS covers Figs 12/13 shape.
+QUERIES = 20
+
+
+def _run_dataset(catalog, dataset: str):
+    corpus = catalog.corpus(dataset)
+    profile = catalog.profile(dataset)
+    workload = QueryWorkload.from_profile(profile, num_queries=QUERIES, top_k=10, seed=17)
+    # Build all indexes once, in the US, against the shared backend.
+    build_standard_engines(
+        catalog.store,
+        corpus.documents,
+        config=DEFAULT_BENCH_CONFIG,
+        engine_names=ENGINES,
+        corpus_name=f"fig07/{dataset}",
+    )
+    results: dict[str, dict[str, float]] = {}
+    base_model = catalog.store.latency_model
+    for region in REGIONS:
+        # The data never moves; only the compute node's view of the network does.
+        regional_store = catalog.store.with_latency_model(base_model.with_region(region))
+        regional_engines = build_standard_engines(
+            regional_store,
+            corpus.documents,
+            config=DEFAULT_BENCH_CONFIG,
+            engine_names=ENGINES,
+            corpus_name=f"fig07/{dataset}",
+            skip_build=True,
+        )
+        results[region] = {
+            name: run_workload(engine, workload).stats.mean_ms
+            for name, engine in regional_engines.items()
+        }
+    return results
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig07_cross_region_latency(benchmark, catalog, dataset):
+    results = benchmark.pedantic(_run_dataset, args=(catalog, dataset), rounds=1, iterations=1)
+
+    rows = [[region] + [results[region][name] for name in ENGINES] for region in REGIONS]
+    table = format_table(["region"] + ENGINES, rows)
+    save_result(f"fig07_cross_region_{dataset}", table)
+
+    us = results["us-central1"]
+    asia = results["asia-southeast1"]
+    # Latency grows with distance for every engine.
+    for name in ENGINES:
+        assert asia[name] > us[name]
+    # Airphant keeps the lowest (or tied-lowest) latency in every region among
+    # the wait-heavy engines, and its slowdown is no worse than Lucene's.
+    for region in REGIONS:
+        assert results[region]["Airphant"] < results[region]["Lucene"]
+        assert results[region]["Airphant"] < results[region]["Elasticsearch"]
+    airphant_slowdown = asia["Airphant"] / us["Airphant"]
+    lucene_slowdown = asia["Lucene"] / us["Lucene"]
+    assert airphant_slowdown <= lucene_slowdown * 1.25
+    rtt_multiplier = REGION_PROFILES["asia-southeast1"].rtt_multiplier
+    assert airphant_slowdown <= rtt_multiplier * 1.2

@@ -1,0 +1,69 @@
+"""Figures 8 and 11: search-latency breakdown into wait time and download time.
+
+The paper captures TCP traffic on the Spark dataset and splits each query's
+latency into time spent *waiting* for responses and time spent *downloading*
+data.  Two extreme patterns emerge: hierarchical indexes (Lucene, SQLite) are
+wait-heavy because of dependent sequential reads, while the single-layer
+HashTable is download/volume-heavy because of its false positives.  Airphant
+keeps both components small.  The simulator measures the same two quantities
+directly.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import DEFAULT_BENCH_CONFIG, save_result
+from repro.bench.breakdown import per_query_breakdown, summarize_breakdown
+from repro.bench.harness import build_standard_engines, run_comparison
+from repro.bench.tables import format_table
+from repro.workloads.queries import QueryWorkload
+
+ENGINES = ["Lucene", "Elasticsearch", "SQLite", "HashTable", "Airphant"]
+QUERIES = 32  # the paper samples 32 queries per method for this analysis
+
+
+def _run(catalog):
+    corpus = catalog.corpus("spark")
+    profile = catalog.profile("spark")
+    engines = build_standard_engines(
+        catalog.store,
+        corpus.documents,
+        config=DEFAULT_BENCH_CONFIG,
+        engine_names=ENGINES,
+        corpus_name="fig08/spark",
+    )
+    workload = QueryWorkload.from_profile(profile, num_queries=QUERIES, top_k=10, seed=21)
+    return run_comparison(engines, workload)
+
+
+def test_fig08_latency_breakdown(benchmark, catalog):
+    runs = benchmark.pedantic(_run, args=(catalog,), rounds=1, iterations=1)
+    summaries = {name: summarize_breakdown(run) for name, run in runs.items()}
+
+    rows = [
+        [name, summary.mean_wait_ms, summary.mean_download_ms, summary.mean_total_ms]
+        for name, summary in summaries.items()
+    ]
+    lines = [format_table(["engine", "wait ms", "download ms", "total ms"], rows), ""]
+    lines.append("per-query scatter (wait ms, download ms) — Figure 11")
+    for name, run in runs.items():
+        points = per_query_breakdown(run)
+        formatted = " ".join(f"({wait:.0f}, {download:.2f})" for wait, download in points[:10])
+        lines.append(f"{name}: {formatted} ...")
+    save_result("fig08_breakdown_spark", "\n".join(lines))
+
+    airphant = summaries["Airphant"]
+    lucene = summaries["Lucene"]
+    hashtable = summaries["HashTable"]
+    # Lucene is wait-heavy: dependent reads dominate, and its wait time far
+    # exceeds Airphant's.
+    assert lucene.mean_wait_ms > 3 * airphant.mean_wait_ms
+    assert lucene.mean_wait_ms > 10 * lucene.mean_download_ms
+    # HashTable moves more bytes per query than Airphant (false positives).
+    airphant_bytes = sum(r.latency.bytes_fetched for r in runs["Airphant"].results)
+    hashtable_bytes = sum(r.latency.bytes_fetched for r in runs["HashTable"].results)
+    assert hashtable_bytes > airphant_bytes
+    # Airphant minimizes the total of both components.
+    assert airphant.mean_total_ms <= min(
+        summary.mean_total_ms for name, summary in summaries.items() if name != "Airphant"
+    ) * 1.05
+    assert hashtable.mean_total_ms >= airphant.mean_total_ms * 0.95

@@ -1,0 +1,55 @@
+"""Figure 9: relative monthly cost of coupled Elasticsearch vs decoupled Airphant.
+
+Pure analytic experiment using the paper's measured prices and throughputs:
+C_E / C_A as a function of the fraction of peak time tau (x-axis) and the
+indexed data size (one line per size).  The paper's observations:
+
+* every curve decreases with tau (long peaks favour always-on Elasticsearch);
+* larger corpora favour Airphant (cheap cloud storage vs local disks);
+* the ratio approaches ~3.29x as the corpus grows without bound.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.bench.tables import format_table
+from repro.cost.model import CostModel, PeakTroughWorkload
+
+PEAK_OPS = 154.08           # throughput of a single Elasticsearch server
+TROUGH_OPS = PEAK_OPS / 20  # the paper's a = A / 20
+SIZES_TB = [1, 2, 4, 8, 16]
+FRACTIONS = [0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def _run():
+    model = CostModel()
+    curves = {}
+    for size_tb in SIZES_TB:
+        curves[size_tb] = [
+            model.relative_cost(
+                PeakTroughWorkload(PEAK_OPS, TROUGH_OPS, tau), data_gb=size_tb * 1024
+            )
+            for tau in FRACTIONS
+        ]
+    return model, curves
+
+
+def test_fig09_relative_cost(benchmark):
+    model, curves = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [[f"{size} TB"] + values for size, values in curves.items()]
+    table = format_table(["size"] + [f"tau={tau}" for tau in FRACTIONS], rows)
+    save_result("fig09_relative_cost", table)
+
+    # Curves decrease with tau and increase with data size.
+    for values in curves.values():
+        assert values == sorted(values, reverse=True)
+    for index in range(len(FRACTIONS)):
+        column = [curves[size][index] for size in SIZES_TB]
+        assert column == sorted(column)
+    # The asymptote matches the paper's ~3.29x.
+    assert abs(model.asymptotic_relative_cost() - 3.29) < 0.01
+    # At 16 TB with short peaks, Airphant is markedly cheaper (ratio > 2).
+    assert curves[16][0] > 2.0
+    # With a constant peak and a small corpus, coupled Elasticsearch wins.
+    assert curves[1][-1] < 1.0

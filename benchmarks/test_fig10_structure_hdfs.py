@@ -1,0 +1,91 @@
+"""Figure 10: effect of the IoU Sketch structure (B, L) on HDFS.
+
+The paper varies the bin budget B and layer count L on the HDFS corpus and
+measures (a) expected false positives, (b) end-to-end search latency, and
+(c) term-lookup latency.  Observations to reproduce:
+
+* false positives collapse from enormous at L = 1 to ~0 within a few layers;
+* the optimizer picks a small L* (2 in the paper) for F0 = 1;
+* search latency is worst at L = 1 (false-positive filtering) and grows again
+  slowly for large L (more superposts to fetch per query);
+* lookup latency grows with L.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.bench.harness import LatencyStats
+from repro.bench.tables import format_series
+from repro.baselines.airphant import AirphantEngine
+from repro.core.analysis import expected_false_positives
+from repro.core.config import SketchConfig
+from repro.core.optimizer import minimize_layers
+from repro.workloads.queries import sample_query_words
+
+#: Scaled sweep: the paper uses B in {50k..400k} for ~11M documents; the
+#: scaled HDFS corpus has 15k documents, so the bin budgets scale accordingly.
+BIN_BUDGETS = [512, 1024, 2048, 4096]
+LAYER_COUNTS = [1, 2, 4, 8, 16]
+QUERIES = 15
+
+
+def _run(catalog):
+    corpus = catalog.corpus("hdfs")
+    profile = catalog.profile("hdfs")
+    query_words = sample_query_words(profile, QUERIES, seed=23)
+
+    expected: dict[int, list[float]] = {}
+    search_ms: dict[int, list[float]] = {}
+    lookup_ms: dict[int, list[float]] = {}
+    for num_bins in BIN_BUDGETS:
+        expected[num_bins] = [
+            expected_false_positives(layers, num_bins, profile) for layers in LAYER_COUNTS
+        ]
+        search_ms[num_bins] = []
+        lookup_ms[num_bins] = []
+        for layers in LAYER_COUNTS:
+            config = SketchConfig(num_bins=num_bins, num_layers=layers, seed=9)
+            engine = AirphantEngine(
+                catalog.store,
+                index_name=f"fig10/hdfs-b{num_bins}-l{layers}",
+                config=config,
+            )
+            engine.build(corpus.documents)
+            engine.initialize()
+            searches = [engine.search(word, top_k=10) for word in query_words]
+            lookups = [engine.lookup_postings(word)[1] for word in query_words]
+            search_ms[num_bins].append(
+                LatencyStats.from_latencies([result.latency_ms for result in searches]).mean_ms
+            )
+            lookup_ms[num_bins].append(
+                LatencyStats.from_latencies([latency.lookup_ms for latency in lookups]).mean_ms
+            )
+
+    optimum = minimize_layers(BIN_BUDGETS[-1], 1.0, profile)
+    return expected, search_ms, lookup_ms, optimum
+
+
+def test_fig10_structure_effects_on_hdfs(benchmark, catalog):
+    expected, search_ms, lookup_ms, optimum = benchmark.pedantic(
+        _run, args=(catalog,), rounds=1, iterations=1
+    )
+
+    lines = ["(a) expected false positives"]
+    lines += [format_series(f"B={b}", LAYER_COUNTS, expected[b]) for b in BIN_BUDGETS]
+    lines += ["", "(b) average search latency (ms)"]
+    lines += [format_series(f"B={b}", LAYER_COUNTS, search_ms[b]) for b in BIN_BUDGETS]
+    lines += ["", "(c) average term lookup latency (ms)"]
+    lines += [format_series(f"B={b}", LAYER_COUNTS, lookup_ms[b]) for b in BIN_BUDGETS]
+    lines += ["", f"optimizer choice at B={BIN_BUDGETS[-1]}, F0=1: L* = {optimum.num_layers}"]
+    save_result("fig10_structure_hdfs", "\n".join(lines))
+
+    for num_bins in BIN_BUDGETS:
+        # (a) a couple of layers wipe out the single-layer error.
+        assert expected[num_bins][1] < 0.25 * expected[num_bins][0]
+        assert expected[num_bins][-1] < 1.0
+        # (c) lookup latency grows (weakly) with the number of layers.
+        assert lookup_ms[num_bins][-1] >= lookup_ms[num_bins][0] * 0.9
+    # (b) the single-layer hash table pays for filtering at small B.
+    assert search_ms[BIN_BUDGETS[0]][0] > search_ms[BIN_BUDGETS[0]][1]
+    # The optimizer picks a small layer count, as in the paper (L* = 2 there).
+    assert 1 <= optimum.num_layers <= 4

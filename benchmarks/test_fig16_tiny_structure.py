@@ -1,0 +1,98 @@
+"""Figure 16: tiny IoU Sketch structures on Cranfield.
+
+A restrictive sweep (B in 1000..3000, L in 1..16) on the Cranfield corpus,
+measuring false positives, search latency, lookup latency, and storage usage.
+Key shapes: a U-shaped false-positive curve in L for fixed B, storage growing
+sub-linearly in L (hash collisions merge postings), and lookup latency
+growing with L but far more slowly than 16x thanks to concurrent fetches.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.baselines.airphant import AirphantEngine
+from repro.bench.harness import LatencyStats
+from repro.bench.tables import format_series
+from repro.core.analysis import expected_false_positives
+from repro.core.config import SketchConfig
+from repro.workloads.queries import sample_query_words
+
+BIN_BUDGETS = [1000, 2000, 3000]
+LAYER_COUNTS = [1, 2, 4, 8, 16]
+QUERIES = 12
+
+
+def _run(catalog):
+    corpus = catalog.corpus("cranfield")
+    profile = catalog.profile("cranfield")
+    words = sample_query_words(profile, QUERIES, seed=41)
+
+    false_positives: dict[int, list[float]] = {}
+    search_ms: dict[int, list[float]] = {}
+    lookup_ms: dict[int, list[float]] = {}
+    storage: dict[int, list[int]] = {}
+    for num_bins in BIN_BUDGETS:
+        false_positives[num_bins] = []
+        search_ms[num_bins] = []
+        lookup_ms[num_bins] = []
+        storage[num_bins] = []
+        for layers in LAYER_COUNTS:
+            config = SketchConfig(num_bins=num_bins, num_layers=layers, seed=13)
+            engine = AirphantEngine(
+                catalog.store, index_name=f"fig16/b{num_bins}-l{layers}", config=config
+            )
+            engine.build(corpus.documents)
+            engine.initialize()
+            results = [engine.search(word, top_k=10) for word in words]
+            lookups = [engine.lookup_postings(word)[1] for word in words]
+            false_positives[num_bins].append(
+                expected_false_positives(layers, num_bins, profile)
+            )
+            search_ms[num_bins].append(
+                LatencyStats.from_latencies([r.latency_ms for r in results]).mean_ms
+            )
+            lookup_ms[num_bins].append(
+                LatencyStats.from_latencies([l.lookup_ms for l in lookups]).mean_ms
+            )
+            storage[num_bins].append(engine.index_storage_bytes())
+    return false_positives, search_ms, lookup_ms, storage
+
+
+def test_fig16_tiny_structures_on_cranfield(benchmark, catalog):
+    false_positives, search_ms, lookup_ms, storage = benchmark.pedantic(
+        _run, args=(catalog,), rounds=1, iterations=1
+    )
+
+    sections = [
+        ("(a) expected false positives", false_positives),
+        ("(b) average search latency (ms)", search_ms),
+        ("(c) average lookup latency (ms)", lookup_ms),
+        ("(d) index storage (bytes)", storage),
+    ]
+    lines: list[str] = []
+    for title, data in sections:
+        lines.append(title)
+        lines += [format_series(f"B={b}", LAYER_COUNTS, data[b]) for b in BIN_BUDGETS]
+        lines.append("")
+    save_result("fig16_tiny_structure_cranfield", "\n".join(lines))
+
+    for num_bins in BIN_BUDGETS:
+        fp = false_positives[num_bins]
+        # For a fixed B there is an interior optimum L*: the error first drops...
+        assert min(fp) < fp[0]
+        best_index = fp.index(min(fp))
+        # ...and rises again (or stays flat) past the optimum for the smallest B.
+        if num_bins == BIN_BUDGETS[0]:
+            assert fp[-1] > min(fp)
+        # Lookup latency grows with L but much more slowly than proportionally
+        # (concurrent fetches), as the paper highlights for L = 16.
+        assert lookup_ms[num_bins][-1] < 16 * lookup_ms[num_bins][0]
+        # Storage grows with L but sub-linearly.
+        assert storage[num_bins][-1] > storage[num_bins][0]
+        assert storage[num_bins][-1] < 16 * storage[num_bins][0]
+    # More bins means fewer false positives at every L.
+    for index in range(len(LAYER_COUNTS)):
+        assert (
+            false_positives[BIN_BUDGETS[-1]][index]
+            <= false_positives[BIN_BUDGETS[0]][index] + 1e-9
+        )

@@ -1,0 +1,71 @@
+"""Figure 17: effect of a tighter accuracy constraint F0 on L* and latency.
+
+Dropping F0 from 1.0 to 0.01 to 0.0001 only increases the optimal number of
+layers slightly (the expected false positives decrease exponentially in L),
+and consequently search / lookup latencies grow only mildly.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.baselines.airphant import AirphantEngine
+from repro.bench.harness import LatencyStats
+from repro.bench.tables import format_table
+from repro.core.config import SketchConfig
+from repro.core.optimizer import minimize_layers
+from repro.workloads.queries import sample_query_words
+
+ACCURACY_TARGETS = [1.0, 0.01, 0.0001]
+NUM_BINS = 4096
+QUERIES = 15
+
+
+def _run(catalog):
+    corpus = catalog.corpus("hdfs")
+    profile = catalog.profile("hdfs")
+    words = sample_query_words(profile, QUERIES, seed=43)
+    rows = []
+    for target in ACCURACY_TARGETS:
+        optimum = minimize_layers(NUM_BINS, target, profile)
+        config = SketchConfig(
+            num_bins=NUM_BINS, target_false_positives=target, seed=17
+        )
+        engine = AirphantEngine(
+            catalog.store, index_name=f"fig17/f{target}", config=config
+        )
+        engine.build(corpus.documents)
+        engine.initialize()
+        searches = [engine.search(word, top_k=10) for word in words]
+        lookups = [engine.lookup_postings(word)[1] for word in words]
+        rows.append(
+            {
+                "target": target,
+                "layers": optimum.num_layers,
+                "search_ms": LatencyStats.from_latencies(
+                    [r.latency_ms for r in searches]
+                ).mean_ms,
+                "lookup_ms": LatencyStats.from_latencies(
+                    [l.lookup_ms for l in lookups]
+                ).mean_ms,
+            }
+        )
+    return rows
+
+
+def test_fig17_accuracy_constraint(benchmark, catalog):
+    rows = benchmark.pedantic(_run, args=(catalog,), rounds=1, iterations=1)
+
+    table = format_table(
+        ["F0", "optimal layers L*", "search ms", "lookup ms"],
+        [[row["target"], row["layers"], row["search_ms"], row["lookup_ms"]] for row in rows],
+    )
+    save_result("fig17_accuracy_constraint", table)
+
+    layers = [row["layers"] for row in rows]
+    # Tightening the constraint by four orders of magnitude adds only a couple
+    # of layers (exponential error decay), exactly the paper's observation.
+    assert layers == sorted(layers)
+    assert layers[-1] - layers[0] <= 3
+    # Latencies grow only mildly with the tighter constraint.
+    assert rows[-1]["search_ms"] < 2.5 * rows[0]["search_ms"]
+    assert rows[-1]["lookup_ms"] < 2.5 * rows[0]["lookup_ms"]

@@ -1,0 +1,53 @@
+"""Table II: corpus statistics (#documents, #terms, #words, sigma_X).
+
+The paper's table characterizes each corpus.  Our corpora are scaled down,
+so absolute counts differ; the *relationships* that matter to the index
+(short log lines vs long abstracts, Zipf-vs-uniform vocabularies, the
+ordering of sigma_X across corpora) must still hold.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import CORPUS_SIZES, save_result
+from repro.bench.tables import format_table
+
+
+def _collect_stats(catalog) -> dict[str, dict[str, float]]:
+    stats = {}
+    for name in CORPUS_SIZES:
+        profile = catalog.profile(name)
+        stats[name] = {
+            "documents": profile.num_documents,
+            "terms": profile.num_terms,
+            "words": profile.num_words,
+            "sigma_x": profile.sigma_x(),
+        }
+    return stats
+
+
+def test_table2_corpus_statistics(benchmark, catalog):
+    stats = benchmark.pedantic(_collect_stats, args=(catalog,), rounds=1, iterations=1)
+    rows = [
+        [name, values["documents"], values["terms"], values["words"], values["sigma_x"]]
+        for name, values in stats.items()
+    ]
+    table = format_table(["corpus", "#documents", "#terms", "#words", "sigma_X"], rows)
+    save_result("table2_corpus_stats", table)
+
+    # diag: one word per document -> #documents == #terms == #words, sigma_X ~ 1.
+    diag = stats["diag"]
+    assert diag["documents"] == diag["terms"] == diag["words"]
+    assert abs(diag["sigma_x"] - 1.0) < 0.05
+
+    # zipf under-generates distinct words relative to unif (coupon collector).
+    assert stats["zipf"]["terms"] < stats["unif"]["terms"]
+
+    # Log corpora: many documents, far fewer distinct terms (template words),
+    # matching the HDFS/Windows/Spark rows of Table II.
+    for log_corpus in ("hdfs", "windows", "spark"):
+        assert stats[log_corpus]["terms"] < stats[log_corpus]["documents"]
+
+    # Cranfield: long documents -> words >> documents, and a sigma_X below the
+    # synthetic corpora (0.51 in the paper, the smallest in the table).
+    assert stats["cranfield"]["words"] > 20 * stats["cranfield"]["documents"]
+    assert stats["cranfield"]["sigma_x"] < stats["diag"]["sigma_x"]

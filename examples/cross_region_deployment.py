@@ -1,0 +1,78 @@
+"""Cross-region deployment: how latency degrades as compute moves away.
+
+The separation of compute and storage lets the Searcher run anywhere with
+access to the bucket — another region or even another continent.  The paper
+(Figure 7) shows Airphant degrades more gracefully than hierarchical-index
+baselines because it pays the larger round-trip time once per query instead
+of once per index level.
+
+Run with::
+
+    python examples/cross_region_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro import AirphantSearcher, SimulatedCloudStore, SketchConfig
+from repro.baselines import LuceneLikeEngine, SQLiteLikeEngine
+from repro.bench import format_table
+from repro.index import AirphantBuilder
+from repro.profiling import profile_documents
+from repro.storage import AffineLatencyModel, REGION_PROFILES
+from repro.workloads import generate_log_corpus, sample_query_words
+
+
+def main() -> None:
+    # The bucket lives in the US; the corpus and all indexes are stored once.
+    us_model = AffineLatencyModel(seed=2)
+    store = SimulatedCloudStore(latency_model=us_model)
+    corpus = generate_log_corpus(store, "windows", num_documents=12_000, seed=9)
+    profile = profile_documents(corpus.documents)
+    queries = sample_query_words(profile, 25, seed=4)
+
+    config = SketchConfig(num_bins=2048, target_false_positives=1.0)
+    AirphantBuilder(store, config).build_from_documents(corpus.documents, index_name="win-index")
+
+    lucene = LuceneLikeEngine(store, index_name="win/lucene", cache_bytes=16 * 1024)
+    lucene.build(corpus.documents)
+    sqlite = SQLiteLikeEngine(store, index_name="win/sqlite", cache_bytes=8 * 1024)
+    sqlite.build(corpus.documents)
+
+    rows = []
+    for region in REGION_PROFILES:
+        regional_store = store.with_latency_model(us_model.with_region(region))
+
+        searcher = AirphantSearcher.open(regional_store, index_name="win-index")
+        airphant_ms = sum(searcher.search(q, top_k=10).latency_ms for q in queries) / len(queries)
+
+        regional_lucene = LuceneLikeEngine(
+            regional_store, index_name="win/lucene", cache_bytes=16 * 1024
+        )
+        regional_lucene.initialize()
+        lucene_ms = sum(
+            regional_lucene.search(q, top_k=10).latency_ms for q in queries
+        ) / len(queries)
+
+        regional_sqlite = SQLiteLikeEngine(
+            regional_store, index_name="win/sqlite", cache_bytes=8 * 1024
+        )
+        regional_sqlite.initialize()
+        sqlite_ms = sum(
+            regional_sqlite.search(q, top_k=10).latency_ms for q in queries
+        ) / len(queries)
+
+        rows.append([region, airphant_ms, sqlite_ms, lucene_ms])
+
+    print("Mean end-to-end latency (ms) by compute region, storage fixed in the US")
+    print(format_table(["region", "Airphant", "SQLite", "Lucene"], rows))
+
+    base = rows[0]
+    far = rows[-1]
+    print()
+    print(f"slowdown moving to {far[0]}: "
+          f"Airphant {far[1] / base[1]:.1f}x, SQLite {far[2] / base[2]:.1f}x, "
+          f"Lucene {far[3] / base[3]:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

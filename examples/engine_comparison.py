@@ -1,0 +1,69 @@
+"""Compare Airphant against the paper's baselines on one corpus.
+
+Builds Lucene-like, Elasticsearch-like, SQLite-like, HashTable and Airphant
+engines over the same Spark-like log corpus, replays an identical query
+workload against each, and prints the Figure 6-style latency table plus the
+Figure 8-style wait/download breakdown.
+
+Run with::
+
+    python examples/engine_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulatedCloudStore, SketchConfig
+from repro.bench import (
+    build_standard_engines,
+    format_table,
+    run_comparison,
+    summarize_breakdown,
+)
+from repro.profiling import profile_documents
+from repro.storage import AffineLatencyModel
+from repro.workloads import QueryWorkload, generate_log_corpus
+
+
+def main() -> None:
+    store = SimulatedCloudStore(latency_model=AffineLatencyModel(seed=3))
+    corpus = generate_log_corpus(store, "spark", num_documents=15_000, seed=5)
+    profile = profile_documents(corpus.documents)
+    print(f"corpus: {profile.num_documents} documents, {profile.num_terms} terms")
+
+    config = SketchConfig(num_bins=1024, target_false_positives=1.0)
+    engines = build_standard_engines(store, corpus.documents, config=config, corpus_name="spark")
+    workload = QueryWorkload.from_profile(profile, num_queries=40, top_k=10, seed=11)
+    runs = run_comparison(engines, workload)
+
+    rows = []
+    for name, run in runs.items():
+        stats = run.stats
+        breakdown = summarize_breakdown(run)
+        rows.append(
+            [
+                name,
+                stats.mean_ms,
+                stats.p99_ms,
+                run.lookup_stats.mean_ms,
+                run.mean_false_positives,
+                breakdown.mean_wait_ms,
+                breakdown.mean_download_ms,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["engine", "mean ms", "p99 ms", "lookup ms", "false pos", "wait ms", "download ms"],
+            rows,
+        )
+    )
+
+    airphant = runs["Airphant"].stats.mean_ms
+    print()
+    for name, run in runs.items():
+        if name != "Airphant":
+            print(f"Airphant is {run.stats.mean_ms / airphant:.2f}x faster than {name} on average")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: index a tiny corpus on (simulated) cloud storage and search it.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example mirrors the user-facing workflow of the paper's Figure 1: create
+an index over documents, then search for keywords.  Everything — documents,
+superposts, and the index header — lives in the object store; the Searcher
+only keeps the small Multilayer Hash Table in memory.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AirphantBuilder,
+    AirphantSearcher,
+    SimulatedCloudStore,
+    SketchConfig,
+)
+
+CORPUS = "\n".join(
+    [
+        "hello world",
+        "hello airphant",
+        "airphant searches documents on cloud storage",
+        "separation of compute and storage enables elasticity",
+        "iou sketch avoids sequential round trips",
+        "postings lists are fetched in parallel",
+        "hello cloud the elephant is lightweight",
+    ]
+)
+
+
+def main() -> None:
+    # 1. Put the corpus on "cloud storage" (a simulated object store here; any
+    #    ObjectStore implementation works, e.g. LocalObjectStore for real files).
+    store = SimulatedCloudStore()
+    store.put("corpus/hello.txt", CORPUS.encode("utf-8"))
+
+    # 2. Build the index.  The Builder profiles the corpus, picks the number of
+    #    layers with Algorithm 1, and persists superposts + header blobs.
+    config = SketchConfig(num_bins=256, target_false_positives=1.0)
+    builder = AirphantBuilder(store, config)
+    built = builder.build_from_blobs(["corpus/hello.txt"], index_name="hello-index")
+    print(f"indexed {built.metadata.num_documents} documents, "
+          f"{built.metadata.num_terms} terms, L = {built.metadata.num_layers} layers")
+    print(f"index storage: {built.storage_bytes(store)} bytes\n")
+
+    # 3. Open a Searcher (downloads only the header blob) and run queries.
+    searcher = AirphantSearcher.open(store, index_name="hello-index")
+    for query in ["hello", "airphant", "storage", "hello airphant"]:
+        result = searcher.search(query, top_k=10)
+        print(f"query {query!r}: {result.num_results} results "
+              f"({result.latency_ms:.1f} ms simulated)")
+        for document in result.documents:
+            print(f"   - {document.text}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

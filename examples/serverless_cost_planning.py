@@ -1,0 +1,68 @@
+"""Capacity and cost planning for a decoupled deployment.
+
+Two planning questions the paper's Sections III and V-C answer:
+
+1. How much Searcher memory does an index need?  (The MHT footprint is
+   configurable via the bin budget; ``SketchConfig.from_memory_budget`` sizes
+   it for a target device, e.g. a small FaaS instance.)
+2. When is the decoupled (Airphant on cloud storage) deployment cheaper than
+   a coupled Elasticsearch cluster?  (Figure 9's relative-cost curves.)
+
+Run with::
+
+    python examples/serverless_cost_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import CostModel, PeakTroughWorkload, SimulatedCloudStore, SketchConfig
+from repro import AirphantBuilder
+from repro.bench import format_table
+from repro.workloads import generate_log_corpus
+
+
+def memory_sizing(store: SimulatedCloudStore) -> None:
+    """Size the sketch for a 2 MB Searcher memory budget (FaaS-friendly)."""
+    corpus = generate_log_corpus(store, "windows", num_documents=10_000, seed=1)
+    config = SketchConfig.from_memory_budget(2 * 1024 * 1024, target_false_positives=1.0)
+    built = AirphantBuilder(store, config).build_from_documents(
+        corpus.documents, index_name="windows-index", corpus_name="windows"
+    )
+    print("Searcher memory sizing")
+    print(f"  memory budget          : 2 MiB")
+    print(f"  bin budget (B)         : {config.num_bins}")
+    print(f"  layers chosen (L*)     : {built.metadata.num_layers}")
+    print(f"  MHT footprint estimate : {built.mht.memory_bytes() / 1024:.0f} KiB")
+    print(f"  index on cloud storage : {built.storage_bytes(store) / 1024:.0f} KiB")
+    print()
+
+
+def cost_planning() -> None:
+    """Reproduce the shape of Figure 9 for a few corpus sizes."""
+    model = CostModel()
+    peak = 154.08          # one Elasticsearch server's throughput (ops/s)
+    trough = peak / 20
+    sizes_tb = [1, 4, 16]
+    fractions = [0.05, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+    rows = []
+    for size_tb in sizes_tb:
+        row = [f"{size_tb} TB"]
+        for tau in fractions:
+            workload = PeakTroughWorkload(peak, trough, tau)
+            row.append(model.relative_cost(workload, data_gb=size_tb * 1024))
+        rows.append(row)
+    print("Relative cost C_Elasticsearch / C_Airphant (greater than 1 means Airphant is cheaper)")
+    print(format_table(["data size"] + [f"tau={tau}" for tau in fractions], rows))
+    print()
+    print(f"asymptotic ratio for huge corpora: {model.asymptotic_relative_cost():.2f}x")
+
+
+def main() -> None:
+    store = SimulatedCloudStore()
+    memory_sizing(store)
+    cost_planning()
+
+
+if __name__ == "__main__":
+    main()

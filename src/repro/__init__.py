@@ -1,0 +1,136 @@
+"""Airphant: cloud-oriented document indexing (ICDE 2022) — Python reproduction.
+
+Airphant is a search engine built for the *separation of compute and
+storage*: documents and their inverted index live entirely on cloud object
+storage, and a small compute node answers keyword queries with a single
+batch of parallel range reads thanks to the **IoU Sketch**, a statistical
+inverted index that trades a few (later filtered) false positives for the
+elimination of all dependent sequential round-trips.
+
+Quickstart::
+
+    from repro import (
+        AirphantBuilder, AirphantSearcher, SimulatedCloudStore,
+        LineDelimitedCorpusParser, SketchConfig,
+    )
+
+    store = SimulatedCloudStore()
+    store.put("corpus/logs.txt", b"error disk full\\ninfo started\\nerror timeout")
+
+    builder = AirphantBuilder(store, SketchConfig(num_bins=1024))
+    built = builder.build_from_blobs(["corpus/logs.txt"], index_name="logs-index")
+
+    searcher = AirphantSearcher.open(store, index_name="logs-index")
+    result = searcher.search("error", top_k=10)
+    print([doc.text for doc in result.documents])
+
+Sub-packages
+------------
+* :mod:`repro.core` — IoU Sketch, its optimizer and accuracy analysis.
+* :mod:`repro.index` — Builder, superpost compaction, serialization.
+* :mod:`repro.search` — Searcher, Boolean/regex queries, hedged requests.
+* :mod:`repro.storage` — object-store abstraction + simulated cloud storage.
+* :mod:`repro.parsing` / :mod:`repro.profiling` — corpus parsing & profiling.
+* :mod:`repro.baselines` — Lucene-, Elasticsearch-, SQLite-like and hash-table
+  baselines used in the paper's evaluation.
+* :mod:`repro.workloads` — synthetic / Cranfield-like / log-corpus generators.
+* :mod:`repro.cost` — coupled-vs-decoupled deployment cost model.
+* :mod:`repro.bench` — benchmark harness regenerating the paper's figures.
+"""
+
+from repro.baselines import (
+    AirphantEngine,
+    ElasticLikeEngine,
+    HashTableEngine,
+    LuceneLikeEngine,
+    SearchEngine,
+    SQLiteLikeEngine,
+)
+from repro.core import (
+    IoUSketch,
+    MultilayerHashTable,
+    SketchConfig,
+    Superpost,
+    expected_false_positives,
+    minimize_layers,
+)
+from repro.cost import CostModel, PeakTroughWorkload
+from repro.index import AirphantBuilder, AppendOnlyIndexManager, BuiltIndex, IndexMetadata
+from repro.parsing import (
+    Document,
+    DocumentRef,
+    LineDelimitedCorpusParser,
+    Posting,
+    SimpleAnalyzer,
+    WhitespaceAnalyzer,
+    WholeBlobCorpusParser,
+)
+from repro.profiling import CorpusProfile, profile_documents
+from repro.search import (
+    AirphantSearcher,
+    And,
+    HedgingPolicy,
+    MultiIndexSearcher,
+    Or,
+    RegexSearcher,
+    SearchResult,
+    Term,
+)
+from repro.storage import (
+    AffineLatencyModel,
+    InMemoryObjectStore,
+    LocalObjectStore,
+    ObjectStore,
+    RangeRead,
+    SimulatedCloudStore,
+)
+from repro.workloads import QueryWorkload, sample_query_words
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffineLatencyModel",
+    "AirphantBuilder",
+    "AirphantEngine",
+    "AirphantSearcher",
+    "AppendOnlyIndexManager",
+    "And",
+    "BuiltIndex",
+    "CorpusProfile",
+    "CostModel",
+    "Document",
+    "DocumentRef",
+    "ElasticLikeEngine",
+    "HashTableEngine",
+    "HedgingPolicy",
+    "IndexMetadata",
+    "InMemoryObjectStore",
+    "IoUSketch",
+    "LineDelimitedCorpusParser",
+    "LocalObjectStore",
+    "LuceneLikeEngine",
+    "MultiIndexSearcher",
+    "MultilayerHashTable",
+    "ObjectStore",
+    "Or",
+    "PeakTroughWorkload",
+    "Posting",
+    "QueryWorkload",
+    "RangeRead",
+    "RegexSearcher",
+    "SQLiteLikeEngine",
+    "SearchEngine",
+    "SearchResult",
+    "SimpleAnalyzer",
+    "SimulatedCloudStore",
+    "SketchConfig",
+    "Superpost",
+    "Term",
+    "WhitespaceAnalyzer",
+    "WholeBlobCorpusParser",
+    "expected_false_positives",
+    "minimize_layers",
+    "profile_documents",
+    "sample_query_words",
+    "__version__",
+]

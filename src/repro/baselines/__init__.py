@@ -1,0 +1,45 @@
+"""Baseline search engines used in the paper's evaluation.
+
+All baselines are implemented against the same simulated cloud storage and
+share the same document-retrieval routine as Airphant; they differ only in
+their *term index*, which is exactly the dimension the paper studies:
+
+* :class:`~repro.baselines.lucene_like.LuceneLikeEngine` — inverted index
+  with an on-storage skip list (Apache Lucene's term dictionary access
+  pattern): dependent sequential reads during lookup.
+* :class:`~repro.baselines.elastic_like.ElasticLikeEngine` — the Lucene-like
+  engine behind a searchable-snapshot mount that lazily hydrates index
+  segments from cloud storage (Elasticsearch's deployment in the paper).
+* :class:`~repro.baselines.sqlite_like.SQLiteLikeEngine` — a paged B-tree
+  term index with a page cache (SQLite's file format access pattern).
+* :class:`~repro.baselines.hashtable.HashTableEngine` — IoU Sketch restricted
+  to a single layer (L = 1): one cheap lookup, many false positives.
+* :class:`~repro.baselines.airphant.AirphantEngine` — Airphant itself wrapped
+  in the common engine interface so the harness can compare all systems
+  uniformly.
+"""
+
+from repro.baselines.airphant import AirphantEngine
+from repro.baselines.base import SearchEngine
+from repro.baselines.btree import BTreeIndex
+from repro.baselines.elastic_like import ElasticLikeEngine
+from repro.baselines.hashtable import HashTableEngine
+from repro.baselines.hierarchical import HierarchicalEngine
+from repro.baselines.inverted import InvertedIndex, PostingsFile
+from repro.baselines.lucene_like import LuceneLikeEngine
+from repro.baselines.skiplist import SkipListIndex
+from repro.baselines.sqlite_like import SQLiteLikeEngine
+
+__all__ = [
+    "AirphantEngine",
+    "BTreeIndex",
+    "ElasticLikeEngine",
+    "HashTableEngine",
+    "HierarchicalEngine",
+    "InvertedIndex",
+    "LuceneLikeEngine",
+    "PostingsFile",
+    "SearchEngine",
+    "SkipListIndex",
+    "SQLiteLikeEngine",
+]

@@ -1,0 +1,42 @@
+"""SQLite-like baseline: exact inverted index + paged B-tree term index.
+
+Mirrors the paper's SQLite baseline: a two-column (keyword, postings)
+dictionary indexed by a B-tree whose database file is mounted on cloud
+storage.  Interior pages are cached; lookups pay one round-trip per uncached
+page plus one read for the postings list.  Document retrieval reuses the same
+routine as Airphant, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.btree import BTreeIndex
+from repro.baselines.hierarchical import HierarchicalEngine
+from repro.parsing.tokenizer import Tokenizer
+from repro.storage.base import ObjectStore
+
+
+class SQLiteLikeEngine(HierarchicalEngine):
+    """Inverted index with a B-tree term dictionary on cloud storage."""
+
+    name = "SQLite"
+
+    #: SQLite's default page-cache budget in this simulation.
+    DEFAULT_CACHE_BYTES = 256 * 1024
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        index_name: str = "sqlite-index",
+        tokenizer: Tokenizer | None = None,
+        max_concurrency: int = 32,
+        fanout: int = 64,
+        cache_bytes: int | None = None,
+    ) -> None:
+        self._fanout = fanout
+        self._cache_bytes = cache_bytes if cache_bytes is not None else self.DEFAULT_CACHE_BYTES
+        super().__init__(store, index_name, tokenizer, max_concurrency)
+
+    def _make_term_index(self) -> BTreeIndex:
+        return BTreeIndex(
+            self._store, self._index_name, fanout=self._fanout, cache_bytes=self._cache_bytes
+        )

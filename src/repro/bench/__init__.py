@@ -1,0 +1,29 @@
+"""Benchmark harness: builds engines, replays query workloads, reports stats.
+
+Everything under ``benchmarks/`` uses this package to regenerate the paper's
+tables and figures; it is also part of the public API so downstream users can
+benchmark their own corpora and configurations.
+"""
+
+from repro.bench.breakdown import BreakdownSummary, per_query_breakdown, summarize_breakdown
+from repro.bench.harness import (
+    EngineRun,
+    LatencyStats,
+    build_standard_engines,
+    run_comparison,
+    run_workload,
+)
+from repro.bench.tables import format_series, format_table
+
+__all__ = [
+    "BreakdownSummary",
+    "EngineRun",
+    "LatencyStats",
+    "build_standard_engines",
+    "format_series",
+    "format_table",
+    "per_query_breakdown",
+    "run_comparison",
+    "run_workload",
+    "summarize_breakdown",
+]

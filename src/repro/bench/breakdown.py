@@ -1,0 +1,37 @@
+"""Wait-vs-download latency breakdown (Figures 8 and 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import EngineRun
+
+
+@dataclass(frozen=True)
+class BreakdownSummary:
+    """Average network-communication breakdown of one engine's queries."""
+
+    engine_name: str
+    mean_wait_ms: float
+    mean_download_ms: float
+
+    @property
+    def mean_total_ms(self) -> float:
+        """Mean wait + download time per query."""
+        return self.mean_wait_ms + self.mean_download_ms
+
+
+def summarize_breakdown(run: EngineRun) -> BreakdownSummary:
+    """Average the wait and download times of all queries in ``run``."""
+    if not run.results:
+        return BreakdownSummary(engine_name=run.engine_name, mean_wait_ms=0.0, mean_download_ms=0.0)
+    wait = sum(result.latency.wait_ms for result in run.results) / len(run.results)
+    download = sum(result.latency.download_ms for result in run.results) / len(run.results)
+    return BreakdownSummary(
+        engine_name=run.engine_name, mean_wait_ms=wait, mean_download_ms=download
+    )
+
+
+def per_query_breakdown(run: EngineRun) -> list[tuple[float, float]]:
+    """Per-query (wait, download) pairs, the scatter points of Figure 11."""
+    return [(result.latency.wait_ms, result.latency.download_ms) for result in run.results]

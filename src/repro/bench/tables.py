@@ -1,0 +1,44 @@
+"""Plain-text rendering of benchmark tables and series.
+
+The benchmark scripts print the same rows and series the paper's tables and
+figures report; these helpers keep that output readable and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    columns = [str(header) for header in headers]
+    string_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in string_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        "  ".join(column.ljust(width) for column, width in zip(columns, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in string_rows:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render one figure series as ``name: (x, y) (x, y) ...``."""
+    points = " ".join(f"({_cell(x)}, {_cell(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {points}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)

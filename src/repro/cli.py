@@ -1,0 +1,181 @@
+"""Command-line interface for Airphant.
+
+Exposes the Builder and Searcher over a local directory acting as the
+storage bucket (the same layout ``gcsfuse`` exposes for a real Cloud Storage
+bucket), so an index can be built once and searched from any process:
+
+.. code-block:: console
+
+    # generate a demo corpus (or copy your own line-delimited blobs in)
+    airphant generate --bucket ./bucket --kind hdfs --documents 20000
+
+    # profile it, build an index, and search it
+    airphant profile --bucket ./bucket --blobs corpora/hdfs.txt
+    airphant build   --bucket ./bucket --blobs corpora/hdfs.txt --index hdfs-index
+    airphant search  --bucket ./bucket --index hdfs-index --query "ERROR" --top-k 5
+
+Every subcommand accepts ``--simulate-latency`` to wrap the bucket in the
+simulated cloud latency model, which also reports per-query simulated
+latencies the way the benchmarks do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.config import SketchConfig
+from repro.index.builder import AirphantBuilder
+from repro.parsing.corpus import LineDelimitedCorpusParser
+from repro.profiling.profiler import profile_documents
+from repro.search.regexsearch import RegexSearcher
+from repro.search.searcher import AirphantSearcher
+from repro.storage.base import ObjectStore
+from repro.storage.latency import AffineLatencyModel
+from repro.storage.local import LocalObjectStore
+from repro.storage.simulated import SimulatedCloudStore
+from repro.workloads.cranfield import generate_cranfield
+from repro.workloads.logs import LOG_SYSTEMS, generate_log_corpus
+from repro.workloads.synthetic import SyntheticSpec, generate_synthetic
+
+
+def _open_store(bucket: str, simulate_latency: bool) -> ObjectStore:
+    store: ObjectStore = LocalObjectStore(bucket)
+    if simulate_latency:
+        store = SimulatedCloudStore(backend=store, latency_model=AffineLatencyModel())
+    return store
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bucket", required=True, help="directory acting as the storage bucket")
+    parser.add_argument(
+        "--simulate-latency",
+        action="store_true",
+        help="charge simulated cloud-storage latencies and report them",
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    store = _open_store(args.bucket, args.simulate_latency)
+    if args.kind in LOG_SYSTEMS:
+        corpus = generate_log_corpus(store, args.kind, num_documents=args.documents, seed=args.seed)
+    elif args.kind == "cranfield":
+        corpus = generate_cranfield(store, num_documents=args.documents, seed=args.seed)
+    else:
+        spec = SyntheticSpec(
+            num_documents=args.documents,
+            num_words=max(args.documents, 100),
+            words_per_document=10,
+        )
+        corpus = generate_synthetic(store, args.kind, spec, seed=args.seed)
+    print(f"wrote {corpus.num_documents} documents to {corpus.blob_names[0]}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    store = _open_store(args.bucket, args.simulate_latency)
+    parser = LineDelimitedCorpusParser()
+    documents = list(parser.parse(store, args.blobs))
+    profile = profile_documents(documents)
+    report = {
+        "documents": profile.num_documents,
+        "terms": profile.num_terms,
+        "words": profile.num_words,
+        "mean_distinct_words_per_document": round(profile.mean_distinct_words, 2),
+        "sigma_x": round(profile.sigma_x(), 4),
+    }
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    store = _open_store(args.bucket, args.simulate_latency)
+    config = SketchConfig(
+        num_bins=args.bins,
+        target_false_positives=args.target_fp,
+        num_layers=args.layers,
+        seed=args.seed,
+    )
+    builder = AirphantBuilder(store, config=config)
+    built = builder.build_from_blobs(args.blobs, index_name=args.index, corpus_name=args.index)
+    print(
+        f"built index {args.index!r}: {built.metadata.num_documents} documents, "
+        f"{built.metadata.num_terms} terms, L = {built.metadata.num_layers}, "
+        f"expected false positives = {built.metadata.expected_false_positives:.4f}, "
+        f"storage = {built.storage_bytes(store)} bytes"
+    )
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    store = _open_store(args.bucket, args.simulate_latency)
+    searcher = AirphantSearcher.open(store, index_name=args.index)
+    if args.regex:
+        result = RegexSearcher(searcher).search(args.query, top_k=args.top_k)
+    elif args.boolean:
+        result = searcher.search_boolean(args.query, top_k=args.top_k)
+    else:
+        result = searcher.search(args.query, top_k=args.top_k)
+    for document in result.documents:
+        print(document.text)
+    summary = f"{result.num_results} result(s), {result.false_positive_count} false positive(s) filtered"
+    if args.simulate_latency:
+        summary += f", {result.latency_ms:.1f} ms simulated"
+    print(summary, file=sys.stderr)
+    return 0 if result.num_results > 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level ``airphant`` argument parser."""
+    parser = argparse.ArgumentParser(prog="airphant", description=__doc__.splitlines()[0])
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a demo corpus into the bucket")
+    _add_common_arguments(generate)
+    generate.add_argument(
+        "--kind",
+        default="hdfs",
+        choices=sorted(LOG_SYSTEMS) + ["cranfield", "diag", "unif", "zipf"],
+        help="corpus family to generate",
+    )
+    generate.add_argument("--documents", type=int, default=10_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    profile = subparsers.add_parser("profile", help="print corpus statistics (Table II style)")
+    _add_common_arguments(profile)
+    profile.add_argument("--blobs", nargs="+", required=True, help="corpus blob names")
+    profile.set_defaults(func=_cmd_profile)
+
+    build = subparsers.add_parser("build", help="build and persist an IoU Sketch index")
+    _add_common_arguments(build)
+    build.add_argument("--blobs", nargs="+", required=True, help="corpus blob names")
+    build.add_argument("--index", required=True, help="index name (blob prefix)")
+    build.add_argument("--bins", type=int, default=100_000, help="bin budget B")
+    build.add_argument("--target-fp", type=float, default=1.0, help="accuracy target F0")
+    build.add_argument("--layers", type=int, default=None, help="pin the layer count (skip Algorithm 1)")
+    build.add_argument("--seed", type=int, default=0)
+    build.set_defaults(func=_cmd_build)
+
+    search = subparsers.add_parser("search", help="search a previously built index")
+    _add_common_arguments(search)
+    search.add_argument("--index", required=True, help="index name (blob prefix)")
+    search.add_argument("--query", required=True)
+    search.add_argument("--top-k", type=int, default=None)
+    search.add_argument("--boolean", action="store_true", help="treat the query as AND/OR syntax")
+    search.add_argument("--regex", action="store_true", help="treat the query as a regular expression")
+    search.set_defaults(func=_cmd_search)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by both ``airphant`` and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `python -m repro`
+    raise SystemExit(main())

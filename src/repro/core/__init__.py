@@ -1,0 +1,58 @@
+"""IoU Sketch — the paper's primary contribution.
+
+The Intersection-of-Unions Sketch is an L-layer hash table over keywords.
+Each layer hashes every keyword into one of B/L bins; each bin stores the
+*union* of the postings lists of the keywords mapped to it (a super postings
+list).  A query fetches the keyword's L superposts in a single batch of
+parallel reads and intersects them; false positives shrink exponentially
+with L while recall stays perfect.
+
+This package contains the sketch itself plus its statistical machinery:
+
+* :mod:`repro.core.hashing` — seeded pairwise-independent hash family.
+* :mod:`repro.core.superpost` — super postings lists (union / intersection).
+* :mod:`repro.core.sketch` — the in-memory IoU Sketch (insert / query).
+* :mod:`repro.core.mht` — the Multilayer Hash Table kept in Searcher memory.
+* :mod:`repro.core.analysis` — expected-false-positive formulas (Eq. 1–3, 5, 6).
+* :mod:`repro.core.optimizer` — Algorithm 1 (layer minimization, Lemmas 1–3).
+* :mod:`repro.core.common_words` — exact bins for the most common words.
+* :mod:`repro.core.config` — user-facing sketch configuration.
+"""
+
+from repro.core.analysis import (
+    approx_false_positive_probability,
+    expected_false_positives,
+    false_positive_probability,
+    hoeffding_deviation,
+    lemma1_lower_bound,
+    optimal_layer_for_document,
+    top_k_sample_size,
+)
+from repro.core.common_words import CommonWordTable, select_common_words
+from repro.core.config import SketchConfig
+from repro.core.hashing import HashFamily, LayeredHasher
+from repro.core.mht import BinPointer, MultilayerHashTable
+from repro.core.optimizer import InfeasibleConfigurationError, minimize_layers
+from repro.core.sketch import IoUSketch
+from repro.core.superpost import Superpost
+
+__all__ = [
+    "BinPointer",
+    "CommonWordTable",
+    "HashFamily",
+    "InfeasibleConfigurationError",
+    "IoUSketch",
+    "LayeredHasher",
+    "MultilayerHashTable",
+    "SketchConfig",
+    "Superpost",
+    "approx_false_positive_probability",
+    "expected_false_positives",
+    "false_positive_probability",
+    "hoeffding_deviation",
+    "lemma1_lower_bound",
+    "minimize_layers",
+    "optimal_layer_for_document",
+    "select_common_words",
+    "top_k_sample_size",
+]

@@ -1,0 +1,247 @@
+"""Statistical analysis of IoU Sketch accuracy.
+
+Implements the formulas of Section IV-A:
+
+* Equation 1 — the exact false-positive probability q_i(L) of document i for
+  an irrelevant query word, and its approximation q̂_i(L).
+* Equation 2 — the expected number of false positives per query
+  F(L) = Σ_i c_i q_i(L).
+* Lemma 1 — the per-document minimizer L*_i = (B/|W_i|) ln 2 and the induced
+  lower bound Σ_i c_i 2^(−L*_i) used as the feasibility check of Algorithm 1.
+* Equation 5 — the Hoeffding concentration bound on the observed number of
+  false positives.
+* Equation 6 — the top-K sample size R_K.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.profiling.distributions import QueryWordDistribution
+from repro.profiling.profiler import CorpusProfile
+
+__all__ = [
+    "approx_false_positive_probability",
+    "expected_false_positives",
+    "false_positive_probability",
+    "fast_region_limit",
+    "hoeffding_deviation",
+    "lemma1_lower_bound",
+    "optimal_layer_for_document",
+    "slow_region_limit",
+    "top_k_sample_size",
+]
+
+
+def false_positive_probability(num_layers: float, num_bins: int, distinct_words: int) -> float:
+    """Exact q_i(L) of Equation 1.
+
+    Probability that document i (with ``distinct_words`` = |W_i| distinct
+    words) appears in the intersection for a query word it does not contain,
+    given ``num_bins`` = B total bins split across ``num_layers`` = L layers.
+    """
+    _validate_structure(num_layers, num_bins)
+    if distinct_words < 0:
+        raise ValueError("distinct_words must be non-negative")
+    if distinct_words == 0:
+        return 0.0
+    bins_per_layer = num_bins / num_layers
+    if bins_per_layer <= 1.0:
+        # A single bin per layer makes every document a certain false positive.
+        return 1.0
+    per_layer = 1.0 - (1.0 - 1.0 / bins_per_layer) ** distinct_words
+    return float(per_layer**num_layers)
+
+
+def approx_false_positive_probability(
+    num_layers: float, num_bins: int, distinct_words: int
+) -> float:
+    """Approximate q̂_i(L) = (1 − e^(−|W_i|·L/B))^L of Equation 1."""
+    _validate_structure(num_layers, num_bins)
+    if distinct_words < 0:
+        raise ValueError("distinct_words must be non-negative")
+    if distinct_words == 0:
+        return 0.0
+    z = 1.0 - math.exp(-distinct_words * num_layers / num_bins)
+    return float(z**num_layers)
+
+
+def expected_false_positives(
+    num_layers: float,
+    num_bins: int,
+    profile: CorpusProfile | Sequence[int],
+    distribution: QueryWordDistribution | None = None,
+    exact: bool = True,
+) -> float:
+    """Expected number of false positives per query, F(L) of Equation 2.
+
+    ``profile`` may be a :class:`CorpusProfile` or a raw sequence of per-
+    document distinct word counts |W_i| (in which case a uniform query prior
+    with c_i ≈ 1 is assumed, matching the worst case in the paper's remarks).
+    ``exact`` selects between q_i (True) and the approximation q̂_i (False).
+    """
+    _validate_structure(num_layers, num_bins)
+    sizes, weights = _aggregate_documents(profile, distribution)
+    if sizes.size == 0:
+        return 0.0
+    if exact:
+        bins_per_layer = num_bins / num_layers
+        if bins_per_layer <= 1.0:
+            probabilities = np.ones_like(sizes, dtype=float)
+        else:
+            per_layer = 1.0 - (1.0 - 1.0 / bins_per_layer) ** sizes
+            probabilities = per_layer**num_layers
+    else:
+        z = 1.0 - np.exp(-sizes * num_layers / num_bins)
+        probabilities = z**num_layers
+    return float(np.dot(weights, probabilities))
+
+
+def optimal_layer_for_document(num_bins: int, distinct_words: int) -> float:
+    """Lemma 1: the per-document minimizer L*_i = (B / |W_i|) · ln 2."""
+    if num_bins <= 0:
+        raise ValueError("num_bins must be positive")
+    if distinct_words <= 0:
+        raise ValueError("distinct_words must be positive")
+    return num_bins / distinct_words * math.log(2.0)
+
+
+def lemma1_lower_bound(
+    num_bins: int,
+    profile: CorpusProfile | Sequence[int],
+    distribution: QueryWordDistribution | None = None,
+) -> float:
+    """Lower bound Σ_i c_i·2^(−L*_i) ≤ F(L) from Lemma 1.
+
+    Used by Algorithm 1 as a cheap feasibility check: if even this bound
+    exceeds the target F₀, no number of layers can satisfy the constraint.
+    """
+    sizes, weights = _aggregate_documents(profile, distribution)
+    if sizes.size == 0:
+        return 0.0
+    exponents = num_bins / sizes * math.log(2.0)
+    # 2^(-L*) underflows harmlessly to zero for very small documents.
+    with np.errstate(over="ignore", under="ignore"):
+        terms = np.exp2(-exponents)
+    return float(np.dot(weights, terms))
+
+
+def fast_region_limit(num_bins: int, profile: CorpusProfile | Sequence[int]) -> float:
+    """L_min = min_i L*_i = (B / max_i |W_i|) · ln 2 (Lemma 2).
+
+    For L < L_min, F̂(L) is strictly (exponentially) decreasing, so Algorithm 1
+    can binary-search this region.
+    """
+    sizes = _document_sizes(profile)
+    positive = [size for size in sizes if size > 0]
+    if not positive:
+        return float(num_bins)
+    return optimal_layer_for_document(num_bins, max(positive))
+
+
+def slow_region_limit(num_bins: int, profile: CorpusProfile | Sequence[int]) -> float:
+    """L_max = max_i L*_i = (B / min_i |W_i|) · ln 2 (Lemma 3).
+
+    For L > L_max, F̂(L) is strictly increasing, so no solution can lie beyond
+    it and Algorithm 1 stops its iterative search there.
+    """
+    sizes = _document_sizes(profile)
+    positive = [size for size in sizes if size > 0]
+    if not positive:
+        return float(num_bins)
+    return optimal_layer_for_document(num_bins, min(positive))
+
+
+def hoeffding_deviation(sigma_x: float, delta: float) -> float:
+    """Deviation bound ε such that Pr[X ≥ F(L) + ε] ≤ δ (Equation 5).
+
+    ε = sqrt(σ_X² · ln(1/δ) / 2) where σ_X² = Σ_i Σ_{w∉W_i} p_w².
+    """
+    if sigma_x < 0:
+        raise ValueError("sigma_x must be non-negative")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    return math.sqrt(0.5 * sigma_x**2 * math.log(1.0 / delta))
+
+
+def top_k_sample_size(
+    k: int, num_postings: int, expected_false_positives_f0: float, delta: float
+) -> int:
+    """Number of postings to sample for a top-K query (Equation 6).
+
+    Given a final postings list with R = ``num_postings`` entries of which F₀
+    are expected to be false positives, sampling R_K postings guarantees at
+    least K relevant documents with probability ≥ 1 − δ.  When K ≥ R − F₀ the
+    whole list must be fetched.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if num_postings < 0:
+        raise ValueError("num_postings must be non-negative")
+    if expected_false_positives_f0 < 0:
+        raise ValueError("expected_false_positives_f0 must be non-negative")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    if num_postings == 0:
+        return 0
+    if k >= num_postings - expected_false_positives_f0:
+        return num_postings
+    success_probability = 1.0 - expected_false_positives_f0 / num_postings
+    if success_probability <= 0:
+        return num_postings
+    log_term = 0.5 * math.log(1.0 / delta)
+    discriminant = (2 * success_probability * k + log_term) ** 2 - 4 * (
+        success_probability**2
+    ) * (k**2)
+    discriminant = max(discriminant, 0.0)
+    sample = (2 * success_probability * k + log_term + math.sqrt(discriminant)) / (
+        2 * success_probability**2
+    )
+    return min(num_postings, int(math.ceil(sample)))
+
+
+# -- internal helpers --------------------------------------------------------------
+
+
+def _validate_structure(num_layers: float, num_bins: int) -> None:
+    if num_bins <= 0:
+        raise ValueError("num_bins must be positive")
+    if num_layers < 1 or num_layers > num_bins:
+        raise ValueError(f"num_layers must satisfy 1 <= L <= B, got L={num_layers}, B={num_bins}")
+
+
+def _document_sizes(profile: CorpusProfile | Sequence[int]) -> list[int]:
+    if isinstance(profile, CorpusProfile):
+        return list(profile.distinct_words_per_document)
+    return list(profile)
+
+
+def _aggregate_documents(
+    profile: CorpusProfile | Sequence[int],
+    distribution: QueryWordDistribution | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group documents by |W_i| and sum their c_i weights.
+
+    Evaluating F(L) touches every document; grouping identical sizes keeps the
+    optimizer fast even for corpora with millions of documents.
+    """
+    if isinstance(profile, CorpusProfile):
+        sizes = np.asarray(profile.distinct_words_per_document, dtype=float)
+        weights = np.asarray(profile.irrelevance_coefficients(distribution), dtype=float)
+    else:
+        sizes = np.asarray(list(profile), dtype=float)
+        weights = np.ones_like(sizes)
+    if sizes.size == 0:
+        return sizes, weights
+    mask = sizes > 0
+    sizes = sizes[mask]
+    weights = weights[mask]
+    if sizes.size == 0:
+        return sizes, weights
+    unique_sizes, inverse = np.unique(sizes, return_inverse=True)
+    grouped_weights = np.zeros_like(unique_sizes)
+    np.add.at(grouped_weights, inverse, weights)
+    return unique_sizes, grouped_weights

@@ -1,0 +1,104 @@
+"""Multilayer Hash Table (MHT).
+
+The MHT is the small in-memory half of a persisted IoU Sketch: the layer hash
+seeds plus, for every bin, a pointer ``(blob, offset, length)`` to that bin's
+serialized superpost inside the compacted superpost blob.  It also carries
+the exact pointers of common words.  The Searcher downloads the MHT once at
+initialization; every later query is answered with a single parallel batch
+of range reads resolved through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hashing import LayeredHasher
+from repro.storage.base import RangeRead
+
+
+@dataclass(frozen=True)
+class BinPointer:
+    """Location of one serialized superpost inside the compacted blob."""
+
+    blob: str
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length < 0:
+            raise ValueError("offset and length must be non-negative")
+
+    def to_range_read(self) -> RangeRead:
+        """The range read that fetches this superpost."""
+        return RangeRead(blob=self.blob, offset=self.offset, length=self.length)
+
+    @property
+    def is_empty(self) -> bool:
+        """True for bins that received no postings at build time."""
+        return self.length == 0
+
+
+@dataclass
+class MultilayerHashTable:
+    """Hash seeds plus per-bin superpost pointers (Searcher-resident state)."""
+
+    hasher: LayeredHasher
+    pointers: list[list[BinPointer]]
+    common_word_pointers: dict[str, BinPointer] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.pointers) != self.hasher.num_layers:
+            raise ValueError("one pointer table required per layer")
+        for layer in self.pointers:
+            if len(layer) != self.hasher.bins_per_layer:
+                raise ValueError("pointer table size must match bins per layer")
+
+    # -- structure -------------------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers L."""
+        return self.hasher.num_layers
+
+    @property
+    def bins_per_layer(self) -> int:
+        """Number of bins in each layer."""
+        return self.hasher.bins_per_layer
+
+    @property
+    def num_common_words(self) -> int:
+        """Number of words with exact (common-word) pointers."""
+        return len(self.common_word_pointers)
+
+    def memory_bytes(self, bytes_per_pointer: int = 20) -> int:
+        """Approximate in-memory footprint of the MHT."""
+        num_pointers = self.num_layers * self.bins_per_layer + self.num_common_words
+        return num_pointers * bytes_per_pointer
+
+    # -- lookups ---------------------------------------------------------------------
+
+    def is_common(self, word: str) -> bool:
+        """Whether ``word`` is answered from an exact common-word bin."""
+        return word in self.common_word_pointers
+
+    def pointers_for(self, word: str) -> list[BinPointer]:
+        """The superpost pointers a query for ``word`` must fetch.
+
+        Returns a single pointer for common words and one pointer per layer
+        otherwise.  Empty bins are included (the Searcher skips zero-length
+        reads) so the caller always knows which layer produced which payload.
+        """
+        if word in self.common_word_pointers:
+            return [self.common_word_pointers[word]]
+        return [
+            self.pointers[layer_index][bin_index]
+            for layer_index, bin_index in enumerate(self.hasher.bins_of(word))
+        ]
+
+    def range_reads_for(self, word: str) -> list[RangeRead]:
+        """Range reads for the non-empty superposts of ``word``."""
+        return [
+            pointer.to_range_read()
+            for pointer in self.pointers_for(word)
+            if not pointer.is_empty
+        ]

@@ -1,0 +1,135 @@
+"""The in-memory IoU Sketch.
+
+This is the logical data structure of Section IV-A: L layers of bins, each
+bin holding a super postings list.  The Builder constructs one of these from
+a corpus, then splits it into the cloud-persisted superposts and the
+in-memory Multilayer Hash Table.  The in-memory form is also useful on its
+own (the false-positive experiments of Figures 5 and 16 run directly against
+it without any storage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.common_words import CommonWordTable
+from repro.core.hashing import LayeredHasher
+from repro.core.superpost import Superpost
+from repro.parsing.documents import Posting
+
+
+@dataclass
+class IoUSketch:
+    """An L-layer intersection-of-unions sketch over keywords.
+
+    Supports the two operations of the paper:
+
+    * :meth:`insert` — union a word's postings into its bin in every layer.
+    * :meth:`query` — intersect the word's superposts across all layers.
+
+    Words registered in the optional :class:`CommonWordTable` are answered
+    exactly and never touch the hashed layers.
+    """
+
+    hasher: LayeredHasher
+    layers: list[list[Superpost]]
+    common_words: CommonWordTable
+
+    @classmethod
+    def build(
+        cls,
+        num_layers: int,
+        total_bins: int,
+        seed: int = 0,
+        common_words: CommonWordTable | None = None,
+    ) -> "IoUSketch":
+        """Create an empty sketch with ``total_bins`` split across layers.
+
+        ``total_bins`` is the paper's B; each layer receives ``B // L`` bins
+        (at least one).
+        """
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if total_bins < num_layers:
+            raise ValueError("total_bins must be at least num_layers")
+        bins_per_layer = max(1, total_bins // num_layers)
+        hasher = LayeredHasher.build(num_layers, bins_per_layer, seed=seed)
+        layers = [[Superpost() for _ in range(bins_per_layer)] for _ in range(num_layers)]
+        return cls(
+            hasher=hasher,
+            layers=layers,
+            common_words=common_words if common_words is not None else CommonWordTable(),
+        )
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers L."""
+        return len(self.layers)
+
+    @property
+    def bins_per_layer(self) -> int:
+        """Number of bins in each layer."""
+        return len(self.layers[0]) if self.layers else 0
+
+    @property
+    def total_bins(self) -> int:
+        """Total number of hashed bins across all layers."""
+        return self.num_layers * self.bins_per_layer
+
+    def bin_of(self, word: str) -> list[int]:
+        """Bin index of ``word`` in each layer."""
+        return self.hasher.bins_of(word)
+
+    # -- operations -----------------------------------------------------------------
+
+    def insert(self, word: str, postings: Iterable[Posting]) -> None:
+        """Union ``postings`` into the word's bin in every layer.
+
+        Common words go to their exact table instead of the hashed layers.
+        """
+        postings = list(postings)
+        if word in self.common_words:
+            self.common_words.add(word, postings)
+            return
+        for layer_index, bin_index in enumerate(self.hasher.bins_of(word)):
+            self.layers[layer_index][bin_index].add_all(postings)
+
+    def insert_postings_map(self, postings_by_word: Mapping[str, Iterable[Posting]]) -> None:
+        """Insert an entire word → postings mapping (builder convenience)."""
+        for word, postings in postings_by_word.items():
+            self.insert(word, postings)
+
+    def layer_superposts(self, word: str) -> list[Superpost]:
+        """The L superposts a query for ``word`` would fetch."""
+        return [
+            self.layers[layer_index][bin_index]
+            for layer_index, bin_index in enumerate(self.hasher.bins_of(word))
+        ]
+
+    def query(self, word: str) -> Superpost:
+        """Final postings list for ``word``: intersection of its superposts.
+
+        Never misses a relevant document; may contain false positives that a
+        later document fetch filters out.
+        """
+        if word in self.common_words:
+            return self.common_words.query(word)
+        return Superpost.intersect_all(self.layer_superposts(word))
+
+    # -- diagnostics -----------------------------------------------------------------
+
+    def false_positives(self, word: str, true_postings: set[Posting]) -> int:
+        """Number of irrelevant postings returned for ``word``.
+
+        Used by the accuracy experiments to compare the observed count with
+        the analytical expectation F(L).
+        """
+        returned = self.query(word).postings
+        return len(returned - true_postings)
+
+    def bin_sizes(self) -> list[list[int]]:
+        """Superpost sizes per layer, for storage-usage analysis."""
+        return [[len(superpost) for superpost in layer] for layer in self.layers]

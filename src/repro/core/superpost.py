@@ -1,0 +1,71 @@
+"""Super postings lists.
+
+A superpost is the union of the postings lists of every keyword hashed into
+one bin.  Queries intersect the L superposts of a keyword; document postings
+are (blob, offset, length) references, so intersection is plain set
+intersection over :class:`~repro.parsing.documents.Posting` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.parsing.documents import Posting
+
+
+@dataclass
+class Superpost:
+    """A merged postings list stored in one IoU Sketch bin."""
+
+    postings: set[Posting] = field(default_factory=set)
+
+    def __len__(self) -> int:
+        return len(self.postings)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self.postings)
+
+    def __contains__(self, posting: Posting) -> bool:
+        return posting in self.postings
+
+    def add_all(self, postings: Iterable[Posting]) -> None:
+        """Union this superpost with ``postings`` in place (insert path)."""
+        self.postings.update(postings)
+
+    def union(self, other: "Superpost") -> "Superpost":
+        """Return a new superpost containing both postings sets."""
+        return Superpost(self.postings | other.postings)
+
+    def intersect(self, other: "Superpost") -> "Superpost":
+        """Return a new superpost with only the common postings (query path)."""
+        return Superpost(self.postings & other.postings)
+
+    def sorted_postings(self) -> list[Posting]:
+        """Postings in a deterministic (blob, offset, length) order."""
+        return sorted(self.postings)
+
+    @staticmethod
+    def intersect_all(superposts: Iterable["Superpost"]) -> "Superpost":
+        """Intersection of several superposts (the final postings list).
+
+        An empty input produces an empty superpost, matching the behaviour of
+        querying a word that was never inserted.
+        """
+        result: set[Posting] | None = None
+        for superpost in superposts:
+            if result is None:
+                result = set(superpost.postings)
+            else:
+                result &= superpost.postings
+            if not result:
+                break
+        return Superpost(result if result is not None else set())
+
+    @staticmethod
+    def union_all(superposts: Iterable["Superpost"]) -> "Superpost":
+        """Union of several superposts (used by Boolean OR queries)."""
+        merged: set[Posting] = set()
+        for superpost in superposts:
+            merged |= superpost.postings
+        return Superpost(merged)

@@ -1,0 +1,5 @@
+"""Cost model comparing coupled and decoupled deployments (Section V-C)."""
+
+from repro.cost.model import CostModel, PeakTroughWorkload
+
+__all__ = ["CostModel", "PeakTroughWorkload"]

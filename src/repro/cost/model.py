@@ -1,0 +1,130 @@
+"""Analytic cost model of Section V-C (Figure 9).
+
+The paper compares two deployment paradigms under a *peak-trough* workload:
+
+* **Decoupled (Airphant)** — compute scales with the instantaneous workload;
+  the index lives on cheap cloud storage.  Monthly cost is proportional to
+  the time-weighted average throughput plus cloud-storage rent.
+* **Coupled (Elasticsearch on local disks)** — the cluster must be sized for
+  the peak at all times (scaling down would require rebalancing shards), and
+  the index lives on more expensive local persistent disks.
+
+All default prices and throughputs are the ones the paper reports for GCP
+(e2-small / e2-medium VMs, Cloud Storage vs local PD, measured ops/s per
+node, and per-engine storage expansion factors for a Windows-shaped corpus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PeakTroughWorkload:
+    """A periodic workload: ``peak_ops`` for a ``peak_fraction`` of the time.
+
+    Identified in the paper by the triple (A, a, τ).
+    """
+
+    peak_ops: float
+    trough_ops: float
+    peak_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.peak_ops < 0 or self.trough_ops < 0:
+            raise ValueError("throughputs must be non-negative")
+        if not 0.0 <= self.peak_fraction <= 1.0:
+            raise ValueError("peak_fraction must be in [0, 1]")
+        if self.trough_ops > self.peak_ops:
+            raise ValueError("trough_ops must not exceed peak_ops")
+
+    @property
+    def average_ops(self) -> float:
+        """Time-weighted average throughput A·τ + a·(1 − τ)."""
+        return self.peak_ops * self.peak_fraction + self.trough_ops * (1.0 - self.peak_fraction)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Monthly cost model with the paper's measured defaults.
+
+    Attributes
+    ----------
+    airphant_vm_monthly, elastic_vm_monthly:
+        Monthly price of one query-serving VM (e2-small vs e2-medium).
+    airphant_ops_per_second, elastic_ops_per_second:
+        Measured single-node throughput (175 ms/op vs 6.49 ms/op).
+    airphant_storage_per_gb_month, elastic_storage_per_gb_month:
+        Cloud object storage vs local persistent disk price.
+    airphant_storage_factor, elastic_storage_factor:
+        Index bytes per byte of original data (measured on Windows).
+    """
+
+    airphant_vm_monthly: float = 13.23
+    airphant_ops_per_second: float = 5.71
+    airphant_storage_per_gb_month: float = 0.02
+    airphant_storage_factor: float = 1.008
+
+    elastic_vm_monthly: float = 26.46
+    elastic_ops_per_second: float = 154.08
+    elastic_storage_per_gb_month: float = 0.2
+    elastic_storage_factor: float = 0.3316
+
+    # -- per-paradigm monthly cost --------------------------------------------------
+
+    def airphant_monthly_cost(self, workload: PeakTroughWorkload, data_gb: float) -> float:
+        """Decoupled deployment: compute follows the workload, storage is cloud."""
+        if data_gb < 0:
+            raise ValueError("data_gb must be non-negative")
+        compute = self.airphant_vm_monthly * workload.average_ops / self.airphant_ops_per_second
+        storage = self.airphant_storage_per_gb_month * self.airphant_storage_factor * data_gb
+        return compute + storage
+
+    def elastic_monthly_cost(self, workload: PeakTroughWorkload, data_gb: float) -> float:
+        """Coupled deployment: provisioned for the peak at all times, local disks."""
+        if data_gb < 0:
+            raise ValueError("data_gb must be non-negative")
+        compute = self.elastic_vm_monthly * workload.peak_ops / self.elastic_ops_per_second
+        storage = self.elastic_storage_per_gb_month * self.elastic_storage_factor * data_gb
+        return compute + storage
+
+    # -- comparisons --------------------------------------------------------------------
+
+    def relative_cost(self, workload: PeakTroughWorkload, data_gb: float) -> float:
+        """C_E / C_A: how much more the coupled deployment costs (Figure 9)."""
+        airphant = self.airphant_monthly_cost(workload, data_gb)
+        if airphant <= 0:
+            raise ValueError("Airphant cost is zero; relative cost undefined")
+        return self.elastic_monthly_cost(workload, data_gb) / airphant
+
+    def asymptotic_relative_cost(self) -> float:
+        """lim_{data → ∞} C_E / C_A ≈ 3.29 with the paper's prices."""
+        return (self.elastic_storage_per_gb_month * self.elastic_storage_factor) / (
+            self.airphant_storage_per_gb_month * self.airphant_storage_factor
+        )
+
+    def compute_relative_cost(self, workload: PeakTroughWorkload) -> float:
+        """VM-cost-only ratio C_E / C_A (ignoring storage)."""
+        airphant = self.airphant_vm_monthly * workload.average_ops / self.airphant_ops_per_second
+        elastic = self.elastic_vm_monthly * workload.peak_ops / self.elastic_ops_per_second
+        if airphant <= 0:
+            raise ValueError("Airphant compute cost is zero; relative cost undefined")
+        return elastic / airphant
+
+    def breakeven_peak_fraction(self, data_gb: float, workload: PeakTroughWorkload) -> float | None:
+        """Peak-time fraction τ at which the two paradigms cost the same.
+
+        Returns ``None`` when one paradigm is cheaper for every τ in [0, 1].
+        The workload's τ is ignored; its peak/trough throughputs are reused.
+        """
+        elastic = self.elastic_monthly_cost(workload, data_gb)
+        per_op = self.airphant_vm_monthly / self.airphant_ops_per_second
+        storage = self.airphant_storage_per_gb_month * self.airphant_storage_factor * data_gb
+        # Solve per_op * (a + tau*(A - a)) + storage == elastic for tau.
+        spread = workload.peak_ops - workload.trough_ops
+        if spread <= 0:
+            return None
+        tau = ((elastic - storage) / per_op - workload.trough_ops) / spread
+        if 0.0 <= tau <= 1.0:
+            return tau
+        return None

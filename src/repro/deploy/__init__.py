@@ -1,0 +1,25 @@
+"""Elastic deployment simulation.
+
+The paper's motivation for the separation of compute and storage is
+elasticity: query nodes can be added or removed as demand changes (even down
+to per-request FaaS invocations) because all state lives in cloud storage,
+whereas a coupled cluster must stay provisioned for its peak.  This package
+simulates both policies against a demand trace so the compute-cost claims of
+Section V-C can be examined over time rather than only in closed form.
+"""
+
+from repro.deploy.simulator import (
+    AutoscalingPolicy,
+    DeploymentReport,
+    DeploymentSimulator,
+    FixedFleetPolicy,
+)
+from repro.deploy.workload import WorkloadTrace
+
+__all__ = [
+    "AutoscalingPolicy",
+    "DeploymentReport",
+    "DeploymentSimulator",
+    "FixedFleetPolicy",
+    "WorkloadTrace",
+]

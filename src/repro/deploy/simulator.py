@@ -1,0 +1,174 @@
+"""Coupled vs. decoupled deployment simulation.
+
+Two provisioning policies are simulated against a demand trace:
+
+* :class:`FixedFleetPolicy` — the coupled paradigm: the node count is fixed
+  up front (normally sized for the peak) because scaling an Elasticsearch
+  cluster down would require rebalancing its locally-stored shards.
+* :class:`AutoscalingPolicy` — the decoupled paradigm: node count follows
+  demand; new nodes only need to download the small index header
+  (initialization latency), so scale-up is fast but not instant, which the
+  simulator charges as queries served late during cold starts.
+
+The simulator reports node-hours, monthly compute cost, and the fraction of
+queries that could not be served at their arrival interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.deploy.workload import WorkloadTrace
+
+#: Hours in the billing month used to convert node-hours to monthly cost.
+_HOURS_PER_MONTH = 730.0
+
+
+@dataclass(frozen=True)
+class FixedFleetPolicy:
+    """Always run ``num_nodes`` nodes (coupled deployment)."""
+
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+
+    @classmethod
+    def for_peak(cls, trace: WorkloadTrace, node_throughput_ops: float) -> "FixedFleetPolicy":
+        """Provision for the trace's peak, as a coupled cluster must."""
+        return cls(num_nodes=max(1, math.ceil(trace.peak_ops / node_throughput_ops)))
+
+    def nodes_for(self, demand_ops: float, node_throughput_ops: float) -> int:
+        return self.num_nodes
+
+
+@dataclass(frozen=True)
+class AutoscalingPolicy:
+    """Scale the fleet to the current demand (decoupled deployment).
+
+    ``min_nodes`` keeps a warm floor (0 allows scale-to-zero, FaaS style);
+    ``headroom`` over-provisions by a fraction to absorb jitter.
+    """
+
+    min_nodes: int = 0
+    max_nodes: int | None = None
+    headroom: float = 0.0
+    cold_start_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 0:
+            raise ValueError("min_nodes must be non-negative")
+        if self.max_nodes is not None and self.max_nodes < max(self.min_nodes, 1):
+            raise ValueError("max_nodes must be at least min_nodes (and one)")
+        if self.headroom < 0:
+            raise ValueError("headroom must be non-negative")
+        if self.cold_start_seconds < 0:
+            raise ValueError("cold_start_seconds must be non-negative")
+
+    def nodes_for(self, demand_ops: float, node_throughput_ops: float) -> int:
+        if demand_ops <= 0:
+            return self.min_nodes
+        wanted = math.ceil(demand_ops * (1.0 + self.headroom) / node_throughput_ops)
+        wanted = max(wanted, self.min_nodes, 1)
+        if self.max_nodes is not None:
+            wanted = min(wanted, self.max_nodes)
+        return wanted
+
+
+@dataclass(frozen=True)
+class DeploymentReport:
+    """Outcome of simulating one policy over one trace."""
+
+    policy_name: str
+    node_hours: float
+    monthly_compute_cost: float
+    served_queries: float
+    offered_queries: float
+    late_queries: float
+    peak_nodes: int
+
+    @property
+    def unserved_fraction(self) -> float:
+        """Fraction of offered queries not served within their interval."""
+        if self.offered_queries <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.served_queries / self.offered_queries)
+
+    @property
+    def late_fraction(self) -> float:
+        """Fraction of offered queries delayed by cold starts."""
+        if self.offered_queries <= 0:
+            return 0.0
+        return self.late_queries / self.offered_queries
+
+
+class DeploymentSimulator:
+    """Replays a demand trace against a provisioning policy."""
+
+    def __init__(
+        self,
+        node_throughput_ops: float = 5.71,
+        node_monthly_cost: float = 13.23,
+    ) -> None:
+        if node_throughput_ops <= 0:
+            raise ValueError("node_throughput_ops must be positive")
+        if node_monthly_cost < 0:
+            raise ValueError("node_monthly_cost must be non-negative")
+        self._throughput = node_throughput_ops
+        self._monthly_cost = node_monthly_cost
+
+    def simulate(
+        self,
+        trace: WorkloadTrace,
+        policy: FixedFleetPolicy | AutoscalingPolicy,
+        policy_name: str | None = None,
+    ) -> DeploymentReport:
+        """Run ``policy`` over ``trace`` and summarize capacity, cost, and lateness."""
+        node_seconds = 0.0
+        served = 0.0
+        late = 0.0
+        peak_nodes = 0
+        previous_nodes = (
+            policy.min_nodes if isinstance(policy, AutoscalingPolicy) else policy.num_nodes
+        )
+        cold_start = (
+            policy.cold_start_seconds if isinstance(policy, AutoscalingPolicy) else 0.0
+        )
+        for demand in trace.demand_ops:
+            nodes = policy.nodes_for(demand, self._throughput)
+            peak_nodes = max(peak_nodes, nodes)
+            node_seconds += nodes * trace.interval_seconds
+            capacity = nodes * self._throughput * trace.interval_seconds
+            offered = demand * trace.interval_seconds
+            # Freshly started nodes spend their cold-start downloading the MHT
+            # header; queries assigned to them in that window finish late.
+            new_nodes = max(0, nodes - previous_nodes)
+            late += min(offered, new_nodes * self._throughput * cold_start)
+            served += min(offered, capacity)
+            previous_nodes = nodes
+        node_hours = node_seconds / 3600.0
+        # Billing: the time-averaged fleet size, extrapolated to a month.
+        average_nodes = node_seconds / trace.duration_seconds
+        monthly_cost = average_nodes * self._monthly_cost
+        return DeploymentReport(
+            policy_name=policy_name or type(policy).__name__,
+            node_hours=node_hours,
+            monthly_compute_cost=monthly_cost,
+            served_queries=served,
+            offered_queries=trace.total_queries,
+            late_queries=late,
+            peak_nodes=peak_nodes,
+        )
+
+    def compare(
+        self, trace: WorkloadTrace, autoscaling: AutoscalingPolicy | None = None
+    ) -> dict[str, DeploymentReport]:
+        """Simulate both paradigms: peak-provisioned fixed fleet vs autoscaling."""
+        fixed = FixedFleetPolicy.for_peak(trace, self._throughput)
+        elastic = autoscaling if autoscaling is not None else AutoscalingPolicy()
+        return {
+            "coupled (fixed fleet)": self.simulate(trace, fixed, "coupled (fixed fleet)"),
+            "decoupled (autoscaling)": self.simulate(trace, elastic, "decoupled (autoscaling)"),
+        }

@@ -1,0 +1,81 @@
+"""Demand traces for deployment simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cost.model import PeakTroughWorkload
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """Query demand over time.
+
+    ``demand_ops`` holds the offered load (queries per second) for each
+    interval of ``interval_seconds``.
+    """
+
+    interval_seconds: float
+    demand_ops: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        if not self.demand_ops:
+            raise ValueError("a trace needs at least one interval")
+        if any(demand < 0 for demand in self.demand_ops):
+            raise ValueError("demand must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.demand_ops)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Total covered time."""
+        return self.interval_seconds * len(self.demand_ops)
+
+    @property
+    def peak_ops(self) -> float:
+        """Highest offered load in the trace."""
+        return max(self.demand_ops)
+
+    @property
+    def average_ops(self) -> float:
+        """Time-weighted average offered load."""
+        return float(np.mean(self.demand_ops))
+
+    @property
+    def total_queries(self) -> float:
+        """Total number of queries offered over the trace."""
+        return float(sum(self.demand_ops) * self.interval_seconds)
+
+    @classmethod
+    def from_peak_trough(
+        cls,
+        workload: PeakTroughWorkload,
+        num_intervals: int = 144,
+        interval_seconds: float = 600.0,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> "WorkloadTrace":
+        """Expand a peak-trough specification into a periodic daily trace.
+
+        The first ``peak_fraction`` of each day runs at the peak rate, the
+        rest at the trough rate; optional multiplicative jitter roughens the
+        trace so autoscaling decisions are non-trivial.
+        """
+        if num_intervals <= 0:
+            raise ValueError("num_intervals must be positive")
+        rng = np.random.default_rng(seed)
+        peak_intervals = int(round(workload.peak_fraction * num_intervals))
+        demand = np.concatenate(
+            [
+                np.full(peak_intervals, workload.peak_ops),
+                np.full(num_intervals - peak_intervals, workload.trough_ops),
+            ]
+        )
+        if jitter > 0:
+            demand = demand * rng.lognormal(mean=0.0, sigma=jitter, size=num_intervals)
+        return cls(interval_seconds=interval_seconds, demand_ops=tuple(float(x) for x in demand))

@@ -1,0 +1,46 @@
+"""Index building and persistence.
+
+The Builder turns a corpus into a persisted IoU Sketch: it parses and
+profiles the documents, runs the layer optimizer, constructs superposts,
+compacts them into a single blob, and writes a header blob containing the
+hash seeds, bin pointers, string table, and metadata (Sections III-C and
+IV-C).
+"""
+
+from repro.index.builder import AirphantBuilder, BuiltIndex
+from repro.index.compaction import (
+    HEADER_BLOB_SUFFIX,
+    SUPERPOST_BLOB_SUFFIX,
+    CompactedSketch,
+    compact_sketch,
+    decode_header,
+    encode_header,
+)
+from repro.index.metadata import IndexMetadata
+from repro.index.updates import AppendOnlyIndexManager, IndexManifest
+from repro.index.serialization import (
+    StringTable,
+    decode_superpost,
+    decode_varint,
+    encode_superpost,
+    encode_varint,
+)
+
+__all__ = [
+    "AirphantBuilder",
+    "AppendOnlyIndexManager",
+    "IndexManifest",
+    "BuiltIndex",
+    "CompactedSketch",
+    "HEADER_BLOB_SUFFIX",
+    "IndexMetadata",
+    "SUPERPOST_BLOB_SUFFIX",
+    "StringTable",
+    "compact_sketch",
+    "decode_header",
+    "decode_superpost",
+    "decode_varint",
+    "encode_header",
+    "encode_superpost",
+    "encode_varint",
+]

@@ -1,0 +1,192 @@
+"""Airphant Builder.
+
+The Builder is the offline component that turns a corpus into a persisted
+IoU Sketch (Figure 3, left half):
+
+1. parse the corpus blobs into documents with byte-range references;
+2. profile the documents (single pass);
+3. optimize the number of layers with Algorithm 1 (unless pinned);
+4. select the common words that receive exact bins;
+5. insert every word's postings into the in-memory sketch;
+6. compact the superposts into a single blob and persist it;
+7. persist the header blob (hash seeds, bin pointers, string table, metadata).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.common_words import CommonWordTable, select_common_words
+from repro.core.config import SketchConfig
+from repro.core.mht import MultilayerHashTable
+from repro.core.optimizer import minimize_layers
+from repro.core.analysis import expected_false_positives
+from repro.core.sketch import IoUSketch
+from repro.index.compaction import (
+    HEADER_BLOB_SUFFIX,
+    SUPERPOST_BLOB_SUFFIX,
+    CompactedSketch,
+    compact_sketch,
+    encode_header,
+)
+from repro.index.metadata import IndexMetadata
+from repro.parsing.corpus import CorpusParser, LineDelimitedCorpusParser
+from repro.parsing.documents import Document, Posting
+from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
+from repro.profiling.profiler import CorpusProfile, profile_documents
+from repro.storage.base import ObjectStore
+
+
+@dataclass
+class BuiltIndex:
+    """Handle to a freshly built (and persisted) index."""
+
+    index_name: str
+    header_blob: str
+    superpost_blob: str
+    metadata: IndexMetadata
+    mht: MultilayerHashTable
+    profile: CorpusProfile
+    config: SketchConfig
+
+    def storage_bytes(self, store: ObjectStore) -> int:
+        """Total bytes the index occupies in cloud storage."""
+        return store.size(self.header_blob) + store.size(self.superpost_blob)
+
+
+class AirphantBuilder:
+    """Creates and persists IoU Sketch indexes on an object store."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        config: SketchConfig | None = None,
+        tokenizer: Tokenizer | None = None,
+    ) -> None:
+        self._store = store
+        self._config = config if config is not None else SketchConfig()
+        self._tokenizer = tokenizer if tokenizer is not None else WhitespaceAnalyzer()
+
+    @property
+    def config(self) -> SketchConfig:
+        """The sketch configuration used for builds."""
+        return self._config
+
+    # -- public build entry points -----------------------------------------------
+
+    def build_from_blobs(
+        self,
+        blob_names: Sequence[str],
+        corpus_parser: CorpusParser | None = None,
+        index_name: str = "airphant-index",
+        corpus_name: str = "corpus",
+    ) -> BuiltIndex:
+        """Build an index over the documents contained in the named blobs."""
+        parser = corpus_parser if corpus_parser is not None else LineDelimitedCorpusParser()
+        documents = list(parser.parse(self._store, blob_names))
+        return self.build_from_documents(documents, index_name=index_name, corpus_name=corpus_name)
+
+    def build_from_documents(
+        self,
+        documents: Iterable[Document],
+        index_name: str = "airphant-index",
+        corpus_name: str = "corpus",
+    ) -> BuiltIndex:
+        """Build an index over already-parsed documents."""
+        documents = list(documents)
+        profile = profile_documents(documents, self._tokenizer)
+        num_layers = self._choose_layers(profile)
+        sketch = self._populate_sketch(documents, profile, num_layers)
+        metadata = self._make_metadata(corpus_name, profile, sketch, num_layers)
+        compacted = self._persist(sketch, metadata, index_name)
+        return BuiltIndex(
+            index_name=index_name,
+            header_blob=f"{index_name}/{HEADER_BLOB_SUFFIX}",
+            superpost_blob=compacted.superpost_blob_name,
+            metadata=metadata,
+            mht=compacted.mht,
+            profile=profile,
+            config=self._config,
+        )
+
+    # -- build steps ----------------------------------------------------------------
+
+    def _choose_layers(self, profile: CorpusProfile) -> int:
+        """Pin the configured layer count or run Algorithm 1."""
+        if self._config.num_layers is not None:
+            return self._config.num_layers
+        if profile.num_documents == 0 or profile.num_terms == 0:
+            return 1
+        result = minimize_layers(
+            num_bins=self._config.sketch_bins,
+            target_false_positives=self._config.target_false_positives,
+            profile=profile,
+            distribution=None,
+            max_layers=self._config.max_layers,
+        )
+        return result.num_layers
+
+    def _populate_sketch(
+        self,
+        documents: Sequence[Document],
+        profile: CorpusProfile,
+        num_layers: int,
+    ) -> IoUSketch:
+        """Build the in-memory sketch: common-word table plus hashed layers."""
+        common_table = CommonWordTable()
+        for word in select_common_words(profile, self._config.common_word_bins):
+            common_table.register(word)
+
+        sketch = IoUSketch.build(
+            num_layers=num_layers,
+            total_bins=max(self._config.sketch_bins, num_layers),
+            seed=self._config.seed,
+            common_words=common_table,
+        )
+
+        postings_by_word: dict[str, set[Posting]] = defaultdict(set)
+        for document in documents:
+            for word in self._tokenizer.distinct_terms(document.text):
+                postings_by_word[word].add(document.ref)
+        for word, postings in postings_by_word.items():
+            sketch.insert(word, postings)
+        return sketch
+
+    def _make_metadata(
+        self,
+        corpus_name: str,
+        profile: CorpusProfile,
+        sketch: IoUSketch,
+        num_layers: int,
+    ) -> IndexMetadata:
+        if profile.num_documents > 0 and profile.num_terms > 0:
+            expected = expected_false_positives(
+                num_layers, sketch.total_bins, profile, distribution=None
+            )
+        else:
+            expected = 0.0
+        return IndexMetadata(
+            corpus_name=corpus_name,
+            num_documents=profile.num_documents,
+            num_terms=profile.num_terms,
+            num_words=profile.num_words,
+            num_layers=num_layers,
+            num_bins=self._config.num_bins,
+            bins_per_layer=sketch.bins_per_layer,
+            num_common_words=len(sketch.common_words),
+            seed=self._config.seed,
+            target_false_positives=self._config.target_false_positives,
+            expected_false_positives=expected,
+        )
+
+    def _persist(
+        self, sketch: IoUSketch, metadata: IndexMetadata, index_name: str
+    ) -> CompactedSketch:
+        superpost_blob = f"{index_name}/{SUPERPOST_BLOB_SUFFIX}"
+        header_blob = f"{index_name}/{HEADER_BLOB_SUFFIX}"
+        compacted = compact_sketch(sketch, superpost_blob, metadata=metadata)
+        self._store.put(superpost_blob, compacted.superpost_blob_data)
+        self._store.put(header_blob, encode_header(compacted))
+        return compacted

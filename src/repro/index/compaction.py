@@ -1,0 +1,179 @@
+"""Superpost compaction and the header block.
+
+Section IV-C: to avoid creating one tiny blob per bin (or one enormous blob
+containing everything), the Builder serializes every superpost and
+concatenates them into a single *superpost blob*; a *header blob* stores, for
+every bin, the (offset, length) of its superpost within that blob, plus the
+hash seeds, string table, common-word pointers, and metadata.  A Searcher
+downloads only the header at initialization and can afterwards fetch any
+superpost with a single range read.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.mht import BinPointer, MultilayerHashTable
+from repro.core.hashing import LayeredHasher
+from repro.core.sketch import IoUSketch
+from repro.core.superpost import Superpost
+from repro.index.metadata import IndexMetadata
+from repro.index.serialization import StringTable, encode_superpost
+
+#: Blob name suffixes for the two persisted pieces of an index.
+SUPERPOST_BLOB_SUFFIX = "superposts.bin"
+HEADER_BLOB_SUFFIX = "header.json"
+
+#: Magic marker of the header format (helps catch accidental blob mixups).
+_HEADER_MAGIC = "airphant-header"
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class CompactedSketch:
+    """Result of compacting an in-memory IoU Sketch.
+
+    ``superpost_blob_data`` is the byte concatenation of all serialized
+    superposts; ``mht`` holds the per-bin pointers into it.
+    """
+
+    superpost_blob_name: str
+    superpost_blob_data: bytes
+    mht: MultilayerHashTable
+    string_table: StringTable
+    metadata: IndexMetadata | None = None
+    common_word_list: list[str] = field(default_factory=list)
+
+
+def compact_sketch(
+    sketch: IoUSketch,
+    superpost_blob_name: str,
+    metadata: IndexMetadata | None = None,
+) -> CompactedSketch:
+    """Serialize and concatenate all superposts of ``sketch``.
+
+    Empty bins produce zero-length pointers so the Searcher can skip them
+    without issuing a request.
+    """
+    string_table = StringTable()
+    blob = bytearray()
+    pointers: list[list[BinPointer]] = []
+    for layer in sketch.layers:
+        layer_pointers: list[BinPointer] = []
+        for superpost in layer:
+            layer_pointers.append(
+                _append_superpost(blob, superpost, superpost_blob_name, string_table)
+            )
+        pointers.append(layer_pointers)
+
+    common_word_pointers: dict[str, BinPointer] = {}
+    common_word_list = sorted(sketch.common_words.postings_by_word)
+    for word in common_word_list:
+        superpost = sketch.common_words.postings_by_word[word]
+        common_word_pointers[word] = _append_superpost(
+            blob, superpost, superpost_blob_name, string_table
+        )
+
+    mht = MultilayerHashTable(
+        hasher=sketch.hasher,
+        pointers=pointers,
+        common_word_pointers=common_word_pointers,
+    )
+    return CompactedSketch(
+        superpost_blob_name=superpost_blob_name,
+        superpost_blob_data=bytes(blob),
+        mht=mht,
+        string_table=string_table,
+        metadata=metadata,
+        common_word_list=common_word_list,
+    )
+
+
+def _append_superpost(
+    blob: bytearray,
+    superpost: Superpost,
+    blob_name: str,
+    string_table: StringTable,
+) -> BinPointer:
+    if len(superpost) == 0:
+        return BinPointer(blob=blob_name, offset=len(blob), length=0)
+    encoded = encode_superpost(superpost, string_table)
+    pointer = BinPointer(blob=blob_name, offset=len(blob), length=len(encoded))
+    blob += encoded
+    return pointer
+
+
+def encode_header(compacted: CompactedSketch) -> bytes:
+    """Serialize the header blob (hash seeds, pointers, string table, metadata).
+
+    The header is JSON so it stays debuggable with standard tooling; its size
+    is proportional to the bin budget B and matches the paper's observation
+    that the Searcher-resident state is a few megabytes at B = 10⁵.
+    """
+    mht = compacted.mht
+    payload = {
+        "magic": _HEADER_MAGIC,
+        "format_version": _FORMAT_VERSION,
+        "seed": mht.hasher.seed,
+        "num_layers": mht.num_layers,
+        "bins_per_layer": mht.bins_per_layer,
+        "superpost_blob": compacted.superpost_blob_name,
+        "string_table": compacted.string_table.to_list(),
+        "pointers": [
+            [[pointer.offset, pointer.length] for pointer in layer]
+            for layer in mht.pointers
+        ],
+        "common_words": {
+            word: [pointer.offset, pointer.length]
+            for word, pointer in mht.common_word_pointers.items()
+        },
+        "metadata": compacted.metadata.to_dict() if compacted.metadata else None,
+    }
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def decode_header(data: bytes) -> CompactedSketch:
+    """Inverse of :func:`encode_header`.
+
+    The returned :class:`CompactedSketch` has an empty ``superpost_blob_data``
+    (the superposts themselves stay in cloud storage); its ``mht`` and
+    ``string_table`` are fully reconstructed.
+    """
+    payload = json.loads(data.decode("utf-8"))
+    if payload.get("magic") != _HEADER_MAGIC:
+        raise ValueError("not an Airphant header blob")
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported header version {payload.get('format_version')}")
+
+    superpost_blob = payload["superpost_blob"]
+    hasher = LayeredHasher.build(
+        num_layers=payload["num_layers"],
+        bins_per_layer=payload["bins_per_layer"],
+        seed=payload["seed"],
+    )
+    pointers = [
+        [
+            BinPointer(blob=superpost_blob, offset=offset, length=length)
+            for offset, length in layer
+        ]
+        for layer in payload["pointers"]
+    ]
+    common_word_pointers = {
+        word: BinPointer(blob=superpost_blob, offset=offset, length=length)
+        for word, (offset, length) in payload["common_words"].items()
+    }
+    mht = MultilayerHashTable(
+        hasher=hasher, pointers=pointers, common_word_pointers=common_word_pointers
+    )
+    metadata = (
+        IndexMetadata.from_dict(payload["metadata"]) if payload.get("metadata") else None
+    )
+    return CompactedSketch(
+        superpost_blob_name=superpost_blob,
+        superpost_blob_data=b"",
+        mht=mht,
+        string_table=StringTable.from_list(payload["string_table"]),
+        metadata=metadata,
+        common_word_list=sorted(common_word_pointers),
+    )

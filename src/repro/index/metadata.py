@@ -1,0 +1,39 @@
+"""Index metadata persisted alongside the MHT in the header block."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class IndexMetadata:
+    """Describes one built Airphant index.
+
+    Stored in the header blob so a Searcher (or an operator) can inspect what
+    the index covers without re-profiling the corpus.
+    """
+
+    corpus_name: str
+    num_documents: int
+    num_terms: int
+    num_words: int
+    num_layers: int
+    num_bins: int
+    bins_per_layer: int
+    num_common_words: int
+    seed: int
+    target_false_positives: float
+    expected_false_positives: float
+    format_version: int = 1
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "IndexMetadata":
+        """Rebuild metadata from its serialized dictionary."""
+        known = {name for name in cls.__dataclass_fields__}
+        return cls(**{key: value for key, value in data.items() if key in known})

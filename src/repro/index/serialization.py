@@ -1,0 +1,125 @@
+"""Binary serialization of superposts.
+
+Superposts are serialized to compact byte arrays before being concatenated
+into the superpost blob.  The paper uses Protocol Buffers plus a string
+compression table that replaces repeated blob names inside postings with
+small integer keys; we implement an equivalent varint-based codec so the
+bytes-per-superpost (and hence download volume) behaves the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.superpost import Superpost
+from repro.parsing.documents import Posting
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as an unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError("varints encode non-negative integers only")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, pos: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``data`` starting at ``pos``.
+
+    Returns ``(value, next_position)``.
+    """
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+@dataclass
+class StringTable:
+    """Interns blob names so postings store small integer keys.
+
+    This is the "compression of repeated strings within postings into integer
+    keys" of Section IV-C: most corpora pack many documents into a handful of
+    blobs, so replacing the blob name in every posting by an index into this
+    table dramatically shrinks superpost bytes.
+    """
+
+    names: list[str] = field(default_factory=list)
+    _ids: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._ids = {name: index for index, name in enumerate(self.names)}
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def intern(self, name: str) -> int:
+        """Return the integer key of ``name``, adding it if necessary."""
+        existing = self._ids.get(name)
+        if existing is not None:
+            return existing
+        index = len(self.names)
+        self.names.append(name)
+        self._ids[name] = index
+        return index
+
+    def lookup(self, key: int) -> str:
+        """Return the blob name for integer ``key``."""
+        try:
+            return self.names[key]
+        except IndexError:
+            raise KeyError(f"unknown string-table key {key}") from None
+
+    def to_list(self) -> list[str]:
+        """Serializable list representation (index = key)."""
+        return list(self.names)
+
+    @classmethod
+    def from_list(cls, names: list[str]) -> "StringTable":
+        """Rebuild a table from its serialized list."""
+        return cls(names=list(names))
+
+
+def encode_superpost(superpost: Superpost, string_table: StringTable) -> bytes:
+    """Serialize a superpost to bytes.
+
+    Layout: ``varint(count)`` followed by, for each posting in sorted order,
+    ``varint(blob_key) varint(offset) varint(length)``.  Sorting makes the
+    encoding deterministic and keeps offsets of adjacent documents close,
+    which helps the varints stay short.
+    """
+    postings = superpost.sorted_postings()
+    out = bytearray(encode_varint(len(postings)))
+    for posting in postings:
+        out += encode_varint(string_table.intern(posting.blob))
+        out += encode_varint(posting.offset)
+        out += encode_varint(posting.length)
+    return bytes(out)
+
+
+def decode_superpost(data: bytes, string_table: StringTable) -> Superpost:
+    """Inverse of :func:`encode_superpost`."""
+    count, pos = decode_varint(data, 0)
+    postings: set[Posting] = set()
+    for _ in range(count):
+        blob_key, pos = decode_varint(data, pos)
+        offset, pos = decode_varint(data, pos)
+        length, pos = decode_varint(data, pos)
+        postings.add(Posting(blob=string_table.lookup(blob_key), offset=offset, length=length))
+    return Superpost(postings)

@@ -1,0 +1,183 @@
+"""Append-only index updates (the paper's "frequent corpus updates" future work).
+
+Airphant's Builder produces immutable indexes, which suits read-oriented
+corpora.  When new documents do arrive, rebuilding the whole index per batch
+would be wasteful, so this module implements the standard append-only
+pattern on top of the unchanged Builder and Searcher:
+
+* :class:`AppendOnlyIndexManager` keeps a tiny JSON *manifest* blob next to
+  the base index listing the delta indexes created so far;
+* :meth:`AppendOnlyIndexManager.append` builds a new delta index over just
+  the new documents (same Builder, same configuration);
+* :meth:`AppendOnlyIndexManager.open_searcher` returns a
+  :class:`~repro.search.multi.MultiIndexSearcher` over the base plus all
+  deltas;
+* :meth:`AppendOnlyIndexManager.compact` folds every delta back into a single
+  base index by enumerating all indexed documents from cloud storage and
+  re-running the Builder, then resets the manifest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.config import SketchConfig
+from repro.index.builder import AirphantBuilder, BuiltIndex
+from repro.index.compaction import HEADER_BLOB_SUFFIX, decode_header
+from repro.index.serialization import decode_superpost
+from repro.parsing.documents import Document, Posting
+from repro.parsing.tokenizer import Tokenizer
+from repro.storage.base import ObjectStore
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a runtime import cycle
+    from repro.search.multi import MultiIndexSearcher
+
+
+@dataclass(frozen=True)
+class IndexManifest:
+    """Names of the base index and its delta indexes."""
+
+    base_index: str
+    delta_indexes: tuple[str, ...] = ()
+
+    @property
+    def all_indexes(self) -> list[str]:
+        """Base first, then deltas in creation order."""
+        return [self.base_index, *self.delta_indexes]
+
+
+class AppendOnlyIndexManager:
+    """Manages a base IoU Sketch index plus append-only delta indexes."""
+
+    MANIFEST_SUFFIX = "manifest.json"
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        base_index: str,
+        config: SketchConfig | None = None,
+        delta_config: SketchConfig | None = None,
+        tokenizer: Tokenizer | None = None,
+    ) -> None:
+        self._store = store
+        self._base_index = base_index
+        self._config = config if config is not None else SketchConfig()
+        # Deltas are usually much smaller than the base corpus; a smaller bin
+        # budget keeps their headers tiny unless the caller overrides it.
+        self._delta_config = delta_config if delta_config is not None else self._config
+        self._tokenizer = tokenizer
+
+    @property
+    def manifest_blob(self) -> str:
+        """Blob holding the manifest."""
+        return f"{self._base_index}/{self.MANIFEST_SUFFIX}"
+
+    # -- manifest ------------------------------------------------------------------
+
+    def manifest(self) -> IndexManifest:
+        """Read the current manifest (an empty one if none was written yet)."""
+        if not self._store.exists(self.manifest_blob):
+            return IndexManifest(base_index=self._base_index)
+        payload = json.loads(self._store.get(self.manifest_blob).decode("utf-8"))
+        return IndexManifest(
+            base_index=payload["base_index"],
+            delta_indexes=tuple(payload["delta_indexes"]),
+        )
+
+    def _write_manifest(self, manifest: IndexManifest) -> None:
+        payload = {
+            "base_index": manifest.base_index,
+            "delta_indexes": list(manifest.delta_indexes),
+        }
+        self._store.put(self.manifest_blob, json.dumps(payload).encode("utf-8"))
+
+    # -- building ------------------------------------------------------------------
+
+    def build_base(self, documents: Sequence[Document], corpus_name: str = "corpus") -> BuiltIndex:
+        """Build (or rebuild) the base index and reset the manifest."""
+        builder = AirphantBuilder(self._store, config=self._config, tokenizer=self._tokenizer)
+        built = builder.build_from_documents(
+            documents, index_name=self._base_index, corpus_name=corpus_name
+        )
+        self._write_manifest(IndexManifest(base_index=self._base_index))
+        return built
+
+    def append(self, documents: Sequence[Document], corpus_name: str = "delta") -> BuiltIndex:
+        """Index newly arrived documents as a fresh delta index."""
+        documents = list(documents)
+        if not documents:
+            raise ValueError("append() needs at least one document")
+        manifest = self.manifest()
+        delta_name = f"{self._base_index}/delta-{len(manifest.delta_indexes):04d}"
+        builder = AirphantBuilder(
+            self._store, config=self._delta_config, tokenizer=self._tokenizer
+        )
+        built = builder.build_from_documents(documents, index_name=delta_name, corpus_name=corpus_name)
+        self._write_manifest(
+            IndexManifest(
+                base_index=manifest.base_index,
+                delta_indexes=manifest.delta_indexes + (delta_name,),
+            )
+        )
+        return built
+
+    # -- searching ------------------------------------------------------------------
+
+    def open_searcher(self, **searcher_kwargs: object) -> "MultiIndexSearcher":
+        """Open a searcher spanning the base index and every delta."""
+        # Imported lazily: repro.search depends on repro.index, so importing
+        # the searcher at module load time would create an import cycle.
+        from repro.search.multi import MultiIndexSearcher
+
+        manifest = self.manifest()
+        return MultiIndexSearcher.open(self._store, manifest.all_indexes, **searcher_kwargs)
+
+    # -- compaction ------------------------------------------------------------------
+
+    def indexed_documents(self) -> list[Document]:
+        """Enumerate every document covered by the base and delta indexes.
+
+        The union of all superposts (plus the common-word lists) of an index
+        is exactly its set of postings, and each posting locates a document's
+        bytes, so the documents can be re-read directly from cloud storage.
+        """
+        postings: set[Posting] = set()
+        for index_name in self.manifest().all_indexes:
+            header_blob = f"{index_name}/{HEADER_BLOB_SUFFIX}"
+            if not self._store.exists(header_blob):
+                continue
+            compacted = decode_header(self._store.get(header_blob))
+            pointers = [
+                pointer
+                for layer in compacted.mht.pointers
+                for pointer in layer
+                if not pointer.is_empty
+            ]
+            pointers.extend(
+                pointer
+                for pointer in compacted.mht.common_word_pointers.values()
+                if not pointer.is_empty
+            )
+            for pointer in pointers:
+                payload = self._store.get_range(pointer.blob, pointer.offset, pointer.length)
+                postings |= decode_superpost(payload, compacted.string_table).postings
+        documents = []
+        for posting in sorted(postings):
+            data = self._store.get_range(posting.blob, posting.offset, posting.length)
+            documents.append(Document(ref=posting, text=data.decode("utf-8", errors="replace")))
+        return documents
+
+    def compact(self, corpus_name: str = "corpus") -> BuiltIndex:
+        """Fold all deltas back into a single base index.
+
+        Old delta blobs are deleted after the new base index is persisted.
+        """
+        manifest = self.manifest()
+        documents = self.indexed_documents()
+        built = self.build_base(documents, corpus_name=corpus_name)
+        for delta_name in manifest.delta_indexes:
+            for blob in self._store.list_blobs(prefix=f"{delta_name}/"):
+                self._store.delete(blob)
+        return built

@@ -1,0 +1,53 @@
+"""Document-word parsers (analyzers).
+
+The paper benchmarks all systems with whitespace analysis (Lucene's
+``WhitespaceAnalyzer`` / Elasticsearch's ``whitespace`` analyzer), so exact
+keyword matching behaves identically across engines.  :class:`SimpleAnalyzer`
+additionally lowercases and strips punctuation, which is convenient for the
+Cranfield-style examples.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+
+
+class Tokenizer(ABC):
+    """Extracts searchable keywords from a document's text."""
+
+    @abstractmethod
+    def tokenize(self, text: str) -> list[str]:
+        """Return the list of keywords in ``text`` (duplicates preserved)."""
+
+    def distinct_terms(self, text: str) -> set[str]:
+        """Return the set of distinct keywords in ``text``."""
+        return set(self.tokenize(text))
+
+
+class WhitespaceAnalyzer(Tokenizer):
+    """Splits on whitespace only; matches the analyzers used in the paper."""
+
+    def tokenize(self, text: str) -> list[str]:
+        return text.split()
+
+
+class SimpleAnalyzer(Tokenizer):
+    """Lowercases, then splits on any non-alphanumeric run.
+
+    Closer to what a default Lucene ``StandardAnalyzer`` produces; useful for
+    natural-language corpora such as Cranfield abstracts.
+    """
+
+    _TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+    def __init__(self, min_length: int = 1):
+        if min_length < 1:
+            raise ValueError("min_length must be at least 1")
+        self._min_length = min_length
+
+    def tokenize(self, text: str) -> list[str]:
+        tokens = self._TOKEN_PATTERN.findall(text.lower())
+        if self._min_length == 1:
+            return tokens
+        return [token for token in tokens if len(token) >= self._min_length]

@@ -1,0 +1,23 @@
+"""Corpus profiling.
+
+Airphant's Builder makes a single pass over the parsed documents to collect
+the statistics the IoU Sketch optimizer needs: the number of documents, the
+vocabulary, the number of distinct words per document (|Wᵢ|), document
+frequencies, and the corpus-dependent concentration coefficient σ_X reported
+in the paper's Table II.
+"""
+
+from repro.profiling.distributions import (
+    QueryWordDistribution,
+    occurrence_distribution,
+    uniform_distribution,
+)
+from repro.profiling.profiler import CorpusProfile, profile_documents
+
+__all__ = [
+    "CorpusProfile",
+    "QueryWordDistribution",
+    "occurrence_distribution",
+    "profile_documents",
+    "uniform_distribution",
+]

@@ -1,0 +1,73 @@
+"""Query-word prior distributions.
+
+The IoU Sketch accuracy objective F(L) weights each document's false-positive
+probability by c_i = sum of the prior probabilities p_w of query words *not*
+contained in that document (Equation 2).  The paper defaults to a uniform
+prior over the corpus vocabulary and mentions occurrence-weighted and
+user-provided priors as alternatives (Section IV-B); all three are available
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class QueryWordDistribution:
+    """Categorical prior over query words.
+
+    ``probabilities`` maps each word to its prior probability; words absent
+    from the mapping have probability zero.  The distribution need not sum
+    exactly to one (user priors may be unnormalized); :meth:`normalized`
+    rescales it.
+    """
+
+    probabilities: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        for word, probability in self.probabilities.items():
+            if probability < 0:
+                raise ValueError(f"negative probability for word {word!r}")
+
+    @property
+    def total_mass(self) -> float:
+        """Sum of all probabilities (1.0 for a proper distribution)."""
+        return float(sum(self.probabilities.values()))
+
+    def probability(self, word: str) -> float:
+        """Prior probability of ``word`` appearing in a query."""
+        return float(self.probabilities.get(word, 0.0))
+
+    def normalized(self) -> "QueryWordDistribution":
+        """Return a copy rescaled to sum to one."""
+        total = self.total_mass
+        if total <= 0:
+            raise ValueError("cannot normalize an all-zero distribution")
+        return QueryWordDistribution(
+            {word: probability / total for word, probability in self.probabilities.items()}
+        )
+
+    def sum_squares(self) -> float:
+        """Σ p_w² over all words, used by the Hoeffding deviation bound."""
+        return float(sum(probability**2 for probability in self.probabilities.values()))
+
+
+def uniform_distribution(vocabulary: set[str] | list[str]) -> QueryWordDistribution:
+    """Uniform prior p_w = 1/|W| over the corpus vocabulary (paper default)."""
+    words = list(vocabulary)
+    if not words:
+        raise ValueError("vocabulary must not be empty")
+    probability = 1.0 / len(words)
+    return QueryWordDistribution({word: probability for word in words})
+
+
+def occurrence_distribution(word_counts: Mapping[str, int]) -> QueryWordDistribution:
+    """Prior proportional to word occurrences across the corpus."""
+    total = sum(word_counts.values())
+    if total <= 0:
+        raise ValueError("word_counts must contain at least one occurrence")
+    return QueryWordDistribution(
+        {word: count / total for word, count in word_counts.items() if count > 0}
+    )

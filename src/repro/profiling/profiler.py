@@ -1,0 +1,169 @@
+"""Single-pass corpus profiler.
+
+Produces the :class:`CorpusProfile` consumed by the IoU Sketch optimizer and
+reported (for the paper's corpora) in Table II.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.parsing.documents import Document
+from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
+from repro.profiling.distributions import QueryWordDistribution, uniform_distribution
+
+
+@dataclass
+class CorpusProfile:
+    """Statistics of a parsed corpus.
+
+    Attributes
+    ----------
+    num_documents:
+        Number of documents n.
+    num_terms:
+        Number of distinct words |W| across the corpus.
+    num_words:
+        Total number of word occurrences across all documents.
+    distinct_words_per_document:
+        |Wᵢ| for every document i, in document order.
+    document_frequencies:
+        For each word, the number of documents containing it.
+    word_counts:
+        For each word, its total number of occurrences.
+    """
+
+    num_documents: int
+    num_terms: int
+    num_words: int
+    distinct_words_per_document: list[int]
+    document_frequencies: dict[str, int] = field(repr=False)
+    word_counts: dict[str, int] = field(repr=False)
+
+    @property
+    def vocabulary(self) -> set[str]:
+        """The set of distinct words in the corpus."""
+        return set(self.document_frequencies)
+
+    @property
+    def max_distinct_words(self) -> int:
+        """max_i |Wᵢ|; drives the fast-region bound in the optimizer."""
+        if not self.distinct_words_per_document:
+            return 0
+        return max(self.distinct_words_per_document)
+
+    @property
+    def mean_distinct_words(self) -> float:
+        """Average |Wᵢ| across documents."""
+        if not self.distinct_words_per_document:
+            return 0.0
+        return sum(self.distinct_words_per_document) / len(self.distinct_words_per_document)
+
+    def uniform_query_distribution(self) -> QueryWordDistribution:
+        """The paper's default query prior: uniform over the vocabulary."""
+        return uniform_distribution(self.vocabulary)
+
+    def most_common_words(self, count: int) -> list[str]:
+        """The ``count`` words appearing in the most documents.
+
+        Ties are broken alphabetically so the selection is deterministic.
+        """
+        if count <= 0:
+            return []
+        ranked = sorted(
+            self.document_frequencies.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [word for word, _ in ranked[:count]]
+
+    def irrelevance_coefficients(
+        self, distribution: QueryWordDistribution | None = None
+    ) -> list[float]:
+        """c_i = Σ_{w ∉ Wᵢ} p_w for every document, from document frequencies.
+
+        Computing the exact per-document sum requires the per-document word
+        sets; the profiler keeps only |Wᵢ| to stay single-pass and O(corpus)
+        in memory, so for a *uniform* prior the exact value
+        c_i = (|W| − |Wᵢ|)/|W| is returned.  For non-uniform priors this
+        method approximates c_i by scaling the total prior mass by the same
+        fraction, which is exact when prior mass is spread evenly over the
+        document's words.
+        """
+        if self.num_terms == 0:
+            return [0.0 for _ in self.distinct_words_per_document]
+        if distribution is None:
+            return [
+                (self.num_terms - size) / self.num_terms
+                for size in self.distinct_words_per_document
+            ]
+        total_mass = distribution.total_mass
+        return [
+            total_mass * (self.num_terms - size) / self.num_terms
+            for size in self.distinct_words_per_document
+        ]
+
+    def sigma_x(self, distribution: QueryWordDistribution | None = None) -> float:
+        """Corpus-dependent deviation coefficient σ_X of Table II.
+
+        σ_X² = Σᵢ Σ_{w ∉ Wᵢ} p_w², the variance proxy in the Hoeffding bound
+        (Equation 5).  Under the default uniform prior this simplifies to
+        Σᵢ (|W| − |Wᵢ|) / |W|².
+        """
+        if self.num_terms == 0:
+            return 0.0
+        if distribution is None:
+            variance = sum(
+                (self.num_terms - size) / (self.num_terms**2)
+                for size in self.distinct_words_per_document
+            )
+            return math.sqrt(variance)
+        per_word_square = distribution.sum_squares() / max(self.num_terms, 1)
+        variance = sum(
+            (self.num_terms - size) * per_word_square
+            for size in self.distinct_words_per_document
+        )
+        return math.sqrt(variance)
+
+
+def profile_documents(
+    documents: Iterable[Document] | Sequence[Document],
+    tokenizer: Tokenizer | None = None,
+) -> CorpusProfile:
+    """Profile a parsed corpus in a single pass.
+
+    Parameters
+    ----------
+    documents:
+        Parsed documents (any iterable; consumed once).
+    tokenizer:
+        Document-word parser; defaults to the whitespace analyzer used in the
+        paper's benchmarks.
+    """
+    if tokenizer is None:
+        tokenizer = WhitespaceAnalyzer()
+
+    document_frequencies: Counter[str] = Counter()
+    word_counts: Counter[str] = Counter()
+    distinct_words_per_document: list[int] = []
+    num_documents = 0
+    num_words = 0
+
+    for document in documents:
+        tokens = tokenizer.tokenize(document.text)
+        distinct = set(tokens)
+        num_documents += 1
+        num_words += len(tokens)
+        distinct_words_per_document.append(len(distinct))
+        document_frequencies.update(distinct)
+        word_counts.update(tokens)
+
+    return CorpusProfile(
+        num_documents=num_documents,
+        num_terms=len(document_frequencies),
+        num_words=num_words,
+        distinct_words_per_document=distinct_words_per_document,
+        document_frequencies=dict(document_frequencies),
+        word_counts=dict(word_counts),
+    )

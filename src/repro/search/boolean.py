@@ -1,0 +1,183 @@
+"""Boolean query support (Section IV-F).
+
+IoU Sketch generalizes to Boolean queries the same way an inverted index
+does: the query operator distributes over term lookups,
+``Q(⋁_i ⋀_j w_ij) = ⋃_i ⋂_j Q(w_ij)``.  Intersections reduce false positives
+and unions add them; the final document fetch filters whatever remains, so
+correctness is unaffected.
+
+The module provides a tiny query tree (:class:`Term`, :class:`And`,
+:class:`Or`) plus a parser for a conventional textual syntax
+(``error AND (timeout OR refused)``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.superpost import Superpost
+
+
+class BooleanQuery(ABC):
+    """A node of a Boolean query tree over keywords."""
+
+    @abstractmethod
+    def terms(self) -> set[str]:
+        """All keywords referenced anywhere in the query."""
+
+    @abstractmethod
+    def candidates(self, lookup: Callable[[str], Superpost]) -> Superpost:
+        """Candidate postings, distributing the query over per-term lookups."""
+
+    @abstractmethod
+    def matches(self, document_terms: set[str]) -> bool:
+        """Exact predicate used to filter fetched documents."""
+
+
+@dataclass(frozen=True)
+class Term(BooleanQuery):
+    """A single keyword."""
+
+    word: str
+
+    def terms(self) -> set[str]:
+        return {self.word}
+
+    def candidates(self, lookup: Callable[[str], Superpost]) -> Superpost:
+        return lookup(self.word)
+
+    def matches(self, document_terms: set[str]) -> bool:
+        return self.word in document_terms
+
+
+@dataclass(frozen=True)
+class And(BooleanQuery):
+    """Conjunction of sub-queries."""
+
+    children: tuple[BooleanQuery, ...]
+
+    def __init__(self, *children: BooleanQuery):
+        if not children:
+            raise ValueError("And requires at least one child")
+        object.__setattr__(self, "children", tuple(children))
+
+    def terms(self) -> set[str]:
+        return set().union(*(child.terms() for child in self.children))
+
+    def candidates(self, lookup: Callable[[str], Superpost]) -> Superpost:
+        return Superpost.intersect_all(child.candidates(lookup) for child in self.children)
+
+    def matches(self, document_terms: set[str]) -> bool:
+        return all(child.matches(document_terms) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Or(BooleanQuery):
+    """Disjunction of sub-queries."""
+
+    children: tuple[BooleanQuery, ...]
+
+    def __init__(self, *children: BooleanQuery):
+        if not children:
+            raise ValueError("Or requires at least one child")
+        object.__setattr__(self, "children", tuple(children))
+
+    def terms(self) -> set[str]:
+        return set().union(*(child.terms() for child in self.children))
+
+    def candidates(self, lookup: Callable[[str], Superpost]) -> Superpost:
+        return Superpost.union_all(child.candidates(lookup) for child in self.children)
+
+    def matches(self, document_terms: set[str]) -> bool:
+        return any(child.matches(document_terms) for child in self.children)
+
+
+def parse_boolean_query(text: str) -> BooleanQuery:
+    """Parse ``"a AND (b OR c)"`` style syntax into a query tree.
+
+    Grammar (case-insensitive operators, AND binds tighter than OR)::
+
+        query  := andExpr (OR andExpr)*
+        andExpr := atom (AND atom)*
+        atom   := WORD | '(' query ')'
+
+    Bare adjacency (``"a b"``) is treated as AND, matching the behaviour of
+    :meth:`AirphantSearcher.search` on multi-word query strings.
+    """
+    tokens = _tokenize(text)
+    parser = _Parser(tokens)
+    query = parser.parse_or()
+    parser.expect_end()
+    return query
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    for fragment in text.replace("(", " ( ").replace(")", " ) ").split():
+        tokens.append(fragment)
+    if not tokens:
+        raise ValueError("empty boolean query")
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _advance(self) -> str:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def parse_or(self) -> BooleanQuery:
+        children = [self.parse_and()]
+        while self._peek() is not None and self._peek().upper() == "OR":
+            self._advance()
+            children.append(self.parse_and())
+        if len(children) == 1:
+            return children[0]
+        return Or(*children)
+
+    def parse_and(self) -> BooleanQuery:
+        children = [self.parse_atom()]
+        while True:
+            token = self._peek()
+            if token is None or token == ")" or token.upper() == "OR":
+                break
+            if token.upper() == "AND":
+                self._advance()
+                children.append(self.parse_atom())
+            else:
+                children.append(self.parse_atom())
+        if len(children) == 1:
+            return children[0]
+        return And(*children)
+
+    def parse_atom(self) -> BooleanQuery:
+        token = self._peek()
+        if token is None:
+            raise ValueError("unexpected end of boolean query")
+        if token == "(":
+            self._advance()
+            query = self.parse_or()
+            if self._peek() != ")":
+                raise ValueError("unbalanced parenthesis in boolean query")
+            self._advance()
+            return query
+        if token == ")":
+            raise ValueError("unexpected ')' in boolean query")
+        if token.upper() in {"AND", "OR"}:
+            raise ValueError(f"unexpected operator {token!r}")
+        return Term(self._advance())
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._tokens):
+            raise ValueError(f"trailing tokens in boolean query: {self._tokens[self._pos:]}")

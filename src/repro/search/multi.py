@@ -1,0 +1,127 @@
+"""Searching across several IoU Sketch indexes at once.
+
+The paper targets read-oriented corpora and defers frequent updates to future
+work.  The natural extension (implemented here together with
+:mod:`repro.index.updates`) is append-only: new documents go into small
+*delta* indexes built with the ordinary Builder, and queries fan out over the
+base index plus all deltas.  Because each index answers with a single
+parallel batch, querying several of them stays a constant number of
+round-trip waves; results are merged and de-duplicated by document reference.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.parsing.documents import Document
+from repro.parsing.tokenizer import Tokenizer
+from repro.search.replication import HedgingPolicy
+from repro.search.results import LatencyBreakdown, SearchResult
+from repro.search.searcher import AirphantSearcher
+from repro.storage.base import ObjectStore
+
+
+class MultiIndexSearcher:
+    """Fans a query out over several Airphant indexes and merges the results.
+
+    All constituent indexes must have been built over the same blob namespace
+    (their postings reference documents by ``(blob, offset, length)``), which
+    is exactly how the append-only update manager lays them out.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        index_names: Sequence[str],
+        tokenizer: Tokenizer | None = None,
+        max_concurrency: int = 32,
+        hedging: HedgingPolicy | None = None,
+        query_cache_size: int = 0,
+    ) -> None:
+        if not index_names:
+            raise ValueError("MultiIndexSearcher needs at least one index")
+        self._searchers = [
+            AirphantSearcher(
+                store,
+                index_name=name,
+                tokenizer=tokenizer,
+                max_concurrency=max_concurrency,
+                hedging=hedging,
+                query_cache_size=query_cache_size,
+            )
+            for name in index_names
+        ]
+        self.init_latency_ms = 0.0
+
+    @classmethod
+    def open(cls, store: ObjectStore, index_names: Sequence[str], **kwargs: object) -> "MultiIndexSearcher":
+        """Create and initialize a searcher over ``index_names``."""
+        searcher = cls(store, index_names, **kwargs)  # type: ignore[arg-type]
+        searcher.initialize()
+        return searcher
+
+    @property
+    def index_names(self) -> list[str]:
+        """Names of the constituent indexes, in search order."""
+        return [searcher._index_name for searcher in self._searchers]
+
+    @property
+    def searchers(self) -> list[AirphantSearcher]:
+        """The per-index searchers (base first, then deltas)."""
+        return list(self._searchers)
+
+    def initialize(self) -> float:
+        """Initialize every constituent index.
+
+        Headers are independent, so a real deployment downloads them
+        concurrently; the simulated init latency is therefore the maximum of
+        the per-index init latencies.
+        """
+        latencies = [searcher.initialize() for searcher in self._searchers]
+        self.init_latency_ms = max(latencies) if latencies else 0.0
+        return self.init_latency_ms
+
+    def search(self, query: str, top_k: int | None = None) -> SearchResult:
+        """Search every index and merge the matching documents.
+
+        The per-index searches are independent, so the merged latency charges
+        the *maximum* lookup/retrieval time across indexes (they proceed in
+        parallel) while bytes and round-trips are summed.
+        """
+        per_index = [searcher.search(query, top_k=top_k) for searcher in self._searchers]
+        return self._merge(query, per_index, top_k)
+
+    def _merge(
+        self, query: str, results: Sequence[SearchResult], top_k: int | None
+    ) -> SearchResult:
+        merged_latency = LatencyBreakdown(
+            lookup_ms=max(result.latency.lookup_ms for result in results),
+            retrieval_ms=max(result.latency.retrieval_ms for result in results),
+            wait_ms=max(result.latency.wait_ms for result in results),
+            download_ms=sum(result.latency.download_ms for result in results),
+            bytes_fetched=sum(result.latency.bytes_fetched for result in results),
+            round_trips=sum(result.latency.round_trips for result in results),
+        )
+        seen = set()
+        documents: list[Document] = []
+        for result in results:
+            for document in result.documents:
+                if document.ref not in seen:
+                    seen.add(document.ref)
+                    documents.append(document)
+        if top_k is not None:
+            documents = documents[:top_k]
+        candidates = []
+        candidate_seen = set()
+        for result in results:
+            for posting in result.candidate_postings:
+                if posting not in candidate_seen:
+                    candidate_seen.add(posting)
+                    candidates.append(posting)
+        return SearchResult(
+            query=query,
+            documents=documents,
+            candidate_postings=candidates,
+            false_positive_count=sum(result.false_positive_count for result in results),
+            latency=merged_latency,
+        )

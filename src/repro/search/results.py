@@ -1,0 +1,81 @@
+"""Search results and latency accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.parsing.documents import Document, Posting
+
+
+@dataclass
+class LatencyBreakdown:
+    """Simulated latency of one query, split the way the paper reports it.
+
+    * ``lookup_ms`` — term-index lookup: fetching (and intersecting) the
+      superposts, i.e., everything before document retrieval (Figure 14).
+    * ``retrieval_ms`` — fetching candidate documents.
+    * ``wait_ms`` / ``download_ms`` — the network-communication split of
+      Figures 8 and 11 (time blocked on first bytes vs time receiving data),
+      summed over both phases.
+    """
+
+    lookup_ms: float = 0.0
+    retrieval_ms: float = 0.0
+    wait_ms: float = 0.0
+    download_ms: float = 0.0
+    bytes_fetched: int = 0
+    round_trips: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end simulated search latency."""
+        return self.lookup_ms + self.retrieval_ms
+
+    def add_lookup(self, elapsed_ms: float, wait_ms: float, download_ms: float, nbytes: int) -> None:
+        """Account one lookup-phase batch."""
+        self.lookup_ms += elapsed_ms
+        self.wait_ms += wait_ms
+        self.download_ms += download_ms
+        self.bytes_fetched += nbytes
+        self.round_trips += 1
+
+    def add_retrieval(
+        self, elapsed_ms: float, wait_ms: float, download_ms: float, nbytes: int
+    ) -> None:
+        """Account one document-retrieval batch."""
+        self.retrieval_ms += elapsed_ms
+        self.wait_ms += wait_ms
+        self.download_ms += download_ms
+        self.bytes_fetched += nbytes
+        self.round_trips += 1
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search query."""
+
+    query: str
+    documents: list[Document] = field(default_factory=list)
+    candidate_postings: list[Posting] = field(default_factory=list)
+    false_positive_count: int = 0
+    latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+
+    @property
+    def num_results(self) -> int:
+        """Number of documents that truly match the query."""
+        return len(self.documents)
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of candidate postings fetched before filtering."""
+        return len(self.candidate_postings)
+
+    @property
+    def postings(self) -> list[Posting]:
+        """Postings of the documents that truly match."""
+        return [document.ref for document in self.documents]
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end simulated latency of this query."""
+        return self.latency.total_ms

@@ -1,0 +1,333 @@
+"""Airphant Searcher.
+
+Query-time component (Figure 3, right half).  Initialization downloads the
+header blob once and reconstructs the Multilayer Hash Table; every query then
+performs:
+
+1. hash the query word(s) through the MHT to collect superpost pointers;
+2. fetch all required superposts in a *single batch of parallel range reads*;
+3. intersect them into the final (slightly over-complete) postings list;
+4. fetch the candidate documents in a second parallel batch (optionally only
+   a top-K sample, Equation 6);
+5. filter out false positives by checking the fetched text, restoring perfect
+   precision.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.analysis import top_k_sample_size
+from repro.core.mht import MultilayerHashTable
+from repro.core.superpost import Superpost
+from repro.index.compaction import HEADER_BLOB_SUFFIX, decode_header
+from repro.index.metadata import IndexMetadata
+from repro.index.serialization import StringTable, decode_superpost
+from repro.parsing.documents import Document, Posting
+from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
+from repro.search.boolean import BooleanQuery, Term, parse_boolean_query
+from repro.search.replication import HedgingPolicy
+from repro.search.results import LatencyBreakdown, SearchResult
+from repro.storage.base import ObjectStore, RangeRead
+from repro.storage.parallel import ParallelFetcher
+from repro.storage.simulated import SimulatedCloudStore
+
+
+class AirphantSearcher:
+    """Answers keyword queries from a persisted IoU Sketch index."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        index_name: str = "airphant-index",
+        tokenizer: Tokenizer | None = None,
+        max_concurrency: int = 32,
+        hedging: HedgingPolicy | None = None,
+        top_k_delta: float = 1e-6,
+        query_cache_size: int = 0,
+    ) -> None:
+        self._store = store
+        self._index_name = index_name
+        self._tokenizer = tokenizer if tokenizer is not None else WhitespaceAnalyzer()
+        self._fetcher = ParallelFetcher(store, max_concurrency=max_concurrency)
+        self._hedging = hedging if hedging is not None else HedgingPolicy()
+        self._top_k_delta = top_k_delta
+        self._mht: MultilayerHashTable | None = None
+        self._string_table: StringTable | None = None
+        self._metadata: IndexMetadata | None = None
+        self.init_latency_ms: float = 0.0
+        # Optional per-word memoization of final postings lists (Section IV-A
+        # suggests query caching to bound the worst-case deviation).  Valid
+        # because the paper targets read-oriented corpora that rarely change.
+        self._query_cache_size = max(0, query_cache_size)
+        self._query_cache: OrderedDict[str, Superpost] = OrderedDict()
+        self.cache_hits: int = 0
+        self.cache_misses: int = 0
+
+    # -- initialization -----------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        store: ObjectStore,
+        index_name: str = "airphant-index",
+        **kwargs: object,
+    ) -> "AirphantSearcher":
+        """Create a Searcher and immediately load the index header."""
+        searcher = cls(store, index_name=index_name, **kwargs)  # type: ignore[arg-type]
+        searcher.initialize()
+        return searcher
+
+    def initialize(self) -> float:
+        """Download and decode the header blob; returns the simulated latency.
+
+        Happens once per corpus (the MHT fits in a few MB of memory); all
+        later queries reuse the in-memory MHT.
+        """
+        header_blob = f"{self._index_name}/{HEADER_BLOB_SUFFIX}"
+        if isinstance(self._store, SimulatedCloudStore):
+            data, record = self._store.timed_get(header_blob)
+            self.init_latency_ms = record.total_ms
+        else:
+            data = self._store.get(header_blob)
+            self.init_latency_ms = 0.0
+        compacted = decode_header(data)
+        self._mht = compacted.mht
+        self._string_table = compacted.string_table
+        self._metadata = compacted.metadata
+        return self.init_latency_ms
+
+    @property
+    def is_initialized(self) -> bool:
+        """Whether the index header has been loaded."""
+        return self._mht is not None
+
+    @property
+    def metadata(self) -> IndexMetadata | None:
+        """Metadata of the opened index (``None`` before initialization)."""
+        return self._metadata
+
+    @property
+    def mht(self) -> MultilayerHashTable:
+        """The in-memory Multilayer Hash Table."""
+        self._require_initialized()
+        assert self._mht is not None
+        return self._mht
+
+    # -- term-index lookup (superpost fetch + intersection) -------------------------
+
+    def lookup_postings(self, word: str) -> tuple[list[Posting], LatencyBreakdown]:
+        """Term-index lookup only: the final postings list for one keyword.
+
+        This is the operation benchmarked against SQLite's B-tree in the
+        paper's Figure 14 — everything up to (but excluding) document
+        retrieval.
+        """
+        self._require_initialized()
+        latency = LatencyBreakdown()
+        candidates = self._lookup_terms([word], latency)
+        return candidates.sorted_postings(), latency
+
+    def _lookup_terms(self, words: list[str], latency: LatencyBreakdown) -> Superpost:
+        """Fetch and intersect superposts for all ``words`` in one batch."""
+        assert self._mht is not None and self._string_table is not None
+        if self._query_cache_size > 0 and all(word in self._query_cache for word in words):
+            # Memoized lookup: no storage traffic, no added latency.
+            self.cache_hits += 1
+            for word in words:
+                self._query_cache.move_to_end(word)
+            return Superpost.intersect_all(
+                Superpost(set(self._query_cache[word].postings)) for word in words
+            )
+        if self._query_cache_size > 0:
+            self.cache_misses += 1
+        # Collect pointers per word, remembering which requests belong to whom.
+        requests: list[RangeRead] = []
+        word_layers: list[list[int]] = []  # request indexes per word
+        word_is_doomed = [False] * len(words)
+        for word_index, word in enumerate(words):
+            pointers = self._mht.pointers_for(word)
+            indexes: list[int] = []
+            for pointer in pointers:
+                if pointer.is_empty:
+                    # An empty bin (or empty common-word list) forces an empty
+                    # intersection for this word; no fetch needed.
+                    word_is_doomed[word_index] = True
+                    continue
+                indexes.append(len(requests))
+                requests.append(pointer.to_range_read())
+            word_layers.append(indexes)
+
+        if any(word_is_doomed):
+            # Intersecting with an empty set yields an empty result; we still
+            # fetch nothing and charge no latency, matching a real engine that
+            # short-circuits on a missing term.
+            return Superpost()
+
+        if not requests:
+            return Superpost()
+
+        single_word_hedging = (
+            self._hedging.enabled and len(words) == 1 and not self._mht.is_common(words[0])
+        )
+        if single_word_hedging:
+            required = self._hedging.required_of(len(requests))
+            fetch = self._fetcher.fetch_hedged(requests, required=required)
+        else:
+            fetch = self._fetcher.fetch(requests)
+        latency.add_lookup(
+            fetch.batch.total_ms, fetch.batch.wait_ms, fetch.batch.download_ms, fetch.batch.nbytes
+        )
+
+        per_word_results: list[Superpost] = []
+        for word_index, word in enumerate(words):
+            superposts: list[Superpost] = []
+            for request_index in word_layers[word_index]:
+                payload = fetch.payloads[request_index]
+                if payload is None:
+                    # Hedged-away straggler: skip this layer (superset remains valid).
+                    continue
+                superposts.append(decode_superpost(payload, self._string_table))
+            if not superposts:
+                per_word_results.append(Superpost())
+            else:
+                per_word_results.append(Superpost.intersect_all(superposts))
+        for word, result in zip(words, per_word_results):
+            self._remember_lookup(word, result)
+        return Superpost.intersect_all(per_word_results)
+
+    def _remember_lookup(self, word: str, result: Superpost) -> None:
+        """Memoize a word's final postings list (bounded LRU)."""
+        if self._query_cache_size <= 0:
+            return
+        self._query_cache[word] = Superpost(set(result.postings))
+        self._query_cache.move_to_end(word)
+        while len(self._query_cache) > self._query_cache_size:
+            self._query_cache.popitem(last=False)
+
+    # -- full searches ---------------------------------------------------------------
+
+    def query_word(self, word: str, top_k: int | None = None) -> SearchResult:
+        """Search for documents containing a single keyword."""
+        return self._execute([word], Term(word), word, top_k)
+
+    def search(self, query: str, top_k: int | None = None) -> SearchResult:
+        """Search for documents containing *all* keywords of ``query``."""
+        words = list(dict.fromkeys(self._tokenizer.tokenize(query)))
+        if not words:
+            return SearchResult(query=query)
+        if len(words) == 1:
+            return self.query_word(words[0], top_k=top_k)
+        predicate = parse_boolean_query(" AND ".join(words))
+        return self._execute(words, predicate, query, top_k)
+
+    def search_boolean(
+        self, query: BooleanQuery | str, top_k: int | None = None
+    ) -> SearchResult:
+        """Execute a Boolean query (AND/OR tree) over the index."""
+        tree = parse_boolean_query(query) if isinstance(query, str) else query
+        words = sorted(tree.terms())
+        label = query if isinstance(query, str) else " ".join(words)
+        return self._execute_boolean(words, tree, label, top_k)
+
+    # -- execution helpers -------------------------------------------------------------
+
+    def _execute(
+        self,
+        words: list[str],
+        predicate: BooleanQuery,
+        label: str,
+        top_k: int | None,
+    ) -> SearchResult:
+        self._require_initialized()
+        latency = LatencyBreakdown()
+        candidates = self._lookup_terms(words, latency)
+        return self._retrieve_and_filter(candidates, predicate, label, top_k, latency)
+
+    def _execute_boolean(
+        self,
+        words: list[str],
+        tree: BooleanQuery,
+        label: str,
+        top_k: int | None,
+    ) -> SearchResult:
+        self._require_initialized()
+        latency = LatencyBreakdown()
+        # Fetch every referenced term's superposts in one batch, then let the
+        # query tree combine the per-term candidate sets.
+        per_word: dict[str, Superpost] = {}
+        for word in words:
+            per_word[word] = self._lookup_terms([word], latency)
+        candidates = tree.candidates(lambda word: per_word[word])
+        return self._retrieve_and_filter(candidates, tree, label, top_k, latency)
+
+    def _retrieve_and_filter(
+        self,
+        candidates: Superpost,
+        predicate: BooleanQuery,
+        label: str,
+        top_k: int | None,
+        latency: LatencyBreakdown,
+    ) -> SearchResult:
+        candidate_postings = candidates.sorted_postings()
+        if not candidate_postings:
+            return SearchResult(query=label, candidate_postings=[], latency=latency)
+
+        expected_fp = (
+            self._metadata.expected_false_positives if self._metadata is not None else 0.0
+        )
+        to_fetch = candidate_postings
+        if top_k is not None and top_k > 0:
+            sample_size = top_k_sample_size(
+                top_k, len(candidate_postings), expected_fp, self._top_k_delta
+            )
+            to_fetch = candidate_postings[:sample_size]
+
+        matched, fetched_count = self._fetch_and_filter(to_fetch, predicate, latency)
+        if top_k is not None and len(matched) < top_k and len(to_fetch) < len(candidate_postings):
+            # The probabilistic sample came up short (probability <= delta);
+            # fall back to fetching the remaining candidates.
+            remainder = candidate_postings[len(to_fetch) :]
+            more, more_count = self._fetch_and_filter(remainder, predicate, latency)
+            matched.extend(more)
+            fetched_count += more_count
+        if top_k is not None:
+            matched = matched[:top_k]
+
+        return SearchResult(
+            query=label,
+            documents=matched,
+            candidate_postings=candidate_postings,
+            false_positive_count=fetched_count - len(matched),
+            latency=latency,
+        )
+
+    def _fetch_and_filter(
+        self,
+        postings: list[Posting],
+        predicate: BooleanQuery,
+        latency: LatencyBreakdown,
+    ) -> tuple[list[Document], int]:
+        """Fetch documents for ``postings`` and keep only true matches."""
+        if not postings:
+            return [], 0
+        requests = [posting.to_range_read() for posting in postings]
+        fetch = self._fetcher.fetch(requests)
+        latency.add_retrieval(
+            fetch.batch.total_ms, fetch.batch.wait_ms, fetch.batch.download_ms, fetch.batch.nbytes
+        )
+        matched: list[Document] = []
+        for posting, payload in zip(postings, fetch.payloads):
+            if payload is None:
+                continue
+            text = payload.decode("utf-8", errors="replace")
+            document = Document(ref=posting, text=text)
+            if predicate.matches(self._tokenizer.distinct_terms(text)):
+                matched.append(document)
+        return matched, len(postings)
+
+    def _require_initialized(self) -> None:
+        if self._mht is None:
+            raise RuntimeError(
+                "Searcher is not initialized; call initialize() or AirphantSearcher.open()"
+            )

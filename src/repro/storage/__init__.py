@@ -1,0 +1,41 @@
+"""Object-storage substrate used by Airphant and all baselines.
+
+The paper persists everything (documents, superposts, index metadata) on cloud
+object storage (GCS / S3).  This package provides:
+
+* :class:`~repro.storage.base.ObjectStore` — the abstract blob interface with
+  random-range reads, mirroring the byte-range GET supported by all major
+  cloud vendors.
+* :class:`~repro.storage.memory.InMemoryObjectStore` and
+  :class:`~repro.storage.local.LocalObjectStore` — concrete backends.
+* :class:`~repro.storage.simulated.SimulatedCloudStore` — wraps any backend
+  with the affine latency model of the paper's Figure 2 (first-byte latency +
+  transfer time), optional long-tail stragglers, and per-region round-trip
+  times.  It also records per-request metrics (round-trips, bytes, wait time,
+  download time) used by the latency-breakdown experiments.
+* :class:`~repro.storage.parallel.ParallelFetcher` — issues a *batch* of range
+  reads concurrently, the primitive that IoU Sketch relies on.
+"""
+
+from repro.storage.base import BlobNotFoundError, ObjectStore, RangeRead
+from repro.storage.latency import AffineLatencyModel, RegionProfile, REGION_PROFILES
+from repro.storage.local import LocalObjectStore
+from repro.storage.memory import InMemoryObjectStore
+from repro.storage.metrics import RequestRecord, StorageMetrics
+from repro.storage.parallel import ParallelFetcher
+from repro.storage.simulated import SimulatedCloudStore
+
+__all__ = [
+    "AffineLatencyModel",
+    "BlobNotFoundError",
+    "InMemoryObjectStore",
+    "LocalObjectStore",
+    "ObjectStore",
+    "ParallelFetcher",
+    "RangeRead",
+    "REGION_PROFILES",
+    "RegionProfile",
+    "RequestRecord",
+    "SimulatedCloudStore",
+    "StorageMetrics",
+]

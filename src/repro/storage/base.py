@@ -1,0 +1,106 @@
+"""Abstract object-store interface.
+
+Cloud object stores (S3, GCS, Azure Blob) expose a flat namespace of named
+blobs with whole-object PUT/GET plus byte-range GET.  Airphant only needs
+those operations: superposts are packed into a single blob and fetched with
+range reads, and documents are addressed by ``(blob, offset, length)``
+postings.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class BlobNotFoundError(KeyError):
+    """Raised when a named blob does not exist in the store."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"blob not found: {self.name!r}"
+
+
+@dataclass(frozen=True)
+class RangeRead:
+    """A byte-range read request against a single blob.
+
+    ``length`` of ``None`` means "read to the end of the blob", matching the
+    open-ended ``Range: bytes=offset-`` header of HTTP range requests.
+    """
+
+    blob: str
+    offset: int = 0
+    length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(f"offset must be non-negative, got {self.offset}")
+        if self.length is not None and self.length < 0:
+            raise ValueError(f"length must be non-negative, got {self.length}")
+
+
+class ObjectStore(ABC):
+    """Minimal blob-store interface shared by all backends.
+
+    Concrete implementations must be safe for concurrent reads from multiple
+    threads; writes are assumed to happen in a single-threaded build phase
+    (the paper's Builder runs offline).
+    """
+
+    @abstractmethod
+    def put(self, name: str, data: bytes) -> None:
+        """Create or overwrite the blob ``name`` with ``data``."""
+
+    @abstractmethod
+    def get(self, name: str) -> bytes:
+        """Return the full content of blob ``name``.
+
+        Raises :class:`BlobNotFoundError` if it does not exist.
+        """
+
+    @abstractmethod
+    def get_range(self, name: str, offset: int, length: int | None = None) -> bytes:
+        """Return ``length`` bytes of blob ``name`` starting at ``offset``.
+
+        Reads past the end of the blob are truncated (like HTTP range GET).
+        """
+
+    @abstractmethod
+    def size(self, name: str) -> int:
+        """Return the size in bytes of blob ``name``."""
+
+    @abstractmethod
+    def exists(self, name: str) -> bool:
+        """Return whether blob ``name`` exists."""
+
+    @abstractmethod
+    def delete(self, name: str) -> None:
+        """Remove blob ``name`` if it exists (idempotent)."""
+
+    @abstractmethod
+    def list_blobs(self, prefix: str = "") -> list[str]:
+        """Return the sorted names of all blobs starting with ``prefix``."""
+
+    # Convenience helpers shared by every backend -------------------------------
+
+    def read(self, request: RangeRead) -> bytes:
+        """Execute a single :class:`RangeRead`."""
+        return self.get_range(request.blob, request.offset, request.length)
+
+    def read_many(self, requests: Iterable[RangeRead]) -> list[bytes]:
+        """Execute several range reads sequentially (no parallelism).
+
+        Simulated stores override the timing behaviour; callers that want
+        parallel semantics should use
+        :class:`~repro.storage.parallel.ParallelFetcher`.
+        """
+        return [self.read(request) for request in requests]
+
+    def total_bytes(self, prefix: str = "") -> int:
+        """Total stored bytes under ``prefix`` (index storage-size metric)."""
+        return sum(self.size(name) for name in self.list_blobs(prefix))

@@ -1,0 +1,75 @@
+"""Local-filesystem object store backend.
+
+Maps blob names to files under a root directory, the way ``gcsfuse`` exposes
+a Cloud Storage bucket as a directory in the paper's experimental setup.
+Blob names may contain ``/`` which become sub-directories.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.storage.base import BlobNotFoundError, ObjectStore
+
+
+class LocalObjectStore(ObjectStore):
+    """Filesystem-backed :class:`ObjectStore` rooted at ``root``."""
+
+    def __init__(self, root: str | os.PathLike[str]):
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        """Directory under which blobs are stored."""
+        return self._root
+
+    def _path(self, name: str) -> Path:
+        if not name or name.startswith("/") or ".." in Path(name).parts:
+            raise ValueError(f"invalid blob name: {name!r}")
+        return self._root / name
+
+    def put(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(bytes(data))
+
+    def get(self, name: str) -> bytes:
+        path = self._path(name)
+        if not path.is_file():
+            raise BlobNotFoundError(name)
+        return path.read_bytes()
+
+    def get_range(self, name: str, offset: int, length: int | None = None) -> bytes:
+        path = self._path(name)
+        if not path.is_file():
+            raise BlobNotFoundError(name)
+        with path.open("rb") as handle:
+            handle.seek(offset)
+            if length is None:
+                return handle.read()
+            return handle.read(length)
+
+    def size(self, name: str) -> int:
+        path = self._path(name)
+        if not path.is_file():
+            raise BlobNotFoundError(name)
+        return path.stat().st_size
+
+    def exists(self, name: str) -> bool:
+        return self._path(name).is_file()
+
+    def delete(self, name: str) -> None:
+        path = self._path(name)
+        if path.is_file():
+            path.unlink()
+
+    def list_blobs(self, prefix: str = "") -> list[str]:
+        names = []
+        for path in self._root.rglob("*"):
+            if path.is_file():
+                name = path.relative_to(self._root).as_posix()
+                if name.startswith(prefix):
+                    names.append(name)
+        return sorted(names)

@@ -1,0 +1,94 @@
+"""Per-request and aggregate metrics for simulated storage traffic.
+
+The paper's latency-breakdown study (Figures 8 and 11) splits every search
+into *wait time* (time spent blocked on the network before bytes arrive) and
+*download time* (time spent receiving bytes).  The simulator produces both
+quantities directly for every request, so the breakdown experiments simply
+aggregate these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Timing of one simulated storage request."""
+
+    blob: str
+    nbytes: int
+    wait_ms: float
+    download_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end latency of this request."""
+        return self.wait_ms + self.download_ms
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Timing of one *batch* of concurrent requests.
+
+    ``wait_ms`` is the slowest first-byte latency in the batch (requests do
+    not block each other) and ``download_ms`` accounts for shared-bandwidth
+    transfer of all payloads.
+    """
+
+    requests: tuple[RequestRecord, ...]
+    wait_ms: float
+    download_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end latency of the batch."""
+        return self.wait_ms + self.download_ms
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes transferred by the batch."""
+        return sum(record.nbytes for record in self.requests)
+
+
+@dataclass
+class StorageMetrics:
+    """Accumulates request records for one engine / one experiment."""
+
+    records: list[RequestRecord] = field(default_factory=list)
+    round_trips: int = 0
+
+    def record(self, record: RequestRecord) -> None:
+        """Add a single request (counts as one round-trip)."""
+        self.records.append(record)
+        self.round_trips += 1
+
+    def record_batch(self, batch: BatchRecord) -> None:
+        """Add a concurrent batch (counts as one *logical* round-trip)."""
+        self.records.extend(batch.requests)
+        self.round_trips += 1
+
+    def reset(self) -> None:
+        """Clear all accumulated records."""
+        self.records.clear()
+        self.round_trips = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes fetched."""
+        return sum(record.nbytes for record in self.records)
+
+    @property
+    def total_wait_ms(self) -> float:
+        """Sum of first-byte wait times across all requests."""
+        return sum(record.wait_ms for record in self.records)
+
+    @property
+    def total_download_ms(self) -> float:
+        """Sum of transfer times across all requests."""
+        return sum(record.download_ms for record in self.records)
+
+    @property
+    def request_count(self) -> int:
+        """Number of individual requests issued."""
+        return len(self.records)

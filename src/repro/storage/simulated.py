@@ -1,0 +1,184 @@
+"""Simulated cloud object store.
+
+Wraps any :class:`~repro.storage.base.ObjectStore` backend with the affine
+latency model of :mod:`repro.storage.latency`.  The simulator uses a
+*virtual clock*: it never sleeps, it just computes how long each request
+would have taken and returns those timings alongside the data.  This keeps
+the full benchmark suite runnable in seconds while preserving the relative
+behaviour the paper measures (round-trip counts, parallelism, bytes moved,
+bandwidth contention, and cross-region RTT inflation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.storage.base import ObjectStore, RangeRead
+from repro.storage.latency import AffineLatencyModel
+from repro.storage.memory import InMemoryObjectStore
+from repro.storage.metrics import BatchRecord, RequestRecord, StorageMetrics
+
+
+class SimulatedCloudStore(ObjectStore):
+    """Object store with simulated network timing.
+
+    Parameters
+    ----------
+    backend:
+        Where blob bytes actually live (defaults to an in-memory store).
+    latency_model:
+        The affine latency model used to cost every request.
+    record_metrics:
+        When true (default), every timed request is appended to
+        :attr:`metrics`.
+    """
+
+    def __init__(
+        self,
+        backend: ObjectStore | None = None,
+        latency_model: AffineLatencyModel | None = None,
+        record_metrics: bool = True,
+    ) -> None:
+        self._backend = backend if backend is not None else InMemoryObjectStore()
+        self._latency = latency_model if latency_model is not None else AffineLatencyModel()
+        self._record_metrics = record_metrics
+        self.metrics = StorageMetrics()
+
+    # -- plumbing --------------------------------------------------------------
+
+    @property
+    def backend(self) -> ObjectStore:
+        """The underlying store holding the actual bytes."""
+        return self._backend
+
+    @property
+    def latency_model(self) -> AffineLatencyModel:
+        """The latency model costing each request."""
+        return self._latency
+
+    def with_latency_model(self, latency_model: AffineLatencyModel) -> "SimulatedCloudStore":
+        """Return a new simulated view of the *same* backend with a new model.
+
+        Used by the cross-region experiments: the data stays in one place
+        while compute "moves" further away.
+        """
+        return SimulatedCloudStore(
+            backend=self._backend,
+            latency_model=latency_model,
+            record_metrics=self._record_metrics,
+        )
+
+    # -- ObjectStore interface (pass-through data, metered timing) -------------
+
+    def put(self, name: str, data: bytes) -> None:
+        self._backend.put(name, data)
+
+    def get(self, name: str) -> bytes:
+        data, _ = self.timed_get(name)
+        return data
+
+    def get_range(self, name: str, offset: int, length: int | None = None) -> bytes:
+        data, _ = self.timed_get_range(name, offset, length)
+        return data
+
+    def size(self, name: str) -> int:
+        return self._backend.size(name)
+
+    def exists(self, name: str) -> bool:
+        return self._backend.exists(name)
+
+    def delete(self, name: str) -> None:
+        self._backend.delete(name)
+
+    def list_blobs(self, prefix: str = "") -> list[str]:
+        return self._backend.list_blobs(prefix)
+
+    # -- timed operations -------------------------------------------------------
+
+    def timed_get(self, name: str) -> tuple[bytes, RequestRecord]:
+        """Fetch a whole blob, returning its simulated request timing."""
+        data = self._backend.get(name)
+        record = self._make_record(name, len(data))
+        if self._record_metrics:
+            self.metrics.record(record)
+        return data, record
+
+    def timed_get_range(
+        self, name: str, offset: int, length: int | None = None
+    ) -> tuple[bytes, RequestRecord]:
+        """Fetch a byte range, returning its simulated request timing."""
+        data = self._backend.get_range(name, offset, length)
+        record = self._make_record(name, len(data))
+        if self._record_metrics:
+            self.metrics.record(record)
+        return data, record
+
+    def timed_read(self, request: RangeRead) -> tuple[bytes, RequestRecord]:
+        """Execute one :class:`RangeRead` with timing."""
+        return self.timed_get_range(request.blob, request.offset, request.length)
+
+    def timed_sequential(
+        self, requests: Iterable[RangeRead]
+    ) -> tuple[list[bytes], list[RequestRecord]]:
+        """Execute dependent, back-to-back reads (each waits for the previous).
+
+        This is the access pattern of hierarchical indexes (B-trees, skip
+        lists) traversing node by node; the total simulated latency is the
+        *sum* of the individual request latencies.
+        """
+        payloads: list[bytes] = []
+        records: list[RequestRecord] = []
+        for request in requests:
+            data, record = self.timed_read(request)
+            payloads.append(data)
+            records.append(record)
+        return payloads, records
+
+    def timed_batch(
+        self, requests: Iterable[RangeRead], max_concurrency: int = 32
+    ) -> tuple[list[bytes], BatchRecord]:
+        """Execute independent reads as a single concurrent batch.
+
+        This is the access pattern of IoU Sketch: all requests are issued at
+        once, so the batch's wait time is the *maximum* first-byte latency
+        (per concurrency wave) rather than the sum, and the download time is
+        bounded by aggregate bandwidth.
+        """
+        request_list = list(requests)
+        if max_concurrency <= 0:
+            raise ValueError("max_concurrency must be positive")
+        payloads: list[bytes] = []
+        records: list[RequestRecord] = []
+        total_wait = 0.0
+        total_download = 0.0
+        # Requests beyond the thread-pool size run in successive waves.
+        for start in range(0, len(request_list), max_concurrency):
+            wave = request_list[start : start + max_concurrency]
+            wave_records = []
+            for request in wave:
+                data = self._backend.get_range(request.blob, request.offset, request.length)
+                record = self._make_record(request.blob, len(data))
+                payloads.append(data)
+                wave_records.append(record)
+            if wave_records:
+                total_wait += max(record.wait_ms for record in wave_records)
+                total_download += self._latency.batch_transfer_ms(
+                    [record.nbytes for record in wave_records]
+                )
+            records.extend(wave_records)
+        batch = BatchRecord(
+            requests=tuple(records), wait_ms=total_wait, download_ms=total_download
+        )
+        if self._record_metrics:
+            self.metrics.record_batch(batch)
+        return payloads, batch
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _make_record(self, blob: str, nbytes: int) -> RequestRecord:
+        return RequestRecord(
+            blob=blob,
+            nbytes=nbytes,
+            wait_ms=self._latency.sample_first_byte_ms(),
+            download_ms=self._latency.transfer_ms(nbytes),
+        )

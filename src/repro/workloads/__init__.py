@@ -1,0 +1,38 @@
+"""Workload and corpus generators.
+
+The paper evaluates on four real corpora (Cranfield plus the HDFS, Windows
+and Spark logs from LogHub) and three synthetic families (``diag``, ``unif``,
+``zipf``).  The real corpora cannot be redistributed here, so this package
+generates synthetic stand-ins with the same *shape*: log-template corpora
+whose document/term statistics mirror Table II (scaled down), a
+Cranfield-like corpus of research-abstract documents, and the exact synthetic
+families of the paper.  All generators are deterministic given a seed and
+write their corpora as line-delimited blobs to an object store, exactly how
+Airphant expects to find them.
+"""
+
+from repro.workloads.cranfield import generate_cranfield
+from repro.workloads.logs import LOG_SYSTEMS, generate_log_corpus
+from repro.workloads.queries import QueryWorkload, sample_query_words
+from repro.workloads.synthetic import (
+    GeneratedCorpus,
+    SyntheticSpec,
+    generate_diag,
+    generate_synthetic,
+    generate_unif,
+    generate_zipf,
+)
+
+__all__ = [
+    "GeneratedCorpus",
+    "LOG_SYSTEMS",
+    "QueryWorkload",
+    "SyntheticSpec",
+    "generate_cranfield",
+    "generate_diag",
+    "generate_log_corpus",
+    "generate_synthetic",
+    "generate_unif",
+    "generate_zipf",
+    "sample_query_words",
+]

@@ -1,0 +1,106 @@
+"""Log-corpus generators shaped like LogHub's HDFS, Windows, and Spark logs.
+
+The paper indexes three system-log corpora from LogHub.  Raw LogHub data is
+not redistributable here, so each system is represented by a small set of
+log-line *templates* with randomized parameters (block ids, hosts, sizes,
+durations), which reproduces the property that matters to a term index: a
+modest set of very frequent template words plus a long tail of
+parameter-derived terms, with short documents (one log line each).  Corpus
+sizes are scaled down; the scale factor is reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.synthetic import GeneratedCorpus, _write_corpus
+
+
+@dataclass(frozen=True)
+class _LogSystem:
+    """Template set of one logging system."""
+
+    name: str
+    templates: tuple[str, ...]
+    #: Approximate cardinality of each parameter placeholder.
+    parameter_cardinality: int
+
+
+LOG_SYSTEMS: dict[str, _LogSystem] = {
+    "hdfs": _LogSystem(
+        name="hdfs",
+        templates=(
+            "INFO dfs.DataNode PacketResponder {id} for block blk_{block} terminating",
+            "INFO dfs.FSNamesystem BLOCK NameSystem.addStoredBlock blockMap updated {host} is added to blk_{block} size {size}",
+            "INFO dfs.DataNode Receiving block blk_{block} src {host} dest {host2}",
+            "WARN dfs.DataNode Slow BlockReceiver write packet to mirror took {size} ms",
+            "INFO dfs.DataNode Served block blk_{block} to {host}",
+            "ERROR dfs.DataNode DataXceiver error processing WRITE_BLOCK operation src {host} dst {host2}",
+        ),
+        parameter_cardinality=2000,
+    ),
+    "windows": _LogSystem(
+        name="windows",
+        templates=(
+            "Info CBS Loaded Servicing Stack {version} with Core {path}",
+            "Info CSI {id} Performing {size} operations as boot critical",
+            "Info CBS Appl applicability evaluated package_{block} state Installed",
+            "Warning CBS Failed to get session package package_{block} hr {code}",
+            "Info CBS Exec processing started package_{block} update {version}",
+            "Error CSI {id} Corruption detected during repair of component {path}",
+        ),
+        parameter_cardinality=1200,
+    ),
+    "spark": _LogSystem(
+        name="spark",
+        templates=(
+            "INFO executor.Executor Running task {id} in stage {block} TID {size}",
+            "INFO storage.BlockManager Found block rdd_{block} locally",
+            "INFO scheduler.TaskSetManager Finished task {id} in stage {block} in {size} ms on {host}",
+            "INFO storage.MemoryStore Block broadcast_{block} stored as values in memory estimated size {size} KB",
+            "WARN scheduler.TaskSetManager Lost task {id} in stage {block} on {host} executor {id}",
+            "ERROR executor.Executor Exception in task {id} in stage {block} java.io.IOException",
+        ),
+        parameter_cardinality=3000,
+    ),
+}
+
+
+def generate_log_corpus(
+    store,
+    system: str,
+    num_documents: int,
+    name: str | None = None,
+    seed: int = 0,
+) -> GeneratedCorpus:
+    """Generate a log corpus for ``system`` (``hdfs``, ``windows`` or ``spark``)."""
+    try:
+        spec = LOG_SYSTEMS[system.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log system {system!r}; expected one of {sorted(LOG_SYSTEMS)}"
+        ) from None
+    if num_documents <= 0:
+        raise ValueError("num_documents must be positive")
+
+    rng = np.random.default_rng(seed)
+    cardinality = spec.parameter_cardinality
+    template_indices = rng.integers(0, len(spec.templates), size=num_documents)
+    lines: list[str] = []
+    for template_index in template_indices:
+        template = spec.templates[int(template_index)]
+        line = template.format(
+            id=int(rng.integers(0, 64)),
+            block=int(rng.integers(0, cardinality)),
+            host=f"node{int(rng.integers(0, cardinality // 10 + 1))}",
+            host2=f"node{int(rng.integers(0, cardinality // 10 + 1))}",
+            size=int(rng.integers(1, 100_000)),
+            version=f"v{int(rng.integers(1, 40))}.{int(rng.integers(0, 10))}",
+            path=f"path{int(rng.integers(0, cardinality))}",
+            code=f"0x{int(rng.integers(0, 2**16)):04x}",
+        )
+        lines.append(line)
+    corpus_name = name if name is not None else spec.name
+    return _write_corpus(store, corpus_name, lines)

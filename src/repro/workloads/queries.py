@@ -1,0 +1,78 @@
+"""Query workload generation.
+
+The paper's benchmarks issue single-keyword queries drawn from the corpus
+vocabulary (uniform by default, matching the Builder's assumed query prior)
+and top-K = 10 retrieval.  :func:`sample_query_words` produces such query
+streams deterministically; :class:`QueryWorkload` bundles them with the top-K
+setting so the benchmark harness can replay identical workloads against every
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.profiling.profiler import CorpusProfile
+
+
+def sample_query_words(
+    profile: CorpusProfile,
+    num_queries: int,
+    seed: int = 0,
+    mode: str = "uniform",
+) -> list[str]:
+    """Sample query keywords from a corpus profile.
+
+    ``mode`` is ``"uniform"`` (every vocabulary word equally likely, the
+    paper's default assumption) or ``"occurrence"`` (words weighted by how
+    often they occur, a heavier-traffic head).
+    """
+    if num_queries <= 0:
+        raise ValueError("num_queries must be positive")
+    vocabulary = sorted(profile.vocabulary)
+    if not vocabulary:
+        raise ValueError("cannot sample queries from an empty vocabulary")
+    rng = np.random.default_rng(seed)
+    if mode == "uniform":
+        indices = rng.integers(0, len(vocabulary), size=num_queries)
+        return [vocabulary[int(index)] for index in indices]
+    if mode == "occurrence":
+        counts = np.asarray([profile.word_counts[word] for word in vocabulary], dtype=float)
+        probabilities = counts / counts.sum()
+        indices = rng.choice(len(vocabulary), size=num_queries, p=probabilities)
+        return [vocabulary[int(index)] for index in indices]
+    raise ValueError(f"unknown query sampling mode {mode!r}; expected uniform or occurrence")
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A replayable stream of keyword queries."""
+
+    queries: tuple[str, ...]
+    top_k: int | None = 10
+
+    def __post_init__(self) -> None:
+        if self.top_k is not None and self.top_k <= 0:
+            raise ValueError("top_k must be positive when specified")
+        if not self.queries:
+            raise ValueError("a workload needs at least one query")
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile: CorpusProfile,
+        num_queries: int,
+        top_k: int | None = 10,
+        seed: int = 0,
+        mode: str = "uniform",
+    ) -> "QueryWorkload":
+        """Sample a workload of ``num_queries`` keyword queries."""
+        return cls(
+            queries=tuple(sample_query_words(profile, num_queries, seed=seed, mode=mode)),
+            top_k=top_k,
+        )
+
+    def __len__(self) -> int:
+        return len(self.queries)

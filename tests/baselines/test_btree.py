@@ -1,0 +1,103 @@
+"""Unit tests for the paged B-tree term index."""
+
+import pytest
+
+from repro.baselines.btree import BTreeIndex
+from repro.core.mht import BinPointer
+from repro.search.results import LatencyBreakdown
+from repro.storage.latency import AffineLatencyModel
+from repro.storage.simulated import SimulatedCloudStore
+
+
+def _pointers(num_terms: int) -> dict[str, BinPointer]:
+    return {
+        f"key{index:05d}": BinPointer("postings.bin", index * 64, 32)
+        for index in range(num_terms)
+    }
+
+
+@pytest.fixture
+def store() -> SimulatedCloudStore:
+    return SimulatedCloudStore(latency_model=AffineLatencyModel(jitter_sigma=0.0))
+
+
+def _build(store, num_terms=500, fanout=16, cache_bytes=0) -> BTreeIndex:
+    index = BTreeIndex(store, "btree-test", fanout=fanout, cache_bytes=cache_bytes)
+    index.build(_pointers(num_terms))
+    index.set_postings_blob("postings.bin")
+    index.initialize()
+    return index
+
+
+class TestLookupCorrectness:
+    def test_every_term_is_found(self, store):
+        index = _build(store, num_terms=300)
+        for term, expected in _pointers(300).items():
+            assert index.lookup(term, LatencyBreakdown()) == expected
+
+    def test_missing_terms_return_none(self, store):
+        index = _build(store)
+        assert index.lookup("missing", LatencyBreakdown()) is None
+        assert index.lookup("zzzzz", LatencyBreakdown()) is None
+        assert index.lookup("key99999", LatencyBreakdown()) is None
+
+    def test_single_entry_tree(self, store):
+        index = BTreeIndex(store, "tiny", fanout=4)
+        index.build({"solo": BinPointer("p", 0, 9)})
+        index.set_postings_blob("p")
+        index.initialize()
+        assert index.lookup("solo", LatencyBreakdown()) == BinPointer("p", 0, 9)
+
+    def test_lookup_before_initialize_raises(self, store):
+        index = BTreeIndex(store, "x")
+        index.build(_pointers(10))
+        with pytest.raises(RuntimeError):
+            index.lookup("key00001", LatencyBreakdown())
+
+    def test_invalid_fanout_rejected(self, store):
+        with pytest.raises(ValueError):
+            BTreeIndex(store, "x", fanout=1)
+
+
+class TestAccessPattern:
+    def test_uncached_lookup_reads_one_page_per_level(self, store):
+        index = _build(store, num_terms=1000, fanout=8, cache_bytes=0)
+        latency = LatencyBreakdown()
+        index.lookup("key00500", latency)
+        # 1000 terms at fanout 8: leaves=125, level2=16, level3=2, root -> 4 levels.
+        assert latency.round_trips >= 3
+
+    def test_page_cache_reduces_round_trips_on_repeat_lookups(self, store):
+        index = _build(store, num_terms=1000, fanout=8, cache_bytes=10 * 1024 * 1024)
+        first = LatencyBreakdown()
+        index.lookup("key00500", first)
+        second = LatencyBreakdown()
+        index.lookup("key00501", second)
+        assert second.round_trips < first.round_trips
+
+    def test_lookup_cheaper_than_skiplist_at_same_scale(self, store):
+        # High fanout means far fewer dependent reads than a skip list; this is
+        # why SQLite is the closest competitor to Airphant in the paper.
+        from repro.baselines.skiplist import SkipListIndex
+
+        btree = _build(store, num_terms=1000, fanout=64, cache_bytes=0)
+        btree_latency = LatencyBreakdown()
+        btree.lookup("key00750", btree_latency)
+
+        other_store = SimulatedCloudStore(latency_model=AffineLatencyModel(jitter_sigma=0.0))
+        skiplist = SkipListIndex(other_store, "sl", cache_bytes=0)
+        skiplist.build(_pointers(1000))
+        skiplist.set_postings_blob("postings.bin")
+        skiplist.initialize()
+        skiplist_latency = LatencyBreakdown()
+        skiplist.lookup("key00750", skiplist_latency)
+
+        assert btree_latency.round_trips < skiplist_latency.round_trips
+
+    def test_root_is_cached_across_lookups(self, store):
+        index = _build(store, num_terms=500, fanout=8, cache_bytes=4096)
+        index.lookup("key00001", LatencyBreakdown())
+        latency = LatencyBreakdown()
+        index.lookup("key00002", latency)
+        # The root page stays in cache, so at least one level is saved.
+        assert latency.round_trips <= 3

@@ -1,0 +1,62 @@
+"""Unit tests for the shared exact inverted index and postings file."""
+
+from repro.baselines.inverted import InvertedIndex, PostingsFile
+from repro.parsing.documents import Document, DocumentRef
+from repro.parsing.tokenizer import SimpleAnalyzer
+from repro.storage.memory import InMemoryObjectStore
+
+
+def _docs() -> list[Document]:
+    texts = ["alpha beta", "beta gamma", "alpha gamma delta"]
+    return [Document(DocumentRef("c", i * 50, len(t)), t) for i, t in enumerate(texts)]
+
+
+class TestInvertedIndex:
+    def test_postings_are_exact(self):
+        documents = _docs()
+        index = InvertedIndex.from_documents(documents)
+        assert index.postings("alpha") == {documents[0].ref, documents[2].ref}
+        assert index.postings("beta") == {documents[0].ref, documents[1].ref}
+        assert index.postings("delta") == {documents[2].ref}
+
+    def test_unknown_word_has_empty_postings(self):
+        index = InvertedIndex.from_documents(_docs())
+        assert index.postings("zzz") == set()
+
+    def test_vocabulary_sorted(self):
+        index = InvertedIndex.from_documents(_docs())
+        assert index.vocabulary == ["alpha", "beta", "delta", "gamma"]
+
+    def test_custom_tokenizer(self):
+        documents = [Document(DocumentRef("c", 0, 10), "Alpha ALPHA!")]
+        index = InvertedIndex.from_documents(documents, tokenizer=SimpleAnalyzer())
+        assert index.vocabulary == ["alpha"]
+
+    def test_empty_corpus(self):
+        index = InvertedIndex.from_documents([])
+        assert index.vocabulary == []
+
+
+class TestPostingsFile:
+    def test_write_and_decode_round_trip(self):
+        store = InMemoryObjectStore()
+        index = InvertedIndex.from_documents(_docs())
+        postings_file = PostingsFile.write(store, "idx/postings.bin", index)
+        for word in index.vocabulary:
+            pointer = postings_file.pointers[word]
+            payload = store.get_range(pointer.blob, pointer.offset, pointer.length)
+            assert set(postings_file.decode(payload)) == index.postings(word)
+
+    def test_pointers_cover_whole_blob(self):
+        store = InMemoryObjectStore()
+        index = InvertedIndex.from_documents(_docs())
+        postings_file = PostingsFile.write(store, "idx/postings.bin", index)
+        total = sum(pointer.length for pointer in postings_file.pointers.values())
+        assert total == store.size("idx/postings.bin")
+
+    def test_writing_is_deterministic(self):
+        first_store, second_store = InMemoryObjectStore(), InMemoryObjectStore()
+        index = InvertedIndex.from_documents(_docs())
+        PostingsFile.write(first_store, "p.bin", index)
+        PostingsFile.write(second_store, "p.bin", index)
+        assert first_store.get("p.bin") == second_store.get("p.bin")

@@ -1,0 +1,92 @@
+"""Unit tests for the on-storage skip list term index."""
+
+import pytest
+
+from repro.baselines.skiplist import SkipListIndex
+from repro.core.mht import BinPointer
+from repro.search.results import LatencyBreakdown
+from repro.storage.latency import AffineLatencyModel
+from repro.storage.simulated import SimulatedCloudStore
+
+
+def _pointers(num_terms: int) -> dict[str, BinPointer]:
+    return {
+        f"term{index:04d}": BinPointer("postings.bin", index * 100, 50)
+        for index in range(num_terms)
+    }
+
+
+@pytest.fixture
+def store() -> SimulatedCloudStore:
+    return SimulatedCloudStore(latency_model=AffineLatencyModel(jitter_sigma=0.0))
+
+
+def _build(store, num_terms=200, cache_bytes=0) -> SkipListIndex:
+    index = SkipListIndex(store, "skiplist-test", cache_bytes=cache_bytes)
+    index.build(_pointers(num_terms))
+    index.set_postings_blob("postings.bin")
+    index.initialize()
+    return index
+
+
+class TestLookupCorrectness:
+    def test_every_term_is_found(self, store):
+        index = _build(store, num_terms=150)
+        for term, expected in _pointers(150).items():
+            found = index.lookup(term, LatencyBreakdown())
+            assert found == expected
+
+    def test_missing_term_returns_none(self, store):
+        index = _build(store)
+        assert index.lookup("not-a-term", LatencyBreakdown()) is None
+        assert index.lookup("term9999", LatencyBreakdown()) is None
+        assert index.lookup("aaaa", LatencyBreakdown()) is None
+
+    def test_single_term_index(self, store):
+        index = SkipListIndex(store, "tiny")
+        index.build({"only": BinPointer("p", 0, 5)})
+        index.set_postings_blob("p")
+        index.initialize()
+        assert index.lookup("only", LatencyBreakdown()) == BinPointer("p", 0, 5)
+
+    def test_lookup_before_initialize_raises(self, store):
+        index = SkipListIndex(store, "skiplist-test")
+        index.build(_pointers(10))
+        with pytest.raises(RuntimeError):
+            index.lookup("term0001", LatencyBreakdown())
+
+
+class TestAccessPattern:
+    def test_uncached_lookup_issues_dependent_sequential_reads(self, store):
+        index = _build(store, num_terms=500, cache_bytes=0)
+        latency = LatencyBreakdown()
+        index.lookup("term0250", latency)
+        # A skip-list traversal over 500 terms needs several dependent reads,
+        # each a full round-trip: this is the bottleneck the paper identifies.
+        assert latency.round_trips >= 3
+        assert latency.lookup_ms >= latency.round_trips * 40.0
+
+    def test_lookup_cost_grows_with_corpus_size(self, store):
+        small = _build(store, num_terms=32)
+        small_latency = LatencyBreakdown()
+        small.lookup("term0010", small_latency)
+
+        big_store = SimulatedCloudStore(latency_model=AffineLatencyModel(jitter_sigma=0.0))
+        big = _build(big_store, num_terms=2000)
+        big_latency = LatencyBreakdown()
+        big.lookup("term1500", big_latency)
+        assert big_latency.round_trips > small_latency.round_trips
+
+    def test_cached_region_avoids_per_node_reads(self, store):
+        index = _build(store, num_terms=300, cache_bytes=50 * 1024 * 1024)
+        latency = LatencyBreakdown()
+        result = index.lookup("term0123", latency)
+        assert result is not None
+        assert latency.round_trips == 0
+
+    def test_build_is_deterministic(self, store):
+        first = SkipListIndex(store, "a")
+        first.build(_pointers(100))
+        second = SkipListIndex(store, "b")
+        second.build(_pointers(100))
+        assert store.backend.get("a/skiplist.nodes") == store.backend.get("b/skiplist.nodes")

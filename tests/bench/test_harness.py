@@ -1,0 +1,135 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.breakdown import per_query_breakdown, summarize_breakdown
+from repro.bench.harness import (
+    EngineRun,
+    LatencyStats,
+    build_standard_engines,
+    run_comparison,
+    run_workload,
+)
+from repro.bench.tables import format_series, format_table
+from repro.core.config import SketchConfig
+from repro.workloads.queries import QueryWorkload
+
+
+class TestLatencyStats:
+    def test_from_latencies(self):
+        stats = LatencyStats.from_latencies([10.0, 20.0, 30.0, 40.0])
+        assert stats.mean_ms == pytest.approx(25.0)
+        assert stats.count == 4
+        assert stats.max_ms == 40.0
+        assert stats.p50_ms == pytest.approx(25.0)
+
+    def test_p99_close_to_max(self):
+        stats = LatencyStats.from_latencies(list(range(100)))
+        assert stats.p99_ms >= 95
+
+    def test_empty(self):
+        stats = LatencyStats.from_latencies([])
+        assert stats.count == 0
+        assert stats.mean_ms == 0.0
+
+
+class TestBuildAndRun:
+    @pytest.fixture
+    def engines(self, sim_store, small_documents):
+        config = SketchConfig(num_bins=64, seed=1)
+        return build_standard_engines(
+            sim_store,
+            small_documents,
+            config=config,
+            engine_names=["SQLite", "Airphant"],
+            corpus_name="small",
+        )
+
+    def test_selected_engines_built(self, engines):
+        assert sorted(engines) == ["Airphant", "SQLite"]
+
+    def test_unknown_engine_rejected(self, sim_store, small_documents):
+        with pytest.raises(ValueError):
+            build_standard_engines(sim_store, small_documents, engine_names=["Solr"])
+
+    def test_run_workload_collects_per_query_results(self, engines):
+        workload = QueryWorkload(queries=("error", "info", "timeout"), top_k=10)
+        run = run_workload(engines["Airphant"], workload)
+        assert len(run.results) == 3
+        assert run.init_latency_ms > 0
+        assert run.stats.count == 3
+        assert all(latency > 0 for latency in run.latencies_ms)
+
+    def test_run_comparison_runs_every_engine(self, engines):
+        workload = QueryWorkload(queries=("error",), top_k=10)
+        runs = run_comparison(engines, workload)
+        assert sorted(runs) == ["Airphant", "SQLite"]
+        for run in runs.values():
+            assert len(run.results) == 1
+
+    def test_engine_overrides_forwarded(self, sim_store, small_documents):
+        engines = build_standard_engines(
+            sim_store,
+            small_documents,
+            engine_names=["Lucene"],
+            corpus_name="ovr",
+            engine_overrides={"Lucene": {"cache_bytes": 0}},
+        )
+        assert engines["Lucene"] is not None
+
+    def test_lookup_stats_exposed(self, engines):
+        workload = QueryWorkload(queries=("error", "disk"), top_k=10)
+        run = run_workload(engines["SQLite"], workload)
+        assert run.lookup_stats.count == 2
+        assert run.lookup_stats.mean_ms > 0
+
+    def test_mean_false_positives_zero_for_exact_engine(self, engines):
+        workload = QueryWorkload(queries=("error",), top_k=None)
+        run = run_workload(engines["SQLite"], workload)
+        assert run.mean_false_positives == 0.0
+
+
+class TestBreakdown:
+    def test_summarize_breakdown(self, sim_store, small_documents):
+        engines = build_standard_engines(
+            sim_store, small_documents, engine_names=["Airphant"], corpus_name="bd"
+        )
+        workload = QueryWorkload(queries=("error", "info"), top_k=10)
+        run = run_workload(engines["Airphant"], workload)
+        summary = summarize_breakdown(run)
+        assert summary.engine_name == "Airphant"
+        assert summary.mean_wait_ms > 0
+        assert summary.mean_total_ms == pytest.approx(
+            summary.mean_wait_ms + summary.mean_download_ms
+        )
+
+    def test_per_query_breakdown_length(self, sim_store, small_documents):
+        engines = build_standard_engines(
+            sim_store, small_documents, engine_names=["Airphant"], corpus_name="bd2"
+        )
+        workload = QueryWorkload(queries=("error", "info", "warn"), top_k=10)
+        run = run_workload(engines["Airphant"], workload)
+        assert len(per_query_breakdown(run)) == 3
+
+    def test_empty_run_summary(self):
+        summary = summarize_breakdown(EngineRun(engine_name="X", init_latency_ms=0.0))
+        assert summary.mean_wait_ms == 0.0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["engine", "ms"], [["Airphant", 12.5], ["Lucene", 900.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("engine")
+        assert "Airphant" in lines[2]
+
+    def test_format_series(self):
+        text = format_series("B=1000", [1, 2], [0.5, 0.25])
+        assert text.startswith("B=1000:")
+        assert "(1, 0.5)" in text
+
+    def test_format_table_handles_large_and_small_floats(self):
+        text = format_table(["v"], [[123456.789], [0.00012], [0.0]])
+        assert "123,457" in text
+        assert "0.00012" in text

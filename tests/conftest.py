@@ -1,0 +1,75 @@
+"""Shared fixtures for the Airphant reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SketchConfig
+from repro.index.builder import AirphantBuilder, BuiltIndex
+from repro.parsing.corpus import LineDelimitedCorpusParser
+from repro.parsing.documents import Document
+from repro.storage.latency import AffineLatencyModel
+from repro.storage.memory import InMemoryObjectStore
+from repro.storage.simulated import SimulatedCloudStore
+
+#: A small log-like corpus with known term/document relationships, used by
+#: most unit and integration tests.  One document per line.
+SMALL_CORPUS_TEXT = "\n".join(
+    [
+        "error disk full on node1",
+        "info service started on node1",
+        "error timeout connecting to node2",
+        "warn retry after error on node3",
+        "info heartbeat ok node2",
+        "error disk failure on node3",
+        "debug cache miss for key alpha",
+        "info snapshot completed node1",
+        "error timeout reading block beta",
+        "warn slow response from node2",
+    ]
+)
+
+
+@pytest.fixture
+def memory_store() -> InMemoryObjectStore:
+    """A plain in-memory object store."""
+    return InMemoryObjectStore()
+
+
+@pytest.fixture
+def sim_store() -> SimulatedCloudStore:
+    """A simulated cloud store with deterministic, jitter-free latencies."""
+    model = AffineLatencyModel(jitter_sigma=0.0, seed=0)
+    return SimulatedCloudStore(latency_model=model)
+
+
+@pytest.fixture
+def small_corpus_blob(sim_store: SimulatedCloudStore) -> str:
+    """The small corpus written as a line-delimited blob; returns its name."""
+    blob_name = "corpus/small.txt"
+    sim_store.put(blob_name, SMALL_CORPUS_TEXT.encode("utf-8"))
+    return blob_name
+
+
+@pytest.fixture
+def small_documents(sim_store: SimulatedCloudStore, small_corpus_blob: str) -> list[Document]:
+    """Parsed documents of the small corpus."""
+    parser = LineDelimitedCorpusParser()
+    return list(parser.parse(sim_store, [small_corpus_blob]))
+
+
+@pytest.fixture
+def small_config() -> SketchConfig:
+    """A small sketch configuration suitable for the tiny test corpus."""
+    return SketchConfig(num_bins=64, target_false_positives=1.0, seed=7)
+
+
+@pytest.fixture
+def built_small_index(
+    sim_store: SimulatedCloudStore,
+    small_documents: list[Document],
+    small_config: SketchConfig,
+) -> BuiltIndex:
+    """The small corpus indexed and persisted on the simulated store."""
+    builder = AirphantBuilder(sim_store, config=small_config)
+    return builder.build_from_documents(small_documents, index_name="small-index")

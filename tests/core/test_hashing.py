@@ -1,0 +1,90 @@
+"""Unit tests for the seeded hash family used by IoU Sketch layers."""
+
+import pytest
+
+from repro.core.hashing import HashFamily, LayeredHasher, stable_word_digest
+
+
+class TestStableDigest:
+    def test_digest_is_deterministic(self):
+        assert stable_word_digest("error") == stable_word_digest("error")
+
+    def test_different_words_differ(self):
+        assert stable_word_digest("error") != stable_word_digest("warn")
+
+    def test_digest_fits_below_mersenne_prime(self):
+        assert 0 <= stable_word_digest("anything") < (1 << 61) - 1
+
+
+class TestHashFamily:
+    def test_bins_are_in_range(self):
+        family = HashFamily.from_seed(3, num_bins=17)
+        for word in ["alpha", "beta", "gamma", "delta", "epsilon"]:
+            assert 0 <= family.bin_of(word) < 17
+
+    def test_same_seed_same_mapping(self):
+        first = HashFamily.from_seed(42, num_bins=100)
+        second = HashFamily.from_seed(42, num_bins=100)
+        assert [first.bin_of(f"w{i}") for i in range(50)] == [
+            second.bin_of(f"w{i}") for i in range(50)
+        ]
+
+    def test_different_seeds_give_different_mappings(self):
+        first = HashFamily.from_seed(1, num_bins=1000)
+        second = HashFamily.from_seed(2, num_bins=1000)
+        mappings_differ = any(
+            first.bin_of(f"w{i}") != second.bin_of(f"w{i}") for i in range(50)
+        )
+        assert mappings_differ
+
+    def test_distribution_is_roughly_uniform(self):
+        family = HashFamily.from_seed(7, num_bins=10)
+        counts = [0] * 10
+        for index in range(5000):
+            counts[family.bin_of(f"word{index}")] += 1
+        # Each bin expects 500 hits; allow generous slack.
+        assert min(counts) > 300
+        assert max(counts) < 700
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HashFamily(multiplier=0, addend=0, num_bins=10)
+        with pytest.raises(ValueError):
+            HashFamily(multiplier=1, addend=0, num_bins=0)
+        with pytest.raises(ValueError):
+            HashFamily(multiplier=1, addend=-1, num_bins=10)
+
+
+class TestLayeredHasher:
+    def test_build_creates_requested_layers(self):
+        hasher = LayeredHasher.build(num_layers=3, bins_per_layer=16, seed=5)
+        assert hasher.num_layers == 3
+        assert hasher.bins_per_layer == 16
+
+    def test_bins_of_returns_one_bin_per_layer(self):
+        hasher = LayeredHasher.build(num_layers=4, bins_per_layer=8, seed=0)
+        bins = hasher.bins_of("keyword")
+        assert len(bins) == 4
+        assert all(0 <= value < 8 for value in bins)
+
+    def test_layers_use_different_hash_functions(self):
+        hasher = LayeredHasher.build(num_layers=6, bins_per_layer=1000, seed=1)
+        bins_per_word = [hasher.bins_of(f"word{i}") for i in range(30)]
+        # With 1000 bins per layer, identical mappings across layers would be
+        # an astronomically unlikely coincidence.
+        identical_layers = all(
+            len(set(layer_bins)) == 1 for layer_bins in zip(*bins_per_word)
+        )
+        assert not identical_layers
+
+    def test_reconstruction_from_seed_matches(self):
+        original = LayeredHasher.build(num_layers=3, bins_per_layer=64, seed=99)
+        rebuilt = LayeredHasher.build(num_layers=3, bins_per_layer=64, seed=99)
+        for word in ["one", "two", "three"]:
+            assert original.bins_of(word) == rebuilt.bins_of(word)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            LayeredHasher.build(num_layers=0, bins_per_layer=10)
+        with pytest.raises(ValueError):
+            LayeredHasher.build(num_layers=1, bins_per_layer=0)

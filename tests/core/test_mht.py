@@ -1,0 +1,81 @@
+"""Unit tests for the Multilayer Hash Table."""
+
+import pytest
+
+from repro.core.hashing import LayeredHasher
+from repro.core.mht import BinPointer, MultilayerHashTable
+from repro.storage.base import RangeRead
+
+
+def _mht(num_layers: int = 2, bins_per_layer: int = 4) -> MultilayerHashTable:
+    hasher = LayeredHasher.build(num_layers, bins_per_layer, seed=1)
+    pointers = [
+        [
+            BinPointer(blob="superposts", offset=(layer * bins_per_layer + bin_index) * 10, length=10)
+            for bin_index in range(bins_per_layer)
+        ]
+        for layer in range(num_layers)
+    ]
+    return MultilayerHashTable(hasher=hasher, pointers=pointers)
+
+
+class TestBinPointer:
+    def test_to_range_read(self):
+        pointer = BinPointer(blob="s", offset=5, length=20)
+        assert pointer.to_range_read() == RangeRead(blob="s", offset=5, length=20)
+
+    def test_is_empty(self):
+        assert BinPointer("s", 0, 0).is_empty
+        assert not BinPointer("s", 0, 1).is_empty
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinPointer("s", -1, 0)
+        with pytest.raises(ValueError):
+            BinPointer("s", 0, -1)
+
+
+class TestMultilayerHashTable:
+    def test_structure_properties(self):
+        mht = _mht(3, 5)
+        assert mht.num_layers == 3
+        assert mht.bins_per_layer == 5
+        assert mht.num_common_words == 0
+
+    def test_pointer_table_shape_validated(self):
+        hasher = LayeredHasher.build(2, 4, seed=0)
+        with pytest.raises(ValueError):
+            MultilayerHashTable(hasher=hasher, pointers=[[BinPointer("s", 0, 1)] * 4])
+        with pytest.raises(ValueError):
+            MultilayerHashTable(
+                hasher=hasher, pointers=[[BinPointer("s", 0, 1)] * 3, [BinPointer("s", 0, 1)] * 4]
+            )
+
+    def test_pointers_for_regular_word_returns_one_per_layer(self):
+        mht = _mht(3, 4)
+        pointers = mht.pointers_for("keyword")
+        assert len(pointers) == 3
+        bins = mht.hasher.bins_of("keyword")
+        for layer, (pointer, bin_index) in enumerate(zip(pointers, bins)):
+            assert pointer == mht.pointers[layer][bin_index]
+
+    def test_pointers_for_common_word_returns_single_pointer(self):
+        mht = _mht()
+        mht.common_word_pointers["the"] = BinPointer("superposts", 999, 5)
+        assert mht.pointers_for("the") == [BinPointer("superposts", 999, 5)]
+        assert mht.is_common("the")
+        assert not mht.is_common("rare")
+
+    def test_range_reads_skip_empty_bins(self):
+        mht = _mht(2, 4)
+        word = "keyword"
+        bins = mht.hasher.bins_of(word)
+        mht.pointers[0][bins[0]] = BinPointer("superposts", 0, 0)
+        reads = mht.range_reads_for(word)
+        assert len(reads) == 1
+
+    def test_memory_bytes_scales_with_bins_and_common_words(self):
+        mht = _mht(2, 4)
+        base = mht.memory_bytes()
+        mht.common_word_pointers["the"] = BinPointer("superposts", 0, 1)
+        assert mht.memory_bytes() == base + 20

@@ -1,0 +1,89 @@
+"""Unit tests for Algorithm 1 (layer minimization)."""
+
+import pytest
+
+from repro.core.analysis import expected_false_positives
+from repro.core.optimizer import InfeasibleConfigurationError, minimize_layers
+from repro.parsing.documents import Document, DocumentRef
+from repro.profiling.profiler import profile_documents
+
+
+def _log_like_sizes(num_documents: int, words_per_document: int) -> list[int]:
+    return [words_per_document] * num_documents
+
+
+class TestMinimizeLayers:
+    def test_result_satisfies_the_constraint(self):
+        sizes = _log_like_sizes(2000, 8)
+        result = minimize_layers(512, 1.0, sizes)
+        assert result.expected_false_positives <= 1.0
+        assert result.num_layers >= 1
+
+    def test_result_is_minimal(self):
+        sizes = _log_like_sizes(2000, 8)
+        result = minimize_layers(512, 1.0, sizes)
+        if result.num_layers > 1:
+            below = expected_false_positives(result.num_layers - 1, 512, sizes)
+            assert below > 1.0
+
+    def test_tighter_target_needs_at_least_as_many_layers(self):
+        sizes = _log_like_sizes(5000, 10)
+        loose = minimize_layers(2048, 1.0, sizes)
+        tight = minimize_layers(2048, 0.001, sizes)
+        assert tight.num_layers >= loose.num_layers
+
+    def test_single_layer_enough_for_generous_target(self):
+        sizes = _log_like_sizes(100, 2)
+        result = minimize_layers(10_000, 100.0, sizes)
+        assert result.num_layers == 1
+
+    def test_paper_like_configuration_picks_few_layers(self):
+        # The paper reports L* of at most 3 for F0 = 1 with B = 1e5 on its
+        # corpora; a scaled-down equivalent should behave the same way.
+        sizes = _log_like_sizes(20_000, 10)
+        result = minimize_layers(5_000, 1.0, sizes)
+        assert 1 <= result.num_layers <= 4
+
+    def test_infeasible_when_bins_are_too_few(self):
+        sizes = _log_like_sizes(10_000, 50)
+        with pytest.raises(InfeasibleConfigurationError):
+            minimize_layers(10, 0.0001, sizes, max_layers=8)
+
+    def test_infeasible_error_carries_context(self):
+        sizes = _log_like_sizes(10_000, 50)
+        with pytest.raises(InfeasibleConfigurationError) as excinfo:
+            minimize_layers(10, 0.0001, sizes, max_layers=8)
+        assert excinfo.value.num_bins == 10
+        assert excinfo.value.target == 0.0001
+
+    def test_profile_input_supported(self):
+        documents = [
+            Document(DocumentRef("b", index, 1), f"w{index} shared common")
+            for index in range(500)
+        ]
+        profile = profile_documents(documents)
+        result = minimize_layers(256, 1.0, profile)
+        assert result.expected_false_positives <= 1.0
+
+    def test_max_layers_cap_respected(self):
+        sizes = _log_like_sizes(100_000, 30)
+        result = minimize_layers(4096, 1.0, sizes, max_layers=16)
+        assert result.num_layers <= 16
+
+    def test_uses_fast_region_for_practical_targets(self):
+        sizes = _log_like_sizes(2000, 8)
+        result = minimize_layers(1024, 1.0, sizes)
+        assert result.used_fast_region
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            minimize_layers(0, 1.0, [5])
+        with pytest.raises(ValueError):
+            minimize_layers(10, -1.0, [5])
+        with pytest.raises(ValueError):
+            minimize_layers(10, 1.0, [5], max_layers=0)
+
+    def test_lower_bound_reported(self):
+        sizes = _log_like_sizes(1000, 5)
+        result = minimize_layers(1000, 1.0, sizes)
+        assert 0.0 <= result.lower_bound <= 1.0

@@ -1,0 +1,72 @@
+"""Unit tests for super postings lists."""
+
+from repro.core.superpost import Superpost
+from repro.parsing.documents import Posting
+
+
+def _posting(index: int) -> Posting:
+    return Posting(blob="corpus", offset=index * 10, length=10)
+
+
+class TestBasicOperations:
+    def test_empty_superpost(self):
+        superpost = Superpost()
+        assert len(superpost) == 0
+        assert list(superpost) == []
+
+    def test_add_all_unions_postings(self):
+        superpost = Superpost()
+        superpost.add_all([_posting(1), _posting(2)])
+        superpost.add_all([_posting(2), _posting(3)])
+        assert len(superpost) == 3
+
+    def test_contains(self):
+        superpost = Superpost({_posting(1)})
+        assert _posting(1) in superpost
+        assert _posting(2) not in superpost
+
+    def test_sorted_postings_deterministic(self):
+        superpost = Superpost({_posting(3), _posting(1), _posting(2)})
+        assert superpost.sorted_postings() == [_posting(1), _posting(2), _posting(3)]
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        a = Superpost({_posting(1), _posting(2)})
+        b = Superpost({_posting(2), _posting(3)})
+        assert a.union(b).postings == {_posting(1), _posting(2), _posting(3)}
+
+    def test_intersect(self):
+        a = Superpost({_posting(1), _posting(2)})
+        b = Superpost({_posting(2), _posting(3)})
+        assert a.intersect(b).postings == {_posting(2)}
+
+    def test_union_and_intersect_do_not_mutate_inputs(self):
+        a = Superpost({_posting(1)})
+        b = Superpost({_posting(2)})
+        a.union(b)
+        a.intersect(b)
+        assert a.postings == {_posting(1)}
+        assert b.postings == {_posting(2)}
+
+    def test_intersect_all_of_multiple_sets(self):
+        layers = [
+            Superpost({_posting(1), _posting(2), _posting(3)}),
+            Superpost({_posting(2), _posting(3), _posting(4)}),
+            Superpost({_posting(3), _posting(5)}),
+        ]
+        assert Superpost.intersect_all(layers).postings == {_posting(3)}
+
+    def test_intersect_all_short_circuits_on_empty(self):
+        layers = [Superpost({_posting(1)}), Superpost(), Superpost({_posting(1)})]
+        assert len(Superpost.intersect_all(layers)) == 0
+
+    def test_intersect_all_of_nothing_is_empty(self):
+        assert len(Superpost.intersect_all([])) == 0
+
+    def test_union_all(self):
+        layers = [Superpost({_posting(1)}), Superpost({_posting(2)}), Superpost()]
+        assert Superpost.union_all(layers).postings == {_posting(1), _posting(2)}
+
+    def test_union_all_of_nothing_is_empty(self):
+        assert len(Superpost.union_all([])) == 0

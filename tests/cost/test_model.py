@@ -1,0 +1,105 @@
+"""Unit tests for the coupled-vs-decoupled cost model (Section V-C)."""
+
+import pytest
+
+from repro.cost.model import CostModel, PeakTroughWorkload
+
+#: The workload used in the paper's Figure 9: peak = one Elasticsearch
+#: server's throughput, trough = peak / 20.
+PAPER_WORKLOAD = PeakTroughWorkload(peak_ops=154.08, trough_ops=154.08 / 20, peak_fraction=0.2)
+
+
+class TestPeakTroughWorkload:
+    def test_average_is_time_weighted(self):
+        workload = PeakTroughWorkload(peak_ops=100, trough_ops=10, peak_fraction=0.25)
+        assert workload.average_ops == pytest.approx(0.25 * 100 + 0.75 * 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeakTroughWorkload(-1, 0, 0.5)
+        with pytest.raises(ValueError):
+            PeakTroughWorkload(10, 20, 0.5)
+        with pytest.raises(ValueError):
+            PeakTroughWorkload(10, 1, 1.5)
+
+
+class TestCostModel:
+    def test_airphant_cost_scales_with_average_workload(self):
+        model = CostModel()
+        light = PeakTroughWorkload(100, 5, 0.1)
+        heavy = PeakTroughWorkload(100, 5, 0.9)
+        assert model.airphant_monthly_cost(heavy, 0) > model.airphant_monthly_cost(light, 0)
+
+    def test_elastic_cost_depends_only_on_peak(self):
+        model = CostModel()
+        short_peak = PeakTroughWorkload(100, 5, 0.1)
+        long_peak = PeakTroughWorkload(100, 5, 0.9)
+        assert model.elastic_monthly_cost(short_peak, 10) == pytest.approx(
+            model.elastic_monthly_cost(long_peak, 10)
+        )
+
+    def test_asymptotic_relative_cost_matches_paper(self):
+        # The paper: lim_{N -> inf} C_E / C_A ~= 3.29.
+        assert CostModel().asymptotic_relative_cost() == pytest.approx(3.29, abs=0.01)
+
+    def test_relative_cost_approaches_asymptote_for_large_data(self):
+        model = CostModel()
+        ratio = model.relative_cost(PAPER_WORKLOAD, data_gb=16 * 1024 * 1024)
+        assert ratio == pytest.approx(model.asymptotic_relative_cost(), rel=0.01)
+
+    def test_airphant_cheaper_with_large_data_and_short_peaks(self):
+        model = CostModel()
+        workload = PeakTroughWorkload(154.08, 154.08 / 20, peak_fraction=0.05)
+        assert model.relative_cost(workload, data_gb=16 * 1024) > 1.0
+
+    def test_elastic_cheaper_for_tiny_data_and_constant_peak(self):
+        model = CostModel()
+        workload = PeakTroughWorkload(154.08, 154.08, peak_fraction=1.0)
+        assert model.relative_cost(workload, data_gb=1) < 1.0
+
+    def test_relative_cost_decreases_as_peak_fraction_grows(self):
+        # Figure 9: every size curve decreases with tau.
+        model = CostModel()
+        ratios = [
+            model.relative_cost(
+                PeakTroughWorkload(154.08, 154.08 / 20, peak_fraction=tau), data_gb=4096
+            )
+            for tau in (0.05, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_relative_cost_increases_with_data_size(self):
+        model = CostModel()
+        small = model.relative_cost(PAPER_WORKLOAD, data_gb=1024)
+        large = model.relative_cost(PAPER_WORKLOAD, data_gb=16 * 1024)
+        assert large > small
+
+    def test_compute_relative_cost_formula(self):
+        model = CostModel()
+        workload = PeakTroughWorkload(100, 10, 0.5)
+        expected = (model.elastic_vm_monthly * 100 / model.elastic_ops_per_second) / (
+            model.airphant_vm_monthly * workload.average_ops / model.airphant_ops_per_second
+        )
+        assert model.compute_relative_cost(workload) == pytest.approx(expected)
+
+    def test_breakeven_fraction_within_range_when_it_exists(self):
+        model = CostModel()
+        tau = model.breakeven_peak_fraction(data_gb=2048, workload=PAPER_WORKLOAD)
+        if tau is not None:
+            assert 0.0 <= tau <= 1.0
+            breakeven_workload = PeakTroughWorkload(
+                PAPER_WORKLOAD.peak_ops, PAPER_WORKLOAD.trough_ops, tau
+            )
+            assert model.relative_cost(breakeven_workload, 2048) == pytest.approx(1.0, rel=0.01)
+
+    def test_breakeven_none_for_flat_workload(self):
+        model = CostModel()
+        flat = PeakTroughWorkload(100, 100, 0.5)
+        assert model.breakeven_peak_fraction(10, flat) is None
+
+    def test_negative_data_rejected(self):
+        model = CostModel()
+        with pytest.raises(ValueError):
+            model.airphant_monthly_cost(PAPER_WORKLOAD, -1)
+        with pytest.raises(ValueError):
+            model.elastic_monthly_cost(PAPER_WORKLOAD, -1)

@@ -1,0 +1,125 @@
+"""Unit tests for superpost compaction and the header block."""
+
+import pytest
+
+from repro.core.common_words import CommonWordTable
+from repro.core.sketch import IoUSketch
+from repro.index.compaction import compact_sketch, decode_header, encode_header
+from repro.index.metadata import IndexMetadata
+from repro.index.serialization import decode_superpost
+from repro.parsing.documents import Posting
+
+
+def _posting(index: int) -> Posting:
+    return Posting("corpus/data.txt", index * 20, 15)
+
+
+def _sketch() -> IoUSketch:
+    common = CommonWordTable()
+    common.register("the")
+    sketch = IoUSketch.build(num_layers=2, total_bins=8, seed=3, common_words=common)
+    sketch.insert("error", [_posting(1), _posting(2)])
+    sketch.insert("timeout", [_posting(2), _posting(3)])
+    sketch.insert("the", [_posting(index) for index in range(5)])
+    return sketch
+
+
+def _metadata() -> IndexMetadata:
+    return IndexMetadata(
+        corpus_name="unit",
+        num_documents=5,
+        num_terms=3,
+        num_words=9,
+        num_layers=2,
+        num_bins=8,
+        bins_per_layer=4,
+        num_common_words=1,
+        seed=3,
+        target_false_positives=1.0,
+        expected_false_positives=0.25,
+    )
+
+
+class TestCompaction:
+    def test_pointer_shape_matches_sketch(self):
+        compacted = compact_sketch(_sketch(), "index/superposts.bin")
+        assert len(compacted.mht.pointers) == 2
+        assert all(len(layer) == 4 for layer in compacted.mht.pointers)
+
+    def test_each_pointer_decodes_its_superpost(self):
+        sketch = _sketch()
+        compacted = compact_sketch(sketch, "index/superposts.bin")
+        blob = compacted.superpost_blob_data
+        for layer_index, layer in enumerate(compacted.mht.pointers):
+            for bin_index, pointer in enumerate(layer):
+                expected = sketch.layers[layer_index][bin_index].postings
+                if pointer.is_empty:
+                    assert expected == set()
+                    continue
+                payload = blob[pointer.offset : pointer.offset + pointer.length]
+                decoded = decode_superpost(payload, compacted.string_table)
+                assert decoded.postings == expected
+
+    def test_common_word_pointer_decodes_exact_postings(self):
+        sketch = _sketch()
+        compacted = compact_sketch(sketch, "index/superposts.bin")
+        pointer = compacted.mht.common_word_pointers["the"]
+        payload = compacted.superpost_blob_data[pointer.offset : pointer.offset + pointer.length]
+        decoded = decode_superpost(payload, compacted.string_table)
+        assert decoded.postings == sketch.common_words.query("the").postings
+
+    def test_empty_bins_have_zero_length_pointers(self):
+        sketch = IoUSketch.build(num_layers=1, total_bins=16, seed=0)
+        sketch.insert("only", [_posting(0)])
+        compacted = compact_sketch(sketch, "s.bin")
+        empty = [pointer for pointer in compacted.mht.pointers[0] if pointer.is_empty]
+        assert len(empty) == 15
+
+    def test_superposts_are_contiguous(self):
+        compacted = compact_sketch(_sketch(), "s.bin")
+        pointers = [p for layer in compacted.mht.pointers for p in layer]
+        pointers += list(compacted.mht.common_word_pointers.values())
+        covered = sum(pointer.length for pointer in pointers)
+        assert covered == len(compacted.superpost_blob_data)
+
+
+class TestHeaderCodec:
+    def test_round_trip_preserves_pointers_and_seeds(self):
+        compacted = compact_sketch(_sketch(), "index/superposts.bin", metadata=_metadata())
+        decoded = decode_header(encode_header(compacted))
+        assert decoded.superpost_blob_name == "index/superposts.bin"
+        assert decoded.mht.hasher.seed == compacted.mht.hasher.seed
+        assert decoded.mht.num_layers == compacted.mht.num_layers
+        assert decoded.mht.pointers == compacted.mht.pointers
+        assert decoded.mht.common_word_pointers == compacted.mht.common_word_pointers
+
+    def test_round_trip_preserves_string_table(self):
+        compacted = compact_sketch(_sketch(), "s.bin")
+        decoded = decode_header(encode_header(compacted))
+        assert decoded.string_table.to_list() == compacted.string_table.to_list()
+
+    def test_round_trip_preserves_metadata(self):
+        compacted = compact_sketch(_sketch(), "s.bin", metadata=_metadata())
+        decoded = decode_header(encode_header(compacted))
+        assert decoded.metadata == _metadata()
+
+    def test_rebuilt_hasher_maps_words_identically(self):
+        compacted = compact_sketch(_sketch(), "s.bin")
+        decoded = decode_header(encode_header(compacted))
+        for word in ["error", "timeout", "anything-else"]:
+            assert decoded.mht.hasher.bins_of(word) == compacted.mht.hasher.bins_of(word)
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_header(b'{"magic": "not-airphant"}')
+
+    def test_wrong_version_rejected(self):
+        compacted = compact_sketch(_sketch(), "s.bin")
+        data = encode_header(compacted).replace(b'"format_version":1', b'"format_version":99')
+        with pytest.raises(ValueError):
+            decode_header(data)
+
+    def test_header_without_metadata(self):
+        compacted = compact_sketch(_sketch(), "s.bin", metadata=None)
+        decoded = decode_header(encode_header(compacted))
+        assert decoded.metadata is None

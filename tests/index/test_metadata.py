@@ -1,0 +1,40 @@
+"""Unit tests for index metadata."""
+
+from repro.index.metadata import IndexMetadata
+
+
+def _metadata(**overrides) -> IndexMetadata:
+    values = dict(
+        corpus_name="test",
+        num_documents=10,
+        num_terms=20,
+        num_words=55,
+        num_layers=2,
+        num_bins=64,
+        bins_per_layer=32,
+        num_common_words=1,
+        seed=7,
+        target_false_positives=1.0,
+        expected_false_positives=0.3,
+    )
+    values.update(overrides)
+    return IndexMetadata(**values)
+
+
+class TestIndexMetadata:
+    def test_round_trip_via_dict(self):
+        metadata = _metadata()
+        assert IndexMetadata.from_dict(metadata.to_dict()) == metadata
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = _metadata().to_dict()
+        data["unknown_future_field"] = 123
+        assert IndexMetadata.from_dict(data) == _metadata()
+
+    def test_extra_payload_preserved(self):
+        metadata = _metadata(extra={"note": "scaled corpus"})
+        rebuilt = IndexMetadata.from_dict(metadata.to_dict())
+        assert rebuilt.extra == {"note": "scaled corpus"}
+
+    def test_default_format_version(self):
+        assert _metadata().format_version == 1

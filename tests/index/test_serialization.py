@@ -1,0 +1,123 @@
+"""Unit tests for varint / superpost serialization and the string table."""
+
+import pytest
+
+from repro.core.superpost import Superpost
+from repro.index.serialization import (
+    StringTable,
+    decode_superpost,
+    decode_varint,
+    encode_superpost,
+    encode_varint,
+)
+from repro.parsing.documents import Posting
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 255, 300, 16_383, 16_384, 2**32, 2**63 - 1])
+    def test_roundtrip(self, value):
+        encoded = encode_varint(value)
+        decoded, consumed = decode_varint(encoded)
+        assert decoded == value
+        assert consumed == len(encoded)
+
+    def test_small_values_are_single_bytes(self):
+        assert len(encode_varint(0)) == 1
+        assert len(encode_varint(127)) == 1
+        assert len(encode_varint(128)) == 2
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_decoding_truncated_varint_fails(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"\x80")
+
+    def test_decoding_respects_start_position(self):
+        data = encode_varint(7) + encode_varint(300)
+        first, pos = decode_varint(data, 0)
+        second, _ = decode_varint(data, pos)
+        assert (first, second) == (7, 300)
+
+    def test_overlong_varint_rejected(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"\xff" * 11)
+
+
+class TestStringTable:
+    def test_intern_assigns_sequential_keys(self):
+        table = StringTable()
+        assert table.intern("a") == 0
+        assert table.intern("b") == 1
+        assert table.intern("a") == 0
+
+    def test_lookup_round_trip(self):
+        table = StringTable()
+        key = table.intern("corpus/blob.txt")
+        assert table.lookup(key) == "corpus/blob.txt"
+
+    def test_lookup_unknown_key_fails(self):
+        with pytest.raises(KeyError):
+            StringTable().lookup(3)
+
+    def test_to_list_from_list_round_trip(self):
+        table = StringTable()
+        table.intern("x")
+        table.intern("y")
+        rebuilt = StringTable.from_list(table.to_list())
+        assert rebuilt.lookup(0) == "x"
+        assert rebuilt.intern("y") == 1
+        assert rebuilt.intern("z") == 2
+
+    def test_len(self):
+        table = StringTable()
+        table.intern("one")
+        table.intern("two")
+        assert len(table) == 2
+
+
+class TestSuperpostCodec:
+    def _superpost(self) -> Superpost:
+        return Superpost(
+            {
+                Posting("corpus/a.txt", 0, 40),
+                Posting("corpus/a.txt", 41, 17),
+                Posting("corpus/b.txt", 1000, 250),
+            }
+        )
+
+    def test_round_trip(self):
+        table = StringTable()
+        encoded = encode_superpost(self._superpost(), table)
+        decoded = decode_superpost(encoded, table)
+        assert decoded.postings == self._superpost().postings
+
+    def test_empty_superpost_round_trip(self):
+        table = StringTable()
+        encoded = encode_superpost(Superpost(), table)
+        assert decode_superpost(encoded, table).postings == set()
+
+    def test_encoding_is_deterministic(self):
+        first = encode_superpost(self._superpost(), StringTable())
+        second = encode_superpost(self._superpost(), StringTable())
+        assert first == second
+
+    def test_repeated_blob_names_are_compressed(self):
+        # Many postings in the same blob: the blob name must not be repeated
+        # in the encoding (that is the point of the string table).
+        postings = {Posting("a-very-long-blob-name-shared-by-all-postings", i * 10, 5) for i in range(100)}
+        table = StringTable()
+        encoded = encode_superpost(Superpost(postings), table)
+        assert len(encoded) < 100 * 10
+        assert len(table) == 1
+
+    def test_shared_table_across_superposts(self):
+        table = StringTable()
+        first = encode_superpost(Superpost({Posting("blob1", 0, 1)}), table)
+        second = encode_superpost(Superpost({Posting("blob1", 5, 1), Posting("blob2", 0, 1)}), table)
+        assert decode_superpost(first, table).postings == {Posting("blob1", 0, 1)}
+        assert decode_superpost(second, table).postings == {
+            Posting("blob1", 5, 1),
+            Posting("blob2", 0, 1),
+        }

@@ -1,0 +1,96 @@
+"""Tests for append-only index updates and compaction."""
+
+import pytest
+
+from repro.core.config import SketchConfig
+from repro.index.updates import AppendOnlyIndexManager
+from repro.parsing.corpus import LineDelimitedCorpusParser
+
+
+def _documents(store, blob_name: str, lines: list[str]):
+    store.put(blob_name, "\n".join(lines).encode("utf-8"))
+    return list(LineDelimitedCorpusParser().parse(store, [blob_name]))
+
+
+@pytest.fixture
+def manager(sim_store) -> AppendOnlyIndexManager:
+    config = SketchConfig(num_bins=64, seed=5)
+    manager = AppendOnlyIndexManager(sim_store, base_index="logs", config=config)
+    base_docs = _documents(
+        sim_store,
+        "corpus/base.txt",
+        ["error disk one", "info start one", "error net two", "warn cpu three"],
+    )
+    manager.build_base(base_docs, corpus_name="base")
+    return manager
+
+
+class TestManifest:
+    def test_empty_manifest_before_any_build(self, sim_store):
+        manager = AppendOnlyIndexManager(sim_store, base_index="fresh")
+        manifest = manager.manifest()
+        assert manifest.base_index == "fresh"
+        assert manifest.delta_indexes == ()
+
+    def test_build_base_writes_manifest(self, manager):
+        manifest = manager.manifest()
+        assert manifest.all_indexes == ["logs"]
+
+    def test_append_registers_delta(self, manager, sim_store):
+        manager.append(_documents(sim_store, "corpus/d1.txt", ["error gpu four"]))
+        manifest = manager.manifest()
+        assert manifest.delta_indexes == ("logs/delta-0000",)
+        assert sim_store.exists("logs/delta-0000/header.json")
+
+    def test_append_requires_documents(self, manager):
+        with pytest.raises(ValueError):
+            manager.append([])
+
+
+class TestSearchAcrossDeltas:
+    def test_new_documents_become_searchable(self, manager, sim_store):
+        manager.append(_documents(sim_store, "corpus/d1.txt", ["error gpu four", "info done five"]))
+        searcher = manager.open_searcher()
+        result = searcher.search("error")
+        assert {doc.text for doc in result.documents} == {
+            "error disk one",
+            "error net two",
+            "error gpu four",
+        }
+
+    def test_multiple_appends(self, manager, sim_store):
+        manager.append(_documents(sim_store, "corpus/d1.txt", ["error gpu four"]))
+        manager.append(_documents(sim_store, "corpus/d2.txt", ["error mem five"]))
+        assert manager.manifest().delta_indexes == ("logs/delta-0000", "logs/delta-0001")
+        searcher = manager.open_searcher()
+        assert len(searcher.search("error").documents) == 4
+
+    def test_base_only_search_still_works(self, manager):
+        searcher = manager.open_searcher()
+        assert len(searcher.search("warn").documents) == 1
+
+
+class TestCompaction:
+    def test_indexed_documents_enumerates_everything(self, manager, sim_store):
+        manager.append(_documents(sim_store, "corpus/d1.txt", ["error gpu four"]))
+        documents = manager.indexed_documents()
+        assert {doc.text for doc in documents} == {
+            "error disk one",
+            "info start one",
+            "error net two",
+            "warn cpu three",
+            "error gpu four",
+        }
+
+    def test_compact_folds_deltas_into_base(self, manager, sim_store):
+        manager.append(_documents(sim_store, "corpus/d1.txt", ["error gpu four"]))
+        manager.append(_documents(sim_store, "corpus/d2.txt", ["info mem five"]))
+        built = manager.compact()
+        assert built.metadata.num_documents == 6
+        manifest = manager.manifest()
+        assert manifest.delta_indexes == ()
+        # Delta blobs are cleaned up; the compacted base answers everything.
+        assert sim_store.list_blobs("logs/delta-0000/") == []
+        searcher = manager.open_searcher()
+        assert len(searcher.search("error").documents) == 3
+        assert len(searcher.search("five").documents) == 1

@@ -1,0 +1,143 @@
+"""End-to-end integration tests across modules.
+
+These tests exercise the full pipeline the paper describes: generate a
+corpus on (simulated) cloud storage, build the index with the Builder, open a
+fresh Searcher against the persisted blobs, and verify both correctness and
+the latency properties that motivate the system.
+"""
+
+import pytest
+
+from repro.baselines.lucene_like import LuceneLikeEngine
+from repro.baselines.sqlite_like import SQLiteLikeEngine
+from repro.core.config import SketchConfig
+from repro.index.builder import AirphantBuilder
+from repro.profiling.profiler import profile_documents
+from repro.search.searcher import AirphantSearcher
+from repro.storage.latency import AffineLatencyModel
+from repro.storage.local import LocalObjectStore
+from repro.storage.simulated import SimulatedCloudStore
+from repro.workloads.logs import generate_log_corpus
+from repro.workloads.queries import sample_query_words
+from repro.workloads.synthetic import SyntheticSpec, generate_zipf
+
+
+@pytest.fixture(scope="module")
+def hdfs_setup():
+    """A 3000-document HDFS-like corpus indexed by Airphant."""
+    store = SimulatedCloudStore(latency_model=AffineLatencyModel(jitter_sigma=0.0, seed=1))
+    corpus = generate_log_corpus(store, "hdfs", num_documents=3000, seed=11)
+    config = SketchConfig(num_bins=512, target_false_positives=1.0, seed=4)
+    builder = AirphantBuilder(store, config=config)
+    built = builder.build_from_documents(corpus.documents, index_name="hdfs-index")
+    searcher = AirphantSearcher.open(store, index_name="hdfs-index")
+    return store, corpus, built, searcher
+
+
+class TestEndToEndCorrectness:
+    def test_perfect_recall_and_precision_over_sampled_queries(self, hdfs_setup):
+        _, corpus, _, searcher = hdfs_setup
+        profile = profile_documents(corpus.documents)
+        truth = {}
+        for document in corpus.documents:
+            for word in set(document.text.split()):
+                truth.setdefault(word, set()).add(document.ref)
+        for word in sample_query_words(profile, 25, seed=3):
+            result = searcher.search(word)
+            assert {doc.ref for doc in result.documents} == truth[word]
+
+    def test_false_positive_rate_respects_target(self, hdfs_setup):
+        _, corpus, built, searcher = hdfs_setup
+        profile = profile_documents(corpus.documents)
+        words = sample_query_words(profile, 40, seed=5)
+        total_false_positives = sum(
+            searcher.search(word).false_positive_count for word in words
+        )
+        observed = total_false_positives / len(words)
+        # Expected <= F0 = 1; Hoeffding slack keeps the test robust.
+        assert observed <= built.config.target_false_positives + 3.0
+
+    def test_query_of_absent_word_is_empty_after_filtering(self, hdfs_setup):
+        _, _, _, searcher = hdfs_setup
+        assert searcher.search("thiswordneverappears").documents == []
+
+    def test_topk_queries_return_k_relevant_documents(self, hdfs_setup):
+        _, corpus, _, searcher = hdfs_setup
+        profile = profile_documents(corpus.documents)
+        frequent_word = profile.most_common_words(1)[0]
+        result = searcher.search(frequent_word, top_k=10)
+        assert len(result.documents) == 10
+        for document in result.documents:
+            assert frequent_word in document.text.split()
+
+
+class TestEndToEndLatency:
+    def test_airphant_lookup_uses_one_batch_regardless_of_corpus(self, hdfs_setup):
+        store, corpus, _, searcher = hdfs_setup
+        profile = profile_documents(corpus.documents)
+        for word in sample_query_words(profile, 10, seed=9):
+            store.metrics.reset()
+            searcher.lookup_postings(word)
+            assert store.metrics.round_trips <= 1
+
+    def test_airphant_faster_than_uncached_hierarchical_baselines(self, hdfs_setup):
+        store, corpus, _, searcher = hdfs_setup
+        lucene = LuceneLikeEngine(store, index_name="e2e/lucene", cache_bytes=0)
+        lucene.build(corpus.documents)
+        lucene.initialize()
+        sqlite = SQLiteLikeEngine(store, index_name="e2e/sqlite", cache_bytes=0)
+        sqlite.build(corpus.documents)
+        sqlite.initialize()
+
+        profile = profile_documents(corpus.documents)
+        words = sample_query_words(profile, 10, seed=13)
+        airphant_ms = sum(searcher.search(w, top_k=10).latency_ms for w in words)
+        lucene_ms = sum(lucene.search(w, top_k=10).latency_ms for w in words)
+        sqlite_ms = sum(sqlite.search(w, top_k=10).latency_ms for w in words)
+        assert airphant_ms < lucene_ms
+        assert airphant_ms < sqlite_ms
+
+    def test_cross_region_slowdown_is_milder_for_airphant_than_lucene(self, hdfs_setup):
+        store, corpus, _, _ = hdfs_setup
+        profile = profile_documents(corpus.documents)
+        words = sample_query_words(profile, 8, seed=17)
+
+        def mean_latency(active_store, index_name, engine_cls=None):
+            if engine_cls is None:
+                searcher = AirphantSearcher.open(active_store, index_name="hdfs-index")
+                return sum(searcher.search(w, top_k=10).latency_ms for w in words) / len(words)
+            engine = engine_cls(active_store, index_name=index_name, cache_bytes=0)
+            engine.build(corpus.documents)
+            engine.initialize()
+            return sum(engine.search(w, top_k=10).latency_ms for w in words) / len(words)
+
+        asia_store = store.with_latency_model(
+            AffineLatencyModel(jitter_sigma=0.0, seed=1).with_region("asia-southeast1")
+        )
+        airphant_local = mean_latency(store, None)
+        airphant_far = mean_latency(asia_store, None)
+        lucene_local = mean_latency(store, "xr/lucene-local", LuceneLikeEngine)
+        lucene_far = mean_latency(asia_store, "xr/lucene-far", LuceneLikeEngine)
+
+        airphant_slowdown = airphant_far / airphant_local
+        lucene_slowdown = lucene_far / lucene_local
+        assert airphant_slowdown < lucene_slowdown * 1.2  # Airphant degrades no worse
+
+
+class TestLocalStoreIntegration:
+    def test_full_pipeline_on_filesystem_store(self, tmp_path):
+        backend = LocalObjectStore(tmp_path / "bucket")
+        store = SimulatedCloudStore(backend=backend, latency_model=AffineLatencyModel(jitter_sigma=0.0))
+        corpus = generate_zipf(store, SyntheticSpec(500, 200, 8), seed=2)
+        builder = AirphantBuilder(store, config=SketchConfig(num_bins=128, seed=2))
+        builder.build_from_documents(corpus.documents, index_name="fs-index")
+        # A brand-new searcher (fresh process simulation) reads only the persisted blobs.
+        fresh_store = SimulatedCloudStore(
+            backend=LocalObjectStore(tmp_path / "bucket"),
+            latency_model=AffineLatencyModel(jitter_sigma=0.0),
+        )
+        searcher = AirphantSearcher.open(fresh_store, index_name="fs-index")
+        word = corpus.documents[0].text.split()[0]
+        result = searcher.search(word)
+        expected = {d.ref for d in corpus.documents if word in d.text.split()}
+        assert {d.ref for d in result.documents} == expected

@@ -1,0 +1,87 @@
+"""Unit tests for corpus-document parsers.
+
+The critical invariant: every parsed document's (blob, offset, length) must
+point at exactly the bytes of its text, because Airphant later fetches
+documents directly by those byte ranges.
+"""
+
+import pytest
+
+from repro.parsing.corpus import (
+    LineDelimitedCorpusParser,
+    WholeBlobCorpusParser,
+    parse_corpus,
+)
+from repro.storage.memory import InMemoryObjectStore
+
+
+@pytest.fixture
+def store() -> InMemoryObjectStore:
+    return InMemoryObjectStore()
+
+
+class TestLineDelimitedParser:
+    def test_one_document_per_line(self, store):
+        store.put("c.txt", b"first line\nsecond line\nthird line")
+        documents = parse_corpus(store, ["c.txt"])
+        assert [doc.text for doc in documents] == ["first line", "second line", "third line"]
+
+    def test_offsets_point_at_exact_bytes(self, store):
+        data = b"alpha beta\ngamma\ndelta epsilon zeta"
+        store.put("c.txt", data)
+        documents = parse_corpus(store, ["c.txt"])
+        for document in documents:
+            fetched = store.get_range(document.blob, document.offset, document.length)
+            assert fetched.decode("utf-8") == document.text
+
+    def test_skips_empty_lines_by_default(self, store):
+        store.put("c.txt", b"one\n\ntwo\n")
+        documents = parse_corpus(store, ["c.txt"])
+        assert [doc.text for doc in documents] == ["one", "two"]
+
+    def test_keeps_empty_lines_when_requested(self, store):
+        store.put("c.txt", b"one\n\ntwo")
+        parser = LineDelimitedCorpusParser(skip_empty=False)
+        documents = list(parser.parse(store, ["c.txt"]))
+        assert [doc.text for doc in documents] == ["one", "", "two"]
+
+    def test_trailing_newline_does_not_create_document(self, store):
+        store.put("c.txt", b"only\n")
+        assert len(parse_corpus(store, ["c.txt"])) == 1
+
+    def test_multiple_blobs(self, store):
+        store.put("a.txt", b"doc a1\ndoc a2")
+        store.put("b.txt", b"doc b1")
+        documents = parse_corpus(store, ["a.txt", "b.txt"])
+        assert [doc.text for doc in documents] == ["doc a1", "doc a2", "doc b1"]
+        assert {doc.blob for doc in documents} == {"a.txt", "b.txt"}
+
+    def test_unicode_content_offsets_are_byte_based(self, store):
+        data = "naïve résumé\nplain ascii".encode("utf-8")
+        store.put("c.txt", data)
+        documents = parse_corpus(store, ["c.txt"])
+        assert documents[0].text == "naïve résumé"
+        fetched = store.get_range(documents[1].blob, documents[1].offset, documents[1].length)
+        assert fetched.decode("utf-8") == "plain ascii"
+
+    def test_empty_blob_produces_no_documents(self, store):
+        store.put("c.txt", b"")
+        assert parse_corpus(store, ["c.txt"]) == []
+
+
+class TestWholeBlobParser:
+    def test_each_blob_is_one_document(self, store):
+        store.put("a.txt", b"entire abstract text")
+        store.put("b.txt", b"another abstract")
+        parser = WholeBlobCorpusParser()
+        documents = list(parser.parse(store, ["a.txt", "b.txt"]))
+        assert len(documents) == 2
+        assert documents[0].text == "entire abstract text"
+        assert documents[0].offset == 0
+        assert documents[0].length == len(b"entire abstract text")
+
+    def test_range_read_recovers_whole_blob(self, store):
+        store.put("a.txt", b"abc def")
+        parser = WholeBlobCorpusParser()
+        (document,) = parser.parse(store, ["a.txt"])
+        assert store.read(document.ref.to_range_read()) == b"abc def"

@@ -1,0 +1,48 @@
+"""Unit tests for document and posting types."""
+
+import pytest
+
+from repro.parsing.documents import Document, DocumentRef, Posting
+from repro.storage.base import RangeRead
+
+
+class TestDocumentRef:
+    def test_posting_is_an_alias_of_document_ref(self):
+        assert Posting is DocumentRef
+
+    def test_to_range_read(self):
+        ref = DocumentRef(blob="corpus/a.txt", offset=100, length=25)
+        assert ref.to_range_read() == RangeRead(blob="corpus/a.txt", offset=100, length=25)
+
+    def test_refs_are_hashable_and_comparable(self):
+        a = DocumentRef("blob", 0, 10)
+        b = DocumentRef("blob", 20, 10)
+        assert a == DocumentRef("blob", 0, 10)
+        assert a < b
+        assert len({a, b, DocumentRef("blob", 0, 10)}) == 2
+
+    def test_ordering_is_by_blob_then_offset(self):
+        refs = [DocumentRef("b", 0, 1), DocumentRef("a", 50, 1), DocumentRef("a", 10, 1)]
+        assert sorted(refs) == [
+            DocumentRef("a", 10, 1),
+            DocumentRef("a", 50, 1),
+            DocumentRef("b", 0, 1),
+        ]
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            DocumentRef("blob", -1, 10)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            DocumentRef("blob", 0, -10)
+
+
+class TestDocument:
+    def test_properties_delegate_to_ref(self):
+        ref = DocumentRef("blob", 5, 11)
+        document = Document(ref=ref, text="hello world")
+        assert document.blob == "blob"
+        assert document.offset == 5
+        assert document.length == 11
+        assert document.text == "hello world"

@@ -1,0 +1,52 @@
+"""Unit tests for document-word parsers (analyzers)."""
+
+import pytest
+
+from repro.parsing.tokenizer import SimpleAnalyzer, WhitespaceAnalyzer
+
+
+class TestWhitespaceAnalyzer:
+    def test_splits_on_whitespace_only(self):
+        analyzer = WhitespaceAnalyzer()
+        assert analyzer.tokenize("hello world") == ["hello", "world"]
+
+    def test_preserves_case_and_punctuation(self):
+        analyzer = WhitespaceAnalyzer()
+        assert analyzer.tokenize("Error: blk_42,") == ["Error:", "blk_42,"]
+
+    def test_handles_tabs_and_multiple_spaces(self):
+        analyzer = WhitespaceAnalyzer()
+        assert analyzer.tokenize("a\tb   c\n d") == ["a", "b", "c", "d"]
+
+    def test_empty_text(self):
+        assert WhitespaceAnalyzer().tokenize("") == []
+
+    def test_duplicates_preserved_in_tokenize(self):
+        assert WhitespaceAnalyzer().tokenize("a b a") == ["a", "b", "a"]
+
+    def test_distinct_terms_deduplicates(self):
+        assert WhitespaceAnalyzer().distinct_terms("a b a") == {"a", "b"}
+
+
+class TestSimpleAnalyzer:
+    def test_lowercases_and_strips_punctuation(self):
+        analyzer = SimpleAnalyzer()
+        assert analyzer.tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_splits_on_non_alphanumeric(self):
+        analyzer = SimpleAnalyzer()
+        assert analyzer.tokenize("blk_42-failed") == ["blk", "42", "failed"]
+
+    def test_min_length_filters_short_tokens(self):
+        analyzer = SimpleAnalyzer(min_length=3)
+        assert analyzer.tokenize("a an the word") == ["the", "word"]
+
+    def test_min_length_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SimpleAnalyzer(min_length=0)
+
+    def test_numbers_are_tokens(self):
+        assert SimpleAnalyzer().tokenize("42 packets") == ["42", "packets"]
+
+    def test_empty_text(self):
+        assert SimpleAnalyzer().tokenize("") == []

@@ -1,0 +1,64 @@
+"""Unit tests for query-word prior distributions."""
+
+import pytest
+
+from repro.profiling.distributions import (
+    QueryWordDistribution,
+    occurrence_distribution,
+    uniform_distribution,
+)
+
+
+class TestUniformDistribution:
+    def test_equal_probabilities(self):
+        distribution = uniform_distribution({"a", "b", "c", "d"})
+        assert distribution.probability("a") == pytest.approx(0.25)
+        assert distribution.total_mass == pytest.approx(1.0)
+
+    def test_accepts_list_input(self):
+        distribution = uniform_distribution(["x", "y"])
+        assert distribution.probability("y") == pytest.approx(0.5)
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_distribution(set())
+
+
+class TestOccurrenceDistribution:
+    def test_probabilities_proportional_to_counts(self):
+        distribution = occurrence_distribution({"a": 3, "b": 1})
+        assert distribution.probability("a") == pytest.approx(0.75)
+        assert distribution.probability("b") == pytest.approx(0.25)
+
+    def test_zero_count_words_are_dropped(self):
+        distribution = occurrence_distribution({"a": 2, "b": 0})
+        assert distribution.probability("b") == 0.0
+        assert distribution.total_mass == pytest.approx(1.0)
+
+    def test_all_zero_counts_rejected(self):
+        with pytest.raises(ValueError):
+            occurrence_distribution({"a": 0})
+
+
+class TestQueryWordDistribution:
+    def test_unknown_word_has_zero_probability(self):
+        distribution = QueryWordDistribution({"a": 1.0})
+        assert distribution.probability("zzz") == 0.0
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            QueryWordDistribution({"a": -0.1})
+
+    def test_normalized_rescales_to_one(self):
+        distribution = QueryWordDistribution({"a": 2.0, "b": 6.0})
+        normalized = distribution.normalized()
+        assert normalized.total_mass == pytest.approx(1.0)
+        assert normalized.probability("b") == pytest.approx(0.75)
+
+    def test_normalizing_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            QueryWordDistribution({}).normalized()
+
+    def test_sum_squares(self):
+        distribution = QueryWordDistribution({"a": 0.5, "b": 0.5})
+        assert distribution.sum_squares() == pytest.approx(0.5)

@@ -1,0 +1,98 @@
+"""Unit tests for the corpus profiler."""
+
+import math
+
+import pytest
+
+from repro.parsing.documents import Document, DocumentRef
+from repro.parsing.tokenizer import SimpleAnalyzer
+from repro.profiling.profiler import profile_documents
+
+
+def _docs(texts: list[str]) -> list[Document]:
+    return [
+        Document(ref=DocumentRef("blob", index * 100, len(text)), text=text)
+        for index, text in enumerate(texts)
+    ]
+
+
+class TestBasicCounts:
+    def test_counts_documents_terms_and_words(self):
+        profile = profile_documents(_docs(["a b c", "a d", "e"]))
+        assert profile.num_documents == 3
+        assert profile.num_terms == 5
+        assert profile.num_words == 6
+
+    def test_distinct_words_per_document(self):
+        profile = profile_documents(_docs(["a a b", "c", "a b c d"]))
+        assert profile.distinct_words_per_document == [2, 1, 4]
+
+    def test_document_frequencies(self):
+        profile = profile_documents(_docs(["a b", "a c", "a"]))
+        assert profile.document_frequencies == {"a": 3, "b": 1, "c": 1}
+
+    def test_word_counts_count_occurrences(self):
+        profile = profile_documents(_docs(["a a b", "a"]))
+        assert profile.word_counts == {"a": 3, "b": 1}
+
+    def test_empty_corpus(self):
+        profile = profile_documents([])
+        assert profile.num_documents == 0
+        assert profile.num_terms == 0
+        assert profile.num_words == 0
+        assert profile.max_distinct_words == 0
+        assert profile.mean_distinct_words == 0.0
+
+    def test_custom_tokenizer_is_used(self):
+        profile = profile_documents(_docs(["Error, ERROR!"]), tokenizer=SimpleAnalyzer())
+        assert profile.document_frequencies == {"error": 1}
+
+    def test_vocabulary_property(self):
+        profile = profile_documents(_docs(["x y", "z"]))
+        assert profile.vocabulary == {"x", "y", "z"}
+
+    def test_max_and_mean_distinct_words(self):
+        profile = profile_documents(_docs(["a b c", "a", "a b"]))
+        assert profile.max_distinct_words == 3
+        assert profile.mean_distinct_words == pytest.approx(2.0)
+
+
+class TestDerivedStatistics:
+    def test_most_common_words_ranked_by_document_frequency(self):
+        profile = profile_documents(_docs(["a b", "a b", "a c", "a"]))
+        assert profile.most_common_words(2) == ["a", "b"]
+
+    def test_most_common_words_tie_broken_alphabetically(self):
+        profile = profile_documents(_docs(["z y", "z y"]))
+        assert profile.most_common_words(2) == ["y", "z"]
+
+    def test_most_common_words_zero_or_negative_count(self):
+        profile = profile_documents(_docs(["a b"]))
+        assert profile.most_common_words(0) == []
+        assert profile.most_common_words(-3) == []
+
+    def test_irrelevance_coefficients_uniform_prior(self):
+        # c_i = (|W| - |W_i|) / |W| under the uniform query prior.
+        profile = profile_documents(_docs(["a b", "c"]))
+        assert profile.irrelevance_coefficients() == pytest.approx([1 / 3, 2 / 3])
+
+    def test_sigma_x_uniform_prior_matches_formula(self):
+        profile = profile_documents(_docs(["a b", "c"]))
+        expected = math.sqrt((3 - 2) / 9 + (3 - 1) / 9)
+        assert profile.sigma_x() == pytest.approx(expected)
+
+    def test_sigma_x_diag_corpus_is_about_one(self):
+        # diag corpus: n documents, n words, one word per document.
+        # sigma_x^2 = n * (n-1)/n^2 -> ~1 for large n (Table II row diag).
+        texts = [f"w{i}" for i in range(500)]
+        profile = profile_documents(_docs(texts))
+        assert profile.sigma_x() == pytest.approx(1.0, abs=0.01)
+
+    def test_uniform_query_distribution_sums_to_one(self):
+        profile = profile_documents(_docs(["a b c", "d"]))
+        distribution = profile.uniform_query_distribution()
+        assert distribution.total_mass == pytest.approx(1.0)
+        assert distribution.probability("a") == pytest.approx(0.25)
+
+    def test_sigma_x_empty_corpus_is_zero(self):
+        assert profile_documents([]).sigma_x() == 0.0

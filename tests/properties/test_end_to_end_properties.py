@@ -1,0 +1,75 @@
+"""Property-based tests of the build-then-search pipeline.
+
+For arbitrary small corpora and sketch structures, a persisted index opened
+by a fresh Searcher must return exactly the documents containing the query
+word — the false-positive filtering restores perfect precision and the
+sketch guarantees perfect recall.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SketchConfig
+from repro.core.optimizer import InfeasibleConfigurationError
+from repro.index.builder import AirphantBuilder
+from repro.search.searcher import AirphantSearcher
+from repro.storage.latency import AffineLatencyModel
+from repro.storage.simulated import SimulatedCloudStore
+
+#: Small vocabulary so hypothesis generates corpora with heavy term sharing
+#: (the interesting regime for false positives).
+vocabulary = ["error", "warn", "info", "disk", "net", "cpu", "node1", "node2", "retry", "ok"]
+
+documents_strategy = st.lists(
+    st.lists(st.sampled_from(vocabulary), min_size=1, max_size=6).map(" ".join),
+    min_size=1,
+    max_size=30,
+)
+
+config_strategy = st.builds(
+    SketchConfig,
+    num_bins=st.integers(min_value=8, max_value=128),
+    num_layers=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+    seed=st.integers(min_value=0, max_value=50),
+    common_word_fraction=st.sampled_from([0.0, 0.01, 0.1]),
+)
+
+
+def _build_index(store: SimulatedCloudStore, lines: list[str], config: SketchConfig) -> None:
+    """Build the property-test index, discarding infeasible (tiny-B) configs.
+
+    Algorithm 1 legitimately rejects configurations whose bin budget cannot
+    meet the accuracy target; those are not interesting counterexamples.
+    """
+    store.put("corpus.txt", "\n".join(lines).encode("utf-8"))
+    builder = AirphantBuilder(store, config=config)
+    try:
+        builder.build_from_blobs(["corpus.txt"], index_name="prop-index")
+    except InfeasibleConfigurationError:
+        assume(False)
+
+
+class TestBuildSearchRoundTrip:
+    @given(lines=documents_strategy, config=config_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_search_returns_exactly_the_matching_documents(self, lines, config):
+        store = SimulatedCloudStore(latency_model=AffineLatencyModel(jitter_sigma=0.0))
+        _build_index(store, lines, config)
+        searcher = AirphantSearcher.open(store, index_name="prop-index")
+        for word in vocabulary:
+            expected = {line for line in lines if word in line.split()}
+            result = searcher.search(word)
+            assert {document.text for document in result.documents} == expected
+
+    @given(lines=documents_strategy, config=config_strategy, k=st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_top_k_returns_min_of_k_and_matches(self, lines, config, k):
+        store = SimulatedCloudStore(latency_model=AffineLatencyModel(jitter_sigma=0.0))
+        _build_index(store, lines, config)
+        searcher = AirphantSearcher.open(store, index_name="prop-index")
+        word = vocabulary[0]
+        matches = sum(1 for line in lines if word in line.split())
+        result = searcher.search(word, top_k=k)
+        assert len(result.documents) == min(k, matches)

@@ -1,0 +1,105 @@
+"""Property-based tests for serialization codecs and the storage substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.superpost import Superpost
+from repro.index.serialization import (
+    StringTable,
+    decode_superpost,
+    decode_varint,
+    encode_superpost,
+    encode_varint,
+)
+from repro.parsing.corpus import LineDelimitedCorpusParser
+from repro.parsing.documents import Posting
+from repro.storage.memory import InMemoryObjectStore
+
+
+class TestVarintProperties:
+    @given(value=st.integers(min_value=0, max_value=2**63 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, value):
+        decoded, consumed = decode_varint(encode_varint(value))
+        assert decoded == value
+        assert consumed == len(encode_varint(value))
+
+    @given(values=st.lists(st.integers(min_value=0, max_value=2**40), max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_concatenated_stream_decodes_in_order(self, values):
+        data = b"".join(encode_varint(value) for value in values)
+        position = 0
+        decoded = []
+        for _ in values:
+            value, position = decode_varint(data, position)
+            decoded.append(value)
+        assert decoded == values
+        assert position == len(data)
+
+    @given(smaller=st.integers(0, 2**30), larger=st.integers(0, 2**30))
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_length_is_monotone_in_magnitude(self, smaller, larger):
+        low, high = sorted((smaller, larger))
+        assert len(encode_varint(low)) <= len(encode_varint(high))
+
+
+postings_strategy = st.sets(
+    st.builds(
+        Posting,
+        blob=st.sampled_from(["a", "b", "corpus/with/long/name.txt"]),
+        offset=st.integers(min_value=0, max_value=2**32),
+        length=st.integers(min_value=0, max_value=2**20),
+    ),
+    max_size=30,
+)
+
+
+class TestSuperpostCodecProperties:
+    @given(postings=postings_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_preserves_postings(self, postings):
+        table = StringTable()
+        encoded = encode_superpost(Superpost(postings), table)
+        assert decode_superpost(encoded, table).postings == postings
+
+    @given(postings=postings_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_encoding_deterministic(self, postings):
+        assert encode_superpost(Superpost(postings), StringTable()) == encode_superpost(
+            Superpost(postings), StringTable()
+        )
+
+    @given(batches=st.lists(postings_strategy, min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_shared_string_table_round_trips_many_superposts(self, batches):
+        table = StringTable()
+        encoded = [encode_superpost(Superpost(postings), table) for postings in batches]
+        for data, postings in zip(encoded, batches):
+            assert decode_superpost(data, table).postings == postings
+
+
+class TestCorpusParsingProperties:
+    lines_strategy = st.lists(
+        st.text(
+            alphabet=st.characters(blacklist_characters="\n", blacklist_categories=("Cs",)),
+            min_size=1,
+            max_size=40,
+        ).filter(lambda line: line.strip() != ""),
+        min_size=1,
+        max_size=20,
+    )
+
+    @given(lines=lines_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_every_document_range_read_returns_its_text(self, lines):
+        store = InMemoryObjectStore()
+        data = "\n".join(lines).encode("utf-8")
+        store.put("c.txt", data)
+        parser = LineDelimitedCorpusParser()
+        documents = list(parser.parse(store, ["c.txt"]))
+        assert [document.text for document in documents] == lines
+        for document in documents:
+            fetched = store.get_range(document.blob, document.offset, document.length)
+            assert fetched.decode("utf-8") == document.text

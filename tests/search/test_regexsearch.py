@@ -1,0 +1,77 @@
+"""Unit tests for index-accelerated regular-expression search."""
+
+import pytest
+
+from repro.search.regexsearch import RegexSearcher, extract_required_terms
+from repro.search.searcher import AirphantSearcher
+
+
+class TestLiteralExtraction:
+    def test_plain_word(self):
+        assert extract_required_terms("error") == ["error"]
+
+    def test_two_words_split_on_whitespace_class(self):
+        assert extract_required_terms(r"error\s+timeout") == ["error", "timeout"]
+
+    def test_two_words_split_on_literal_space(self):
+        assert extract_required_terms("error .* timeout") == ["error", "timeout"]
+
+    def test_word_glued_to_wildcard_is_not_required(self):
+        # In "error.*timeout" neither literal is guaranteed to be a standalone
+        # whitespace-delimited word, so a word-level index cannot use them.
+        assert extract_required_terms("error.*timeout") == []
+
+    def test_optional_suffix_invalidates_the_word(self):
+        # "errors?" matches the word "errors" too, so "error" is not a
+        # required whole word.
+        assert extract_required_terms("errors?") == []
+
+    def test_character_class_suffix_invalidates_the_word(self):
+        assert extract_required_terms(r"blk_[0-9]+") == []
+
+    def test_alternation_disables_extraction(self):
+        assert extract_required_terms("error|warn") == []
+
+    def test_min_length_filter(self):
+        assert extract_required_terms("ab xyz", min_length=3) == ["xyz"]
+
+    def test_anchors_are_boundaries(self):
+        assert extract_required_terms("^error$") == ["error"]
+
+
+class TestRegexSearcher:
+    @pytest.fixture
+    def searcher(self, sim_store, built_small_index) -> RegexSearcher:
+        base = AirphantSearcher.open(sim_store, index_name=built_small_index.index_name)
+        return RegexSearcher(base)
+
+    def test_matches_regex_within_candidates(self, searcher):
+        result = searcher.search(r"error .*node[0-9]")
+        assert {document.text for document in result.documents} == {
+            "error disk full on node1",
+            "error timeout connecting to node2",
+            "error disk failure on node3",
+            "warn retry after error on node3",
+        }
+
+    def test_literal_word_behaves_like_keyword_search(self, searcher):
+        result = searcher.search("heartbeat")
+        assert [document.text for document in result.documents] == ["info heartbeat ok node2"]
+
+    def test_regex_filters_out_non_matching_candidates(self, searcher):
+        # All documents containing "error" are candidates, but only those with
+        # "timeout" right after match the pattern.
+        result = searcher.search(r"error timeout")
+        for document in result.documents:
+            assert "error timeout" in document.text
+
+    def test_top_k_limits_results(self, searcher):
+        result = searcher.search("error", top_k=2)
+        assert len(result.documents) == 2
+
+    def test_pattern_without_literals_rejected(self, searcher):
+        with pytest.raises(ValueError):
+            searcher.search(r"[0-9]+|[a-z]+")
+
+    def test_no_matches(self, searcher):
+        assert searcher.search(r"error .*neverthere").documents == []

@@ -1,0 +1,121 @@
+"""Unit tests for the affine latency model (Figure 2 behaviour)."""
+
+import pytest
+
+from repro.storage.latency import REGION_PROFILES, AffineLatencyModel, RegionProfile
+
+
+class TestAffineShape:
+    def test_small_fetches_cost_roughly_the_first_byte_latency(self):
+        model = AffineLatencyModel(first_byte_ms=50.0, jitter_sigma=0.0)
+        assert model.expected_latency_ms(1024) == pytest.approx(50.0, rel=0.01)
+
+    def test_latency_flat_until_bandwidth_dominates(self):
+        # The paper's Figure 2: latency stays ~constant until ~2 MB then grows linearly.
+        model = AffineLatencyModel(first_byte_ms=50.0, bandwidth_mb_per_s=40.0, jitter_sigma=0.0)
+        small = model.expected_latency_ms(4 * 1024)
+        medium = model.expected_latency_ms(1024 * 1024)
+        large = model.expected_latency_ms(64 * 1024 * 1024)
+        assert medium < 2 * small
+        assert large > 10 * small
+
+    def test_transfer_time_is_linear_in_bytes(self):
+        model = AffineLatencyModel(bandwidth_mb_per_s=10.0)
+        assert model.transfer_ms(20 * 1024 * 1024) == pytest.approx(2 * model.transfer_ms(10 * 1024 * 1024))
+
+    def test_transfer_time_of_zero_bytes_is_zero(self):
+        model = AffineLatencyModel()
+        assert model.transfer_ms(0) == 0.0
+
+    def test_sample_first_byte_without_jitter_is_deterministic(self):
+        model = AffineLatencyModel(first_byte_ms=42.0, jitter_sigma=0.0)
+        samples = {model.sample_first_byte_ms() for _ in range(10)}
+        assert samples == {42.0}
+
+    def test_jitter_produces_variation_but_stays_positive(self):
+        model = AffineLatencyModel(first_byte_ms=50.0, jitter_sigma=0.3, seed=3)
+        samples = [model.sample_first_byte_ms() for _ in range(200)]
+        assert len(set(samples)) > 100
+        assert all(sample > 0 for sample in samples)
+
+    def test_same_seed_reproduces_samples(self):
+        first = AffineLatencyModel(jitter_sigma=0.2, seed=11)
+        second = AffineLatencyModel(jitter_sigma=0.2, seed=11)
+        assert [first.sample_first_byte_ms() for _ in range(20)] == [
+            second.sample_first_byte_ms() for _ in range(20)
+        ]
+
+
+class TestStragglers:
+    def test_stragglers_inflate_some_requests(self):
+        model = AffineLatencyModel(
+            first_byte_ms=50.0,
+            jitter_sigma=0.0,
+            straggler_probability=0.2,
+            straggler_multiplier=10.0,
+            seed=5,
+        )
+        samples = [model.sample_first_byte_ms() for _ in range(500)]
+        slow = [sample for sample in samples if sample > 400]
+        assert 0 < len(slow) < len(samples)
+
+    def test_zero_probability_never_straggles(self):
+        model = AffineLatencyModel(
+            first_byte_ms=50.0, jitter_sigma=0.0, straggler_probability=0.0
+        )
+        assert max(model.sample_first_byte_ms() for _ in range(100)) == 50.0
+
+    def test_invalid_straggler_probability_rejected(self):
+        with pytest.raises(ValueError):
+            AffineLatencyModel(straggler_probability=1.5)
+
+
+class TestRegions:
+    def test_known_regions_exist(self):
+        assert set(REGION_PROFILES) == {"us-central1", "europe-west2", "asia-southeast1"}
+
+    def test_cross_region_latency_scales_with_multiplier(self):
+        base = AffineLatencyModel(first_byte_ms=50.0, jitter_sigma=0.0)
+        europe = base.with_region("europe-west2")
+        asia = base.with_region("asia-southeast1")
+        assert europe.expected_latency_ms(0) == pytest.approx(3 * base.expected_latency_ms(0))
+        assert asia.expected_latency_ms(0) > europe.expected_latency_ms(0)
+
+    def test_with_region_accepts_custom_profile(self):
+        base = AffineLatencyModel(first_byte_ms=10.0, jitter_sigma=0.0)
+        custom = base.with_region(RegionProfile("moon", 100.0))
+        assert custom.expected_latency_ms(0) == pytest.approx(1000.0)
+
+    def test_region_string_accepted_in_constructor(self):
+        model = AffineLatencyModel(region="asia-southeast1", jitter_sigma=0.0)
+        assert model.region.name == "asia-southeast1"
+
+    def test_invalid_region_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            RegionProfile("bad", 0.0)
+
+
+class TestBatchTransfer:
+    def test_empty_batch_costs_nothing(self):
+        assert AffineLatencyModel().batch_transfer_ms([]) == 0.0
+
+    def test_batch_limited_by_slowest_request(self):
+        model = AffineLatencyModel(bandwidth_mb_per_s=10.0, aggregate_bandwidth_mb_per_s=1000.0)
+        sizes = [1024, 10 * 1024 * 1024, 2048]
+        assert model.batch_transfer_ms(sizes) == pytest.approx(model.transfer_ms(10 * 1024 * 1024))
+
+    def test_batch_limited_by_aggregate_bandwidth_when_many_large_requests(self):
+        model = AffineLatencyModel(bandwidth_mb_per_s=100.0, aggregate_bandwidth_mb_per_s=100.0)
+        sizes = [10 * 1024 * 1024] * 8
+        per_request = model.transfer_ms(10 * 1024 * 1024)
+        assert model.batch_transfer_ms(sizes) == pytest.approx(8 * per_request)
+
+    def test_validation_of_bandwidths(self):
+        with pytest.raises(ValueError):
+            AffineLatencyModel(bandwidth_mb_per_s=0)
+        with pytest.raises(ValueError):
+            AffineLatencyModel(aggregate_bandwidth_mb_per_s=-1)
+
+    def test_negative_first_byte_rejected(self):
+        with pytest.raises(ValueError):
+            AffineLatencyModel(first_byte_ms=-1)

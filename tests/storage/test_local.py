@@ -1,0 +1,80 @@
+"""Unit tests for the local-filesystem object store."""
+
+import pytest
+
+from repro.storage.base import BlobNotFoundError
+from repro.storage.local import LocalObjectStore
+
+
+@pytest.fixture
+def store(tmp_path) -> LocalObjectStore:
+    return LocalObjectStore(tmp_path / "bucket")
+
+
+class TestBasicOperations:
+    def test_put_and_get(self, store):
+        store.put("doc.txt", b"content")
+        assert store.get("doc.txt") == b"content"
+
+    def test_nested_blob_names_create_directories(self, store):
+        store.put("index/part/header.bin", b"abc")
+        assert store.get("index/part/header.bin") == b"abc"
+        assert (store.root / "index" / "part" / "header.bin").is_file()
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(BlobNotFoundError):
+            store.get("missing.txt")
+
+    def test_get_range(self, store):
+        store.put("a", b"0123456789")
+        assert store.get_range("a", 3, 4) == b"3456"
+
+    def test_get_range_open_ended(self, store):
+        store.put("a", b"0123456789")
+        assert store.get_range("a", 6) == b"6789"
+
+    def test_get_range_missing_raises(self, store):
+        with pytest.raises(BlobNotFoundError):
+            store.get_range("missing", 0, 1)
+
+    def test_size_and_exists(self, store):
+        store.put("a", b"12345")
+        assert store.size("a") == 5
+        assert store.exists("a")
+        assert not store.exists("b")
+
+    def test_size_missing_raises(self, store):
+        with pytest.raises(BlobNotFoundError):
+            store.size("missing")
+
+    def test_delete(self, store):
+        store.put("a", b"x")
+        store.delete("a")
+        assert not store.exists("a")
+        store.delete("a")  # idempotent
+
+    def test_list_blobs_recursive_sorted(self, store):
+        store.put("z.txt", b"1")
+        store.put("sub/a.txt", b"2")
+        store.put("sub/deep/b.txt", b"3")
+        assert store.list_blobs() == ["sub/a.txt", "sub/deep/b.txt", "z.txt"]
+        assert store.list_blobs("sub/") == ["sub/a.txt", "sub/deep/b.txt"]
+
+    def test_overwrite_existing(self, store):
+        store.put("a", b"old")
+        store.put("a", b"newer")
+        assert store.get("a") == b"newer"
+
+
+class TestNameValidation:
+    def test_empty_name_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put("", b"x")
+
+    def test_absolute_name_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put("/etc/passwd", b"x")
+
+    def test_parent_traversal_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put("../escape", b"x")

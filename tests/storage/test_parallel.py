@@ -1,0 +1,103 @@
+"""Unit tests for the parallel fetcher (including hedged requests)."""
+
+import pytest
+
+from repro.storage.base import RangeRead
+from repro.storage.latency import AffineLatencyModel
+from repro.storage.memory import InMemoryObjectStore
+from repro.storage.parallel import ParallelFetcher
+from repro.storage.simulated import SimulatedCloudStore
+
+
+@pytest.fixture
+def store() -> SimulatedCloudStore:
+    model = AffineLatencyModel(first_byte_ms=50.0, jitter_sigma=0.0)
+    store = SimulatedCloudStore(latency_model=model)
+    store.put("blob", bytes(range(256)) * 16)
+    return store
+
+
+class TestFetch:
+    def test_payloads_match_requests(self, store):
+        fetcher = ParallelFetcher(store)
+        requests = [RangeRead("blob", 0, 4), RangeRead("blob", 4, 4)]
+        result = fetcher.fetch(requests)
+        assert result.payloads == [bytes([0, 1, 2, 3]), bytes([4, 5, 6, 7])]
+
+    def test_empty_fetch(self, store):
+        fetcher = ParallelFetcher(store)
+        result = fetcher.fetch([])
+        assert result.payloads == []
+        assert result.total_ms == 0.0
+
+    def test_batch_latency_is_one_round_trip(self, store):
+        fetcher = ParallelFetcher(store, max_concurrency=32)
+        requests = [RangeRead("blob", i, 8) for i in range(16)]
+        result = fetcher.fetch(requests)
+        assert result.batch.wait_ms == pytest.approx(50.0)
+
+    def test_invalid_concurrency_rejected(self, store):
+        with pytest.raises(ValueError):
+            ParallelFetcher(store, max_concurrency=0)
+
+    def test_negative_hedge_rejected(self, store):
+        with pytest.raises(ValueError):
+            ParallelFetcher(store, hedge_extra=-1)
+
+    def test_plain_backend_uses_thread_pool(self):
+        backend = InMemoryObjectStore()
+        backend.put("b", b"0123456789")
+        fetcher = ParallelFetcher(backend)
+        result = fetcher.fetch([RangeRead("b", 0, 5), RangeRead("b", 5, 5)])
+        assert result.payloads == [b"01234", b"56789"]
+        assert result.total_ms == 0.0
+
+
+class TestHedgedFetch:
+    def _straggler_store(self) -> SimulatedCloudStore:
+        model = AffineLatencyModel(
+            first_byte_ms=50.0,
+            jitter_sigma=0.0,
+            straggler_probability=0.5,
+            straggler_multiplier=20.0,
+            seed=9,
+        )
+        store = SimulatedCloudStore(latency_model=model)
+        store.put("blob", bytes(1000))
+        return store
+
+    def test_hedged_fetch_drops_slowest_requests(self):
+        store = self._straggler_store()
+        fetcher = ParallelFetcher(store)
+        requests = [RangeRead("blob", i * 10, 10) for i in range(6)]
+        result = fetcher.fetch_hedged(requests, required=4)
+        dropped = sum(1 for payload in result.payloads if payload is None)
+        assert dropped == 2
+        assert len(result.batch.requests) == 4
+
+    def test_hedged_latency_not_worse_than_waiting_for_all(self):
+        store = self._straggler_store()
+        fetcher = ParallelFetcher(store)
+        requests = [RangeRead("blob", i * 10, 10) for i in range(6)]
+        hedged = fetcher.fetch_hedged(requests, required=3)
+        full_store = self._straggler_store()
+        full = ParallelFetcher(full_store).fetch(requests)
+        assert hedged.total_ms <= full.total_ms + 1e-9
+
+    def test_required_larger_than_requests_keeps_everything(self, store):
+        fetcher = ParallelFetcher(store)
+        requests = [RangeRead("blob", 0, 4), RangeRead("blob", 4, 4)]
+        result = fetcher.fetch_hedged(requests, required=10)
+        assert all(payload is not None for payload in result.payloads)
+
+    def test_required_must_be_positive(self, store):
+        fetcher = ParallelFetcher(store)
+        with pytest.raises(ValueError):
+            fetcher.fetch_hedged([RangeRead("blob", 0, 1)], required=0)
+
+    def test_hedged_on_plain_backend_falls_back_to_full_fetch(self):
+        backend = InMemoryObjectStore()
+        backend.put("b", b"0123456789")
+        fetcher = ParallelFetcher(backend)
+        result = fetcher.fetch_hedged([RangeRead("b", 0, 5), RangeRead("b", 5, 5)], required=1)
+        assert result.payloads == [b"01234", b"56789"]

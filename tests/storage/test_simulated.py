@@ -1,0 +1,130 @@
+"""Unit tests for the simulated cloud store."""
+
+import pytest
+
+from repro.storage.base import RangeRead
+from repro.storage.latency import AffineLatencyModel
+from repro.storage.memory import InMemoryObjectStore
+from repro.storage.simulated import SimulatedCloudStore
+
+
+@pytest.fixture
+def store() -> SimulatedCloudStore:
+    model = AffineLatencyModel(first_byte_ms=50.0, jitter_sigma=0.0, bandwidth_mb_per_s=1.0)
+    return SimulatedCloudStore(latency_model=model)
+
+
+class TestDataPassThrough:
+    def test_put_get_roundtrip(self, store):
+        store.put("a", b"payload")
+        assert store.get("a") == b"payload"
+
+    def test_get_range_matches_backend(self, store):
+        store.put("a", b"0123456789")
+        assert store.get_range("a", 2, 3) == b"234"
+
+    def test_size_exists_delete_list(self, store):
+        store.put("x/a", b"123")
+        assert store.size("x/a") == 3
+        assert store.exists("x/a")
+        assert store.list_blobs("x/") == ["x/a"]
+        store.delete("x/a")
+        assert not store.exists("x/a")
+
+    def test_wraps_existing_backend(self):
+        backend = InMemoryObjectStore()
+        backend.put("pre", b"existing")
+        store = SimulatedCloudStore(backend=backend)
+        assert store.get("pre") == b"existing"
+
+    def test_with_latency_model_shares_backend(self, store):
+        store.put("a", b"shared")
+        other = store.with_latency_model(AffineLatencyModel(first_byte_ms=500.0, jitter_sigma=0.0))
+        assert other.get("a") == b"shared"
+        assert other.latency_model.first_byte_ms == 500.0
+
+
+class TestTiming:
+    def test_timed_get_charges_first_byte_plus_transfer(self, store):
+        store.put("a", b"x" * (1024 * 1024))
+        _, record = store.timed_get("a")
+        assert record.wait_ms == pytest.approx(50.0)
+        assert record.download_ms == pytest.approx(1000.0, rel=0.01)
+
+    def test_timed_get_range_charges_only_fetched_bytes(self, store):
+        store.put("a", b"x" * (2 * 1024 * 1024))
+        _, record = store.timed_get_range("a", 0, 1024)
+        assert record.nbytes == 1024
+        assert record.download_ms < 2.0
+
+    def test_sequential_reads_accumulate_latency(self, store):
+        store.put("a", b"x" * 4096)
+        requests = [RangeRead("a", i * 10, 10) for i in range(5)]
+        _, records = store.timed_sequential(requests)
+        assert len(records) == 5
+        total = sum(record.total_ms for record in records)
+        assert total >= 5 * 50.0
+
+    def test_batch_wait_is_single_round_trip(self, store):
+        store.put("a", b"x" * 4096)
+        requests = [RangeRead("a", i * 10, 10) for i in range(5)]
+        _, batch = store.timed_batch(requests, max_concurrency=32)
+        assert batch.wait_ms == pytest.approx(50.0)
+        assert len(batch.requests) == 5
+
+    def test_batch_beyond_concurrency_runs_in_waves(self, store):
+        store.put("a", b"x" * 4096)
+        requests = [RangeRead("a", i, 1) for i in range(10)]
+        _, batch = store.timed_batch(requests, max_concurrency=4)
+        # 10 requests at concurrency 4 -> 3 waves of first-byte latency.
+        assert batch.wait_ms == pytest.approx(150.0)
+
+    def test_batch_is_faster_than_sequential(self, store):
+        store.put("a", b"x" * 4096)
+        requests = [RangeRead("a", i * 100, 100) for i in range(8)]
+        _, sequential_records = store.timed_sequential(requests)
+        _, batch = store.timed_batch(requests)
+        assert batch.total_ms < sum(record.total_ms for record in sequential_records)
+
+    def test_batch_invalid_concurrency_rejected(self, store):
+        store.put("a", b"1234")
+        with pytest.raises(ValueError):
+            store.timed_batch([RangeRead("a", 0, 1)], max_concurrency=0)
+
+    def test_empty_batch(self, store):
+        payloads, batch = store.timed_batch([])
+        assert payloads == []
+        assert batch.total_ms == 0.0
+
+
+class TestMetricsRecording:
+    def test_requests_are_recorded(self, store):
+        store.put("a", b"12345")
+        store.get("a")
+        store.get_range("a", 0, 2)
+        assert store.metrics.request_count == 2
+        assert store.metrics.round_trips == 2
+        assert store.metrics.total_bytes == 7
+
+    def test_batch_counts_one_round_trip(self, store):
+        store.put("a", b"x" * 100)
+        store.timed_batch([RangeRead("a", 0, 10), RangeRead("a", 10, 10)])
+        assert store.metrics.round_trips == 1
+        assert store.metrics.request_count == 2
+
+    def test_metrics_reset(self, store):
+        store.put("a", b"abc")
+        store.get("a")
+        store.metrics.reset()
+        assert store.metrics.request_count == 0
+        assert store.metrics.total_bytes == 0
+
+    def test_recording_can_be_disabled(self):
+        store = SimulatedCloudStore(record_metrics=False)
+        store.put("a", b"abc")
+        store.get("a")
+        assert store.metrics.request_count == 0
+
+    def test_put_does_not_count_as_request(self, store):
+        store.put("a", b"abc")
+        assert store.metrics.request_count == 0

@@ -1,0 +1,117 @@
+"""Tests for the ``airphant`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def bucket(tmp_path) -> str:
+    return str(tmp_path / "bucket")
+
+
+def _generate_and_build(bucket: str, capsys) -> None:
+    assert main([
+        "generate", "--bucket", bucket, "--kind", "hdfs", "--documents", "500", "--seed", "3",
+    ]) == 0
+    assert main([
+        "build", "--bucket", bucket, "--blobs", "corpora/hdfs.txt",
+        "--index", "hdfs-index", "--bins", "512",
+    ]) == 0
+    capsys.readouterr()
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--bucket", "/tmp/b"])
+        assert args.kind == "hdfs"
+        assert args.documents == 10_000
+
+    def test_search_flags(self):
+        args = build_parser().parse_args(
+            ["search", "--bucket", "/tmp/b", "--index", "i", "--query", "q", "--regex"]
+        )
+        assert args.regex and not args.boolean
+
+
+class TestGenerate:
+    def test_generate_writes_blob(self, bucket, capsys):
+        assert main(["generate", "--bucket", bucket, "--kind", "diag", "--documents", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "50 documents" in out
+
+    def test_generate_cranfield(self, bucket, capsys):
+        assert main(
+            ["generate", "--bucket", bucket, "--kind", "cranfield", "--documents", "30"]
+        ) == 0
+        assert "30 documents" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_reports_statistics(self, bucket, capsys):
+        main(["generate", "--bucket", bucket, "--kind", "hdfs", "--documents", "200"])
+        capsys.readouterr()
+        assert main(["profile", "--bucket", bucket, "--blobs", "corpora/hdfs.txt"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["documents"] == 200
+        assert report["terms"] > 0
+        assert report["sigma_x"] > 0
+
+
+class TestBuildAndSearch:
+    def test_build_then_search_round_trip(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--bucket", bucket, "--index", "hdfs-index",
+            "--query", "ERROR", "--top-k", "5",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        results = [line for line in captured.out.splitlines() if line]
+        assert 1 <= len(results) <= 5
+        assert all("ERROR" in line for line in results)
+
+    def test_search_unknown_word_exits_nonzero(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--bucket", bucket, "--index", "hdfs-index", "--query", "zzznotaword",
+        ])
+        assert exit_code == 1
+
+    def test_boolean_search(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--bucket", bucket, "--index", "hdfs-index",
+            "--query", "INFO AND dfs.DataNode", "--boolean", "--top-k", "3",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for line in [line for line in captured.out.splitlines() if line]:
+            assert "INFO" in line and "dfs.DataNode" in line
+
+    def test_simulated_latency_reported(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--bucket", bucket, "--index", "hdfs-index",
+            "--query", "blk_1", "--simulate-latency",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code in (0, 1)
+        assert "ms simulated" in captured.err
+
+    def test_build_reports_layers_and_storage(self, bucket, capsys):
+        main(["generate", "--bucket", bucket, "--kind", "zipf", "--documents", "300"])
+        capsys.readouterr()
+        assert main([
+            "build", "--bucket", bucket, "--blobs", "corpora/zipf.txt",
+            "--index", "zipf-index", "--bins", "256", "--layers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "L = 2" in out
+        assert "storage" in out

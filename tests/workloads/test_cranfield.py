@@ -1,0 +1,50 @@
+"""Unit tests for the Cranfield-like corpus generator."""
+
+import pytest
+
+from repro.profiling.profiler import profile_documents
+from repro.storage.memory import InMemoryObjectStore
+from repro.workloads.cranfield import generate_cranfield
+
+
+@pytest.fixture
+def store() -> InMemoryObjectStore:
+    return InMemoryObjectStore()
+
+
+class TestCranfieldGenerator:
+    def test_default_shape_tracks_table_ii(self, store):
+        corpus = generate_cranfield(store, seed=1)
+        profile = profile_documents(corpus.documents)
+        # Table II: 1.4e3 documents, 5.3e3 terms, 1.2e5 words.
+        assert profile.num_documents == 1398
+        assert 2500 <= profile.num_terms <= 5300
+        assert 80_000 <= profile.num_words <= 160_000
+
+    def test_scaled_down_generation(self, store):
+        corpus = generate_cranfield(
+            store, num_documents=100, vocabulary_size=500, words_per_document=40, seed=2
+        )
+        profile = profile_documents(corpus.documents)
+        assert profile.num_documents == 100
+        assert profile.num_terms <= 500
+
+    def test_documents_look_like_abstracts_not_log_lines(self, store):
+        corpus = generate_cranfield(store, num_documents=50, seed=3)
+        profile = profile_documents(corpus.documents)
+        assert profile.mean_distinct_words > 30
+
+    def test_deterministic_given_seed(self, store):
+        first = generate_cranfield(store, num_documents=30, name="c1", seed=5)
+        second = generate_cranfield(store, num_documents=30, name="c2", seed=5)
+        assert [d.text for d in first.documents] == [d.text for d in second.documents]
+
+    def test_invalid_dimensions_rejected(self, store):
+        with pytest.raises(ValueError):
+            generate_cranfield(store, num_documents=0)
+
+    def test_connector_words_are_the_most_common(self, store):
+        corpus = generate_cranfield(store, num_documents=200, seed=1)
+        profile = profile_documents(corpus.documents)
+        top_words = set(profile.most_common_words(10))
+        assert top_words & {"the", "of", "and", "in", "for"}

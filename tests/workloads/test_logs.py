@@ -1,0 +1,53 @@
+"""Unit tests for the log-corpus generators (HDFS / Windows / Spark)."""
+
+import pytest
+
+from repro.profiling.profiler import profile_documents
+from repro.storage.memory import InMemoryObjectStore
+from repro.workloads.logs import LOG_SYSTEMS, generate_log_corpus
+
+
+@pytest.fixture
+def store() -> InMemoryObjectStore:
+    return InMemoryObjectStore()
+
+
+class TestLogGenerators:
+    @pytest.mark.parametrize("system", sorted(LOG_SYSTEMS))
+    def test_generates_requested_number_of_documents(self, store, system):
+        corpus = generate_log_corpus(store, system, num_documents=300, seed=1)
+        assert corpus.num_documents == 300
+
+    @pytest.mark.parametrize("system", sorted(LOG_SYSTEMS))
+    def test_log_lines_are_short_documents(self, store, system):
+        corpus = generate_log_corpus(store, system, num_documents=200, seed=1)
+        profile = profile_documents(corpus.documents)
+        # Log lines: around 8-20 whitespace tokens, never abstract-length.
+        assert 4 <= profile.mean_distinct_words <= 25
+
+    def test_vocabulary_mixes_template_and_parameter_terms(self, store):
+        corpus = generate_log_corpus(store, "hdfs", num_documents=2000, seed=2)
+        profile = profile_documents(corpus.documents)
+        # Template words appear in many documents; parameter words in few.
+        frequencies = sorted(profile.document_frequencies.values(), reverse=True)
+        assert frequencies[0] > 500
+        assert frequencies[-1] < 50
+
+    def test_deterministic_given_seed(self, store):
+        first = generate_log_corpus(store, "spark", 100, name="s1", seed=7)
+        second = generate_log_corpus(store, "spark", 100, name="s2", seed=7)
+        assert [d.text for d in first.documents] == [d.text for d in second.documents]
+
+    def test_unknown_system_rejected(self, store):
+        with pytest.raises(ValueError):
+            generate_log_corpus(store, "kubernetes", 10)
+
+    def test_non_positive_count_rejected(self, store):
+        with pytest.raises(ValueError):
+            generate_log_corpus(store, "hdfs", 0)
+
+    def test_documents_fetchable_by_range_read(self, store):
+        corpus = generate_log_corpus(store, "windows", num_documents=50, seed=4)
+        for document in corpus.documents[:10]:
+            data = store.get_range(document.blob, document.offset, document.length)
+            assert data.decode("utf-8") == document.text

@@ -1,0 +1,63 @@
+"""Unit tests for query workload sampling."""
+
+import pytest
+
+from repro.parsing.documents import Document, DocumentRef
+from repro.profiling.profiler import profile_documents
+from repro.workloads.queries import QueryWorkload, sample_query_words
+
+
+def _profile():
+    texts = ["common word here", "common again", "rare"]
+    documents = [Document(DocumentRef("b", i * 50, len(t)), t) for i, t in enumerate(texts)]
+    return profile_documents(documents)
+
+
+class TestSampleQueryWords:
+    def test_samples_come_from_vocabulary(self):
+        profile = _profile()
+        words = sample_query_words(profile, 50, seed=1)
+        assert set(words) <= profile.vocabulary
+
+    def test_requested_count(self):
+        assert len(sample_query_words(_profile(), 17, seed=2)) == 17
+
+    def test_deterministic_given_seed(self):
+        profile = _profile()
+        assert sample_query_words(profile, 20, seed=3) == sample_query_words(profile, 20, seed=3)
+
+    def test_occurrence_mode_prefers_frequent_words(self):
+        profile = _profile()
+        words = sample_query_words(profile, 500, seed=4, mode="occurrence")
+        assert words.count("common") > words.count("rare")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            sample_query_words(_profile(), 5, mode="zipfish")
+
+    def test_non_positive_count_rejected(self):
+        with pytest.raises(ValueError):
+            sample_query_words(_profile(), 0)
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            sample_query_words(profile_documents([]), 5)
+
+
+class TestQueryWorkload:
+    def test_from_profile(self):
+        workload = QueryWorkload.from_profile(_profile(), num_queries=25, top_k=5, seed=1)
+        assert len(workload) == 25
+        assert workload.top_k == 5
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(queries=("a",), top_k=0)
+
+    def test_requires_queries(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(queries=())
+
+    def test_top_k_none_allowed(self):
+        workload = QueryWorkload(queries=("a", "b"), top_k=None)
+        assert workload.top_k is None

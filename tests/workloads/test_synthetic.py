@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic corpus generators (diag / unif / zipf)."""
+
+import pytest
+
+from repro.profiling.profiler import profile_documents
+from repro.storage.memory import InMemoryObjectStore
+from repro.workloads.synthetic import (
+    SyntheticSpec,
+    generate_diag,
+    generate_synthetic,
+    generate_unif,
+    generate_zipf,
+)
+
+
+@pytest.fixture
+def store() -> InMemoryObjectStore:
+    return InMemoryObjectStore()
+
+
+class TestSyntheticSpec:
+    def test_from_log10(self):
+        spec = SyntheticSpec.from_log10(3, 2, 1)
+        assert spec == SyntheticSpec(num_documents=1000, num_words=100, words_per_document=10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(0, 10, 1)
+        with pytest.raises(ValueError):
+            SyntheticSpec(10, 0, 1)
+        with pytest.raises(ValueError):
+            SyntheticSpec(10, 10, 0)
+
+
+class TestDiag:
+    def test_each_document_has_exactly_one_unique_word(self, store):
+        corpus = generate_diag(store, num_documents=50)
+        profile = profile_documents(corpus.documents)
+        assert profile.num_documents == 50
+        assert profile.num_terms == 50
+        assert profile.num_words == 50
+        assert all(size == 1 for size in profile.distinct_words_per_document)
+
+    def test_blob_persisted(self, store):
+        corpus = generate_diag(store, num_documents=5)
+        assert store.exists(corpus.blob_names[0])
+
+    def test_rejects_non_positive_count(self, store):
+        with pytest.raises(ValueError):
+            generate_diag(store, num_documents=0)
+
+
+class TestUnif:
+    def test_shape_matches_spec(self, store):
+        spec = SyntheticSpec(num_documents=200, num_words=50, words_per_document=8)
+        corpus = generate_unif(store, spec, seed=1)
+        profile = profile_documents(corpus.documents)
+        assert profile.num_documents == 200
+        assert profile.num_words == 200 * 8
+        assert profile.num_terms <= 50
+
+    def test_deterministic_given_seed(self, store):
+        spec = SyntheticSpec(50, 20, 5)
+        first = generate_unif(store, spec, name="u1", seed=9)
+        second = generate_unif(store, spec, name="u2", seed=9)
+        assert [d.text for d in first.documents] == [d.text for d in second.documents]
+
+    def test_different_seeds_differ(self, store):
+        spec = SyntheticSpec(50, 20, 5)
+        first = generate_unif(store, spec, name="u1", seed=1)
+        second = generate_unif(store, spec, name="u2", seed=2)
+        assert [d.text for d in first.documents] != [d.text for d in second.documents]
+
+
+class TestZipf:
+    def test_head_words_more_frequent_than_tail(self, store):
+        spec = SyntheticSpec(num_documents=500, num_words=200, words_per_document=10)
+        corpus = generate_zipf(store, spec, seed=3)
+        profile = profile_documents(corpus.documents)
+        head = profile.word_counts.get("w0000000", 0)
+        tail = profile.word_counts.get("w0000199", 0)
+        assert head > tail
+
+    def test_under_generates_distinct_words(self, store):
+        # The Zipfian head concentrates mass, so not every dictionary word
+        # appears (the coupon-collector effect noted in the paper).
+        spec = SyntheticSpec(num_documents=200, num_words=1000, words_per_document=5)
+        corpus = generate_zipf(store, spec, seed=3)
+        profile = profile_documents(corpus.documents)
+        assert profile.num_terms < 1000
+
+
+class TestDispatch:
+    def test_generate_synthetic_by_family(self, store):
+        spec = SyntheticSpec(20, 10, 3)
+        for family in ("diag", "unif", "zipf"):
+            corpus = generate_synthetic(store, family, spec, name=f"x-{family}", seed=0)
+            assert corpus.num_documents == 20
+
+    def test_unknown_family_rejected(self, store):
+        with pytest.raises(ValueError):
+            generate_synthetic(store, "exp", SyntheticSpec(10, 10, 1))
+
+    def test_documents_fetchable_by_range_read(self, store):
+        spec = SyntheticSpec(30, 10, 4)
+        corpus = generate_unif(store, spec, seed=5)
+        for document in corpus.documents[:10]:
+            data = store.get_range(document.blob, document.offset, document.length)
+            assert data.decode("utf-8") == document.text
