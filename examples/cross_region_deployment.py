@@ -13,7 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import AirphantSearcher, SimulatedCloudStore, SketchConfig
+from repro import AirphantService, SearchRequest, SimulatedCloudStore, SketchConfig
 from repro.baselines import LuceneLikeEngine, SQLiteLikeEngine
 from repro.bench import format_table
 from repro.index import AirphantBuilder
@@ -42,8 +42,12 @@ def main() -> None:
     for region in REGION_PROFILES:
         regional_store = store.with_latency_model(us_model.with_region(region))
 
-        searcher = AirphantSearcher.open(regional_store, index_name="win-index")
-        airphant_ms = sum(searcher.search(q, top_k=10).latency_ms for q in queries) / len(queries)
+        # A stateless query node in this region: same bucket, its own service.
+        service = AirphantService(regional_store)
+        airphant_ms = sum(
+            service.search(SearchRequest(query=q, index="win-index", top_k=10)).latency.total_ms
+            for q in queries
+        ) / len(queries)
 
         regional_lucene = LuceneLikeEngine(
             regional_store, index_name="win/lucene", cache_bytes=16 * 1024

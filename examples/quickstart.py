@@ -5,16 +5,18 @@ Run with::
     python examples/quickstart.py
 
 The example mirrors the user-facing workflow of the paper's Figure 1: create
-an index over documents, then search for keywords.  Everything — documents,
-superposts, and the index header — lives in the object store; the Searcher
-only keeps the small Multilayer Hash Table in memory.
+an index over documents, then search for keywords — all through the
+:class:`~repro.service.AirphantService` facade, the same API the ``airphant``
+CLI and the HTTP server use.  Everything — documents, superposts, and the
+index header — lives in the object store; the service only keeps the small
+Multilayer Hash Table in memory.
 """
 
 from __future__ import annotations
 
 from repro import (
-    AirphantBuilder,
-    AirphantSearcher,
+    AirphantService,
+    SearchRequest,
     SimulatedCloudStore,
     SketchConfig,
 )
@@ -38,23 +40,27 @@ def main() -> None:
     store = SimulatedCloudStore()
     store.put("corpus/hello.txt", CORPUS.encode("utf-8"))
 
-    # 2. Build the index.  The Builder profiles the corpus, picks the number of
-    #    layers with Algorithm 1, and persists superposts + header blobs.
-    config = SketchConfig(num_bins=256, target_false_positives=1.0)
-    builder = AirphantBuilder(store, config)
-    built = builder.build_from_blobs(["corpus/hello.txt"], index_name="hello-index")
-    print(f"indexed {built.metadata.num_documents} documents, "
-          f"{built.metadata.num_terms} terms, L = {built.metadata.num_layers} layers")
-    print(f"index storage: {built.storage_bytes(store)} bytes\n")
+    # 2. Build the index through the service.  The Builder profiles the corpus,
+    #    picks the number of layers with Algorithm 1, and persists superposts +
+    #    header blobs.
+    service = AirphantService(store)
+    info = service.build_index(
+        "hello-index",
+        ["corpus/hello.txt"],
+        sketch_config=SketchConfig(num_bins=256, target_false_positives=1.0),
+    )
+    print(f"indexed {info.num_documents} documents, "
+          f"{info.num_terms} terms, L = {info.num_layers} layers")
+    print(f"index storage: {info.storage_bytes} bytes\n")
 
-    # 3. Open a Searcher (downloads only the header blob) and run queries.
-    searcher = AirphantSearcher.open(store, index_name="hello-index")
+    # 3. Search through the same facade (the index is opened lazily on the
+    #    first query, downloading only the header blob).
     for query in ["hello", "airphant", "storage", "hello airphant"]:
-        result = searcher.search(query, top_k=10)
-        print(f"query {query!r}: {result.num_results} results "
-              f"({result.latency_ms:.1f} ms simulated)")
-        for document in result.documents:
-            print(f"   - {document.text}")
+        response = service.search(SearchRequest(query=query, index="hello-index", top_k=10))
+        print(f"query {query!r}: {response.num_results} results "
+              f"({response.latency.total_ms:.1f} ms simulated)")
+        for hit in response.documents:
+            print(f"   - {hit.text}")
         print()
 
 

@@ -10,25 +10,25 @@ elimination of all dependent sequential round-trips.
 Quickstart::
 
     from repro import (
-        AirphantBuilder, AirphantSearcher, SimulatedCloudStore,
-        LineDelimitedCorpusParser, SketchConfig,
+        AirphantService, SearchRequest, SimulatedCloudStore, SketchConfig,
     )
 
     store = SimulatedCloudStore()
     store.put("corpus/logs.txt", b"error disk full\\ninfo started\\nerror timeout")
 
-    builder = AirphantBuilder(store, SketchConfig(num_bins=1024))
-    built = builder.build_from_blobs(["corpus/logs.txt"], index_name="logs-index")
+    service = AirphantService(store)
+    service.build_index("logs-index", ["corpus/logs.txt"],
+                        sketch_config=SketchConfig(num_bins=1024))
 
-    searcher = AirphantSearcher.open(store, index_name="logs-index")
-    result = searcher.search("error", top_k=10)
-    print([doc.text for doc in result.documents])
+    response = service.search(SearchRequest(query="error", index="logs-index", top_k=10))
+    print([hit.text for hit in response.documents])
 
 Sub-packages
 ------------
 * :mod:`repro.core` — IoU Sketch, its optimizer and accuracy analysis.
 * :mod:`repro.index` — Builder, superpost compaction, serialization.
 * :mod:`repro.search` — Searcher, Boolean/regex queries, hedged requests.
+* :mod:`repro.service` — service facade, typed request/response API, HTTP server.
 * :mod:`repro.storage` — object-store abstraction + simulated cloud storage.
 * :mod:`repro.parsing` / :mod:`repro.profiling` — corpus parsing & profiling.
 * :mod:`repro.baselines` — Lucene-, Elasticsearch-, SQLite-like and hash-table
@@ -76,6 +76,15 @@ from repro.search import (
     SearchResult,
     Term,
 )
+from repro.service import (
+    AirphantService,
+    IndexCatalog,
+    IndexInfo,
+    SearchRequest,
+    SearchResponse,
+    ServiceConfig,
+    ServiceError,
+)
 from repro.storage import (
     AffineLatencyModel,
     InMemoryObjectStore,
@@ -93,6 +102,7 @@ __all__ = [
     "AirphantBuilder",
     "AirphantEngine",
     "AirphantSearcher",
+    "AirphantService",
     "AppendOnlyIndexManager",
     "And",
     "BuiltIndex",
@@ -103,6 +113,8 @@ __all__ = [
     "ElasticLikeEngine",
     "HashTableEngine",
     "HedgingPolicy",
+    "IndexCatalog",
+    "IndexInfo",
     "IndexMetadata",
     "InMemoryObjectStore",
     "IoUSketch",
@@ -120,7 +132,11 @@ __all__ = [
     "RegexSearcher",
     "SQLiteLikeEngine",
     "SearchEngine",
+    "SearchRequest",
+    "SearchResponse",
     "SearchResult",
+    "ServiceConfig",
+    "ServiceError",
     "SimpleAnalyzer",
     "SimulatedCloudStore",
     "SketchConfig",

@@ -1,8 +1,9 @@
 """Command-line interface for Airphant.
 
-Exposes the Builder and Searcher over a local directory acting as the
-storage bucket (the same layout ``gcsfuse`` exposes for a real Cloud Storage
-bucket), so an index can be built once and searched from any process:
+Exposes the Builder and the query service over a local directory acting as
+the storage bucket (the same layout ``gcsfuse`` exposes for a real Cloud
+Storage bucket), so an index can be built once and searched from any
+process — one-shot or as a long-lived HTTP query node:
 
 .. code-block:: console
 
@@ -14,9 +15,18 @@ bucket), so an index can be built once and searched from any process:
     airphant build   --bucket ./bucket --blobs corpora/hdfs.txt --index hdfs-index
     airphant search  --bucket ./bucket --index hdfs-index --query "ERROR" --top-k 5
 
-Every subcommand accepts ``--simulate-latency`` to wrap the bucket in the
-simulated cloud latency model, which also reports per-query simulated
-latencies the way the benchmarks do.
+    # or serve the bucket's indexes over HTTP (see repro.service.http)
+    airphant serve   --bucket ./bucket --port 8080
+    curl -s localhost:8080/healthz
+    curl -s -XPOST localhost:8080/search \\
+         -d '{"index": "hdfs-index", "query": "ERROR", "top_k": 5}'
+
+``search`` and ``serve`` are thin wrappers over
+:class:`repro.service.AirphantService`; ``search --json`` prints the same
+``SearchResponse`` JSON the HTTP API returns.  Every subcommand accepts
+``--simulate-latency`` to wrap the bucket in the simulated cloud latency
+model, which also reports per-query simulated latencies the way the
+benchmarks do.
 """
 
 from __future__ import annotations
@@ -27,11 +37,16 @@ import sys
 from typing import Sequence
 
 from repro.core.config import SketchConfig
-from repro.index.builder import AirphantBuilder
 from repro.parsing.corpus import LineDelimitedCorpusParser
 from repro.profiling.profiler import profile_documents
-from repro.search.regexsearch import RegexSearcher
-from repro.search.searcher import AirphantSearcher
+from repro.service import (
+    AirphantService,
+    SearchRequest,
+    SearchResponse,
+    ServiceConfig,
+    ServiceError,
+    serve_forever,
+)
 from repro.storage.base import ObjectStore
 from repro.storage.latency import AffineLatencyModel
 from repro.storage.local import LocalObjectStore
@@ -46,6 +61,13 @@ def _open_store(bucket: str, simulate_latency: bool) -> ObjectStore:
     if simulate_latency:
         store = SimulatedCloudStore(backend=store, latency_model=AffineLatencyModel())
     return store
+
+
+def _open_service(args: argparse.Namespace) -> AirphantService:
+    """Open the bucket behind an :class:`AirphantService` facade."""
+    store = _open_store(args.bucket, args.simulate_latency)
+    config = ServiceConfig(query_cache_size=getattr(args, "query_cache_size", 0))
+    return AirphantService(store, config)
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -91,40 +113,65 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
-    store = _open_store(args.bucket, args.simulate_latency)
+    service = _open_service(args)
     config = SketchConfig(
         num_bins=args.bins,
         target_false_positives=args.target_fp,
         num_layers=args.layers,
         seed=args.seed,
     )
-    builder = AirphantBuilder(store, config=config)
-    built = builder.build_from_blobs(args.blobs, index_name=args.index, corpus_name=args.index)
+    try:
+        info = service.build_index(args.index, args.blobs, sketch_config=config)
+    except ServiceError as error:
+        print(f"error: {error.info.message}", file=sys.stderr)
+        return 2
     print(
-        f"built index {args.index!r}: {built.metadata.num_documents} documents, "
-        f"{built.metadata.num_terms} terms, L = {built.metadata.num_layers}, "
-        f"expected false positives = {built.metadata.expected_false_positives:.4f}, "
-        f"storage = {built.storage_bytes(store)} bytes"
+        f"built index {info.name!r}: {info.num_documents} documents, "
+        f"{info.num_terms} terms, L = {info.num_layers}, "
+        f"expected false positives = {info.expected_false_positives:.4f}, "
+        f"storage = {info.storage_bytes} bytes"
     )
     return 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    store = _open_store(args.bucket, args.simulate_latency)
-    searcher = AirphantSearcher.open(store, index_name=args.index)
+    service = _open_service(args)
     if args.regex:
-        result = RegexSearcher(searcher).search(args.query, top_k=args.top_k)
+        mode = "regex"
     elif args.boolean:
-        result = searcher.search_boolean(args.query, top_k=args.top_k)
+        mode = "boolean"
     else:
-        result = searcher.search(args.query, top_k=args.top_k)
-    for document in result.documents:
-        print(document.text)
+        mode = "keyword"
+    try:
+        request = SearchRequest(query=args.query, index=args.index, mode=mode, top_k=args.top_k)
+        result = service.execute(request)
+    except (ServiceError, ValueError) as error:
+        message = error.info.message if isinstance(error, ServiceError) else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.json:
+        # The same SearchResponse JSON the HTTP API returns for this request.
+        print(SearchResponse.from_result(request, result).to_json(indent=2))
+    else:
+        for document in result.documents:
+            print(document.text)
     summary = f"{result.num_results} result(s), {result.false_positive_count} false positive(s) filtered"
     if args.simulate_latency:
         summary += f", {result.latency_ms:.1f} ms simulated"
     print(summary, file=sys.stderr)
     return 0 if result.num_results > 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = _open_service(args)
+    names = service.catalog.names()
+    print(
+        f"serving {len(names)} index(es) from {args.bucket!r} "
+        f"on http://{args.host}:{args.port}",
+        file=sys.stderr,
+    )
+    serve_forever(service, host=args.host, port=args.port)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,7 +213,32 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--top-k", type=int, default=None)
     search.add_argument("--boolean", action="store_true", help="treat the query as AND/OR syntax")
     search.add_argument("--regex", action="store_true", help="treat the query as a regular expression")
+    search.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full SearchResponse JSON instead of document text",
+    )
+    search.add_argument(
+        "--query-cache-size",
+        type=int,
+        default=0,
+        help="per-word postings cache capacity (0 disables)",
+    )
     search.set_defaults(func=_cmd_search)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve the bucket's indexes over a JSON HTTP API"
+    )
+    _add_common_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument("--port", type=int, default=8080, help="port to bind")
+    serve.add_argument(
+        "--query-cache-size",
+        type=int,
+        default=0,
+        help="per-word postings cache capacity shared by served queries (0 disables)",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

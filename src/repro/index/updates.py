@@ -33,6 +33,7 @@ from repro.storage.base import ObjectStore
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a runtime import cycle
     from repro.search.multi import MultiIndexSearcher
+    from repro.search.replication import HedgingPolicy
 
 
 @dataclass(frozen=True)
@@ -125,14 +126,26 @@ class AppendOnlyIndexManager:
 
     # -- searching ------------------------------------------------------------------
 
-    def open_searcher(self, **searcher_kwargs: object) -> "MultiIndexSearcher":
+    def open_searcher(
+        self,
+        max_concurrency: int = 32,
+        hedging: "HedgingPolicy | None" = None,
+        query_cache_size: int = 0,
+    ) -> "MultiIndexSearcher":
         """Open a searcher spanning the base index and every delta."""
         # Imported lazily: repro.search depends on repro.index, so importing
         # the searcher at module load time would create an import cycle.
         from repro.search.multi import MultiIndexSearcher
 
         manifest = self.manifest()
-        return MultiIndexSearcher.open(self._store, manifest.all_indexes, **searcher_kwargs)
+        return MultiIndexSearcher.open(
+            self._store,
+            manifest.all_indexes,
+            tokenizer=self._tokenizer,
+            max_concurrency=max_concurrency,
+            hedging=hedging,
+            query_cache_size=query_cache_size,
+        )
 
     # -- compaction ------------------------------------------------------------------
 

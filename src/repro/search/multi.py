@@ -13,8 +13,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.parsing.documents import Document
+from repro.parsing.documents import Document, Posting
 from repro.parsing.tokenizer import Tokenizer
+from repro.search.boolean import BooleanQuery
 from repro.search.replication import HedgingPolicy
 from repro.search.results import LatencyBreakdown, SearchResult
 from repro.search.searcher import AirphantSearcher
@@ -36,6 +37,7 @@ class MultiIndexSearcher:
         tokenizer: Tokenizer | None = None,
         max_concurrency: int = 32,
         hedging: HedgingPolicy | None = None,
+        top_k_delta: float = 1e-6,
         query_cache_size: int = 0,
     ) -> None:
         if not index_names:
@@ -47,6 +49,7 @@ class MultiIndexSearcher:
                 tokenizer=tokenizer,
                 max_concurrency=max_concurrency,
                 hedging=hedging,
+                top_k_delta=top_k_delta,
                 query_cache_size=query_cache_size,
             )
             for name in index_names
@@ -54,9 +57,26 @@ class MultiIndexSearcher:
         self.init_latency_ms = 0.0
 
     @classmethod
-    def open(cls, store: ObjectStore, index_names: Sequence[str], **kwargs: object) -> "MultiIndexSearcher":
+    def open(
+        cls,
+        store: ObjectStore,
+        index_names: Sequence[str],
+        tokenizer: Tokenizer | None = None,
+        max_concurrency: int = 32,
+        hedging: HedgingPolicy | None = None,
+        top_k_delta: float = 1e-6,
+        query_cache_size: int = 0,
+    ) -> "MultiIndexSearcher":
         """Create and initialize a searcher over ``index_names``."""
-        searcher = cls(store, index_names, **kwargs)  # type: ignore[arg-type]
+        searcher = cls(
+            store,
+            index_names,
+            tokenizer=tokenizer,
+            max_concurrency=max_concurrency,
+            hedging=hedging,
+            top_k_delta=top_k_delta,
+            query_cache_size=query_cache_size,
+        )
         searcher.initialize()
         return searcher
 
@@ -90,6 +110,40 @@ class MultiIndexSearcher:
         """
         per_index = [searcher.search(query, top_k=top_k) for searcher in self._searchers]
         return self._merge(query, per_index, top_k)
+
+    def search_boolean(
+        self, query: BooleanQuery | str, top_k: int | None = None
+    ) -> SearchResult:
+        """Execute a Boolean query (AND/OR tree) over every index and merge."""
+        per_index = [
+            searcher.search_boolean(query, top_k=top_k) for searcher in self._searchers
+        ]
+        label = per_index[0].query if per_index else ""
+        return self._merge(label, per_index, top_k)
+
+    def lookup_postings(self, word: str) -> tuple[list[Posting], LatencyBreakdown]:
+        """Term-index lookup across all indexes, merged and de-duplicated.
+
+        Per-index lookups are independent parallel batches, so the merged
+        latency charges the maximum lookup time while summing bytes and
+        round-trips (the same accounting as :meth:`search`).
+        """
+        per_index = [searcher.lookup_postings(word) for searcher in self._searchers]
+        merged_latency = LatencyBreakdown(
+            lookup_ms=max(latency.lookup_ms for _, latency in per_index),
+            wait_ms=max(latency.wait_ms for _, latency in per_index),
+            download_ms=sum(latency.download_ms for _, latency in per_index),
+            bytes_fetched=sum(latency.bytes_fetched for _, latency in per_index),
+            round_trips=sum(latency.round_trips for _, latency in per_index),
+        )
+        seen: set[Posting] = set()
+        postings: list[Posting] = []
+        for per_index_postings, _ in per_index:
+            for posting in per_index_postings:
+                if posting not in seen:
+                    seen.add(posting)
+                    postings.append(posting)
+        return postings, merged_latency
 
     def _merge(
         self, query: str, results: Sequence[SearchResult], top_k: int | None

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.parsing.documents import Document, Posting
 
@@ -49,6 +51,18 @@ class LatencyBreakdown:
         self.bytes_fetched += nbytes
         self.round_trips += 1
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation (includes the derived total)."""
+        return {
+            "lookup_ms": self.lookup_ms,
+            "retrieval_ms": self.retrieval_ms,
+            "wait_ms": self.wait_ms,
+            "download_ms": self.download_ms,
+            "bytes_fetched": self.bytes_fetched,
+            "round_trips": self.round_trips,
+            "total_ms": self.total_ms,
+        }
+
 
 @dataclass
 class SearchResult:
@@ -79,3 +93,35 @@ class SearchResult:
     def latency_ms(self) -> float:
         """End-to-end simulated latency of this query."""
         return self.latency.total_ms
+
+    def to_dict(self, include_text: bool = True) -> dict[str, Any]:
+        """JSON-serializable representation of this result.
+
+        The service layer's ``SearchResponse`` wire format embeds the same
+        document and latency shapes, adding request context (index, mode).
+        ``include_text`` drops the document bodies, leaving only their
+        ``(blob, offset, length)`` references — useful when callers plan to
+        range-read the documents themselves.
+        """
+        documents = []
+        for document in self.documents:
+            entry: dict[str, Any] = {
+                "blob": document.blob,
+                "offset": document.offset,
+                "length": document.length,
+            }
+            if include_text:
+                entry["text"] = document.text
+            documents.append(entry)
+        return {
+            "query": self.query,
+            "num_results": self.num_results,
+            "num_candidates": self.num_candidates,
+            "false_positive_count": self.false_positive_count,
+            "documents": documents,
+            "latency": self.latency.to_dict(),
+        }
+
+    def to_json(self, include_text: bool = True, indent: int | None = None) -> str:
+        """Serialize :meth:`to_dict` as a JSON string."""
+        return json.dumps(self.to_dict(include_text=include_text), indent=indent)

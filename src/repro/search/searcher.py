@@ -15,6 +15,7 @@ performs:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.core.analysis import top_k_sample_size
@@ -61,6 +62,9 @@ class AirphantSearcher:
         # because the paper targets read-oriented corpora that rarely change.
         self._query_cache_size = max(0, query_cache_size)
         self._query_cache: OrderedDict[str, Superpost] = OrderedDict()
+        # The cache is shared across server threads (ThreadingHTTPServer);
+        # guard its mutations so LRU bookkeeping stays consistent.
+        self._cache_lock = threading.Lock()
         self.cache_hits: int = 0
         self.cache_misses: int = 0
 
@@ -71,10 +75,22 @@ class AirphantSearcher:
         cls,
         store: ObjectStore,
         index_name: str = "airphant-index",
-        **kwargs: object,
+        tokenizer: Tokenizer | None = None,
+        max_concurrency: int = 32,
+        hedging: HedgingPolicy | None = None,
+        top_k_delta: float = 1e-6,
+        query_cache_size: int = 0,
     ) -> "AirphantSearcher":
         """Create a Searcher and immediately load the index header."""
-        searcher = cls(store, index_name=index_name, **kwargs)  # type: ignore[arg-type]
+        searcher = cls(
+            store,
+            index_name=index_name,
+            tokenizer=tokenizer,
+            max_concurrency=max_concurrency,
+            hedging=hedging,
+            top_k_delta=top_k_delta,
+            query_cache_size=query_cache_size,
+        )
         searcher.initialize()
         return searcher
 
@@ -130,45 +146,77 @@ class AirphantSearcher:
 
     def _lookup_terms(self, words: list[str], latency: LatencyBreakdown) -> Superpost:
         """Fetch and intersect superposts for all ``words`` in one batch."""
+        per_word = self._lookup_per_word(words, latency, fail_fast=True)
+        return Superpost.intersect_all(per_word[word] for word in words)
+
+    def _lookup_per_word(
+        self, words: list[str], latency: LatencyBreakdown, fail_fast: bool = False
+    ) -> dict[str, Superpost]:
+        """Resolve each word's final postings list with one parallel fetch wave.
+
+        All words' superpost range reads — across every layer of every word —
+        go out as a *single* :class:`ParallelFetcher` batch, so a Boolean query
+        over N terms costs the same number of round-trip waves as a one-word
+        query.  Per-word intersection semantics are preserved: each word's
+        layers are intersected with each other only.
+
+        With ``fail_fast`` (the AND path), a word that hits an empty bin dooms
+        the whole conjunction, so nothing is fetched and no latency is charged
+        — matching a real engine that short-circuits on a missing term.
+        Without it (the general Boolean path), doomed words simply resolve to
+        empty postings lists while the remaining words are still fetched.
+        """
         assert self._mht is not None and self._string_table is not None
-        if self._query_cache_size > 0 and all(word in self._query_cache for word in words):
-            # Memoized lookup: no storage traffic, no added latency.
-            self.cache_hits += 1
-            for word in words:
-                self._query_cache.move_to_end(word)
-            return Superpost.intersect_all(
-                Superpost(set(self._query_cache[word].postings)) for word in words
-            )
-        if self._query_cache_size > 0:
-            self.cache_misses += 1
-        # Collect pointers per word, remembering which requests belong to whom.
+        results: dict[str, Superpost] = {}
+        pending: list[str] = []
+        with self._cache_lock:
+            for word in dict.fromkeys(words):
+                if self._query_cache_size > 0 and word in self._query_cache:
+                    # Memoized lookup: no storage traffic, no added latency.
+                    self._query_cache.move_to_end(word)
+                    results[word] = Superpost(set(self._query_cache[word].postings))
+                else:
+                    pending.append(word)
+            if self._query_cache_size > 0:
+                if not pending:
+                    self.cache_hits += 1
+                    return results
+                self.cache_misses += 1
+
+        # Collect pointers per pending word, remembering which requests belong
+        # to whom.  A word that hits an empty bin (or empty common-word list)
+        # has an empty intersection; none of its layers need fetching.
         requests: list[RangeRead] = []
-        word_layers: list[list[int]] = []  # request indexes per word
-        word_is_doomed = [False] * len(words)
-        for word_index, word in enumerate(words):
+        word_layers: dict[str, list[int]] = {}
+        doomed: list[str] = []
+        for word in pending:
             pointers = self._mht.pointers_for(word)
+            if any(pointer.is_empty for pointer in pointers):
+                doomed.append(word)
+                continue
             indexes: list[int] = []
             for pointer in pointers:
-                if pointer.is_empty:
-                    # An empty bin (or empty common-word list) forces an empty
-                    # intersection for this word; no fetch needed.
-                    word_is_doomed[word_index] = True
-                    continue
                 indexes.append(len(requests))
                 requests.append(pointer.to_range_read())
-            word_layers.append(indexes)
+            word_layers[word] = indexes
 
-        if any(word_is_doomed):
-            # Intersecting with an empty set yields an empty result; we still
-            # fetch nothing and charge no latency, matching a real engine that
-            # short-circuits on a missing term.
-            return Superpost()
+        if fail_fast and doomed:
+            for word in pending:
+                results[word] = Superpost()
+            return results
+        for word in doomed:
+            results[word] = Superpost()
 
+        fetch_words = [word for word in pending if word in word_layers]
         if not requests:
-            return Superpost()
+            for word in fetch_words:
+                results[word] = Superpost()
+            return results
 
         single_word_hedging = (
-            self._hedging.enabled and len(words) == 1 and not self._mht.is_common(words[0])
+            self._hedging.enabled
+            and len(fetch_words) == 1
+            and not self._mht.is_common(fetch_words[0])
         )
         if single_word_hedging:
             required = self._hedging.required_of(len(requests))
@@ -179,31 +227,31 @@ class AirphantSearcher:
             fetch.batch.total_ms, fetch.batch.wait_ms, fetch.batch.download_ms, fetch.batch.nbytes
         )
 
-        per_word_results: list[Superpost] = []
-        for word_index, word in enumerate(words):
+        for word in fetch_words:
             superposts: list[Superpost] = []
-            for request_index in word_layers[word_index]:
+            for request_index in word_layers[word]:
                 payload = fetch.payloads[request_index]
                 if payload is None:
                     # Hedged-away straggler: skip this layer (superset remains valid).
                     continue
                 superposts.append(decode_superpost(payload, self._string_table))
             if not superposts:
-                per_word_results.append(Superpost())
+                result = Superpost()
             else:
-                per_word_results.append(Superpost.intersect_all(superposts))
-        for word, result in zip(words, per_word_results):
+                result = Superpost.intersect_all(superposts)
             self._remember_lookup(word, result)
-        return Superpost.intersect_all(per_word_results)
+            results[word] = result
+        return results
 
     def _remember_lookup(self, word: str, result: Superpost) -> None:
         """Memoize a word's final postings list (bounded LRU)."""
         if self._query_cache_size <= 0:
             return
-        self._query_cache[word] = Superpost(set(result.postings))
-        self._query_cache.move_to_end(word)
-        while len(self._query_cache) > self._query_cache_size:
-            self._query_cache.popitem(last=False)
+        with self._cache_lock:
+            self._query_cache[word] = Superpost(set(result.postings))
+            self._query_cache.move_to_end(word)
+            while len(self._query_cache) > self._query_cache_size:
+                self._query_cache.popitem(last=False)
 
     # -- full searches ---------------------------------------------------------------
 
@@ -255,9 +303,7 @@ class AirphantSearcher:
         latency = LatencyBreakdown()
         # Fetch every referenced term's superposts in one batch, then let the
         # query tree combine the per-term candidate sets.
-        per_word: dict[str, Superpost] = {}
-        for word in words:
-            per_word[word] = self._lookup_terms([word], latency)
+        per_word = self._lookup_per_word(words, latency)
         candidates = tree.candidates(lambda word: per_word[word])
         return self._retrieve_and_filter(candidates, tree, label, top_k, latency)
 

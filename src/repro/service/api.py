@@ -1,0 +1,330 @@
+"""Typed request/response surface of the Airphant query service.
+
+Everything a client exchanges with :class:`~repro.service.facade.AirphantService`
+— directly in Python or over the HTTP API — is one of the dataclasses below.
+They are plain data: construction validates the payload, ``to_dict``/``to_json``
+produce the wire representation, and ``from_dict``/``from_json`` rebuild them,
+so the same types serve as the Python SDK and the HTTP schema.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.search.results import SearchResult
+
+#: Query modes the service can dispatch.
+SEARCH_MODES = ("keyword", "boolean", "regex")
+
+
+class ServiceError(Exception):
+    """A request the service rejects, carrying an HTTP-style status code."""
+
+    def __init__(self, status: int, error: str, message: str) -> None:
+        super().__init__(message)
+        self.info = ErrorInfo(status=status, error=error, message=message)
+
+    @property
+    def status(self) -> int:
+        """HTTP status code of the rejection."""
+        return self.info.status
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """Structured error body returned by the service and the HTTP API."""
+
+    status: int
+    error: str
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {"status": self.status, "error": self.error, "message": self.message}
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ErrorInfo":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            status=int(data["status"]),
+            error=str(data["error"]),
+            message=str(data["message"]),
+        )
+
+    @classmethod
+    def from_json(cls, payload: str | bytes) -> "ErrorInfo":
+        """Rebuild from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(payload))
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One query against a named index.
+
+    ``mode`` selects how ``query`` is interpreted:
+
+    * ``"keyword"`` — whitespace keywords, implicitly AND-ed;
+    * ``"boolean"`` — ``error AND (timeout OR refused)`` syntax;
+    * ``"regex"`` — a regular expression accelerated via its literal words.
+
+    ``top_k`` caps the number of returned documents (top-K sampling,
+    Equation 6 of the paper); ``include_text`` controls whether document
+    bodies are returned or only their ``(blob, offset, length)`` references.
+    """
+
+    query: str
+    index: str = "airphant-index"
+    mode: str = "keyword"
+    top_k: int | None = None
+    include_text: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, str) or not self.query.strip():
+            raise ValueError("query must be a non-empty string")
+        if not isinstance(self.index, str) or not self.index:
+            raise ValueError("index must be a non-empty string")
+        if self.mode not in SEARCH_MODES:
+            raise ValueError(
+                f"unknown mode {self.mode!r}; expected one of {', '.join(SEARCH_MODES)}"
+            )
+        if self.top_k is not None:
+            if not isinstance(self.top_k, int) or isinstance(self.top_k, bool):
+                raise ValueError(f"top_k must be an integer, got {self.top_k!r}")
+            if self.top_k <= 0:
+                raise ValueError(f"top_k must be positive, got {self.top_k}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "query": self.query,
+            "index": self.index,
+            "mode": self.mode,
+            "top_k": self.top_k,
+            "include_text": self.include_text,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchRequest":
+        """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown search request field(s): {', '.join(sorted(unknown))}")
+        if "query" not in data:
+            raise ValueError("search request is missing the required 'query' field")
+        return cls(**dict(data))
+
+    @classmethod
+    def from_json(cls, payload: str | bytes) -> "SearchRequest":
+        """Rebuild from :meth:`to_json` output."""
+        data = json.loads(payload)
+        if not isinstance(data, dict):
+            raise ValueError("search request body must be a JSON object")
+        return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class DocumentHit:
+    """One matching document: its storage reference plus (optionally) its text."""
+
+    blob: str
+    offset: int
+    length: int
+    text: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation (text omitted when absent)."""
+        entry: dict[str, Any] = {
+            "blob": self.blob,
+            "offset": self.offset,
+            "length": self.length,
+        }
+        if self.text is not None:
+            entry["text"] = self.text
+        return entry
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DocumentHit":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            blob=str(data["blob"]),
+            offset=int(data["offset"]),
+            length=int(data["length"]),
+            text=data.get("text"),
+        )
+
+
+@dataclass(frozen=True)
+class LatencyInfo:
+    """Simulated latency breakdown of one answered query."""
+
+    lookup_ms: float = 0.0
+    retrieval_ms: float = 0.0
+    wait_ms: float = 0.0
+    download_ms: float = 0.0
+    bytes_fetched: int = 0
+    round_trips: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end simulated latency."""
+        return self.lookup_ms + self.retrieval_ms
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation (includes the derived total)."""
+        return {
+            "lookup_ms": self.lookup_ms,
+            "retrieval_ms": self.retrieval_ms,
+            "wait_ms": self.wait_ms,
+            "download_ms": self.download_ms,
+            "bytes_fetched": self.bytes_fetched,
+            "round_trips": self.round_trips,
+            "total_ms": self.total_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LatencyInfo":
+        """Rebuild from :meth:`to_dict` output (the derived total is ignored)."""
+        known = set(cls.__dataclass_fields__)
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """The service's answer to one :class:`SearchRequest`."""
+
+    query: str
+    index: str
+    mode: str
+    documents: tuple[DocumentHit, ...] = ()
+    num_candidates: int = 0
+    false_positive_count: int = 0
+    latency: LatencyInfo = field(default_factory=LatencyInfo)
+
+    @property
+    def num_results(self) -> int:
+        """Number of documents that truly match the query."""
+        return len(self.documents)
+
+    @classmethod
+    def from_result(cls, request: SearchRequest, result: SearchResult) -> "SearchResponse":
+        """Build the response for ``request`` from a searcher's ``result``."""
+        documents = tuple(
+            DocumentHit(
+                blob=document.blob,
+                offset=document.offset,
+                length=document.length,
+                text=document.text if request.include_text else None,
+            )
+            for document in result.documents
+        )
+        latency = result.latency
+        return cls(
+            query=request.query,
+            index=request.index,
+            mode=request.mode,
+            documents=documents,
+            num_candidates=result.num_candidates,
+            false_positive_count=result.false_positive_count,
+            latency=LatencyInfo(
+                lookup_ms=latency.lookup_ms,
+                retrieval_ms=latency.retrieval_ms,
+                wait_ms=latency.wait_ms,
+                download_ms=latency.download_ms,
+                bytes_fetched=latency.bytes_fetched,
+                round_trips=latency.round_trips,
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "query": self.query,
+            "index": self.index,
+            "mode": self.mode,
+            "num_results": self.num_results,
+            "num_candidates": self.num_candidates,
+            "false_positive_count": self.false_positive_count,
+            "documents": [document.to_dict() for document in self.documents],
+            "latency": self.latency.to_dict(),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchResponse":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            query=str(data["query"]),
+            index=str(data["index"]),
+            mode=str(data["mode"]),
+            documents=tuple(
+                DocumentHit.from_dict(entry) for entry in data.get("documents", [])
+            ),
+            num_candidates=int(data.get("num_candidates", 0)),
+            false_positive_count=int(data.get("false_positive_count", 0)),
+            latency=LatencyInfo.from_dict(data.get("latency", {})),
+        )
+
+    @classmethod
+    def from_json(cls, payload: str | bytes) -> "SearchResponse":
+        """Rebuild from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(payload))
+
+
+@dataclass(frozen=True)
+class IndexInfo:
+    """What the service knows about one named index in its catalog."""
+
+    name: str
+    num_documents: int = 0
+    num_terms: int = 0
+    num_layers: int = 0
+    num_common_words: int = 0
+    expected_false_positives: float = 0.0
+    delta_indexes: tuple[str, ...] = ()
+    storage_bytes: int = 0
+    is_open: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "name": self.name,
+            "num_documents": self.num_documents,
+            "num_terms": self.num_terms,
+            "num_layers": self.num_layers,
+            "num_common_words": self.num_common_words,
+            "expected_false_positives": self.expected_false_positives,
+            "delta_indexes": list(self.delta_indexes),
+            "storage_bytes": self.storage_bytes,
+            "is_open": self.is_open,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IndexInfo":
+        """Rebuild from :meth:`to_dict` output."""
+        known = set(cls.__dataclass_fields__)
+        fields = {key: value for key, value in data.items() if key in known}
+        fields["delta_indexes"] = tuple(fields.get("delta_indexes", ()))
+        return cls(**fields)
+
+    @classmethod
+    def from_json(cls, payload: str | bytes) -> "IndexInfo":
+        """Rebuild from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(payload))

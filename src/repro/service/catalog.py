@@ -1,0 +1,147 @@
+"""Catalog of named, lazily-opened indexes backed by one object store.
+
+A query node serves whatever indexes exist in its bucket.  The catalog
+discovers them by listing header blobs, opens each on first use (downloading
+only the header, as the paper's Figure 3 query node does), and keeps the
+opened searcher for reuse.  An index with an append-only manifest (see
+:mod:`repro.index.updates`) is opened as a
+:class:`~repro.search.multi.MultiIndexSearcher` over the base plus all
+deltas; a plain index is the degenerate single-member case of the same type,
+so callers always get one uniform searcher interface.
+"""
+
+from __future__ import annotations
+
+from threading import RLock
+
+from repro.index.compaction import HEADER_BLOB_SUFFIX, decode_header
+from repro.index.updates import AppendOnlyIndexManager
+from repro.search.multi import MultiIndexSearcher
+from repro.service.api import IndexInfo
+from repro.service.config import ServiceConfig
+from repro.storage.base import ObjectStore
+
+#: Path fragment that marks a delta index (a member of some base index, not a
+#: directly addressable catalog entry).
+_DELTA_MARKER = "/delta-"
+
+
+class IndexCatalog:
+    """Named indexes on one object store, opened lazily and cached."""
+
+    def __init__(self, store: ObjectStore, config: ServiceConfig | None = None) -> None:
+        self._store = store
+        self._config = config if config is not None else ServiceConfig()
+        self._searchers: dict[str, MultiIndexSearcher] = {}
+        self._lock = RLock()
+
+    @property
+    def store(self) -> ObjectStore:
+        """The object store holding every cataloged index."""
+        return self._store
+
+    @property
+    def config(self) -> ServiceConfig:
+        """Query-side configuration applied to every opened index."""
+        return self._config
+
+    # -- discovery -----------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Names of all indexes in the store (deltas folded into their base)."""
+        suffix = f"/{HEADER_BLOB_SUFFIX}"
+        names = []
+        for blob in self._store.list_blobs():
+            if not blob.endswith(suffix):
+                continue
+            name = blob[: -len(suffix)]
+            if _DELTA_MARKER in name:
+                continue
+            names.append(name)
+        return sorted(names)
+
+    def contains(self, name: str) -> bool:
+        """Whether ``name`` is a servable index."""
+        if _DELTA_MARKER in name:
+            return False
+        return self._store.exists(f"{name}/{HEADER_BLOB_SUFFIX}")
+
+    def is_open(self, name: str) -> bool:
+        """Whether ``name`` has already been opened (header in memory)."""
+        return name in self._searchers
+
+    # -- opening --------------------------------------------------------------------
+
+    def open(self, name: str) -> MultiIndexSearcher:
+        """Return the searcher for ``name``, opening it on first use.
+
+        Raises ``KeyError`` if no such index exists in the store.
+        """
+        with self._lock:
+            searcher = self._searchers.get(name)
+            if searcher is not None:
+                return searcher
+            if not self.contains(name):
+                raise KeyError(name)
+            manifest = AppendOnlyIndexManager(self._store, base_index=name).manifest()
+            searcher = MultiIndexSearcher.open(
+                self._store,
+                manifest.all_indexes,
+                tokenizer=self._config.make_tokenizer(),
+                max_concurrency=self._config.max_concurrency,
+                hedging=self._config.make_hedging(),
+                top_k_delta=self._config.top_k_delta,
+                query_cache_size=self._config.query_cache_size,
+            )
+            self._searchers[name] = searcher
+            return searcher
+
+    def invalidate(self, name: str | None = None) -> None:
+        """Drop cached searcher(s) so the next use re-reads headers.
+
+        Call after rebuilding an index (or appending a delta); with ``None``
+        the whole cache is cleared.
+        """
+        with self._lock:
+            if name is None:
+                self._searchers.clear()
+            else:
+                self._searchers.pop(name, None)
+
+    # -- inspection -----------------------------------------------------------------
+
+    def info(self, name: str) -> IndexInfo:
+        """Describe ``name`` without forcing it open.
+
+        For an unopened index the metadata is decoded from its header blob
+        directly; an opened index answers from memory.
+
+        Raises ``KeyError`` if no such index exists.
+        """
+        searcher = self._searchers.get(name)
+        if searcher is not None:
+            metadata = searcher.searchers[0].metadata
+            delta_names = tuple(searcher.index_names[1:])
+        else:
+            header_blob = f"{name}/{HEADER_BLOB_SUFFIX}"
+            if _DELTA_MARKER in name or not self._store.exists(header_blob):
+                raise KeyError(name)
+            metadata = decode_header(self._store.get(header_blob)).metadata
+            manifest = AppendOnlyIndexManager(self._store, base_index=name).manifest()
+            delta_names = manifest.delta_indexes
+        assert metadata is not None
+        return IndexInfo(
+            name=name,
+            num_documents=metadata.num_documents,
+            num_terms=metadata.num_terms,
+            num_layers=metadata.num_layers,
+            num_common_words=metadata.num_common_words,
+            expected_false_positives=metadata.expected_false_positives,
+            delta_indexes=delta_names,
+            storage_bytes=self._store.total_bytes(prefix=f"{name}/"),
+            is_open=self.is_open(name),
+        )
+
+    def list_infos(self) -> list[IndexInfo]:
+        """Describe every cataloged index, sorted by name."""
+        return [self.info(name) for name in self.names()]

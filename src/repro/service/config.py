@@ -1,0 +1,96 @@
+"""Shared query-side configuration of the Airphant service.
+
+One :class:`ServiceConfig` governs every index the service opens: the
+tokenizer (which must match the one used at build time for exact keyword
+semantics), the fetch concurrency, the hedging policy of Section IV-G, and
+the per-word query cache.  It replaces the previous pattern of threading the
+same half-dozen constructor kwargs through ``AirphantSearcher``,
+``MultiIndexSearcher``, and the CLI by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.parsing.tokenizer import SimpleAnalyzer, Tokenizer, WhitespaceAnalyzer
+from repro.search.replication import HedgingPolicy
+
+#: Named tokenizers a config (or an HTTP client) can select.
+TOKENIZERS = ("whitespace", "simple")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Query-side knobs shared by all indexes the service serves.
+
+    Parameters
+    ----------
+    tokenizer:
+        ``"whitespace"`` (the paper's analyzer) or ``"simple"``
+        (lowercasing + punctuation stripping).
+    max_concurrency:
+        In-flight range reads per fetch batch (the paper uses 32).
+    drop_slowest:
+        Superpost requests a query may abandon (hedging, Section IV-G);
+        0 disables hedging.
+    query_cache_size:
+        Per-word postings-list LRU capacity; 0 disables the cache.
+    top_k_delta:
+        Failure probability of the top-K sampling bound (Equation 6).
+    min_literal_length:
+        Shortest literal word the regex mode uses as an index filter.
+    default_top_k:
+        Applied when a request does not specify ``top_k``; ``None`` returns
+        every match.
+    """
+
+    tokenizer: str = "whitespace"
+    max_concurrency: int = 32
+    drop_slowest: int = 0
+    query_cache_size: int = 0
+    top_k_delta: float = 1e-6
+    min_literal_length: int = 2
+    default_top_k: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.tokenizer not in TOKENIZERS:
+            raise ValueError(
+                f"unknown tokenizer {self.tokenizer!r}; expected one of {', '.join(TOKENIZERS)}"
+            )
+        if self.max_concurrency <= 0:
+            raise ValueError("max_concurrency must be positive")
+        if self.drop_slowest < 0:
+            raise ValueError("drop_slowest must be non-negative")
+        if self.query_cache_size < 0:
+            raise ValueError("query_cache_size must be non-negative")
+        if self.default_top_k is not None and self.default_top_k <= 0:
+            raise ValueError("default_top_k must be positive when set")
+
+    def make_tokenizer(self) -> Tokenizer:
+        """Instantiate the configured tokenizer."""
+        if self.tokenizer == "simple":
+            return SimpleAnalyzer()
+        return WhitespaceAnalyzer()
+
+    def make_hedging(self) -> HedgingPolicy:
+        """Instantiate the configured hedging policy."""
+        return HedgingPolicy(drop_slowest=self.drop_slowest)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation (reported by ``/healthz``)."""
+        return {
+            "tokenizer": self.tokenizer,
+            "max_concurrency": self.max_concurrency,
+            "drop_slowest": self.drop_slowest,
+            "query_cache_size": self.query_cache_size,
+            "top_k_delta": self.top_k_delta,
+            "min_literal_length": self.min_literal_length,
+            "default_top_k": self.default_top_k,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceConfig":
+        """Rebuild from :meth:`to_dict` output (unknown keys ignored)."""
+        known = set(cls.__dataclass_fields__)
+        return cls(**{key: value for key, value in data.items() if key in known})

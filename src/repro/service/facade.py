@@ -1,0 +1,151 @@
+"""The Airphant service facade: one entry point for the whole query side.
+
+:class:`AirphantService` is what a long-lived query node runs (paper
+Figure 3, right half): it owns an :class:`~repro.service.catalog.IndexCatalog`
+of named indexes on one object store, shares a single
+:class:`~repro.service.config.ServiceConfig` across them, and answers typed
+:class:`~repro.service.api.SearchRequest` objects in any query mode —
+keyword, Boolean, or regex, each with optional top-K.  The CLI, the HTTP
+server, and the examples all drive this facade instead of constructing
+searchers by hand.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Sequence
+
+from repro.core.config import SketchConfig
+from repro.index.builder import AirphantBuilder
+from repro.parsing.documents import Posting
+from repro.search.multi import MultiIndexSearcher
+from repro.search.regexsearch import RegexSearcher
+from repro.search.results import LatencyBreakdown, SearchResult
+from repro.service.api import IndexInfo, SearchRequest, SearchResponse, ServiceError
+from repro.service.catalog import IndexCatalog
+from repro.service.config import ServiceConfig
+from repro.storage.base import ObjectStore
+
+
+class AirphantService:
+    """Serves keyword / Boolean / regex queries over cataloged indexes."""
+
+    def __init__(self, store: ObjectStore, config: ServiceConfig | None = None) -> None:
+        self._config = config if config is not None else ServiceConfig()
+        self._catalog = IndexCatalog(store, self._config)
+
+    @property
+    def store(self) -> ObjectStore:
+        """The object store backing every served index."""
+        return self._catalog.store
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The shared query-side configuration."""
+        return self._config
+
+    @property
+    def catalog(self) -> IndexCatalog:
+        """The catalog of named indexes."""
+        return self._catalog
+
+    # -- health & inspection ---------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Liveness payload: status, catalog size, and active configuration."""
+        names = self._catalog.names()
+        return {
+            "status": "ok",
+            "indexes": len(names),
+            "open_indexes": sum(1 for name in names if self._catalog.is_open(name)),
+            "config": self._config.to_dict(),
+        }
+
+    def list_indexes(self) -> list[IndexInfo]:
+        """Describe every index the service can answer queries against."""
+        return self._catalog.list_infos()
+
+    def index_info(self, name: str) -> IndexInfo:
+        """Describe one index; raises :class:`ServiceError` (404) if unknown."""
+        try:
+            return self._catalog.info(name)
+        except KeyError:
+            raise ServiceError(404, "index_not_found", f"no index named {name!r}") from None
+
+    # -- querying ---------------------------------------------------------------------
+
+    def search(self, request: SearchRequest) -> SearchResponse:
+        """Answer one typed search request (the service's main entry point)."""
+        return SearchResponse.from_result(request, self.execute(request))
+
+    def execute(self, request: SearchRequest) -> SearchResult:
+        """Dispatch ``request`` to the right query mode, returning the raw result.
+
+        Most callers want :meth:`search`; this variant serves those (like the
+        CLI) that render document text straight from the
+        :class:`~repro.search.results.SearchResult`.
+        """
+        searcher = self._open(request.index)
+        top_k = request.top_k if request.top_k is not None else self._config.default_top_k
+        try:
+            if request.mode == "boolean":
+                return searcher.search_boolean(request.query, top_k=top_k)
+            if request.mode == "regex":
+                regex = RegexSearcher(
+                    searcher, min_literal_length=self._config.min_literal_length
+                )
+                return regex.search(request.query, top_k=top_k)
+            return searcher.search(request.query, top_k=top_k)
+        except (ValueError, re.error) as error:
+            # Malformed Boolean syntax, bad regex, or a regex with no literal
+            # words to filter on — the request, not the service, is at fault.
+            raise ServiceError(400, "bad_query", str(error)) from error
+
+    def lookup_postings(self, index: str, word: str) -> tuple[list[Posting], LatencyBreakdown]:
+        """Term-index lookup only (the paper's Figure 14 operation)."""
+        return self._open(index).lookup_postings(word)
+
+    def searcher(self, index: str) -> MultiIndexSearcher:
+        """The underlying searcher, for callers needing raw :class:`SearchResult`.
+
+        Raises :class:`ServiceError` (404) if the index does not exist.
+        """
+        return self._open(index)
+
+    def _open(self, index: str) -> MultiIndexSearcher:
+        try:
+            return self._catalog.open(index)
+        except KeyError:
+            raise ServiceError(404, "index_not_found", f"no index named {index!r}") from None
+
+    # -- building ---------------------------------------------------------------------
+
+    def build_index(
+        self,
+        name: str,
+        blobs: Sequence[str],
+        sketch_config: SketchConfig | None = None,
+    ) -> IndexInfo:
+        """Build (or rebuild) index ``name`` over the given corpus blobs.
+
+        Any previously cached searcher for ``name`` is invalidated so the
+        next query reopens the fresh header.
+        """
+        if not name or not name.strip("/") or "/delta-" in name:
+            raise ServiceError(400, "bad_index_name", f"invalid index name {name!r}")
+        blobs = list(blobs)
+        if not blobs:
+            raise ServiceError(400, "bad_build_request", "build needs at least one corpus blob")
+        missing = [blob for blob in blobs if not self.store.exists(blob)]
+        if missing:
+            raise ServiceError(
+                404, "blob_not_found", f"corpus blob(s) not found: {', '.join(missing)}"
+            )
+        builder = AirphantBuilder(
+            self.store,
+            config=sketch_config,
+            tokenizer=self._config.make_tokenizer(),
+        )
+        builder.build_from_blobs(blobs, index_name=name, corpus_name=name)
+        self._catalog.invalidate(name)
+        return self.index_info(name)

@@ -1,0 +1,208 @@
+"""JSON HTTP front-end for :class:`~repro.service.facade.AirphantService`.
+
+A deliberately dependency-free server (stdlib ``http.server`` only) so a
+query node can be started anywhere the bucket is reachable:
+
+* ``GET  /healthz`` — liveness plus catalog/config summary;
+* ``GET  /indexes`` — every servable index as an ``IndexInfo`` list;
+* ``GET  /indexes/{name}`` — one index's ``IndexInfo``;
+* ``POST /search`` — a ``SearchRequest`` JSON body, answered with a
+  ``SearchResponse``;
+* ``POST /indexes/{name}/build`` — build/rebuild an index from corpus blobs
+  already present in the bucket (body: ``{"blobs": [...], "num_bins": ...}``).
+
+Errors come back as ``ErrorInfo`` JSON bodies with matching HTTP status
+codes.  Requests are served by a thread pool (``ThreadingHTTPServer``);
+the facade's catalog is lock-protected, and searchers are safe for
+concurrent reads.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+from urllib.parse import urlsplit
+
+from repro.core.config import SketchConfig
+from repro.service.api import ErrorInfo, SearchRequest, ServiceError
+from repro.service.facade import AirphantService
+
+#: SketchConfig fields a build request body may set.
+_BUILD_CONFIG_FIELDS = (
+    "num_bins",
+    "target_false_positives",
+    "num_layers",
+    "seed",
+)
+
+
+class AirphantHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`AirphantService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: AirphantService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__((host, port), AirphantRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` for an ephemeral port)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+
+class AirphantRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the service facade."""
+
+    server: AirphantHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- routing ---------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._handle(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._handle(self._route_post)
+
+    def _route_get(self) -> tuple[int, Any]:
+        service = self.server.service
+        path = self._route_path() or "/"
+        if path == "/healthz":
+            return 200, service.health()
+        if path == "/indexes":
+            return 200, {"indexes": [info.to_dict() for info in service.list_indexes()]}
+        if path.startswith("/indexes/"):
+            name = path[len("/indexes/") :]
+            return 200, service.index_info(name).to_dict()
+        raise ServiceError(404, "not_found", f"no route for GET {self.path}")
+
+    def _route_post(self) -> tuple[int, Any]:
+        service = self.server.service
+        path = self._route_path()
+        if path == "/search":
+            body = self._read_json_body()
+            try:
+                request = SearchRequest.from_dict(body)
+            except (ValueError, TypeError) as error:
+                raise ServiceError(400, "bad_request", str(error)) from error
+            return 200, service.search(request).to_dict()
+        if path.startswith("/indexes/") and path.endswith("/build"):
+            name = path[len("/indexes/") : -len("/build")]
+            body = self._read_json_body()
+            return 200, self._build(name, body).to_dict()
+        raise ServiceError(404, "not_found", f"no route for POST {self.path}")
+
+    def _build(self, name: str, body: Mapping[str, Any]):
+        blobs = body.get("blobs")
+        if not isinstance(blobs, list) or not all(isinstance(blob, str) for blob in blobs):
+            raise ServiceError(
+                400, "bad_build_request", "build body needs a 'blobs' list of blob names"
+            )
+        overrides = {
+            key: body[key] for key in _BUILD_CONFIG_FIELDS if body.get(key) is not None
+        }
+        unknown = set(body) - set(_BUILD_CONFIG_FIELDS) - {"blobs"}
+        if unknown:
+            raise ServiceError(
+                400, "bad_build_request", f"unknown build field(s): {', '.join(sorted(unknown))}"
+            )
+        try:
+            config = SketchConfig(**overrides) if overrides else None
+        except (ValueError, TypeError) as error:
+            raise ServiceError(400, "bad_build_request", str(error)) from error
+        return self.server.service.build_index(name, blobs, sketch_config=config)
+
+    # -- plumbing --------------------------------------------------------------------
+
+    def _route_path(self) -> str:
+        """The request path without query string or trailing slash."""
+        return urlsplit(self.path).path.rstrip("/")
+
+    def _handle(self, route) -> None:
+        self._body_consumed = 0
+        try:
+            status, payload = route()
+        except ServiceError as error:
+            self._send_json(error.status, error.info.to_dict())
+        except Exception as error:  # pragma: no cover - defensive last resort
+            info = ErrorInfo(status=500, error="internal_error", message=str(error))
+            self._send_json(500, info.to_dict())
+        else:
+            self._send_json(status, payload)
+
+    def _read_json_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length > 0 else b""
+        self._body_consumed += len(raw)
+        if not raw:
+            raise ServiceError(400, "bad_request", "request body must be a JSON object")
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ServiceError(400, "bad_request", f"invalid JSON body: {error}") from error
+        if not isinstance(body, dict):
+            raise ServiceError(400, "bad_request", "request body must be a JSON object")
+        return body
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        # Drain any unread request body first: HTTP/1.1 keep-alive would
+        # otherwise parse the leftover bytes as the next request line.
+        remaining = int(self.headers.get("Content-Length") or 0) - getattr(
+            self, "_body_consumed", 0
+        )
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 65536))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.quiet:
+            sys.stderr.write(
+                f"{self.address_string()} - {format % args}\n"
+            )
+
+
+def create_server(
+    service: AirphantService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> AirphantHTTPServer:
+    """Bind (but do not start) an HTTP server for ``service``."""
+    return AirphantHTTPServer(service, host=host, port=port, quiet=quiet)
+
+
+def serve_forever(
+    service: AirphantService, host: str = "127.0.0.1", port: int = 8080
+) -> None:
+    """Run the HTTP server until interrupted (the ``airphant serve`` loop)."""
+    server = create_server(service, host=host, port=port, quiet=False)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()

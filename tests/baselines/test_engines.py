@@ -126,3 +126,31 @@ class TestEngineLatencyShape:
         _, elastic_latency = elastic.lookup_postings("error")
         _, lucene_latency = lucene.lookup_postings("error")
         assert elastic_latency.bytes_fetched > lucene_latency.bytes_fetched
+
+
+class TestEngineQueryCache:
+    def test_query_cache_size_reaches_the_searcher(self, sim_store, small_documents):
+        engine = AirphantEngine(
+            sim_store,
+            index_name="t/cached",
+            config=SketchConfig(num_bins=64, seed=1),
+            query_cache_size=16,
+        )
+        engine.build(small_documents)
+        engine.initialize()
+        first = engine.search("error")
+        second = engine.search("error")
+        assert engine._searcher is not None
+        assert engine._searcher.cache_hits == 1
+        assert {d.text for d in second.documents} == {d.text for d in first.documents}
+
+    def test_cache_disabled_by_default(self, sim_store, small_documents):
+        engine = AirphantEngine(
+            sim_store, index_name="t/uncached", config=SketchConfig(num_bins=64, seed=1)
+        )
+        engine.build(small_documents)
+        engine.initialize()
+        engine.search("error")
+        engine.search("error")
+        assert engine._searcher is not None
+        assert engine._searcher.cache_hits == 0

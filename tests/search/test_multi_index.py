@@ -73,6 +73,21 @@ class TestMultiIndexSearcher:
         assert init > 0
         assert searcher.index_names == two_indexes
 
+    def test_boolean_search_merges_across_indexes(self, sim_store, two_indexes):
+        searcher = MultiIndexSearcher.open(sim_store, two_indexes)
+        result = searcher.search_boolean("disk OR stop")
+        assert {doc.text for doc in result.documents} == {
+            "error disk alpha",
+            "warn disk gamma",
+            "info stop delta",
+        }
+
+    def test_lookup_postings_merges_and_deduplicates(self, sim_store, two_indexes):
+        searcher = MultiIndexSearcher.open(sim_store, two_indexes)
+        postings, latency = searcher.lookup_postings("error")
+        assert len(postings) == len(set(postings)) >= 3
+        assert latency.round_trips == 2  # one lookup batch per index
+
 
 class TestQueryCache:
     def test_cache_hit_skips_storage_traffic(self, sim_store, built_small_index):

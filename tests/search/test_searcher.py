@@ -174,6 +174,17 @@ class TestBooleanSearch:
         result = searcher.search_boolean("error OR info", top_k=3)
         assert len(result.documents) == 3
 
+    def test_all_terms_fetched_in_one_lookup_wave(self, searcher):
+        # Every referenced term's superposts go out as a single parallel
+        # batch, so a Boolean query costs one lookup round trip plus one
+        # retrieval round trip regardless of how many terms it names.
+        result = searcher.search_boolean("error AND (timeout OR disk OR info)")
+        assert result.latency.round_trips == 2
+
+    def test_missing_term_in_or_does_not_block_others(self, searcher):
+        result = searcher.search_boolean("zzznotaword OR heartbeat")
+        assert {d.text for d in result.documents} == {"info heartbeat ok node2"}
+
 
 class TestCommonWordPath:
     def test_common_word_answered_exactly(self, sim_store, small_documents):

@@ -1,0 +1,151 @@
+"""Round-tripping and validation of the service request/response types."""
+
+import json
+
+import pytest
+
+from repro.parsing.documents import Document, Posting
+from repro.search.results import LatencyBreakdown, SearchResult
+from repro.service.api import (
+    DocumentHit,
+    ErrorInfo,
+    IndexInfo,
+    LatencyInfo,
+    SearchRequest,
+    SearchResponse,
+    ServiceError,
+)
+
+
+class TestSearchRequest:
+    def test_json_round_trip(self):
+        request = SearchRequest(
+            query="error AND disk", index="logs", mode="boolean", top_k=7, include_text=False
+        )
+        assert SearchRequest.from_json(request.to_json()) == request
+
+    def test_defaults(self):
+        request = SearchRequest(query="error")
+        assert request.mode == "keyword"
+        assert request.top_k is None
+        assert request.include_text
+
+    def test_rejects_empty_query(self):
+        with pytest.raises(ValueError):
+            SearchRequest(query="   ")
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            SearchRequest(query="x", mode="fuzzy")
+
+    def test_rejects_non_positive_top_k(self):
+        with pytest.raises(ValueError, match="top_k"):
+            SearchRequest(query="x", top_k=0)
+
+    def test_rejects_non_string_query(self):
+        with pytest.raises(ValueError, match="query"):
+            SearchRequest(query=5)
+
+    def test_rejects_non_integer_top_k(self):
+        with pytest.raises(ValueError, match="top_k"):
+            SearchRequest(query="x", top_k="many")
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SearchRequest.from_dict({"query": "x", "fuzziness": 2})
+
+    def test_from_dict_requires_query(self):
+        with pytest.raises(ValueError, match="query"):
+            SearchRequest.from_dict({"index": "logs"})
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            SearchRequest.from_json(json.dumps(["not", "an", "object"]))
+
+
+class TestSearchResponse:
+    def _result(self) -> SearchResult:
+        posting = Posting(blob="corpus/a.txt", offset=0, length=9)
+        latency = LatencyBreakdown()
+        latency.add_lookup(4.0, 1.0, 3.0, 128)
+        latency.add_retrieval(6.0, 2.0, 4.0, 256)
+        return SearchResult(
+            query="error",
+            documents=[Document(ref=posting, text="error one")],
+            candidate_postings=[posting, Posting(blob="corpus/a.txt", offset=10, length=8)],
+            false_positive_count=1,
+            latency=latency,
+        )
+
+    def test_from_result_copies_everything(self):
+        request = SearchRequest(query="error", index="logs")
+        response = SearchResponse.from_result(request, self._result())
+        assert response.num_results == 1
+        assert response.num_candidates == 2
+        assert response.false_positive_count == 1
+        assert response.documents[0].text == "error one"
+        assert response.latency.total_ms == pytest.approx(10.0)
+        assert response.latency.round_trips == 2
+
+    def test_include_text_false_drops_bodies(self):
+        request = SearchRequest(query="error", index="logs", include_text=False)
+        response = SearchResponse.from_result(request, self._result())
+        assert response.documents[0].text is None
+        assert "text" not in response.documents[0].to_dict()
+        assert response.documents[0].blob == "corpus/a.txt"
+
+    def test_json_round_trip(self):
+        request = SearchRequest(query="error", index="logs")
+        response = SearchResponse.from_result(request, self._result())
+        rebuilt = SearchResponse.from_json(response.to_json())
+        assert rebuilt == response
+
+    def test_to_dict_reports_derived_totals(self):
+        request = SearchRequest(query="error", index="logs")
+        payload = SearchResponse.from_result(request, self._result()).to_dict()
+        assert payload["num_results"] == 1
+        assert payload["latency"]["total_ms"] == pytest.approx(10.0)
+
+
+class TestDocumentHit:
+    def test_round_trip_with_text(self):
+        hit = DocumentHit(blob="b", offset=1, length=2, text="hi")
+        assert DocumentHit.from_dict(hit.to_dict()) == hit
+
+    def test_round_trip_without_text(self):
+        hit = DocumentHit(blob="b", offset=1, length=2)
+        assert DocumentHit.from_dict(hit.to_dict()) == hit
+
+
+class TestLatencyInfo:
+    def test_round_trip_ignores_derived_total(self):
+        info = LatencyInfo(lookup_ms=3.0, retrieval_ms=4.0, bytes_fetched=10, round_trips=2)
+        assert LatencyInfo.from_dict(info.to_dict()) == info
+
+
+class TestIndexInfo:
+    def test_json_round_trip(self):
+        info = IndexInfo(
+            name="logs",
+            num_documents=100,
+            num_terms=42,
+            num_layers=3,
+            num_common_words=5,
+            expected_false_positives=0.7,
+            delta_indexes=("logs/delta-0000",),
+            storage_bytes=2048,
+            is_open=True,
+        )
+        assert IndexInfo.from_json(info.to_json()) == info
+
+
+class TestErrorInfo:
+    def test_json_round_trip(self):
+        info = ErrorInfo(status=404, error="index_not_found", message="no index named 'x'")
+        assert ErrorInfo.from_json(info.to_json()) == info
+
+    def test_service_error_carries_info(self):
+        error = ServiceError(400, "bad_query", "unbalanced parenthesis")
+        assert error.status == 400
+        assert error.info.error == "bad_query"
+        assert "parenthesis" in str(error)

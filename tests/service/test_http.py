@@ -1,0 +1,265 @@
+"""End-to-end tests of the JSON HTTP API on an ephemeral port.
+
+The server runs in a background thread over a temporary directory bucket
+(:class:`LocalObjectStore`), exactly as ``airphant serve --bucket ...`` does;
+requests go through the real socket with ``urllib``.
+"""
+
+import http.client
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import AirphantService, ServiceConfig, create_server
+from repro.storage.local import LocalObjectStore
+
+CORPUS = b"\n".join(
+    [
+        b"error disk full on node1",
+        b"info service started on node1",
+        b"error timeout connecting to node2",
+        b"warn retry after error on node3",
+        b"info heartbeat ok node2",
+    ]
+)
+
+
+@pytest.fixture
+def server(tmp_path):
+    store = LocalObjectStore(str(tmp_path / "bucket"))
+    store.put("corpora/logs.txt", CORPUS)
+    service = AirphantService(store, ServiceConfig(query_cache_size=8))
+    server = create_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _get(server, path):
+    try:
+        with urllib.request.urlopen(f"{server.url}{path}", timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _post(server, path, body):
+    data = body if isinstance(body, bytes) else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        f"{server.url}{path}",
+        data=data,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _build_index(server, name="logs-index"):
+    return _post(
+        server, f"/indexes/{name}/build", {"blobs": ["corpora/logs.txt"], "num_bins": 64}
+    )
+
+
+class TestHealthz:
+    def test_healthz_reports_status_and_catalog(self, server):
+        status, payload = _get(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["indexes"] == 0
+        assert payload["config"]["query_cache_size"] == 8
+
+    def test_healthz_counts_built_indexes(self, server):
+        _build_index(server)
+        status, payload = _get(server, "/healthz")
+        assert status == 200
+        assert payload["indexes"] == 1
+
+    def test_query_string_is_ignored_by_routing(self, server):
+        status, payload = _get(server, "/healthz?verbose=1")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+
+class TestIndexes:
+    def test_empty_bucket_lists_nothing(self, server):
+        status, payload = _get(server, "/indexes")
+        assert status == 200
+        assert payload == {"indexes": []}
+
+    def test_build_then_list(self, server):
+        status, built = _build_index(server)
+        assert status == 200
+        assert built["name"] == "logs-index"
+        assert built["num_documents"] == 5
+        assert built["storage_bytes"] > 0
+
+        status, payload = _get(server, "/indexes")
+        assert status == 200
+        assert [info["name"] for info in payload["indexes"]] == ["logs-index"]
+
+    def test_get_single_index(self, server):
+        _build_index(server)
+        status, payload = _get(server, "/indexes/logs-index")
+        assert status == 200
+        assert payload["num_documents"] == 5
+
+    def test_get_unknown_index_is_404(self, server):
+        status, payload = _get(server, "/indexes/missing")
+        assert status == 404
+        assert payload["error"] == "index_not_found"
+        assert payload["status"] == 404
+
+    def test_build_with_missing_blob_is_404(self, server):
+        status, payload = _post(
+            server, "/indexes/x/build", {"blobs": ["corpora/nothere.txt"]}
+        )
+        assert status == 404
+        assert payload["error"] == "blob_not_found"
+
+    def test_build_without_blobs_is_400(self, server):
+        status, payload = _post(server, "/indexes/x/build", {"num_bins": 64})
+        assert status == 400
+        assert payload["error"] == "bad_build_request"
+
+
+class TestSearch:
+    def test_keyword_search_end_to_end(self, server):
+        _build_index(server)
+        status, payload = _post(
+            server, "/search", {"index": "logs-index", "query": "error", "top_k": 10}
+        )
+        assert status == 200
+        assert payload["mode"] == "keyword"
+        assert payload["num_results"] == 3
+        assert all("error" in doc["text"] for doc in payload["documents"])
+        assert payload["false_positive_count"] >= 0
+        assert payload["latency"]["round_trips"] >= 2
+        assert "total_ms" in payload["latency"]
+
+    def test_boolean_search(self, server):
+        _build_index(server)
+        status, payload = _post(
+            server,
+            "/search",
+            {"index": "logs-index", "query": "error AND (disk OR timeout)", "mode": "boolean"},
+        )
+        assert status == 200
+        assert payload["num_results"] == 2
+
+    def test_regex_search(self, server):
+        _build_index(server)
+        status, payload = _post(
+            server,
+            "/search",
+            {"index": "logs-index", "query": r"error .* node\d", "mode": "regex"},
+        )
+        assert status == 200
+        assert payload["num_results"] >= 1
+        assert all("error" in doc["text"] for doc in payload["documents"])
+
+    def test_include_text_false_returns_references_only(self, server):
+        _build_index(server)
+        status, payload = _post(
+            server,
+            "/search",
+            {"index": "logs-index", "query": "error", "include_text": False},
+        )
+        assert status == 200
+        assert payload["num_results"] == 3
+        for doc in payload["documents"]:
+            assert "text" not in doc
+            assert doc["blob"] == "corpora/logs.txt"
+
+    def test_search_unknown_index_is_404(self, server):
+        status, payload = _post(server, "/search", {"index": "missing", "query": "error"})
+        assert status == 404
+        assert payload["error"] == "index_not_found"
+
+    def test_bad_mode_is_400(self, server):
+        _build_index(server)
+        status, payload = _post(
+            server, "/search", {"index": "logs-index", "query": "x", "mode": "fuzzy"}
+        )
+        assert status == 400
+        assert payload["error"] == "bad_request"
+
+    def test_malformed_json_body_is_400(self, server):
+        status, payload = _post(server, "/search", b"{not json")
+        assert status == 400
+        assert payload["error"] == "bad_request"
+
+    def test_malformed_boolean_query_is_400(self, server):
+        _build_index(server)
+        status, payload = _post(
+            server,
+            "/search",
+            {"index": "logs-index", "query": "error AND (disk", "mode": "boolean"},
+        )
+        assert status == 400
+        assert payload["error"] == "bad_query"
+
+    def test_unknown_route_is_404(self, server):
+        status, payload = _get(server, "/nothing/here")
+        assert status == 404
+        assert payload["error"] == "not_found"
+
+    def test_non_string_query_is_400(self, server):
+        _build_index(server)
+        status, payload = _post(server, "/search", {"index": "logs-index", "query": 5})
+        assert status == 400
+        assert payload["error"] == "bad_request"
+
+    def test_keep_alive_survives_an_early_error_response(self, server):
+        # A POST whose body is never consumed by the handler (404 before the
+        # body is read) must not desync the next request on the same
+        # persistent connection.
+        _build_index(server)
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        try:
+            body = json.dumps({"query": "error", "padding": "x" * 4096})
+            connection.request(
+                "POST", "/searches", body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            assert response.status == 404
+            response.read()
+            connection.request(
+                "POST",
+                "/search",
+                body=json.dumps({"index": "logs-index", "query": "error"}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["num_results"] == 3
+        finally:
+            connection.close()
+
+    def test_concurrent_requests(self, server):
+        _build_index(server)
+        results = []
+
+        def query():
+            results.append(
+                _post(server, "/search", {"index": "logs-index", "query": "error"})
+            )
+
+        threads = [threading.Thread(target=query) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(results) == 8
+        assert all(status == 200 and payload["num_results"] == 3 for status, payload in results)

@@ -38,6 +38,21 @@ class TestParser:
             ["search", "--bucket", "/tmp/b", "--index", "i", "--query", "q", "--regex"]
         )
         assert args.regex and not args.boolean
+        assert not args.json
+        assert args.query_cache_size == 0
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--bucket", "/tmp/b"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.query_cache_size == 0
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--bucket", "/tmp/b", "--port", "0", "--query-cache-size", "32"]
+        )
+        assert args.port == 0
+        assert args.query_cache_size == 32
 
 
 class TestGenerate:
@@ -104,6 +119,40 @@ class TestBuildAndSearch:
         captured = capsys.readouterr()
         assert exit_code in (0, 1)
         assert "ms simulated" in captured.err
+
+    def test_search_json_output(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--bucket", bucket, "--index", "hdfs-index",
+            "--query", "ERROR", "--top-k", "5", "--json",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["query"] == "ERROR"
+        # Same SearchResponse shape the HTTP API returns.
+        assert payload["index"] == "hdfs-index"
+        assert payload["mode"] == "keyword"
+        assert 1 <= payload["num_results"] <= 5
+        assert all("ERROR" in doc["text"] for doc in payload["documents"])
+        assert "latency" in payload
+
+    def test_search_unknown_index_fails_gracefully(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--bucket", bucket, "--index", "no-such-index", "--query", "ERROR",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "no index named" in captured.err
+
+    def test_search_with_query_cache_flag(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--bucket", bucket, "--index", "hdfs-index",
+            "--query", "ERROR", "--top-k", "3", "--query-cache-size", "16",
+        ])
+        assert exit_code == 0
 
     def test_build_reports_layers_and_storage(self, bucket, capsys):
         main(["generate", "--bucket", bucket, "--kind", "zipf", "--documents", "300"])
