@@ -8,6 +8,8 @@ be inspected after a run and copied into EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
@@ -49,6 +51,19 @@ def save_result(name: str, text: str) -> None:
     """Persist the rendered output of one experiment under ``results/``."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def save_json(name: str, payload: object) -> None:
+    """Persist a machine-readable experiment record under ``results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def smoke_mode() -> bool:
+    """Whether the suite runs in CI smoke mode (tiny corpora, fast)."""
+    return os.environ.get("AIRPHANT_BENCH_SMOKE", "") not in ("", "0")
 
 
 def new_store(seed: int = 1, jitter: float = 0.1) -> SimulatedCloudStore:

@@ -1,0 +1,145 @@
+"""Ablation: index sharding and the coalescing read pipeline.
+
+Builds the same corpus at shard counts {1, 4, 16} and replays an identical
+multi-term query workload against each, recording:
+
+* build wall-clock time (sharded builds parallelize across a thread pool);
+* mean simulated query latency and bytes fetched;
+* store requests — the *raw* per-superpost/per-document count a naive
+  fetcher would issue versus what the read pipeline actually sent after
+  deduplication and coalescing.
+
+The machine-readable record lands in ``results/BENCH_sharding.json`` so the
+performance trajectory of the sharded read path can be tracked PR over PR.
+Set ``AIRPHANT_BENCH_SMOKE=1`` to run on a tiny corpus (CI smoke mode).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import save_json, save_result, smoke_mode
+from repro.bench.tables import format_table
+from repro.core.config import SketchConfig
+from repro.index.builder import AirphantBuilder
+from repro.parsing.tokenizer import WhitespaceAnalyzer
+from repro.search.sharded import ShardedSearcher
+from repro.workloads.logs import generate_log_corpus
+
+SHARD_COUNTS = (1, 4, 16)
+#: Bridge superpost reads that land within this many bytes of each other.
+COALESCE_GAP = 4096
+
+
+def _settings():
+    if smoke_mode():
+        return {"documents": 400, "queries": 10, "bins": 256}
+    return {"documents": 12_000, "queries": 40, "bins": 2048}
+
+
+def _run(catalog):
+    settings = _settings()
+    store = catalog.store
+    corpus = generate_log_corpus(
+        store, "hdfs", num_documents=settings["documents"], name="sharding", seed=23
+    )
+    config = SketchConfig(num_bins=settings["bins"], target_false_positives=1.0, seed=7)
+    # Multi-term (conjunctive) queries whose words co-occur by construction:
+    # both terms come from the same sampled document, so every query matches
+    # at least one document at every shard count.
+    tokenizer = WhitespaceAnalyzer()
+    queries = []
+    step = max(1, len(corpus.documents) // settings["queries"])
+    for document in corpus.documents[:: step]:
+        terms = sorted(tokenizer.distinct_terms(document.text))
+        if len(terms) >= 2:
+            queries.append(f"{terms[0]} {terms[-1]}")
+        if len(queries) == settings["queries"]:
+            break
+
+    rows = []
+    record = {}
+    for num_shards in SHARD_COUNTS:
+        index_name = f"ablation/sharding-{num_shards:02d}"
+        builder = AirphantBuilder(store, config=config, num_shards=num_shards)
+        started = time.perf_counter()
+        builder.build_from_documents(corpus.documents, index_name=index_name)
+        build_seconds = time.perf_counter() - started
+
+        searcher = ShardedSearcher.open(
+            store, index_name=index_name, coalesce_gap=COALESCE_GAP
+        )
+        latencies = []
+        results = 0
+        for query in queries:
+            result = searcher.search(query)
+            latencies.append(result.latency.total_ms)
+            results += result.num_results
+        stats = searcher.pipeline.stats
+        searcher.close()
+
+        mean_latency = sum(latencies) / len(latencies)
+        rows.append(
+            [
+                num_shards,
+                round(build_seconds, 3),
+                round(mean_latency, 2),
+                stats.bytes_fetched,
+                stats.requests_in,
+                stats.requests_out,
+            ]
+        )
+        record[str(num_shards)] = {
+            "num_shards": num_shards,
+            "build_seconds": build_seconds,
+            "mean_query_latency_ms": mean_latency,
+            "bytes_fetched": stats.bytes_fetched,
+            "bytes_requested": stats.bytes_requested,
+            "raw_store_requests": stats.requests_in,
+            "pipeline_store_requests": stats.requests_out,
+            "requests_saved": stats.requests_saved,
+            "coalesced_requests": stats.coalesced_requests,
+            "total_results": results,
+        }
+    return corpus, queries, rows, record
+
+
+def test_ablation_sharding(benchmark, catalog):
+    corpus, queries, rows, record = benchmark.pedantic(
+        _run, args=(catalog,), rounds=1, iterations=1
+    )
+    table = format_table(
+        [
+            "shards",
+            "build s",
+            "mean query ms",
+            "bytes fetched",
+            "raw requests",
+            "pipeline requests",
+        ],
+        rows,
+    )
+    save_result("ablation_sharding", table)
+    save_json(
+        "BENCH_sharding",
+        {
+            "experiment": "sharding_ablation",
+            "corpus": {"kind": "hdfs", "documents": corpus.num_documents},
+            "queries": len(queries),
+            "coalesce_gap": COALESCE_GAP,
+            "smoke_mode": smoke_mode(),
+            "by_shard_count": record,
+        },
+    )
+
+    # Every configuration must answer the whole workload...
+    for entry in record.values():
+        assert entry["total_results"] > 0
+    # ...and the pipeline must issue strictly fewer store requests than the
+    # raw per-superpost/per-document batches for these multi-term queries.
+    for entry in record.values():
+        assert entry["pipeline_store_requests"] < entry["raw_store_requests"]
+    # Results are identical across shard counts, so every configuration
+    # matched the same documents.
+    totals = {entry["total_results"] for entry in record.values()}
+    assert len(totals) == 1

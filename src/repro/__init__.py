@@ -55,7 +55,14 @@ from repro.core import (
     minimize_layers,
 )
 from repro.cost import CostModel, PeakTroughWorkload
-from repro.index import AirphantBuilder, AppendOnlyIndexManager, BuiltIndex, IndexMetadata
+from repro.index import (
+    AirphantBuilder,
+    AppendOnlyIndexManager,
+    BuiltIndex,
+    BuiltShardedIndex,
+    IndexMetadata,
+    ShardManifest,
+)
 from repro.parsing import (
     Document,
     DocumentRef,
@@ -74,6 +81,7 @@ from repro.search import (
     Or,
     RegexSearcher,
     SearchResult,
+    ShardedSearcher,
     Term,
 )
 from repro.service import (
@@ -91,6 +99,7 @@ from repro.storage import (
     LocalObjectStore,
     ObjectStore,
     RangeRead,
+    ReadPipeline,
     SimulatedCloudStore,
 )
 from repro.workloads import QueryWorkload, sample_query_words
@@ -106,6 +115,7 @@ __all__ = [
     "AppendOnlyIndexManager",
     "And",
     "BuiltIndex",
+    "BuiltShardedIndex",
     "CorpusProfile",
     "CostModel",
     "Document",
@@ -129,6 +139,7 @@ __all__ = [
     "Posting",
     "QueryWorkload",
     "RangeRead",
+    "ReadPipeline",
     "RegexSearcher",
     "SQLiteLikeEngine",
     "SearchEngine",
@@ -137,6 +148,8 @@ __all__ = [
     "SearchResult",
     "ServiceConfig",
     "ServiceError",
+    "ShardManifest",
+    "ShardedSearcher",
     "SimpleAnalyzer",
     "SimulatedCloudStore",
     "SketchConfig",

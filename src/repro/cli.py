@@ -66,7 +66,11 @@ def _open_store(bucket: str, simulate_latency: bool) -> ObjectStore:
 def _open_service(args: argparse.Namespace) -> AirphantService:
     """Open the bucket behind an :class:`AirphantService` facade."""
     store = _open_store(args.bucket, args.simulate_latency)
-    config = ServiceConfig(query_cache_size=getattr(args, "query_cache_size", 0))
+    config = ServiceConfig(
+        query_cache_size=getattr(args, "query_cache_size", 0),
+        coalesce_gap=getattr(args, "coalesce_gap", 0),
+        read_cache_bytes=getattr(args, "read_cache_bytes", 0),
+    )
     return AirphantService(store, config)
 
 
@@ -76,6 +80,21 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--simulate-latency",
         action="store_true",
         help="charge simulated cloud-storage latencies and report them",
+    )
+
+
+def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--coalesce-gap",
+        type=int,
+        default=0,
+        help="largest same-blob gap (bytes) merged into one range read",
+    )
+    parser.add_argument(
+        "--read-cache-bytes",
+        type=int,
+        default=0,
+        help="read-pipeline block cache budget in bytes (0 disables)",
     )
 
 
@@ -121,7 +140,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     try:
-        info = service.build_index(args.index, args.blobs, sketch_config=config)
+        info = service.build_index(
+            args.index,
+            args.blobs,
+            sketch_config=config,
+            num_shards=args.shards,
+            partitioner=args.partitioner,
+        )
     except ServiceError as error:
         print(f"error: {error.info.message}", file=sys.stderr)
         return 2
@@ -131,6 +156,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"expected false positives = {info.expected_false_positives:.4f}, "
         f"storage = {info.storage_bytes} bytes"
     )
+    if info.num_shards > 1:
+        print(f"sharded over {info.num_shards} shards ({args.partitioner}):")
+        for shard in info.shards:
+            print(f"  {shard.name}: {shard.num_documents} documents, {shard.num_terms} terms")
     return 0
 
 
@@ -204,6 +233,18 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--target-fp", type=float, default=1.0, help="accuracy target F0")
     build.add_argument("--layers", type=int, default=None, help="pin the layer count (skip Algorithm 1)")
     build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of index shards (1 = classic single-shard layout)",
+    )
+    build.add_argument(
+        "--partitioner",
+        default="hash",
+        choices=["hash", "round-robin"],
+        help="how documents are routed to shards",
+    )
     build.set_defaults(func=_cmd_build)
 
     search = subparsers.add_parser("search", help="search a previously built index")
@@ -224,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="per-word postings cache capacity (0 disables)",
     )
+    _add_pipeline_arguments(search)
     search.set_defaults(func=_cmd_search)
 
     serve = subparsers.add_parser(
@@ -238,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="per-word postings cache capacity shared by served queries (0 disables)",
     )
+    _add_pipeline_arguments(serve)
     serve.set_defaults(func=_cmd_serve)
     return parser
 

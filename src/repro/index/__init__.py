@@ -7,7 +7,7 @@ hash seeds, bin pointers, string table, and metadata (Sections III-C and
 IV-C).
 """
 
-from repro.index.builder import AirphantBuilder, BuiltIndex
+from repro.index.builder import AirphantBuilder, BuiltIndex, BuiltShardedIndex
 from repro.index.compaction import (
     HEADER_BLOB_SUFFIX,
     SUPERPOST_BLOB_SUFFIX,
@@ -16,7 +16,20 @@ from repro.index.compaction import (
     decode_header,
     encode_header,
 )
-from repro.index.metadata import IndexMetadata
+from repro.index.metadata import (
+    SHARD_MANIFEST_SUFFIX,
+    IndexMetadata,
+    ShardEntry,
+    ShardManifest,
+)
+from repro.index.sharding import (
+    PARTITIONERS,
+    SHARD_MARKER,
+    partition_documents,
+    read_shard_manifest,
+    shard_index_name,
+    write_shard_manifest,
+)
 from repro.index.updates import AppendOnlyIndexManager, IndexManifest
 from repro.index.serialization import (
     StringTable,
@@ -31,10 +44,16 @@ __all__ = [
     "AppendOnlyIndexManager",
     "IndexManifest",
     "BuiltIndex",
+    "BuiltShardedIndex",
     "CompactedSketch",
     "HEADER_BLOB_SUFFIX",
     "IndexMetadata",
+    "PARTITIONERS",
+    "SHARD_MANIFEST_SUFFIX",
+    "SHARD_MARKER",
     "SUPERPOST_BLOB_SUFFIX",
+    "ShardEntry",
+    "ShardManifest",
     "StringTable",
     "compact_sketch",
     "decode_header",
@@ -43,4 +62,8 @@ __all__ = [
     "encode_header",
     "encode_superpost",
     "encode_varint",
+    "partition_documents",
+    "read_shard_manifest",
+    "shard_index_name",
+    "write_shard_manifest",
 ]

@@ -14,9 +14,11 @@ IoU Sketch (Figure 3, left half):
 
 from __future__ import annotations
 
+import os
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence, Union
 
 from repro.core.common_words import CommonWordTable, select_common_words
 from repro.core.config import SketchConfig
@@ -31,7 +33,14 @@ from repro.index.compaction import (
     compact_sketch,
     encode_header,
 )
-from repro.index.metadata import IndexMetadata
+from repro.index.metadata import IndexMetadata, ShardEntry, ShardManifest
+from repro.index.sharding import (
+    PARTITIONERS,
+    SHARD_MARKER,
+    partition_documents,
+    shard_index_name,
+    write_shard_manifest,
+)
 from repro.parsing.corpus import CorpusParser, LineDelimitedCorpusParser
 from repro.parsing.documents import Document, Posting
 from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
@@ -56,23 +65,80 @@ class BuiltIndex:
         return store.size(self.header_blob) + store.size(self.superpost_blob)
 
 
+@dataclass
+class BuiltShardedIndex:
+    """Handle to a freshly built sharded index (N per-shard sub-indexes)."""
+
+    index_name: str
+    manifest: ShardManifest
+    shards: list[BuiltIndex] = field(default_factory=list)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards built."""
+        return len(self.shards)
+
+    @property
+    def num_documents(self) -> int:
+        """Documents indexed across all shards."""
+        return sum(shard.metadata.num_documents for shard in self.shards)
+
+    def storage_bytes(self, store: ObjectStore) -> int:
+        """Total bytes the sharded index occupies in cloud storage."""
+        manifest_bytes = store.size(ShardManifest.blob_name(self.index_name))
+        return manifest_bytes + sum(shard.storage_bytes(store) for shard in self.shards)
+
+
 class AirphantBuilder:
-    """Creates and persists IoU Sketch indexes on an object store."""
+    """Creates and persists IoU Sketch indexes on an object store.
+
+    With ``num_shards > 1`` the builder runs in *sharded mode*: documents are
+    partitioned (document-hash or round-robin), one ordinary sub-index is
+    built per shard on a thread pool, and a versioned
+    :class:`~repro.index.metadata.ShardManifest` blob ties them together.
+    Single-shard builds keep the exact legacy blob layout, so old indexes and
+    old readers are unaffected.
+    """
 
     def __init__(
         self,
         store: ObjectStore,
         config: SketchConfig | None = None,
         tokenizer: Tokenizer | None = None,
+        num_shards: int = 1,
+        partitioner: str = "hash",
+        build_concurrency: int | None = None,
     ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if partitioner not in PARTITIONERS:
+            raise ValueError(
+                f"unknown partitioner {partitioner!r}; expected one of {', '.join(PARTITIONERS)}"
+            )
+        if build_concurrency is not None and build_concurrency < 1:
+            raise ValueError("build_concurrency must be positive when set")
         self._store = store
         self._config = config if config is not None else SketchConfig()
         self._tokenizer = tokenizer if tokenizer is not None else WhitespaceAnalyzer()
+        self._num_shards = num_shards
+        self._partitioner = partitioner
+        self._build_concurrency = build_concurrency
+        self._metadata_extra: dict[str, Any] = {}
 
     @property
     def config(self) -> SketchConfig:
         """The sketch configuration used for builds."""
         return self._config
+
+    @property
+    def num_shards(self) -> int:
+        """Shard count of this builder (1 = legacy single-shard layout)."""
+        return self._num_shards
+
+    @property
+    def partitioner(self) -> str:
+        """Document partitioner used in sharded mode."""
+        return self._partitioner
 
     # -- public build entry points -----------------------------------------------
 
@@ -82,7 +148,7 @@ class AirphantBuilder:
         corpus_parser: CorpusParser | None = None,
         index_name: str = "airphant-index",
         corpus_name: str = "corpus",
-    ) -> BuiltIndex:
+    ) -> Union[BuiltIndex, BuiltShardedIndex]:
         """Build an index over the documents contained in the named blobs."""
         parser = corpus_parser if corpus_parser is not None else LineDelimitedCorpusParser()
         documents = list(parser.parse(self._store, blob_names))
@@ -93,9 +159,31 @@ class AirphantBuilder:
         documents: Iterable[Document],
         index_name: str = "airphant-index",
         corpus_name: str = "corpus",
-    ) -> BuiltIndex:
-        """Build an index over already-parsed documents."""
+    ) -> Union[BuiltIndex, BuiltShardedIndex]:
+        """Build an index over already-parsed documents.
+
+        Returns a :class:`BuiltIndex` in single-shard mode and a
+        :class:`BuiltShardedIndex` when the builder was created with
+        ``num_shards > 1``.
+        """
         documents = list(documents)
+        if self._num_shards > 1:
+            built: Union[BuiltIndex, BuiltShardedIndex] = self._build_sharded(
+                documents, index_name, corpus_name
+            )
+        else:
+            built = self._build_single(documents, index_name, corpus_name)
+        self._cleanup_stale_layout(index_name, num_shards=self._num_shards)
+        return built
+
+    # -- single-shard build ---------------------------------------------------------
+
+    def _build_single(
+        self,
+        documents: Sequence[Document],
+        index_name: str,
+        corpus_name: str,
+    ) -> BuiltIndex:
         profile = profile_documents(documents, self._tokenizer)
         num_layers = self._choose_layers(profile)
         sketch = self._populate_sketch(documents, profile, num_layers)
@@ -110,6 +198,88 @@ class AirphantBuilder:
             profile=profile,
             config=self._config,
         )
+
+    # -- sharded build --------------------------------------------------------------
+
+    def _build_sharded(
+        self,
+        documents: Sequence[Document],
+        index_name: str,
+        corpus_name: str,
+    ) -> BuiltShardedIndex:
+        """Partition the corpus, build one sub-index per shard, write the manifest.
+
+        Shards are independent, so they build concurrently on a thread pool;
+        each writes only its own ``shard-NNNN/`` blobs, which keeps the
+        (single-writer) store contract intact per blob.
+        """
+        partitions = partition_documents(documents, self._num_shards, self._partitioner)
+
+        def build_shard(shard: int) -> BuiltIndex:
+            shard_builder = AirphantBuilder(
+                self._store, config=self._config, tokenizer=self._tokenizer
+            )
+            shard_builder._metadata_extra = {
+                "shard_index": shard,
+                "num_shards": self._num_shards,
+                "partitioner": self._partitioner,
+                "parent_index": index_name,
+            }
+            return shard_builder._build_single(
+                partitions[shard],
+                shard_index_name(index_name, shard),
+                f"{corpus_name}#shard-{shard:04d}",
+            )
+
+        workers = self._build_concurrency
+        if workers is None:
+            workers = min(self._num_shards, os.cpu_count() or 1)
+        if workers > 1:
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="airphant-build"
+            ) as pool:
+                shards = list(pool.map(build_shard, range(self._num_shards)))
+        else:
+            shards = [build_shard(shard) for shard in range(self._num_shards)]
+
+        manifest = ShardManifest(
+            index_name=index_name,
+            partitioner=self._partitioner,
+            shards=tuple(
+                ShardEntry(
+                    name=shard.index_name,
+                    num_documents=shard.metadata.num_documents,
+                    num_terms=shard.metadata.num_terms,
+                )
+                for shard in shards
+            ),
+        )
+        write_shard_manifest(self._store, manifest)
+        return BuiltShardedIndex(index_name=index_name, manifest=manifest, shards=shards)
+
+    def _cleanup_stale_layout(self, index_name: str, num_shards: int) -> None:
+        """Remove blobs left over from a previous layout of ``index_name``.
+
+        The builder owns the blob layout, so it is responsible for making a
+        rebuild authoritative: a single-shard rebuild over a previously
+        sharded name must drop the stale ``shards.json`` (readers check the
+        manifest first) and orphaned ``shard-NNNN/`` sub-indexes; a sharded
+        rebuild over a previously single-shard name must drop the old
+        top-level header/superpost blobs; resharding to fewer shards must
+        drop the shards beyond the new count.  Runs once per top-level build
+        (never per shard sub-build, where it would only waste round trips).
+        """
+        if num_shards <= 1:
+            keep: set[str] = set()
+            self._store.delete(ShardManifest.blob_name(index_name))
+        else:
+            keep = {shard_index_name(index_name, shard) for shard in range(num_shards)}
+            self._store.delete(f"{index_name}/{HEADER_BLOB_SUFFIX}")
+            self._store.delete(f"{index_name}/{SUPERPOST_BLOB_SUFFIX}")
+        for blob in self._store.list_blobs(prefix=f"{index_name}{SHARD_MARKER}"):
+            shard_name = blob.rsplit("/", 1)[0]
+            if shard_name not in keep:
+                self._store.delete(blob)
 
     # -- build steps ----------------------------------------------------------------
 
@@ -169,6 +339,7 @@ class AirphantBuilder:
             expected = 0.0
         return IndexMetadata(
             corpus_name=corpus_name,
+            extra=dict(self._metadata_extra),
             num_documents=profile.num_documents,
             num_terms=profile.num_terms,
             num_words=profile.num_words,

@@ -24,9 +24,10 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.config import SketchConfig
-from repro.index.builder import AirphantBuilder, BuiltIndex
+from repro.index.builder import AirphantBuilder, BuiltIndex, BuiltShardedIndex
 from repro.index.compaction import HEADER_BLOB_SUFFIX, decode_header
 from repro.index.serialization import decode_superpost
+from repro.index.sharding import read_shard_manifest
 from repro.parsing.documents import Document, Posting
 from repro.parsing.tokenizer import Tokenizer
 from repro.storage.base import ObjectStore
@@ -149,6 +150,22 @@ class AppendOnlyIndexManager:
 
     # -- compaction ------------------------------------------------------------------
 
+    def _member_indexes(self) -> list[str]:
+        """Every single-shard sub-index behind the base and its deltas.
+
+        A sharded base has no top-level header blob; its shard sub-indexes
+        (named by ``shards.json``) stand in for it, so enumeration and
+        compaction work against sharded bases too.
+        """
+        names: list[str] = []
+        for index_name in self.manifest().all_indexes:
+            shard_manifest = read_shard_manifest(self._store, index_name)
+            if shard_manifest is not None:
+                names.extend(shard_manifest.shard_names)
+            else:
+                names.append(index_name)
+        return names
+
     def indexed_documents(self) -> list[Document]:
         """Enumerate every document covered by the base and delta indexes.
 
@@ -157,7 +174,7 @@ class AppendOnlyIndexManager:
         bytes, so the documents can be re-read directly from cloud storage.
         """
         postings: set[Posting] = set()
-        for index_name in self.manifest().all_indexes:
+        for index_name in self._member_indexes():
             header_blob = f"{index_name}/{HEADER_BLOB_SUFFIX}"
             if not self._store.exists(header_blob):
                 continue
@@ -182,14 +199,29 @@ class AppendOnlyIndexManager:
             documents.append(Document(ref=posting, text=data.decode("utf-8", errors="replace")))
         return documents
 
-    def compact(self, corpus_name: str = "corpus") -> BuiltIndex:
-        """Fold all deltas back into a single base index.
+    def compact(self, corpus_name: str = "corpus") -> BuiltIndex | "BuiltShardedIndex":
+        """Fold all deltas back into the base index.
 
-        Old delta blobs are deleted after the new base index is persisted.
+        The base keeps its layout: a sharded base is rebuilt with the same
+        shard count and partitioner (returning a
+        :class:`~repro.index.builder.BuiltShardedIndex`), a plain base stays
+        single-shard.  Old delta blobs are deleted after the new base index
+        is persisted.
         """
         manifest = self.manifest()
+        shard_manifest = read_shard_manifest(self._store, self._base_index)
         documents = self.indexed_documents()
-        built = self.build_base(documents, corpus_name=corpus_name)
+        builder = AirphantBuilder(
+            self._store,
+            config=self._config,
+            tokenizer=self._tokenizer,
+            num_shards=shard_manifest.num_shards if shard_manifest is not None else 1,
+            partitioner=shard_manifest.partitioner if shard_manifest is not None else "hash",
+        )
+        built = builder.build_from_documents(
+            documents, index_name=self._base_index, corpus_name=corpus_name
+        )
+        self._write_manifest(IndexManifest(base_index=self._base_index))
         for delta_name in manifest.delta_indexes:
             for blob in self._store.list_blobs(prefix=f"{delta_name}/"):
                 self._store.delete(blob)

@@ -13,6 +13,7 @@ from repro.search.regexsearch import RegexSearcher, extract_required_terms
 from repro.search.replication import HedgingPolicy
 from repro.search.results import LatencyBreakdown, SearchResult
 from repro.search.searcher import AirphantSearcher
+from repro.search.sharded import ShardedSearcher, ShardState
 
 __all__ = [
     "AirphantSearcher",
@@ -24,6 +25,8 @@ __all__ = [
     "Or",
     "RegexSearcher",
     "SearchResult",
+    "ShardState",
+    "ShardedSearcher",
     "Term",
     "extract_required_terms",
     "parse_boolean_query",

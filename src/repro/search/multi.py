@@ -18,7 +18,7 @@ from repro.parsing.tokenizer import Tokenizer
 from repro.search.boolean import BooleanQuery
 from repro.search.replication import HedgingPolicy
 from repro.search.results import LatencyBreakdown, SearchResult
-from repro.search.searcher import AirphantSearcher
+from repro.search.sharded import ShardedSearcher
 from repro.storage.base import ObjectStore
 
 
@@ -28,6 +28,10 @@ class MultiIndexSearcher:
     All constituent indexes must have been built over the same blob namespace
     (their postings reference documents by ``(blob, offset, length)``), which
     is exactly how the append-only update manager lays them out.
+
+    Each member is opened as a :class:`~repro.search.sharded.ShardedSearcher`,
+    so a member that happens to be sharded fans its reads across its shards
+    in one coalescing batch, while plain indexes behave exactly as before.
     """
 
     def __init__(
@@ -39,11 +43,13 @@ class MultiIndexSearcher:
         hedging: HedgingPolicy | None = None,
         top_k_delta: float = 1e-6,
         query_cache_size: int = 0,
+        coalesce_gap: int = 0,
+        read_cache_bytes: int = 0,
     ) -> None:
         if not index_names:
             raise ValueError("MultiIndexSearcher needs at least one index")
         self._searchers = [
-            AirphantSearcher(
+            ShardedSearcher(
                 store,
                 index_name=name,
                 tokenizer=tokenizer,
@@ -51,6 +57,8 @@ class MultiIndexSearcher:
                 hedging=hedging,
                 top_k_delta=top_k_delta,
                 query_cache_size=query_cache_size,
+                coalesce_gap=coalesce_gap,
+                read_cache_bytes=read_cache_bytes,
             )
             for name in index_names
         ]
@@ -66,6 +74,8 @@ class MultiIndexSearcher:
         hedging: HedgingPolicy | None = None,
         top_k_delta: float = 1e-6,
         query_cache_size: int = 0,
+        coalesce_gap: int = 0,
+        read_cache_bytes: int = 0,
     ) -> "MultiIndexSearcher":
         """Create and initialize a searcher over ``index_names``."""
         searcher = cls(
@@ -76,6 +86,8 @@ class MultiIndexSearcher:
             hedging=hedging,
             top_k_delta=top_k_delta,
             query_cache_size=query_cache_size,
+            coalesce_gap=coalesce_gap,
+            read_cache_bytes=read_cache_bytes,
         )
         searcher.initialize()
         return searcher
@@ -86,9 +98,14 @@ class MultiIndexSearcher:
         return [searcher._index_name for searcher in self._searchers]
 
     @property
-    def searchers(self) -> list[AirphantSearcher]:
+    def searchers(self) -> list[ShardedSearcher]:
         """The per-index searchers (base first, then deltas)."""
         return list(self._searchers)
+
+    def close(self) -> None:
+        """Release every member searcher's fetcher pool and caches."""
+        for searcher in self._searchers:
+            searcher.close()
 
     def initialize(self) -> float:
         """Initialize every constituent index.

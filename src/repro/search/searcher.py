@@ -31,11 +31,20 @@ from repro.search.replication import HedgingPolicy
 from repro.search.results import LatencyBreakdown, SearchResult
 from repro.storage.base import ObjectStore, RangeRead
 from repro.storage.parallel import ParallelFetcher
+from repro.storage.pipeline import ReadPipeline
 from repro.storage.simulated import SimulatedCloudStore
 
 
 class AirphantSearcher:
-    """Answers keyword queries from a persisted IoU Sketch index."""
+    """Answers keyword queries from a persisted IoU Sketch index.
+
+    All lookup and document-fetch batches go through a
+    :class:`~repro.storage.pipeline.ReadPipeline`, which deduplicates and
+    coalesces the batch's range reads (and, when ``read_cache_bytes`` is set,
+    serves repeats from a bounded block cache) before the parallel fetcher
+    touches the store.  Hedged lookups bypass the pipeline: hedging reasons
+    about individual request latencies, which coalescing would merge away.
+    """
 
     def __init__(
         self,
@@ -46,11 +55,16 @@ class AirphantSearcher:
         hedging: HedgingPolicy | None = None,
         top_k_delta: float = 1e-6,
         query_cache_size: int = 0,
+        coalesce_gap: int = 0,
+        read_cache_bytes: int = 0,
     ) -> None:
         self._store = store
         self._index_name = index_name
         self._tokenizer = tokenizer if tokenizer is not None else WhitespaceAnalyzer()
         self._fetcher = ParallelFetcher(store, max_concurrency=max_concurrency)
+        self._pipeline = ReadPipeline(
+            self._fetcher, max_gap=coalesce_gap, cache_bytes=read_cache_bytes
+        )
         self._hedging = hedging if hedging is not None else HedgingPolicy()
         self._top_k_delta = top_k_delta
         self._mht: MultilayerHashTable | None = None
@@ -80,6 +94,8 @@ class AirphantSearcher:
         hedging: HedgingPolicy | None = None,
         top_k_delta: float = 1e-6,
         query_cache_size: int = 0,
+        coalesce_gap: int = 0,
+        read_cache_bytes: int = 0,
     ) -> "AirphantSearcher":
         """Create a Searcher and immediately load the index header."""
         searcher = cls(
@@ -90,9 +106,20 @@ class AirphantSearcher:
             hedging=hedging,
             top_k_delta=top_k_delta,
             query_cache_size=query_cache_size,
+            coalesce_gap=coalesce_gap,
+            read_cache_bytes=read_cache_bytes,
         )
         searcher.initialize()
         return searcher
+
+    @property
+    def pipeline(self) -> ReadPipeline:
+        """The read pipeline every lookup/retrieval batch goes through."""
+        return self._pipeline
+
+    def close(self) -> None:
+        """Release the fetcher's thread pool and the pipeline's block cache."""
+        self._pipeline.close()
 
     def initialize(self) -> float:
         """Download and decode the header blob; returns the simulated latency.
@@ -167,21 +194,9 @@ class AirphantSearcher:
         empty postings lists while the remaining words are still fetched.
         """
         assert self._mht is not None and self._string_table is not None
-        results: dict[str, Superpost] = {}
-        pending: list[str] = []
-        with self._cache_lock:
-            for word in dict.fromkeys(words):
-                if self._query_cache_size > 0 and word in self._query_cache:
-                    # Memoized lookup: no storage traffic, no added latency.
-                    self._query_cache.move_to_end(word)
-                    results[word] = Superpost(set(self._query_cache[word].postings))
-                else:
-                    pending.append(word)
-            if self._query_cache_size > 0:
-                if not pending:
-                    self.cache_hits += 1
-                    return results
-                self.cache_misses += 1
+        results, pending = self._cache_partition(words)
+        if not pending:
+            return results
 
         # Collect pointers per pending word, remembering which requests belong
         # to whom.  A word that hits an empty bin (or empty common-word list)
@@ -219,13 +234,18 @@ class AirphantSearcher:
             and not self._mht.is_common(fetch_words[0])
         )
         if single_word_hedging:
+            # Hedging needs per-request latencies, so it bypasses the pipeline.
             required = self._hedging.required_of(len(requests))
             fetch = self._fetcher.fetch_hedged(requests, required=required)
         else:
-            fetch = self._fetcher.fetch(requests)
-        latency.add_lookup(
-            fetch.batch.total_ms, fetch.batch.wait_ms, fetch.batch.download_ms, fetch.batch.nbytes
-        )
+            fetch = self._pipeline.fetch(requests)
+        if fetch.batch.requests:
+            latency.add_lookup(
+                fetch.batch.total_ms,
+                fetch.batch.wait_ms,
+                fetch.batch.download_ms,
+                fetch.batch.nbytes,
+            )
 
         for word in fetch_words:
             superposts: list[Superpost] = []
@@ -242,6 +262,29 @@ class AirphantSearcher:
             self._remember_lookup(word, result)
             results[word] = result
         return results
+
+    def _cache_partition(self, words: list[str]) -> tuple[dict[str, Superpost], list[str]]:
+        """Split ``words`` into memoized results and words still to fetch.
+
+        Cache-hit words resolve with no storage traffic and no added latency;
+        a query whose words all hit counts as one cache hit, anything else as
+        one miss (matching the pre-existing accounting).
+        """
+        results: dict[str, Superpost] = {}
+        pending: list[str] = []
+        with self._cache_lock:
+            for word in dict.fromkeys(words):
+                if self._query_cache_size > 0 and word in self._query_cache:
+                    self._query_cache.move_to_end(word)
+                    results[word] = Superpost(set(self._query_cache[word].postings))
+                else:
+                    pending.append(word)
+            if self._query_cache_size > 0:
+                if not pending:
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
+        return results, pending
 
     def _remember_lookup(self, word: str, result: Superpost) -> None:
         """Memoize a word's final postings list (bounded LRU)."""
@@ -358,10 +401,14 @@ class AirphantSearcher:
         if not postings:
             return [], 0
         requests = [posting.to_range_read() for posting in postings]
-        fetch = self._fetcher.fetch(requests)
-        latency.add_retrieval(
-            fetch.batch.total_ms, fetch.batch.wait_ms, fetch.batch.download_ms, fetch.batch.nbytes
-        )
+        fetch = self._pipeline.fetch(requests)
+        if fetch.batch.requests:
+            latency.add_retrieval(
+                fetch.batch.total_ms,
+                fetch.batch.wait_ms,
+                fetch.batch.download_ms,
+                fetch.batch.nbytes,
+            )
         matched: list[Document] = []
         for posting, payload in zip(postings, fetch.payloads):
             if payload is None:

@@ -1,0 +1,218 @@
+"""Searching a sharded index with one coalesced read batch per query.
+
+A sharded index (built with ``AirphantBuilder(num_shards=N)``) partitions
+the corpus into N disjoint sub-indexes tied together by a
+:class:`~repro.index.metadata.ShardManifest`.  :class:`ShardedSearcher`
+answers queries over all shards at once while preserving Airphant's core
+property — a constant number of round-trip waves per query:
+
+* a word's superpost reads are collected across *every* shard and issued as
+  a **single** :class:`~repro.storage.pipeline.ReadPipeline` batch (which
+  deduplicates and coalesces them before the store sees anything);
+* per shard, the word's layer superposts are intersected as usual; the
+  per-shard answers are then **unioned** (partitions are disjoint, so the
+  union is exact: nothing is lost and nothing double-counted);
+* candidate documents are fetched in a second single pipeline batch, and
+  false positives are filtered the ordinary way.
+
+Opening is lazy: construction touches nothing; the manifest and the shard
+headers are downloaded on :meth:`initialize` (or the first query via
+``open``).  An index with no shard manifest degrades to the plain
+single-shard behaviour of :class:`~repro.search.searcher.AirphantSearcher`,
+so callers can always use this class regardless of how the index was built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mht import MultilayerHashTable
+from repro.core.superpost import Superpost
+from repro.index.compaction import HEADER_BLOB_SUFFIX, decode_header
+from repro.index.metadata import IndexMetadata, ShardManifest, merge_shard_metadata
+from repro.index.serialization import StringTable, decode_superpost
+from repro.search.results import LatencyBreakdown
+from repro.search.searcher import AirphantSearcher
+from repro.storage.base import BlobNotFoundError, RangeRead
+from repro.storage.simulated import SimulatedCloudStore
+
+
+@dataclass
+class ShardState:
+    """In-memory header state of one opened shard."""
+
+    name: str
+    mht: MultilayerHashTable
+    string_table: StringTable
+    metadata: IndexMetadata | None
+
+
+class ShardedSearcher(AirphantSearcher):
+    """Answers queries over every shard of a sharded index in one batch.
+
+    Accepts the same configuration as :class:`AirphantSearcher`; hedging is
+    honoured only on the single-shard fallback path (with shards, a query
+    already fans out wide and dropping stragglers would have to reason about
+    coalesced requests).
+    """
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self._shard_manifest: ShardManifest | None = None
+        self._shards: list[ShardState] | None = None
+
+    # -- initialization ----------------------------------------------------------
+
+    def initialize(self) -> float:
+        """Load the shard manifest and every shard's header.
+
+        The manifest read is dependent (it names the shards); the header
+        reads are independent and go out as one parallel fetcher batch —
+        on real stores they download concurrently, and the simulated init
+        latency is ``manifest + one header batch``.  Without a manifest this
+        falls back to the plain single-shard initialization.
+        """
+        manifest_blob = ShardManifest.blob_name(self._index_name)
+        manifest_ms = 0.0
+        try:
+            # One GET, not exists()+get(): plain indexes (the common case,
+            # e.g. every delta member) pay a single missed probe.
+            if isinstance(self._store, SimulatedCloudStore):
+                data, record = self._store.timed_get(manifest_blob)
+                manifest_ms = record.total_ms
+            else:
+                data = self._store.get(manifest_blob)
+        except BlobNotFoundError:
+            return super().initialize()
+        manifest = ShardManifest.from_json(data)
+        if manifest.num_shards == 0:
+            return super().initialize()
+
+        header_requests = [
+            RangeRead(blob=f"{entry.name}/{HEADER_BLOB_SUFFIX}")
+            for entry in manifest.shards
+        ]
+        fetch = self._fetcher.fetch(header_requests)
+        shards = [
+            ShardState(
+                name=entry.name,
+                mht=compacted.mht,
+                string_table=compacted.string_table,
+                metadata=compacted.metadata,
+            )
+            for entry, compacted in zip(
+                manifest.shards, (decode_header(payload) for payload in fetch.payloads)
+            )
+        ]
+
+        self._shard_manifest = manifest
+        self._shards = shards
+        # Base-class state: _mht doubles as the "initialized" flag (and keeps
+        # common helpers working); the merged metadata describes the whole
+        # corpus rather than any single shard.
+        self._mht = shards[0].mht
+        self._string_table = shards[0].string_table
+        self._metadata = self._merge_metadata(shards)
+        self.init_latency_ms = manifest_ms + fetch.batch.total_ms
+        return self.init_latency_ms
+
+    @property
+    def shard_manifest(self) -> ShardManifest | None:
+        """The manifest of the opened index (``None`` if single-shard)."""
+        return self._shard_manifest
+
+    @property
+    def num_shards(self) -> int:
+        """Opened shard count (1 for single-shard indexes)."""
+        return len(self._shards) if self._shards is not None else 1
+
+    @property
+    def shards(self) -> list[ShardState]:
+        """Per-shard header state (empty before initialization)."""
+        return list(self._shards) if self._shards is not None else []
+
+    def _merge_metadata(self, shards: list[ShardState]) -> IndexMetadata | None:
+        """Corpus-wide metadata aggregated over the opened shards."""
+        return merge_shard_metadata(
+            [shard.metadata for shard in shards if shard.metadata is not None],
+            partitioner=(
+                self._shard_manifest.partitioner if self._shard_manifest else "hash"
+            ),
+        )
+
+    # -- lookup ------------------------------------------------------------------
+
+    def _lookup_per_word(
+        self, words: list[str], latency: LatencyBreakdown, fail_fast: bool = False
+    ) -> dict[str, Superpost]:
+        """Resolve each word across all shards with one pipeline batch.
+
+        Every (shard, word, layer) superpost read goes out in a single
+        coalescing batch.  Per shard the layers intersect; across shards the
+        per-shard answers union.  A word doomed in one shard (empty bin) is
+        simply absent from that shard; only a word doomed in *every* shard is
+        globally empty — with ``fail_fast``, such a word short-circuits the
+        whole conjunction before anything is fetched.
+        """
+        if self._shards is None:
+            return super()._lookup_per_word(words, latency, fail_fast=fail_fast)
+
+        results, pending = self._cache_partition(words)
+        if not pending:
+            return results
+
+        requests: list[RangeRead] = []
+        shard_layers: dict[tuple[int, str], list[int]] = {}
+        dead: list[str] = []
+        for word in pending:
+            alive = False
+            for shard_index, shard in enumerate(self._shards):
+                pointers = shard.mht.pointers_for(word)
+                if any(pointer.is_empty for pointer in pointers):
+                    continue  # the word has no postings in this shard
+                indexes: list[int] = []
+                for pointer in pointers:
+                    indexes.append(len(requests))
+                    requests.append(pointer.to_range_read())
+                shard_layers[(shard_index, word)] = indexes
+                alive = True
+            if not alive:
+                dead.append(word)
+
+        if fail_fast and dead:
+            for word in pending:
+                results[word] = Superpost()
+            return results
+        for word in dead:
+            results[word] = Superpost()
+
+        fetch_words = [word for word in pending if word not in dead]
+        if not requests:
+            for word in fetch_words:
+                results[word] = Superpost()
+            return results
+
+        fetch = self._pipeline.fetch(requests)
+        if fetch.batch.requests:
+            latency.add_lookup(
+                fetch.batch.total_ms,
+                fetch.batch.wait_ms,
+                fetch.batch.download_ms,
+                fetch.batch.nbytes,
+            )
+
+        for word in fetch_words:
+            per_shard: list[Superpost] = []
+            for shard_index, shard in enumerate(self._shards):
+                indexes = shard_layers.get((shard_index, word))
+                if not indexes:
+                    continue
+                superposts = [
+                    decode_superpost(fetch.payloads[request_index], shard.string_table)
+                    for request_index in indexes
+                ]
+                per_shard.append(Superpost.intersect_all(superposts))
+            merged = Superpost.union_all(per_shard)
+            self._remember_lookup(word, merged)
+            results[word] = merged
+        return results

@@ -18,6 +18,7 @@ from repro.service.api import (
     SearchRequest,
     SearchResponse,
     ServiceError,
+    ShardInfo,
 )
 from repro.service.catalog import IndexCatalog
 from repro.service.config import ServiceConfig
@@ -37,6 +38,7 @@ __all__ = [
     "SearchResponse",
     "ServiceConfig",
     "ServiceError",
+    "ShardInfo",
     "create_server",
     "serve_forever",
 ]

@@ -13,10 +13,25 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+# The per-shard stats on the wire are exactly the shard manifest's entries;
+# the alias keeps one definition while giving the API surface its own name.
+from repro.index.metadata import ShardEntry as ShardInfo
 from repro.search.results import SearchResult
 
 #: Query modes the service can dispatch.
 SEARCH_MODES = ("keyword", "boolean", "regex")
+
+__all__ = [
+    "SEARCH_MODES",
+    "DocumentHit",
+    "ErrorInfo",
+    "IndexInfo",
+    "LatencyInfo",
+    "SearchRequest",
+    "SearchResponse",
+    "ServiceError",
+    "ShardInfo",
+]
 
 
 class ServiceError(Exception):
@@ -286,7 +301,13 @@ class SearchResponse:
 
 @dataclass(frozen=True)
 class IndexInfo:
-    """What the service knows about one named index in its catalog."""
+    """What the service knows about one named index in its catalog.
+
+    ``num_shards`` is 1 and ``shards`` empty for a plain single-shard index;
+    a sharded index reports one :class:`ShardInfo` per shard (``num_terms``
+    then sums *per-shard* distinct terms, so a term spanning shards counts
+    once per shard it appears in).
+    """
 
     name: str
     num_documents: int = 0
@@ -297,6 +318,8 @@ class IndexInfo:
     delta_indexes: tuple[str, ...] = ()
     storage_bytes: int = 0
     is_open: bool = False
+    num_shards: int = 1
+    shards: tuple[ShardInfo, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable representation."""
@@ -310,6 +333,8 @@ class IndexInfo:
             "delta_indexes": list(self.delta_indexes),
             "storage_bytes": self.storage_bytes,
             "is_open": self.is_open,
+            "num_shards": self.num_shards,
+            "shards": [shard.to_dict() for shard in self.shards],
         }
 
     def to_json(self, indent: int | None = None) -> str:
@@ -322,6 +347,9 @@ class IndexInfo:
         known = set(cls.__dataclass_fields__)
         fields = {key: value for key, value in data.items() if key in known}
         fields["delta_indexes"] = tuple(fields.get("delta_indexes", ()))
+        fields["shards"] = tuple(
+            ShardInfo.from_dict(entry) for entry in fields.get("shards", ())
+        )
         return cls(**fields)
 
     @classmethod

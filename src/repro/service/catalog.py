@@ -1,13 +1,16 @@
 """Catalog of named, lazily-opened indexes backed by one object store.
 
 A query node serves whatever indexes exist in its bucket.  The catalog
-discovers them by listing header blobs, opens each on first use (downloading
-only the header, as the paper's Figure 3 query node does), and keeps the
-opened searcher for reuse.  An index with an append-only manifest (see
-:mod:`repro.index.updates`) is opened as a
+discovers them by listing header and shard-manifest blobs, opens each on
+first use (downloading only the headers, as the paper's Figure 3 query node
+does), and keeps the opened searcher for reuse.  An index with an
+append-only manifest (see :mod:`repro.index.updates`) is opened as a
 :class:`~repro.search.multi.MultiIndexSearcher` over the base plus all
 deltas; a plain index is the degenerate single-member case of the same type,
-so callers always get one uniform searcher interface.
+so callers always get one uniform searcher interface.  Sharded indexes
+(a ``shards.json`` manifest plus ``shard-NNNN/`` sub-indexes) are handled by
+the member searchers themselves; their shard sub-indexes — like delta
+indexes — are not directly addressable catalog entries.
 """
 
 from __future__ import annotations
@@ -15,11 +18,17 @@ from __future__ import annotations
 from threading import RLock
 
 from repro.index.compaction import HEADER_BLOB_SUFFIX, decode_header
+from repro.index.metadata import (
+    SHARD_MANIFEST_SUFFIX,
+    ShardManifest,
+    merge_shard_metadata,
+)
+from repro.index.sharding import SHARD_MARKER, read_shard_manifest
 from repro.index.updates import AppendOnlyIndexManager
 from repro.search.multi import MultiIndexSearcher
 from repro.service.api import IndexInfo
 from repro.service.config import ServiceConfig
-from repro.storage.base import ObjectStore
+from repro.storage.base import ObjectStore, RangeRead
 
 #: Path fragment that marks a delta index (a member of some base index, not a
 #: directly addressable catalog entry).
@@ -48,23 +57,33 @@ class IndexCatalog:
     # -- discovery -----------------------------------------------------------------
 
     def names(self) -> list[str]:
-        """Names of all indexes in the store (deltas folded into their base)."""
-        suffix = f"/{HEADER_BLOB_SUFFIX}"
-        names = []
+        """Names of all indexes in the store.
+
+        Deltas fold into their base; shard sub-indexes fold into the sharded
+        index their ``shards.json`` manifest names.
+        """
+        header_suffix = f"/{HEADER_BLOB_SUFFIX}"
+        manifest_suffix = f"/{SHARD_MANIFEST_SUFFIX}"
+        names = set()
         for blob in self._store.list_blobs():
-            if not blob.endswith(suffix):
+            if blob.endswith(header_suffix):
+                name = blob[: -len(header_suffix)]
+            elif blob.endswith(manifest_suffix):
+                name = blob[: -len(manifest_suffix)]
+            else:
                 continue
-            name = blob[: -len(suffix)]
-            if _DELTA_MARKER in name:
+            if _DELTA_MARKER in name or SHARD_MARKER in name:
                 continue
-            names.append(name)
+            names.add(name)
         return sorted(names)
 
     def contains(self, name: str) -> bool:
         """Whether ``name`` is a servable index."""
-        if _DELTA_MARKER in name:
+        if _DELTA_MARKER in name or SHARD_MARKER in name:
             return False
-        return self._store.exists(f"{name}/{HEADER_BLOB_SUFFIX}")
+        return self._store.exists(f"{name}/{HEADER_BLOB_SUFFIX}") or self._store.exists(
+            ShardManifest.blob_name(name)
+        )
 
     def is_open(self, name: str) -> bool:
         """Whether ``name`` has already been opened (header in memory)."""
@@ -92,6 +111,8 @@ class IndexCatalog:
                 hedging=self._config.make_hedging(),
                 top_k_delta=self._config.top_k_delta,
                 query_cache_size=self._config.query_cache_size,
+                coalesce_gap=self._config.coalesce_gap,
+                read_cache_bytes=self._config.read_cache_bytes,
             )
             self._searchers[name] = searcher
             return searcher
@@ -100,33 +121,65 @@ class IndexCatalog:
         """Drop cached searcher(s) so the next use re-reads headers.
 
         Call after rebuilding an index (or appending a delta); with ``None``
-        the whole cache is cleared.
+        the whole cache is cleared.  Dropped searchers are closed, releasing
+        their fetcher thread pools and block caches.
         """
         with self._lock:
             if name is None:
+                dropped = list(self._searchers.values())
                 self._searchers.clear()
             else:
-                self._searchers.pop(name, None)
+                searcher = self._searchers.pop(name, None)
+                dropped = [searcher] if searcher is not None else []
+        for searcher in dropped:
+            searcher.close()
+
+    def close(self) -> None:
+        """Close every opened searcher (the catalog stays usable afterwards)."""
+        self.invalidate(None)
 
     # -- inspection -----------------------------------------------------------------
 
     def info(self, name: str) -> IndexInfo:
         """Describe ``name`` without forcing it open.
 
-        For an unopened index the metadata is decoded from its header blob
-        directly; an opened index answers from memory.
+        For an unopened index the metadata is decoded from its header blob(s)
+        directly; an opened index answers from memory.  Sharded indexes
+        report their shard count and per-shard stats (taken from the shard
+        manifest) alongside the aggregated corpus-wide metadata.
 
         Raises ``KeyError`` if no such index exists.
         """
+        shard_manifest: ShardManifest | None = None
         searcher = self._searchers.get(name)
         if searcher is not None:
-            metadata = searcher.searchers[0].metadata
+            base = searcher.searchers[0]
+            metadata = base.metadata
             delta_names = tuple(searcher.index_names[1:])
+            shard_manifest = base.shard_manifest
         else:
-            header_blob = f"{name}/{HEADER_BLOB_SUFFIX}"
-            if _DELTA_MARKER in name or not self._store.exists(header_blob):
+            if _DELTA_MARKER in name or SHARD_MARKER in name:
                 raise KeyError(name)
-            metadata = decode_header(self._store.get(header_blob)).metadata
+            header_blob = f"{name}/{HEADER_BLOB_SUFFIX}"
+            if self._store.exists(header_blob):
+                metadata = decode_header(self._store.get(header_blob)).metadata
+            else:
+                shard_manifest = read_shard_manifest(self._store, name)
+                if shard_manifest is None:
+                    raise KeyError(name)
+                # One batched (pipeline-aware) fetch for all shard headers
+                # rather than N dependent reads.
+                payloads = self._store.read_many(
+                    [
+                        RangeRead(blob=f"{entry.name}/{HEADER_BLOB_SUFFIX}")
+                        for entry in shard_manifest.shards
+                    ]
+                )
+                shard_metadatas = [decode_header(payload).metadata for payload in payloads]
+                metadata = merge_shard_metadata(
+                    [entry for entry in shard_metadatas if entry is not None],
+                    partitioner=shard_manifest.partitioner,
+                )
             manifest = AppendOnlyIndexManager(self._store, base_index=name).manifest()
             delta_names = manifest.delta_indexes
         assert metadata is not None
@@ -140,6 +193,10 @@ class IndexCatalog:
             delta_indexes=delta_names,
             storage_bytes=self._store.total_bytes(prefix=f"{name}/"),
             is_open=self.is_open(name),
+            num_shards=shard_manifest.num_shards if shard_manifest is not None else 1,
+            # ShardInfo aliases the manifest's ShardEntry, so the per-shard
+            # stats pass through unchanged.
+            shards=shard_manifest.shards if shard_manifest is not None else (),
         )
 
     def list_infos(self) -> list[IndexInfo]:

@@ -43,6 +43,12 @@ class ServiceConfig:
     default_top_k:
         Applied when a request does not specify ``top_k``; ``None`` returns
         every match.
+    coalesce_gap:
+        Largest same-blob gap (bytes) the read pipeline bridges when merging
+        adjacent range reads into one request; 0 merges only
+        overlapping/adjacent ranges.
+    read_cache_bytes:
+        Byte budget of the read pipeline's LRU block cache; 0 disables it.
     """
 
     tokenizer: str = "whitespace"
@@ -52,6 +58,8 @@ class ServiceConfig:
     top_k_delta: float = 1e-6
     min_literal_length: int = 2
     default_top_k: int | None = None
+    coalesce_gap: int = 0
+    read_cache_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.tokenizer not in TOKENIZERS:
@@ -66,6 +74,10 @@ class ServiceConfig:
             raise ValueError("query_cache_size must be non-negative")
         if self.default_top_k is not None and self.default_top_k <= 0:
             raise ValueError("default_top_k must be positive when set")
+        if self.coalesce_gap < 0:
+            raise ValueError("coalesce_gap must be non-negative")
+        if self.read_cache_bytes < 0:
+            raise ValueError("read_cache_bytes must be non-negative")
 
     def make_tokenizer(self) -> Tokenizer:
         """Instantiate the configured tokenizer."""
@@ -87,6 +99,8 @@ class ServiceConfig:
             "top_k_delta": self.top_k_delta,
             "min_literal_length": self.min_literal_length,
             "default_top_k": self.default_top_k,
+            "coalesce_gap": self.coalesce_gap,
+            "read_cache_bytes": self.read_cache_bytes,
         }
 
     @classmethod

@@ -49,6 +49,20 @@ class AirphantService:
         """The catalog of named indexes."""
         return self._catalog
 
+    def close(self) -> None:
+        """Close every opened searcher, releasing fetcher pools and caches.
+
+        The service stays usable: the next query simply reopens its index
+        (and with it a fresh long-lived fetcher pool).
+        """
+        self._catalog.close()
+
+    def __enter__(self) -> "AirphantService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- health & inspection ---------------------------------------------------------
 
     def health(self) -> dict[str, Any]:
@@ -125,13 +139,18 @@ class AirphantService:
         name: str,
         blobs: Sequence[str],
         sketch_config: SketchConfig | None = None,
+        num_shards: int = 1,
+        partitioner: str = "hash",
     ) -> IndexInfo:
         """Build (or rebuild) index ``name`` over the given corpus blobs.
 
+        ``num_shards > 1`` builds a sharded index: the corpus is partitioned
+        (``"hash"`` or ``"round-robin"``), per-shard sub-indexes build in
+        parallel, and queries later fan out across the shards in one batch.
         Any previously cached searcher for ``name`` is invalidated so the
-        next query reopens the fresh header.
+        next query reopens the fresh header(s).
         """
-        if not name or not name.strip("/") or "/delta-" in name:
+        if not name or not name.strip("/") or "/delta-" in name or "/shard-" in name:
             raise ServiceError(400, "bad_index_name", f"invalid index name {name!r}")
         blobs = list(blobs)
         if not blobs:
@@ -141,11 +160,20 @@ class AirphantService:
             raise ServiceError(
                 404, "blob_not_found", f"corpus blob(s) not found: {', '.join(missing)}"
             )
-        builder = AirphantBuilder(
-            self.store,
-            config=sketch_config,
-            tokenizer=self._config.make_tokenizer(),
-        )
+        try:
+            builder = AirphantBuilder(
+                self.store,
+                config=sketch_config,
+                tokenizer=self._config.make_tokenizer(),
+                num_shards=num_shards,
+                partitioner=partitioner,
+            )
+        except ValueError as error:
+            # Bad num_shards / partitioner — the request is at fault.
+            raise ServiceError(400, "bad_build_request", str(error)) from error
+        # The builder removes any stale blobs from a previous layout of this
+        # name (e.g. resharding, or sharded -> single-shard), so a rebuild is
+        # authoritative regardless of what was there before.
         builder.build_from_blobs(blobs, index_name=name, corpus_name=name)
         self._catalog.invalidate(name)
         return self.index_info(name)

@@ -9,7 +9,8 @@ query node can be started anywhere the bucket is reachable:
 * ``POST /search`` — a ``SearchRequest`` JSON body, answered with a
   ``SearchResponse``;
 * ``POST /indexes/{name}/build`` — build/rebuild an index from corpus blobs
-  already present in the bucket (body: ``{"blobs": [...], "num_bins": ...}``).
+  already present in the bucket (body: ``{"blobs": [...], "num_bins": ...,
+  "num_shards": ..., "partitioner": ...}``).
 
 Errors come back as ``ErrorInfo`` JSON bodies with matching HTTP status
 codes.  Requests are served by a thread pool (``ThreadingHTTPServer``);
@@ -36,6 +37,10 @@ _BUILD_CONFIG_FIELDS = (
     "num_layers",
     "seed",
 )
+
+#: Sharding fields a build request body may set (passed to the builder, not
+#: the sketch configuration).
+_BUILD_SHARD_FIELDS = ("num_shards", "partitioner")
 
 
 class AirphantHTTPServer(ThreadingHTTPServer):
@@ -117,16 +122,31 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
         overrides = {
             key: body[key] for key in _BUILD_CONFIG_FIELDS if body.get(key) is not None
         }
-        unknown = set(body) - set(_BUILD_CONFIG_FIELDS) - {"blobs"}
+        unknown = (
+            set(body) - set(_BUILD_CONFIG_FIELDS) - set(_BUILD_SHARD_FIELDS) - {"blobs"}
+        )
         if unknown:
             raise ServiceError(
                 400, "bad_build_request", f"unknown build field(s): {', '.join(sorted(unknown))}"
             )
+        # Explicit nulls mean "unset", matching the sketch-config fields.
+        num_shards = body.get("num_shards")
+        if num_shards is None:
+            num_shards = 1
+        if not isinstance(num_shards, int) or isinstance(num_shards, bool):
+            raise ServiceError(400, "bad_build_request", "num_shards must be an integer")
+        partitioner = body.get("partitioner")
+        if partitioner is None:
+            partitioner = "hash"
+        if not isinstance(partitioner, str):
+            raise ServiceError(400, "bad_build_request", "partitioner must be a string")
         try:
             config = SketchConfig(**overrides) if overrides else None
         except (ValueError, TypeError) as error:
             raise ServiceError(400, "bad_build_request", str(error)) from error
-        return self.server.service.build_index(name, blobs, sketch_config=config)
+        return self.server.service.build_index(
+            name, blobs, sketch_config=config, num_shards=num_shards, partitioner=partitioner
+        )
 
     # -- plumbing --------------------------------------------------------------------
 

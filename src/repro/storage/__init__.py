@@ -15,6 +15,10 @@ object storage (GCS / S3).  This package provides:
   download time) used by the latency-breakdown experiments.
 * :class:`~repro.storage.parallel.ParallelFetcher` — issues a *batch* of range
   reads concurrently, the primitive that IoU Sketch relies on.
+* :class:`~repro.storage.pipeline.ReadPipeline` — sits between callers and the
+  fetcher, deduplicating identical ranges, coalescing adjacent/overlapping
+  ones into fewer larger requests, and serving repeats from a bounded LRU
+  block cache.
 """
 
 from repro.storage.base import BlobNotFoundError, ObjectStore, RangeRead
@@ -23,6 +27,7 @@ from repro.storage.local import LocalObjectStore
 from repro.storage.memory import InMemoryObjectStore
 from repro.storage.metrics import RequestRecord, StorageMetrics
 from repro.storage.parallel import ParallelFetcher
+from repro.storage.pipeline import PipelineStats, ReadPipeline
 from repro.storage.simulated import SimulatedCloudStore
 
 __all__ = [
@@ -32,7 +37,9 @@ __all__ = [
     "LocalObjectStore",
     "ObjectStore",
     "ParallelFetcher",
+    "PipelineStats",
     "RangeRead",
+    "ReadPipeline",
     "REGION_PROFILES",
     "RegionProfile",
     "RequestRecord",

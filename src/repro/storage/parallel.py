@@ -10,6 +10,8 @@ the requests on a thread pool.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -60,11 +62,51 @@ class ParallelFetcher:
         self._store = store
         self._max_concurrency = max_concurrency
         self._hedge_extra = hedge_extra
+        # One long-lived pool shared by every batch (created on first use):
+        # spinning up a fresh ThreadPoolExecutor per batch costs thread
+        # creation on the query hot path and defeats OS-level thread reuse.
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
 
     @property
     def max_concurrency(self) -> int:
         """Maximum number of concurrent requests per batch."""
         return self._max_concurrency
+
+    def close(self) -> None:
+        """Shut down the current thread pool (idempotent).
+
+        Closing releases the worker threads *now*; it does not poison the
+        fetcher — a later threaded fetch transparently creates a fresh pool,
+        so closing is safe even while another thread still holds this
+        fetcher (e.g. a catalog invalidating a searcher mid-query).
+        Simulated batches never touch the pool.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelFetcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_concurrency,
+                    thread_name_prefix="airphant-fetch",
+                )
+                # Owners that never call close() (or drop the fetcher in a
+                # reference cycle) must not strand idle worker threads until
+                # interpreter exit: shut the pool down when the fetcher is
+                # collected.  The callback references only the pool, so it
+                # cannot keep the fetcher (or its store) alive.
+                weakref.finalize(self, self._pool.shutdown, False)
+            return self._pool
 
     def fetch(self, requests: list[RangeRead]) -> FetchResult:
         """Fetch all ``requests`` as one concurrent batch."""
@@ -124,8 +166,16 @@ class ParallelFetcher:
         return FetchResult(payloads=payloads, batch=batch)
 
     def _fetch_threaded(self, requests: list[RangeRead]) -> FetchResult:
-        with ThreadPoolExecutor(max_workers=self._max_concurrency) as pool:
-            payloads = list(pool.map(self._store.read, requests))
+        try:
+            payloads = list(self._ensure_pool().map(self._store.read, requests))
+        except RuntimeError as error:
+            # close() raced this fetch and shut the pool down between
+            # _ensure_pool() and submission.  Range reads are idempotent, so
+            # retry the batch once on a fresh pool; any other RuntimeError
+            # (e.g. from the store itself) propagates untouched.
+            if "shutdown" not in str(error):
+                raise
+            payloads = list(self._ensure_pool().map(self._store.read, requests))
         records = tuple(
             RequestRecord(blob=request.blob, nbytes=len(data), wait_ms=0.0, download_ms=0.0)
             for request, data in zip(requests, payloads)

@@ -1,0 +1,245 @@
+"""Unit tests for sharded builds and the shard manifest format."""
+
+import pytest
+
+from repro.core.config import SketchConfig
+from repro.index.builder import AirphantBuilder, BuiltShardedIndex
+from repro.index.metadata import ShardManifest, merge_shard_metadata
+from repro.index.sharding import (
+    partition_documents,
+    read_shard_manifest,
+    shard_index_name,
+)
+
+
+class TestPartitioning:
+    def test_partitions_are_disjoint_and_complete(self, small_documents):
+        partitions = partition_documents(small_documents, 3, "hash")
+        assert len(partitions) == 3
+        flattened = [document for partition in partitions for document in partition]
+        assert sorted(d.ref for d in flattened) == sorted(d.ref for d in small_documents)
+
+    def test_hash_partitioning_is_stable_across_orderings(self, small_documents):
+        forward = partition_documents(small_documents, 4, "hash")
+        backward = partition_documents(list(reversed(small_documents)), 4, "hash")
+        for shard in range(4):
+            assert {d.ref for d in forward[shard]} == {d.ref for d in backward[shard]}
+
+    def test_round_robin_is_balanced(self, small_documents):
+        partitions = partition_documents(small_documents, 5, "round-robin")
+        sizes = [len(partition) for partition in partitions]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_arguments_rejected(self, small_documents):
+        with pytest.raises(ValueError):
+            partition_documents(small_documents, 0, "hash")
+        with pytest.raises(ValueError):
+            partition_documents(small_documents, 2, "modulo")
+
+
+class TestShardManifest:
+    def test_round_trips_through_json(self):
+        manifest = ShardManifest(
+            index_name="idx",
+            partitioner="round-robin",
+            shards=tuple(),
+        )
+        assert ShardManifest.from_json(manifest.to_json()) == manifest
+
+    def test_rejects_wrong_magic(self):
+        with pytest.raises(ValueError):
+            ShardManifest.from_dict({"format_version": 1, "index_name": "x"})
+
+    def test_rejects_future_version(self):
+        payload = ShardManifest(index_name="idx").to_dict()
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            ShardManifest.from_dict(payload)
+
+    def test_missing_manifest_reads_as_none(self, sim_store):
+        assert read_shard_manifest(sim_store, "nonexistent") is None
+
+
+class TestShardedBuild:
+    def test_sharded_build_persists_manifest_and_per_shard_blobs(
+        self, sim_store, small_documents, small_config
+    ):
+        builder = AirphantBuilder(sim_store, config=small_config, num_shards=4)
+        built = builder.build_from_documents(small_documents, index_name="sharded")
+        assert isinstance(built, BuiltShardedIndex)
+        assert built.num_shards == 4
+        assert built.num_documents == len(small_documents)
+        manifest = read_shard_manifest(sim_store, "sharded")
+        assert manifest is not None
+        assert manifest.shard_names == [shard_index_name("sharded", i) for i in range(4)]
+        for name in manifest.shard_names:
+            assert sim_store.exists(f"{name}/header.json")
+            assert sim_store.exists(f"{name}/superposts.bin")
+
+    def test_manifest_stats_match_partition_sizes(
+        self, sim_store, small_documents, small_config
+    ):
+        builder = AirphantBuilder(sim_store, config=small_config, num_shards=3)
+        built = builder.build_from_documents(small_documents, index_name="sharded")
+        partitions = partition_documents(small_documents, 3, "hash")
+        for entry, partition in zip(built.manifest.shards, partitions):
+            assert entry.num_documents == len(partition)
+
+    def test_single_shard_build_keeps_legacy_layout(
+        self, sim_store, small_documents, small_config
+    ):
+        builder = AirphantBuilder(sim_store, config=small_config, num_shards=1)
+        built = builder.build_from_documents(small_documents, index_name="plain")
+        assert not isinstance(built, BuiltShardedIndex)
+        assert sim_store.exists("plain/header.json")
+        assert read_shard_manifest(sim_store, "plain") is None
+
+    def test_shard_metadata_records_its_place(self, sim_store, small_documents, small_config):
+        builder = AirphantBuilder(
+            sim_store, config=small_config, num_shards=2, partitioner="round-robin"
+        )
+        built = builder.build_from_documents(small_documents, index_name="sharded")
+        for shard_index, shard in enumerate(built.shards):
+            extra = shard.metadata.extra
+            assert extra["shard_index"] == shard_index
+            assert extra["num_shards"] == 2
+            assert extra["partitioner"] == "round-robin"
+            assert extra["parent_index"] == "sharded"
+
+    def test_empty_partitions_build_empty_shards(self, sim_store, small_documents, small_config):
+        # More shards than documents guarantees at least one empty partition.
+        builder = AirphantBuilder(
+            sim_store, config=small_config, num_shards=16, partitioner="round-robin"
+        )
+        built = builder.build_from_documents(small_documents, index_name="wide")
+        assert built.num_shards == 16
+        assert built.num_documents == len(small_documents)
+
+    def test_serial_and_parallel_builds_produce_identical_blobs(
+        self, sim_store, memory_store, small_documents, small_config
+    ):
+        serial = AirphantBuilder(
+            memory_store, config=small_config, num_shards=4, build_concurrency=1
+        )
+        serial.build_from_documents(small_documents, index_name="idx")
+        parallel = AirphantBuilder(
+            sim_store, config=small_config, num_shards=4, build_concurrency=4
+        )
+        parallel.build_from_documents(small_documents, index_name="idx")
+        for blob in memory_store.list_blobs("idx/"):
+            assert memory_store.get(blob) == sim_store.get(blob)
+
+    def test_single_shard_rebuild_removes_stale_sharded_layout(
+        self, sim_store, small_documents, small_config
+    ):
+        AirphantBuilder(sim_store, config=small_config, num_shards=4).build_from_documents(
+            small_documents, index_name="idx"
+        )
+        AirphantBuilder(sim_store, config=small_config).build_from_documents(
+            small_documents, index_name="idx"
+        )
+        # The manifest and every shard sub-index are gone: readers must not
+        # keep answering from the old sharded corpus.
+        assert read_shard_manifest(sim_store, "idx") is None
+        assert sim_store.list_blobs("idx/") == ["idx/header.json", "idx/superposts.bin"]
+
+    def test_sharded_rebuild_removes_stale_single_shard_layout(
+        self, sim_store, small_documents, small_config
+    ):
+        AirphantBuilder(sim_store, config=small_config).build_from_documents(
+            small_documents, index_name="idx"
+        )
+        AirphantBuilder(sim_store, config=small_config, num_shards=2).build_from_documents(
+            small_documents, index_name="idx"
+        )
+        assert not sim_store.exists("idx/header.json")
+        assert not sim_store.exists("idx/superposts.bin")
+        assert read_shard_manifest(sim_store, "idx").num_shards == 2
+
+    def test_resharding_to_fewer_shards_drops_orphans(
+        self, sim_store, small_documents, small_config
+    ):
+        AirphantBuilder(sim_store, config=small_config, num_shards=4).build_from_documents(
+            small_documents, index_name="idx"
+        )
+        AirphantBuilder(sim_store, config=small_config, num_shards=2).build_from_documents(
+            small_documents, index_name="idx"
+        )
+        shard_prefixes = {blob.rsplit("/", 1)[0] for blob in sim_store.list_blobs("idx/shard-")}
+        assert shard_prefixes == {"idx/shard-0000", "idx/shard-0001"}
+
+    def test_invalid_shard_configuration_rejected(self, sim_store, small_config):
+        with pytest.raises(ValueError):
+            AirphantBuilder(sim_store, config=small_config, num_shards=0)
+        with pytest.raises(ValueError):
+            AirphantBuilder(sim_store, config=small_config, partitioner="alphabetical")
+        with pytest.raises(ValueError):
+            AirphantBuilder(sim_store, config=small_config, build_concurrency=0)
+
+
+class TestShardedBaseWithDeltas:
+    def test_append_and_compact_work_on_a_sharded_base(
+        self, sim_store, small_documents, small_config
+    ):
+        from repro.index.updates import AppendOnlyIndexManager
+        from repro.parsing.documents import Document, Posting
+
+        AirphantBuilder(sim_store, config=small_config, num_shards=4).build_from_documents(
+            small_documents, index_name="idx"
+        )
+        extra_blob = "corpus/extra.txt"
+        extra_text = "error brand new failure"
+        sim_store.put(extra_blob, extra_text.encode("utf-8"))
+        extra = [Document(ref=Posting(extra_blob, 0, len(extra_text)), text=extra_text)]
+
+        manager = AppendOnlyIndexManager(sim_store, base_index="idx", config=small_config)
+        manager.append(extra)
+        enumerated = {document.ref for document in manager.indexed_documents()}
+        assert enumerated == {d.ref for d in small_documents} | {extra[0].ref}
+
+        compacted = manager.compact()
+        # Compaction folds the deltas in while preserving the base's sharded
+        # layout (same shard count, delta blobs gone).
+        assert compacted.num_documents == len(small_documents) + 1
+        assert read_shard_manifest(sim_store, "idx").num_shards == 4
+        assert manager.manifest().delta_indexes == ()
+        assert not sim_store.list_blobs("idx/delta-")
+        searcher = manager.open_searcher()
+        assert extra_text in {d.text for d in searcher.search("error").documents}
+
+    def test_open_searcher_spans_sharded_base_and_deltas(
+        self, sim_store, small_documents, small_config
+    ):
+        from repro.index.updates import AppendOnlyIndexManager
+        from repro.parsing.documents import Document, Posting
+
+        AirphantBuilder(sim_store, config=small_config, num_shards=2).build_from_documents(
+            small_documents, index_name="idx"
+        )
+        extra_blob = "corpus/extra.txt"
+        extra_text = "error appended later"
+        sim_store.put(extra_blob, extra_text.encode("utf-8"))
+        extra = [Document(ref=Posting(extra_blob, 0, len(extra_text)), text=extra_text)]
+        manager = AppendOnlyIndexManager(sim_store, base_index="idx", config=small_config)
+        manager.append(extra)
+
+        searcher = manager.open_searcher()
+        texts = {document.text for document in searcher.search("error").documents}
+        expected = {d.text for d in small_documents if "error" in d.text.split()}
+        assert texts == expected | {extra_text}
+
+
+class TestMergedMetadata:
+    def test_counts_sum_and_structure_comes_from_first_shard(
+        self, sim_store, small_documents, small_config
+    ):
+        builder = AirphantBuilder(sim_store, config=small_config, num_shards=3)
+        built = builder.build_from_documents(small_documents, index_name="sharded")
+        merged = merge_shard_metadata([shard.metadata for shard in built.shards])
+        assert merged.num_documents == len(small_documents)
+        assert merged.num_bins == built.shards[0].metadata.num_bins
+        assert merged.corpus_name == "corpus"
+        assert merged.extra["num_shards"] == 3
+
+    def test_empty_input_merges_to_none(self):
+        assert merge_shard_metadata([]) is None
