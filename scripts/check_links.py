@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (stdlib only, no network).
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links and validates every *relative* target:
+
+* the referenced file or directory must exist (relative to the linking
+  file), and
+* a ``#fragment`` pointing into a markdown file must match a heading's
+  GitHub-style anchor in that file.
+
+External ``http(s)://`` / ``mailto:`` links are syntax-checked only (no
+network in CI).  Exit code 1 lists every broken link.
+
+Usage: ``python scripts/check_links.py [file.md ...]``
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target) — images share the same syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Markdown headings, for anchor validation.
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+#: Fenced code blocks are stripped before link extraction.
+_FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """The anchor GitHub generates for a heading (lowercase, dashed)."""
+    heading = re.sub(r"[`*_]", "", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_anchor(match.group(1)) for match in _HEADING.finditer(text)}
+
+
+def check_file(path: Path) -> list[str]:
+    """Return a list of human-readable problems found in ``path``."""
+    problems: list[str] = []
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if github_anchor(target[1:]) not in anchors_of(path):
+                problems.append(f"{path}: broken in-page anchor {target!r}")
+            continue
+        raw, _, fragment = target.partition("#")
+        resolved = (path.parent / raw).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link {target!r} (no such file)")
+            continue
+        if fragment and resolved.suffix.lower() in (".md", ".markdown"):
+            if fragment.lower() not in anchors_of(resolved):
+                problems.append(
+                    f"{path}: broken anchor {target!r} "
+                    f"(no heading {fragment!r} in {resolved.name})"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    missing = [str(path) for path in files if not path.is_file()]
+    if missing:
+        print(f"error: no such markdown file(s): {', '.join(missing)}", file=sys.stderr)
+        return 1
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} file(s): {len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

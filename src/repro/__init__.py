@@ -29,7 +29,9 @@ Sub-packages
 * :mod:`repro.index` — Builder, superpost compaction, serialization.
 * :mod:`repro.search` — Searcher, Boolean/regex queries, hedged requests.
 * :mod:`repro.service` — service facade, typed request/response API, HTTP server.
-* :mod:`repro.storage` — object-store abstraction + simulated cloud storage.
+* :mod:`repro.storage` — object-store abstraction, URI backend registry
+  (``mem://``/``file://``/``sim://``/``http(s)://``/``s3://``), resilience
+  wrapper (retries/timeouts/hedged reads), simulated cloud storage.
 * :mod:`repro.parsing` / :mod:`repro.profiling` — corpus parsing & profiling.
 * :mod:`repro.baselines` — Lucene-, Elasticsearch-, SQLite-like and hash-table
   baselines used in the paper's evaluation.
@@ -95,12 +97,23 @@ from repro.service import (
 )
 from repro.storage import (
     AffineLatencyModel,
+    FlakyStore,
+    HTTPRangeStore,
     InMemoryObjectStore,
     LocalObjectStore,
     ObjectStore,
     RangeRead,
+    ReadOnlyStoreError,
     ReadPipeline,
+    ResilientStore,
+    RetriesExhaustedError,
+    S3ObjectStore,
     SimulatedCloudStore,
+    StoreAccessError,
+    StoreURIError,
+    TransientStoreError,
+    open_store,
+    register_scheme,
 )
 from repro.workloads import QueryWorkload, sample_query_words
 
@@ -121,6 +134,8 @@ __all__ = [
     "Document",
     "DocumentRef",
     "ElasticLikeEngine",
+    "FlakyStore",
+    "HTTPRangeStore",
     "HashTableEngine",
     "HedgingPolicy",
     "IndexCatalog",
@@ -139,8 +154,12 @@ __all__ = [
     "Posting",
     "QueryWorkload",
     "RangeRead",
+    "ReadOnlyStoreError",
     "ReadPipeline",
     "RegexSearcher",
+    "ResilientStore",
+    "RetriesExhaustedError",
+    "S3ObjectStore",
     "SQLiteLikeEngine",
     "SearchEngine",
     "SearchRequest",
@@ -153,13 +172,18 @@ __all__ = [
     "SimpleAnalyzer",
     "SimulatedCloudStore",
     "SketchConfig",
+    "StoreAccessError",
+    "StoreURIError",
     "Superpost",
     "Term",
+    "TransientStoreError",
     "WhitespaceAnalyzer",
     "WholeBlobCorpusParser",
     "expected_false_positives",
     "minimize_layers",
+    "open_store",
     "profile_documents",
+    "register_scheme",
     "sample_query_words",
     "__version__",
 ]

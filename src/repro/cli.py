@@ -27,6 +27,21 @@ process — one-shot or as a long-lived HTTP query node:
 ``--simulate-latency`` to wrap the bucket in the simulated cloud latency
 model, which also reports per-query simulated latencies the way the
 benchmarks do.
+
+Instead of ``--bucket DIR``, any subcommand takes ``--store URI`` to target
+a registered storage backend (``mem://``, ``file://``, ``sim://``,
+``http(s)://``, ``s3://`` — see :mod:`repro.storage.registry`), e.g. search
+an index exported to a static file server:
+
+.. code-block:: console
+
+    python -m http.server 9000 --directory ./bucket &
+    airphant search --store http://127.0.0.1:9000 --index hdfs-index --query "ERROR"
+
+``--retries`` / ``--retry-backoff-ms`` / ``--timeout-s`` / ``--hedge-ms``
+wrap the chosen backend in a :class:`repro.storage.ResilientStore`
+(bounded retries with jittered exponential backoff, per-request timeouts,
+hedged duplicate reads after an adaptive latency percentile).
 """
 
 from __future__ import annotations
@@ -47,39 +62,93 @@ from repro.service import (
     ServiceError,
     serve_forever,
 )
-from repro.storage.base import ObjectStore
+from repro.storage.base import ObjectStore, StoreError
 from repro.storage.latency import AffineLatencyModel
 from repro.storage.local import LocalObjectStore
+from repro.storage.registry import StoreURIError, open_store
 from repro.storage.simulated import SimulatedCloudStore
 from repro.workloads.cranfield import generate_cranfield
 from repro.workloads.logs import LOG_SYSTEMS, generate_log_corpus
 from repro.workloads.synthetic import SyntheticSpec, generate_synthetic
 
 
-def _open_store(bucket: str, simulate_latency: bool) -> ObjectStore:
-    store: ObjectStore = LocalObjectStore(bucket)
-    if simulate_latency:
+def _service_config(args: argparse.Namespace) -> ServiceConfig:
+    """Translate the parsed CLI flags into one :class:`ServiceConfig`."""
+    return ServiceConfig(
+        query_cache_size=getattr(args, "query_cache_size", 0),
+        coalesce_gap=getattr(args, "coalesce_gap", 0),
+        read_cache_bytes=getattr(args, "read_cache_bytes", 0),
+        retries=args.retries,
+        retry_backoff_ms=args.retry_backoff_ms,
+        request_timeout_s=args.timeout_s,
+        hedge_ms=args.hedge_ms,
+    )
+
+
+def _open_store(args: argparse.Namespace, config: ServiceConfig | None = None) -> ObjectStore:
+    """Resolve ``--bucket DIR`` / ``--store URI`` (plus wrappers) to a store.
+
+    The resilience wrapper is applied *inside* the simulated-latency layer:
+    the fetcher must see the simulator on top (virtual-clock batch timing),
+    while retries/timeouts/hedging still guard the real backend underneath —
+    so ``--simulate-latency`` and ``--retries`` compose instead of one
+    silently disabling the other.
+    """
+    config = config if config is not None else _service_config(args)
+    if args.store:
+        store = open_store(args.store)
+    else:
+        store = LocalObjectStore(args.bucket)
+    store = config.wrap_store(store)
+    if args.simulate_latency and not isinstance(store, SimulatedCloudStore):
         store = SimulatedCloudStore(backend=store, latency_model=AffineLatencyModel())
     return store
 
 
 def _open_service(args: argparse.Namespace) -> AirphantService:
-    """Open the bucket behind an :class:`AirphantService` facade."""
-    store = _open_store(args.bucket, args.simulate_latency)
-    config = ServiceConfig(
-        query_cache_size=getattr(args, "query_cache_size", 0),
-        coalesce_gap=getattr(args, "coalesce_gap", 0),
-        read_cache_bytes=getattr(args, "read_cache_bytes", 0),
-    )
-    return AirphantService(store, config)
+    """Open the bucket/store behind an :class:`AirphantService` facade."""
+    config = _service_config(args)
+    return AirphantService(_open_store(args, config), config, store_uri=args.store)
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--bucket", required=True, help="directory acting as the storage bucket")
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--bucket", help="directory acting as the storage bucket")
+    target.add_argument(
+        "--store",
+        help=(
+            "object-store URI: mem://, file://PATH, sim://, "
+            "http(s)://host[:port]/prefix, or s3://bucket/prefix?endpoint=..."
+        ),
+    )
     parser.add_argument(
         "--simulate-latency",
         action="store_true",
         help="charge simulated cloud-storage latencies and report them",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry transient store failures this many times (0 disables)",
+    )
+    parser.add_argument(
+        "--retry-backoff-ms",
+        type=float,
+        default=20.0,
+        help="first-retry backoff in ms (doubles per retry, jittered)",
+    )
+    parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        help="per-attempt store request timeout in seconds",
+    )
+    parser.add_argument(
+        "--hedge-ms",
+        type=float,
+        default=0.0,
+        help="hedge slow reads with a duplicate request after this many ms (0 disables)",
     )
 
 
@@ -99,7 +168,7 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    store = _open_store(args.bucket, args.simulate_latency)
+    store = _open_store(args)
     if args.kind in LOG_SYSTEMS:
         corpus = generate_log_corpus(store, args.kind, num_documents=args.documents, seed=args.seed)
     elif args.kind == "cranfield":
@@ -116,7 +185,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    store = _open_store(args.bucket, args.simulate_latency)
+    store = _open_store(args)
     parser = LineDelimitedCorpusParser()
     documents = list(parser.parse(store, args.blobs))
     profile = profile_documents(documents)
@@ -194,8 +263,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     service = _open_service(args)
     names = service.catalog.names()
+    origin = args.store if args.store else args.bucket
     print(
-        f"serving {len(names)} index(es) from {args.bucket!r} "
+        f"serving {len(names)} index(es) from {origin!r} "
         f"on http://{args.host}:{args.port}",
         file=sys.stderr,
     )
@@ -289,7 +359,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by both ``airphant`` and ``python -m repro``."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (StoreURIError, StoreError) as error:
+        # Bad --store URIs, read-only backends under generate/build,
+        # exhausted retries, denied access — anywhere a storage failure
+        # escapes a subcommand, report it like the service errors above
+        # instead of dumping a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via `python -m repro`

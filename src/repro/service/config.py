@@ -15,6 +15,9 @@ from typing import Any, Mapping
 
 from repro.parsing.tokenizer import SimpleAnalyzer, Tokenizer, WhitespaceAnalyzer
 from repro.search.replication import HedgingPolicy
+from repro.storage.base import ObjectStore
+from repro.storage.resilient import ResilientStore
+from repro.storage.simulated import SimulatedCloudStore
 
 #: Named tokenizers a config (or an HTTP client) can select.
 TOKENIZERS = ("whitespace", "simple")
@@ -49,6 +52,20 @@ class ServiceConfig:
         overlapping/adjacent ranges.
     read_cache_bytes:
         Byte budget of the read pipeline's LRU block cache; 0 disables it.
+    retries:
+        Transient store failures retried per request by the
+        :class:`~repro.storage.resilient.ResilientStore` wrapper; 0 leaves
+        the store unwrapped (unless a timeout or hedging asks for it).
+    retry_backoff_ms:
+        First-retry backoff in milliseconds (doubles per retry, jittered).
+    request_timeout_s:
+        Per-attempt wall-clock bound on store requests; ``None`` disables.
+    hedge_ms:
+        Floor of the hedged-read delay in milliseconds; 0 disables hedged
+        duplicate reads.
+    hedge_percentile:
+        Latency percentile the adaptive hedge delay tracks (floored at
+        ``hedge_ms``).
     """
 
     tokenizer: str = "whitespace"
@@ -60,6 +77,11 @@ class ServiceConfig:
     default_top_k: int | None = None
     coalesce_gap: int = 0
     read_cache_bytes: int = 0
+    retries: int = 0
+    retry_backoff_ms: float = 20.0
+    request_timeout_s: float | None = None
+    hedge_ms: float = 0.0
+    hedge_percentile: float = 95.0
 
     def __post_init__(self) -> None:
         if self.tokenizer not in TOKENIZERS:
@@ -78,6 +100,16 @@ class ServiceConfig:
             raise ValueError("coalesce_gap must be non-negative")
         if self.read_cache_bytes < 0:
             raise ValueError("read_cache_bytes must be non-negative")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.retry_backoff_ms < 0:
+            raise ValueError("retry_backoff_ms must be non-negative")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive when set")
+        if self.hedge_ms < 0:
+            raise ValueError("hedge_ms must be non-negative")
+        if not 0.0 < self.hedge_percentile <= 100.0:
+            raise ValueError("hedge_percentile must be in (0, 100]")
 
     def make_tokenizer(self) -> Tokenizer:
         """Instantiate the configured tokenizer."""
@@ -88,6 +120,43 @@ class ServiceConfig:
     def make_hedging(self) -> HedgingPolicy:
         """Instantiate the configured hedging policy."""
         return HedgingPolicy(drop_slowest=self.drop_slowest)
+
+    @property
+    def resilience_enabled(self) -> bool:
+        """Whether any retry / timeout / hedged-read knob is active."""
+        return self.retries > 0 or self.request_timeout_s is not None or self.hedge_ms > 0
+
+    def wrap_store(self, store: ObjectStore) -> ObjectStore:
+        """Apply the configured resilience policy to ``store``.
+
+        Returns
+        -------
+        ``store`` untouched when every resilience knob is off (no wrapper,
+        no overhead), else a
+        :class:`~repro.storage.resilient.ResilientStore` around it.  Stores
+        that are already resilient are not double-wrapped.  A simulated
+        store is never wrapped *on top* — that would hide the simulator
+        from the fetcher's batch-timing path and silently zero every
+        simulated latency — instead the resilience wrapper slides
+        *underneath* the simulation layer, guarding the real backend while
+        virtual-clock timing stays in charge.
+        """
+        if not self.resilience_enabled or isinstance(store, ResilientStore):
+            return store
+        if isinstance(store, SimulatedCloudStore):
+            return store.with_backend(self.wrap_store(store.backend))
+        return ResilientStore(
+            store,
+            retries=self.retries,
+            backoff_ms=self.retry_backoff_ms,
+            timeout_s=self.request_timeout_s,
+            hedge_ms=self.hedge_ms,
+            hedge_percentile=self.hedge_percentile,
+            # Twice the fetcher's batch concurrency: a fully-slow wave must
+            # not saturate the hedge pool, or the duplicates would queue
+            # behind the very stragglers they are meant to race.
+            hedge_concurrency=2 * self.max_concurrency,
+        )
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable representation (reported by ``/healthz``)."""
@@ -101,6 +170,11 @@ class ServiceConfig:
             "default_top_k": self.default_top_k,
             "coalesce_gap": self.coalesce_gap,
             "read_cache_bytes": self.read_cache_bytes,
+            "retries": self.retries,
+            "retry_backoff_ms": self.retry_backoff_ms,
+            "request_timeout_s": self.request_timeout_s,
+            "hedge_ms": self.hedge_ms,
+            "hedge_percentile": self.hedge_percentile,
         }
 
     @classmethod

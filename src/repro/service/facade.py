@@ -13,7 +13,8 @@ searchers by hand.
 from __future__ import annotations
 
 import re
-from typing import Any, Sequence
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
 
 from repro.core.config import SketchConfig
 from repro.index.builder import AirphantBuilder
@@ -24,15 +25,69 @@ from repro.search.results import LatencyBreakdown, SearchResult
 from repro.service.api import IndexInfo, SearchRequest, SearchResponse, ServiceError
 from repro.service.catalog import IndexCatalog
 from repro.service.config import ServiceConfig
-from repro.storage.base import ObjectStore
+from repro.storage.base import (
+    BlobNotFoundError,
+    ObjectStore,
+    ReadOnlyStoreError,
+    StoreAccessError,
+    TransientStoreError,
+)
+from repro.storage.registry import open_store
 
 
 class AirphantService:
     """Serves keyword / Boolean / regex queries over cataloged indexes."""
 
-    def __init__(self, store: ObjectStore, config: ServiceConfig | None = None) -> None:
+    def __init__(
+        self,
+        store: ObjectStore,
+        config: ServiceConfig | None = None,
+        store_uri: str | None = None,
+    ) -> None:
         self._config = config if config is not None else ServiceConfig()
         self._catalog = IndexCatalog(store, self._config)
+        #: Recorded for /healthz; informational only (the store is already
+        #: resolved).  Set by from_uri and by the CLI's --store path.
+        self._store_uri = store_uri
+
+    @contextmanager
+    def _store_errors(self) -> Iterator[None]:
+        """Translate storage failures into the service's typed errors.
+
+        One definition for every endpoint: transient failures (including
+        exhausted retries) become ``503 store_unavailable``; definitive
+        access denials become ``403 store_access_denied``.
+        """
+        try:
+            yield
+        except TransientStoreError as error:
+            raise ServiceError(503, "store_unavailable", str(error)) from error
+        except StoreAccessError as error:
+            raise ServiceError(403, "store_access_denied", str(error)) from error
+
+    @classmethod
+    def from_uri(cls, uri: str, config: ServiceConfig | None = None) -> "AirphantService":
+        """Open a service over the backend a store URI names.
+
+        The URI is resolved through the storage registry (``mem://``,
+        ``file://``, ``sim://``, ``http(s)://``, ``s3://``; see
+        :func:`repro.storage.registry.open_store`) and wrapped with the
+        config's resilience policy (retries / timeout / hedged reads) via
+        :meth:`ServiceConfig.wrap_store`.  The CLI's ``--store`` flag builds
+        the same registry + wrap pipeline (plus its ``--simulate-latency``
+        layer) and passes the URI through the ``store_uri`` parameter, so
+        ``/healthz`` reports it either way.
+
+        Raises :class:`~repro.storage.registry.StoreURIError` on unknown
+        schemes or malformed URIs.
+        """
+        config = config if config is not None else ServiceConfig()
+        return cls(config.wrap_store(open_store(uri)), config, store_uri=uri)
+
+    @property
+    def store_uri(self) -> str | None:
+        """The URI this service was opened from (``None`` for direct stores)."""
+        return self._store_uri
 
     @property
     def store(self) -> ObjectStore:
@@ -52,10 +107,15 @@ class AirphantService:
     def close(self) -> None:
         """Close every opened searcher, releasing fetcher pools and caches.
 
-        The service stays usable: the next query simply reopens its index
-        (and with it a fresh long-lived fetcher pool).
+        Closes each catalog-opened searcher (which shuts down its — possibly
+        sharded — members' pipelines and fetcher thread pools) *and* the
+        store's own lazy ``read_many`` pipeline, so no worker thread
+        outlives the service.  The service stays usable: the next query
+        simply reopens its index (and with it a fresh long-lived fetcher
+        pool).
         """
         self._catalog.close()
+        self.store.close()
 
     def __enter__(self) -> "AirphantService":
         return self
@@ -66,23 +126,51 @@ class AirphantService:
     # -- health & inspection ---------------------------------------------------------
 
     def health(self) -> dict[str, Any]:
-        """Liveness payload: status, catalog size, and active configuration."""
-        names = self._catalog.names()
-        return {
+        """Liveness payload: status, catalog size, store, and configuration.
+
+        Always answers (that is the point of a liveness probe): when the
+        backing store cannot even be listed, the status degrades to
+        ``"degraded"`` with the storage error attached instead of failing
+        the probe outright.
+        """
+        store_info: dict[str, Any] = {"type": type(self.store).__name__}
+        if self._store_uri is not None:
+            store_info["uri"] = self._store_uri
+        payload: dict[str, Any] = {
             "status": "ok",
-            "indexes": len(names),
-            "open_indexes": sum(1 for name in names if self._catalog.is_open(name)),
+            "store": store_info,
             "config": self._config.to_dict(),
         }
+        try:
+            names = self._catalog.names()
+        except (TransientStoreError, StoreAccessError, BlobNotFoundError) as error:
+            # BlobNotFoundError here means the *container* itself is missing
+            # (e.g. an s3:// URI naming a nonexistent bucket answers 404 on
+            # the listing) — degraded, not a crash.
+            payload["status"] = "degraded"
+            payload["store_error"] = str(error)
+        else:
+            payload["indexes"] = len(names)
+            payload["open_indexes"] = sum(
+                1 for name in names if self._catalog.is_open(name)
+            )
+        return payload
 
     def list_indexes(self) -> list[IndexInfo]:
         """Describe every index the service can answer queries against."""
-        return self._catalog.list_infos()
+        try:
+            with self._store_errors():
+                return self._catalog.list_infos()
+        except BlobNotFoundError as error:
+            # The store's container itself is missing (nonexistent bucket):
+            # a typed 404, not an internal error.
+            raise ServiceError(404, "store_not_found", str(error)) from None
 
     def index_info(self, name: str) -> IndexInfo:
         """Describe one index; raises :class:`ServiceError` (404) if unknown."""
         try:
-            return self._catalog.info(name)
+            with self._store_errors():
+                return self._catalog.info(name)
         except KeyError:
             raise ServiceError(404, "index_not_found", f"no index named {name!r}") from None
 
@@ -102,14 +190,17 @@ class AirphantService:
         searcher = self._open(request.index)
         top_k = request.top_k if request.top_k is not None else self._config.default_top_k
         try:
-            if request.mode == "boolean":
-                return searcher.search_boolean(request.query, top_k=top_k)
-            if request.mode == "regex":
-                regex = RegexSearcher(
-                    searcher, min_literal_length=self._config.min_literal_length
-                )
-                return regex.search(request.query, top_k=top_k)
-            return searcher.search(request.query, top_k=top_k)
+            # _store_errors: the backend (not the request) failing — retries,
+            # if configured, are already exhausted by the time it raises.
+            with self._store_errors():
+                if request.mode == "boolean":
+                    return searcher.search_boolean(request.query, top_k=top_k)
+                if request.mode == "regex":
+                    regex = RegexSearcher(
+                        searcher, min_literal_length=self._config.min_literal_length
+                    )
+                    return regex.search(request.query, top_k=top_k)
+                return searcher.search(request.query, top_k=top_k)
         except (ValueError, re.error) as error:
             # Malformed Boolean syntax, bad regex, or a regex with no literal
             # words to filter on — the request, not the service, is at fault.
@@ -117,7 +208,8 @@ class AirphantService:
 
     def lookup_postings(self, index: str, word: str) -> tuple[list[Posting], LatencyBreakdown]:
         """Term-index lookup only (the paper's Figure 14 operation)."""
-        return self._open(index).lookup_postings(word)
+        with self._store_errors():
+            return self._open(index).lookup_postings(word)
 
     def searcher(self, index: str) -> MultiIndexSearcher:
         """The underlying searcher, for callers needing raw :class:`SearchResult`.
@@ -128,7 +220,9 @@ class AirphantService:
 
     def _open(self, index: str) -> MultiIndexSearcher:
         try:
-            return self._catalog.open(index)
+            # _store_errors: header/manifest reads failing before open.
+            with self._store_errors():
+                return self._catalog.open(index)
         except KeyError:
             raise ServiceError(404, "index_not_found", f"no index named {index!r}") from None
 
@@ -174,6 +268,12 @@ class AirphantService:
         # The builder removes any stale blobs from a previous layout of this
         # name (e.g. resharding, or sharded -> single-shard), so a rebuild is
         # authoritative regardless of what was there before.
-        builder.build_from_blobs(blobs, index_name=name, corpus_name=name)
+        try:
+            with self._store_errors():
+                builder.build_from_blobs(blobs, index_name=name, corpus_name=name)
+        except ReadOnlyStoreError as error:
+            # e.g. building against a static http:// export — the backend can
+            # serve the index but will never accept one.
+            raise ServiceError(400, "store_read_only", str(error)) from error
         self._catalog.invalidate(name)
         return self.index_info(name)

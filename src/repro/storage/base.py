@@ -19,8 +19,22 @@ from typing import Iterable
 _READ_MANY_LOCK = threading.Lock()
 
 
-class BlobNotFoundError(KeyError):
-    """Raised when a named blob does not exist in the store."""
+class StoreError(Exception):
+    """Base class of every error an :class:`ObjectStore` raises on purpose.
+
+    Callers that want one except-clause for "the storage layer failed" catch
+    this; the subclasses distinguish *what kind* of failure it was, which
+    drives the retry policy of :class:`~repro.storage.resilient.ResilientStore`.
+    """
+
+
+class BlobNotFoundError(StoreError, KeyError):
+    """Raised when a named blob does not exist in the store.
+
+    A *definitive* answer from the store, not a failure to reach it — it is
+    therefore never retried (subclassing ``KeyError`` keeps pre-existing
+    ``except KeyError`` callers working).
+    """
 
     def __init__(self, name: str):
         super().__init__(name)
@@ -28,6 +42,34 @@ class BlobNotFoundError(KeyError):
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"blob not found: {self.name!r}"
+
+
+class TransientStoreError(StoreError):
+    """A request that failed for a (probably) temporary reason.
+
+    Network resets, timeouts, HTTP 5xx answers, and injected faults all map
+    to this type; retrying the identical request may well succeed.
+    :class:`~repro.storage.resilient.ResilientStore` retries exactly this
+    class (plus ``OSError``) and nothing else.
+    """
+
+
+class ReadOnlyStoreError(StoreError):
+    """A write (``put``/``delete``) against a backend that cannot accept it.
+
+    Raised by :class:`~repro.storage.httpstore.HTTPRangeStore` when the
+    remote server rejects the mutation (plain static file servers speak GET /
+    HEAD only).  Never retried: the store answered, the answer was "no".
+    """
+
+
+class StoreAccessError(StoreError):
+    """The store definitively refused the request (HTTP 401/403).
+
+    Missing or wrong credentials, an expired token, a private bucket — the
+    backend is healthy and answered authoritatively, so retrying the
+    identical request cannot help.  Never retried.
+    """
 
 
 @dataclass(frozen=True)
@@ -94,7 +136,13 @@ class ObjectStore(ABC):
     # Convenience helpers shared by every backend -------------------------------
 
     def read(self, request: RangeRead) -> bytes:
-        """Execute a single :class:`RangeRead`."""
+        """Execute a single :class:`RangeRead`.
+
+        Returns
+        -------
+        The requested bytes (truncated at end-of-blob, like
+        :meth:`get_range`).
+        """
         return self.get_range(request.blob, request.offset, request.length)
 
     def read_many(self, requests: Iterable[RangeRead]) -> list[bytes]:
@@ -113,6 +161,10 @@ class ObjectStore(ABC):
         access pattern must use
         :meth:`~repro.storage.simulated.SimulatedCloudStore.timed_sequential`
         instead.
+
+        Returns
+        -------
+        One payload per request, in request order.
         """
         requests = list(requests)
         if not requests:
@@ -136,6 +188,34 @@ class ObjectStore(ABC):
                 self._read_many_pipeline = pipeline
             return pipeline
 
+    def close(self) -> None:
+        """Release the lazily-created ``read_many`` pipeline, if any.
+
+        Shuts down the pipeline's fetcher thread pool *now* instead of
+        waiting for the store to be garbage-collected.  Non-poisoning and
+        idempotent: the next :meth:`read_many` call transparently builds a
+        fresh pipeline, so closing a store that is still shared is safe.
+        Wrapper stores (simulated, resilient, flaky) extend this to close
+        their inner store as well.
+        """
+        with _READ_MANY_LOCK:
+            pipeline = self.__dict__.pop("_read_many_pipeline", None)
+        if pipeline is not None:
+            pipeline.close()
+
+    def __enter__(self) -> "ObjectStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def total_bytes(self, prefix: str = "") -> int:
-        """Total stored bytes under ``prefix`` (index storage-size metric)."""
+        """Total stored bytes under ``prefix`` (index storage-size metric).
+
+        Returns
+        -------
+        The sum of :meth:`size` over every blob :meth:`list_blobs` reports
+        under ``prefix`` — 0 on backends that cannot enumerate blobs (see
+        :meth:`~repro.storage.httpstore.HTTPRangeStore.list_blobs`).
+        """
         return sum(self.size(name) for name in self.list_blobs(prefix))

@@ -1,0 +1,160 @@
+"""Wall-clock fault injection for exercising the resilience layer.
+
+:class:`~repro.storage.simulated.SimulatedCloudStore` models latency on a
+*virtual* clock — perfect for the paper's figures, useless for exercising
+machinery that reacts to real elapsed time (retries, timeouts, hedged
+reads).  :class:`FlakyStore` is the wall-clock counterpart: it wraps any
+backend and injects
+
+* **transient errors** — reads raise
+  :class:`~repro.storage.base.TransientStoreError` with probability
+  ``error_rate`` (what :class:`~repro.storage.resilient.ResilientStore`
+  retries away);
+* **slow replicas** — reads really ``sleep`` for ``slow_ms`` with
+  probability ``slow_rate`` (what hedged duplicate reads race past).
+
+Faults are drawn from a private seeded RNG, so a single-threaded replay is
+deterministic; under concurrency the *rates* hold but the placement varies.
+Tests needing exact placement use :meth:`script` to enqueue forced outcomes
+that are consumed before the RNG is consulted.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.storage.base import ObjectStore, TransientStoreError
+
+
+class FlakyStore(ObjectStore):
+    """Fault-injecting :class:`ObjectStore` wrapper (real sleeps, real errors).
+
+    Parameters
+    ----------
+    backend:
+        Store holding the actual bytes.
+    error_rate:
+        Probability that a read raises :class:`TransientStoreError`.
+    slow_rate:
+        Probability that a read first sleeps for ``slow_ms`` (a "slow
+        replica" straggler).
+    slow_ms:
+        Wall-clock delay of an injected straggler, in milliseconds.
+    seed:
+        Seed of the private fault RNG.
+    sleep:
+        Injection point for tests (default ``time.sleep``).
+
+    Only reads (``get`` / ``get_range``) are fault-injected; metadata and
+    write operations pass through untouched, keeping builds and fixture
+    setup deterministic.
+    """
+
+    def __init__(
+        self,
+        backend: ObjectStore,
+        error_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        slow_ms: float = 50.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError("error_rate must be in [0, 1]")
+        if not 0.0 <= slow_rate <= 1.0:
+            raise ValueError("slow_rate must be in [0, 1]")
+        if slow_ms < 0:
+            raise ValueError("slow_ms must be non-negative")
+        self._backend = backend
+        self.error_rate = error_rate
+        self.slow_rate = slow_rate
+        self.slow_ms = slow_ms
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._scripted: deque[str] = deque()
+        self._lock = threading.Lock()
+        #: Transient errors raised so far.
+        self.injected_errors = 0
+        #: Straggler delays injected so far.
+        self.injected_slow = 0
+
+    @property
+    def backend(self) -> ObjectStore:
+        """The wrapped store holding the actual bytes."""
+        return self._backend
+
+    def script(self, outcomes: Iterable[str]) -> None:
+        """Enqueue forced outcomes for upcoming reads.
+
+        Parameters
+        ----------
+        outcomes:
+            A sequence of ``"error"``, ``"slow"``, or ``"ok"`` consumed one
+            per read (in read order) *before* the RNG is consulted — the
+            deterministic handle tests use to place faults exactly.
+        """
+        allowed = {"error", "slow", "ok"}
+        with self._lock:
+            for outcome in outcomes:
+                if outcome not in allowed:
+                    raise ValueError(f"unknown scripted outcome {outcome!r}")
+                self._scripted.append(outcome)
+
+    def _inject(self, operation: str) -> None:
+        """Apply one fault decision (scripted first, then probabilistic)."""
+        with self._lock:
+            if self._scripted:
+                outcome = self._scripted.popleft()
+            else:
+                roll_error = self._rng.random() < self.error_rate
+                roll_slow = self._rng.random() < self.slow_rate
+                outcome = "error" if roll_error else ("slow" if roll_slow else "ok")
+            if outcome == "error":
+                self.injected_errors += 1
+            elif outcome == "slow":
+                self.injected_slow += 1
+        if outcome == "error":
+            raise TransientStoreError(f"injected fault in {operation}")
+        if outcome == "slow":
+            self._sleep(self.slow_ms / 1000.0)
+
+    # -- ObjectStore interface ---------------------------------------------------
+
+    def put(self, name: str, data: bytes) -> None:
+        """Store ``data`` as blob ``name`` (never fault-injected)."""
+        self._backend.put(name, data)
+
+    def get(self, name: str) -> bytes:
+        """Return blob ``name``, possibly after an injected fault."""
+        self._inject(f"get {name!r}")
+        return self._backend.get(name)
+
+    def get_range(self, name: str, offset: int, length: int | None = None) -> bytes:
+        """Return a byte range of ``name``, possibly after an injected fault."""
+        self._inject(f"get_range {name!r}")
+        return self._backend.get_range(name, offset, length)
+
+    def size(self, name: str) -> int:
+        """Return the size of blob ``name`` (never fault-injected)."""
+        return self._backend.size(name)
+
+    def exists(self, name: str) -> bool:
+        """Whether blob ``name`` exists (never fault-injected)."""
+        return self._backend.exists(name)
+
+    def delete(self, name: str) -> None:
+        """Delete blob ``name`` (never fault-injected)."""
+        self._backend.delete(name)
+
+    def list_blobs(self, prefix: str = "") -> list[str]:
+        """Sorted blob names under ``prefix`` (never fault-injected)."""
+        return self._backend.list_blobs(prefix)
+
+    def close(self) -> None:
+        """Close this wrapper's pipeline and the wrapped store's."""
+        super().close()
+        self._backend.close()

@@ -1,0 +1,227 @@
+"""HTTP(S) object-store backend speaking standard byte-range requests.
+
+Airphant's whole read path needs nothing beyond whole-blob GET and byte-range
+GET, which *any* HTTP server provides: blob names map to URL paths under a
+base URL, ranges travel in the standard ``Range: bytes=start-end`` header.
+:class:`HTTPRangeStore` implements the :class:`~repro.storage.base.ObjectStore`
+interface over exactly that protocol with the stdlib ``urllib`` only, so an
+index exported to any static file server (``python -m http.server``, nginx,
+a CDN bucket website endpoint) is directly searchable with
+``airphant search --store http://host:port``.
+
+Semantics notes:
+
+* Servers that ignore ``Range`` (Python's own ``http.server`` among them)
+  answer ``200`` with the full body; the store slices the requested window
+  out client-side, so callers observe byte-identical results either way.
+* Reads past end-of-blob truncate (HTTP ``416`` maps to ``b""``), matching
+  the local and in-memory backends.
+* The protocol has no portable listing operation, so :meth:`list_blobs`
+  returns ``[]``; point queries (``exists``/``size``/``get``) all work, which
+  is what opening and searching a *named* index needs.  Use the
+  S3-compatible adapter (:mod:`repro.storage.s3`) when discovery matters.
+* Network failures and ``5xx`` answers raise
+  :class:`~repro.storage.base.TransientStoreError`, so wrapping in a
+  :class:`~repro.storage.resilient.ResilientStore` makes them retryable.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+from email.message import Message
+from urllib.parse import quote
+
+from repro.storage.base import (
+    BlobNotFoundError,
+    ObjectStore,
+    ReadOnlyStoreError,
+    StoreAccessError,
+    TransientStoreError,
+)
+
+#: HTTP status codes that mean "this server will not accept writes".
+_READ_ONLY_STATUSES = frozenset({405, 501})
+#: HTTP status codes that mean "you are not allowed" — definitive, never
+#: retried, and (on writes) distinct from "this server has no write support".
+_ACCESS_DENIED_STATUSES = frozenset({401, 403})
+
+
+class HTTPRangeStore(ObjectStore):
+    """Read-oriented :class:`ObjectStore` over plain HTTP range requests.
+
+    Parameters
+    ----------
+    base_url:
+        URL prefix blob names are appended to (``http://host:port`` or
+        ``https://host/prefix``); a trailing slash is optional.
+    timeout_s:
+        Socket timeout applied to every request, in seconds.
+
+    Writes (``put``/``delete``) are attempted as HTTP ``PUT``/``DELETE`` —
+    WebDAV-style servers accept them — and raise
+    :class:`~repro.storage.base.ReadOnlyStoreError` when the server refuses.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise ValueError(f"base_url must be http(s)://, got {base_url!r}")
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self._base_url = base_url.rstrip("/")
+        self._timeout_s = timeout_s
+
+    @property
+    def base_url(self) -> str:
+        """URL prefix every blob name is resolved against."""
+        return self._base_url
+
+    @property
+    def timeout_s(self) -> float:
+        """Per-request socket timeout in seconds."""
+        return self._timeout_s
+
+    # -- request plumbing --------------------------------------------------------
+
+    def blob_url(self, name: str) -> str:
+        """Return the full URL of blob ``name`` (slashes kept as path separators)."""
+        if not name or name.startswith("/") or ".." in name.split("/"):
+            raise ValueError(f"invalid blob name: {name!r}")
+        return f"{self._base_url}/{quote(name, safe='/')}"
+
+    def _headers(self, method: str, url: str, body: bytes | None) -> dict[str, str]:
+        """Extra request headers; subclasses add auth (e.g. AWS SigV4) here."""
+        return {}
+
+    def _request(
+        self,
+        method: str,
+        url: str,
+        name: str,
+        headers: dict[str, str] | None = None,
+        body: bytes | None = None,
+    ) -> tuple[int, Message, bytes]:
+        """Issue one HTTP request, translating failures to store errors.
+
+        Returns
+        -------
+        ``(status, response_headers, response_body)``.  ``404`` raises
+        :class:`BlobNotFoundError` and ``401``/``403`` raise
+        :class:`StoreAccessError` (both definitive, never retried);
+        ``405``/``501`` on writes raise :class:`ReadOnlyStoreError`;
+        ``416`` is returned to the caller (range handling); everything else
+        — ``5xx``, timeouts, connection errors — raises
+        :class:`TransientStoreError`.
+        """
+        merged = dict(headers or {})
+        merged.update(self._headers(method, url, body))
+        request = urllib.request.Request(url, data=body, headers=merged, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout_s) as response:
+                return response.status, response.headers, response.read()
+        except urllib.error.HTTPError as error:
+            payload = b""
+            try:
+                payload = error.read()
+            except OSError:  # pragma: no cover - read after broken pipe
+                pass
+            if error.code == 404:
+                raise BlobNotFoundError(name) from None
+            if error.code == 416:
+                return error.code, error.headers or Message(), payload
+            if error.code in _ACCESS_DENIED_STATUSES:
+                raise StoreAccessError(
+                    f"{method} {url} denied with HTTP {error.code} "
+                    "(check credentials / bucket policy)"
+                ) from error
+            if method in ("PUT", "DELETE") and error.code in _READ_ONLY_STATUSES:
+                # Checked before the 5xx rule: a 501 "Unsupported method" on
+                # a write is a definitive "this server is read-only", not a
+                # transient failure worth retrying.
+                raise ReadOnlyStoreError(
+                    f"server rejected {method} {url} with HTTP {error.code}; "
+                    "this backend is read-only"
+                ) from error
+            raise TransientStoreError(
+                f"{method} {url} failed with HTTP {error.code}"
+            ) from error
+        except (urllib.error.URLError, TimeoutError, ConnectionError) as error:
+            raise TransientStoreError(f"{method} {url} failed: {error}") from error
+
+    # -- ObjectStore interface ---------------------------------------------------
+
+    def put(self, name: str, data: bytes) -> None:
+        """Upload ``data`` as blob ``name`` via HTTP ``PUT``.
+
+        Raises :class:`ReadOnlyStoreError` when the server does not accept
+        uploads (the common case for static file servers).
+        """
+        self._request("PUT", self.blob_url(name), name, body=bytes(data))
+
+    def get(self, name: str) -> bytes:
+        """Return the full body of blob ``name`` (GET)."""
+        _, _, body = self._request("GET", self.blob_url(name), name)
+        return body
+
+    def get_range(self, name: str, offset: int, length: int | None = None) -> bytes:
+        """Return ``length`` bytes of ``name`` from ``offset`` via a Range GET.
+
+        Sends ``Range: bytes=offset-`` (or ``offset-(offset+length-1)``);
+        a ``206`` answer is used as-is, a ``200`` answer (server ignored the
+        header) is sliced client-side, and a ``416`` (range entirely past the
+        end) truncates to ``b""`` — matching local-store semantics exactly.
+        """
+        if length == 0:
+            return b""
+        if length is None:
+            range_header = f"bytes={offset}-"
+        else:
+            range_header = f"bytes={offset}-{offset + length - 1}"
+        status, _, body = self._request(
+            "GET", self.blob_url(name), name, headers={"Range": range_header}
+        )
+        if status == 206:
+            return body
+        if status == 416:
+            return b""
+        # Full-content answer from a server without range support.
+        if length is None:
+            return body[offset:]
+        return body[offset : offset + length]
+
+    def size(self, name: str) -> int:
+        """Return the blob's ``Content-Length``, probed with a ``HEAD`` request."""
+        _, headers, _ = self._request("HEAD", self.blob_url(name), name)
+        content_length = headers.get("Content-Length")
+        if content_length is None:
+            # Fall back to downloading the body (rare: chunked-only servers).
+            return len(self.get(name))
+        return int(content_length)
+
+    def exists(self, name: str) -> bool:
+        """Whether blob ``name`` answers a ``HEAD`` request (404 → ``False``)."""
+        try:
+            self._request("HEAD", self.blob_url(name), name)
+        except BlobNotFoundError:
+            return False
+        return True
+
+    def delete(self, name: str) -> None:
+        """Delete blob ``name`` via HTTP ``DELETE`` (missing blobs are a no-op).
+
+        Raises :class:`ReadOnlyStoreError` when the server refuses deletes.
+        """
+        try:
+            self._request("DELETE", self.blob_url(name), name)
+        except BlobNotFoundError:
+            pass
+
+    def list_blobs(self, prefix: str = "") -> list[str]:
+        """Return ``[]``: plain HTTP has no portable listing operation.
+
+        Consequences: catalog *discovery* (``GET /indexes``) sees no entries
+        and ``total_bytes`` reports 0, but opening and searching an index by
+        name works fully (it only needs ``exists``/``get``/``get_range``).
+        Backends with real listings (local, memory, S3) are unaffected.
+        """
+        return []

@@ -104,7 +104,15 @@ class AffineLatencyModel:
     # -- individual request components ---------------------------------------
 
     def sample_first_byte_ms(self) -> float:
-        """Sample the time-to-first-byte (wait time) of one request in ms."""
+        """Sample the time-to-first-byte (wait time) of one request in ms.
+
+        Returns
+        -------
+        The base first-byte latency scaled by the region multiplier, with
+        lognormal jitter applied and (with probability
+        ``straggler_probability``) the straggler multiplier.  Draws from the
+        model's private seeded RNG, so sequences are reproducible.
+        """
         base = self.first_byte_ms * self.region.rtt_multiplier
         if self.jitter_sigma > 0:
             base *= float(self._rng.lognormal(mean=0.0, sigma=self.jitter_sigma))
@@ -113,7 +121,13 @@ class AffineLatencyModel:
         return base
 
     def transfer_ms(self, nbytes: int) -> float:
-        """Deterministic transfer (download) time of ``nbytes`` in ms."""
+        """Deterministic transfer (download) time of ``nbytes`` in ms.
+
+        Returns
+        -------
+        ``nbytes / bandwidth`` at the per-request bandwidth (0 for empty
+        payloads); jitter applies only to the first-byte component.
+        """
         if nbytes <= 0:
             return 0.0
         return nbytes / (self.bandwidth_mb_per_s * _MB) * 1000.0

@@ -14,7 +14,23 @@ from repro.storage.base import BlobNotFoundError, ObjectStore
 
 
 class LocalObjectStore(ObjectStore):
-    """Filesystem-backed :class:`ObjectStore` rooted at ``root``."""
+    """Filesystem-backed :class:`ObjectStore` rooted at ``root``.
+
+    Parameters
+    ----------
+    root:
+        Directory acting as the bucket; created (with parents) if missing.
+
+    Implements the abstract interface of
+    :class:`~repro.storage.base.ObjectStore` exactly (see the base class for
+    Args/Returns): range reads seek + truncate at end-of-file, missing blobs
+    raise :class:`BlobNotFoundError`, ``delete`` is idempotent, and blob
+    names containing ``/`` become sub-directories (names escaping the root —
+    absolute or ``..`` — are rejected with ``ValueError``).  Latency is
+    whatever the filesystem provides; wrap in
+    :class:`~repro.storage.simulated.SimulatedCloudStore` to model network
+    timing on top.
+    """
 
     def __init__(self, root: str | os.PathLike[str]):
         self._root = Path(root)

@@ -16,7 +16,15 @@ class InMemoryObjectStore(ObjectStore):
     """Dictionary-backed :class:`ObjectStore`.
 
     Thread-safe for the access pattern Airphant uses (concurrent reads,
-    single-writer builds).
+    single-writer builds).  Every operation implements the abstract
+    interface of :class:`~repro.storage.base.ObjectStore` exactly (see the
+    base class for Args/Returns): range reads truncate at end-of-blob,
+    ``get``/``size`` raise :class:`BlobNotFoundError` for missing blobs,
+    ``delete`` is idempotent, and ``list_blobs`` returns sorted names.
+    Reads take no time at all — pair with
+    :class:`~repro.storage.simulated.SimulatedCloudStore` for virtual-clock
+    latencies or :class:`~repro.storage.faults.FlakyStore` for wall-clock
+    fault injection.
     """
 
     def __init__(self) -> None:

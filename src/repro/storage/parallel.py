@@ -10,6 +10,7 @@ the requests on a thread pool.
 
 from __future__ import annotations
 
+import os
 import threading
 import weakref
 from concurrent.futures import ThreadPoolExecutor
@@ -18,6 +19,18 @@ from dataclasses import dataclass
 from repro.storage.base import ObjectStore, RangeRead
 from repro.storage.metrics import BatchRecord, RequestRecord
 from repro.storage.simulated import SimulatedCloudStore
+
+
+def _shutdown_pool(pool: ThreadPoolExecutor, owner_pid: int) -> None:
+    """Finalizer target: shut ``pool`` down, but only in the owning process.
+
+    After ``os.fork()`` the child inherits the executor object but none of
+    its worker threads; shutting it down there would try to join threads
+    that never existed in the child.  The pid guard makes the finalizer a
+    no-op everywhere except the process that created the pool.
+    """
+    if os.getpid() == owner_pid:
+        pool.shutdown(wait=False)
 
 
 @dataclass(frozen=True)
@@ -66,6 +79,8 @@ class ParallelFetcher:
         # spinning up a fresh ThreadPoolExecutor per batch costs thread
         # creation on the query hot path and defeats OS-level thread reuse.
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_pid: int = 0
+        self._pool_finalizer: weakref.finalize | None = None
         self._pool_lock = threading.Lock()
 
     @property
@@ -74,17 +89,26 @@ class ParallelFetcher:
         return self._max_concurrency
 
     def close(self) -> None:
-        """Shut down the current thread pool (idempotent).
+        """Shut down the current thread pool (idempotent, fork-safe).
 
         Closing releases the worker threads *now*; it does not poison the
         fetcher — a later threaded fetch transparently creates a fresh pool,
         so closing is safe even while another thread still holds this
         fetcher (e.g. a catalog invalidating a searcher mid-query).
-        Simulated batches never touch the pool.
+        Double-close is a no-op.  In a process forked while the pool was
+        alive, the inherited pool's threads do not exist, so close drops the
+        reference without attempting a shutdown (and the pool's finalizer is
+        likewise pid-guarded).  Simulated batches never touch the pool.
         """
         with self._pool_lock:
             pool, self._pool = self._pool, None
-        if pool is not None:
+            owner_pid = self._pool_pid
+            finalizer, self._pool_finalizer = self._pool_finalizer, None
+        if finalizer is not None:
+            # The pool is shut down explicitly below; detach so the
+            # finalizer does not linger until garbage collection.
+            finalizer.detach()
+        if pool is not None and owner_pid == os.getpid():
             pool.shutdown(wait=True)
 
     def __enter__(self) -> "ParallelFetcher":
@@ -94,22 +118,56 @@ class ParallelFetcher:
         self.close()
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
+        """Return the live thread pool, creating (or re-creating) it lazily.
+
+        A pool inherited across ``os.fork()`` is unusable in the child (its
+        worker threads live only in the parent), so a pid mismatch discards
+        the stale reference and builds a fresh pool.
+        """
         with self._pool_lock:
+            if self._pool is not None and self._pool_pid != os.getpid():
+                # Forked child: the inherited pool has no threads here.
+                # Drop it without shutdown and start over.
+                if self._pool_finalizer is not None:
+                    self._pool_finalizer.detach()
+                    self._pool_finalizer = None
+                self._pool = None
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self._max_concurrency,
                     thread_name_prefix="airphant-fetch",
                 )
+                self._pool_pid = os.getpid()
                 # Owners that never call close() (or drop the fetcher in a
                 # reference cycle) must not strand idle worker threads until
                 # interpreter exit: shut the pool down when the fetcher is
-                # collected.  The callback references only the pool, so it
-                # cannot keep the fetcher (or its store) alive.
-                weakref.finalize(self, self._pool.shutdown, False)
+                # collected.  The callback references only the pool (and the
+                # owning pid), so it cannot keep the fetcher or its store
+                # alive, and it no-ops in forked children.
+                self._pool_finalizer = weakref.finalize(
+                    self, _shutdown_pool, self._pool, self._pool_pid
+                )
             return self._pool
 
     def fetch(self, requests: list[RangeRead]) -> FetchResult:
-        """Fetch all ``requests`` as one concurrent batch."""
+        """Fetch all ``requests`` as one concurrent batch.
+
+        Parameters
+        ----------
+        requests:
+            Independent range reads; they are issued concurrently (bounded by
+            ``max_concurrency``), never sequentially.
+
+        Returns
+        -------
+        A :class:`FetchResult` with one payload per request, in request
+        order, plus the batch timing.  Against a
+        :class:`~repro.storage.simulated.SimulatedCloudStore` the timing is
+        the virtual-clock batch cost (max first-byte wait per concurrency
+        wave + shared-bandwidth transfer); against real backends the
+        requests run on the thread pool and the recorded timing is zero
+        (wall-clock timing is the caller's job).
+        """
         if not requests:
             empty = BatchRecord(requests=(), wait_ms=0.0, download_ms=0.0)
             return FetchResult(payloads=[], batch=empty)
@@ -125,6 +183,16 @@ class ParallelFetcher:
         latency is determined by the ``required``-th fastest completion.  The
         *payloads* of the dropped requests are replaced by ``None`` markers so
         callers know which layers to skip.
+
+        Only meaningful against a :class:`SimulatedCloudStore` (hedging
+        reasons about per-request latencies, which only the simulator
+        reports); on real backends this falls back to a plain :meth:`fetch`.
+
+        Returns
+        -------
+        A :class:`FetchResult` whose payload list still has one entry per
+        request — dropped stragglers are ``None`` — and whose batch record
+        contains only the kept requests.
         """
         if required <= 0:
             raise ValueError("required must be positive")

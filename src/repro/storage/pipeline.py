@@ -201,6 +201,22 @@ class ReadPipeline:
         At most one physical batch is issued; a batch fully served from the
         cache issues none (its :class:`BatchRecord` is empty with zero
         latency, which callers can detect via ``batch.requests``).
+
+        Parameters
+        ----------
+        requests:
+            Logical range reads; duplicates and overlaps are welcome — that
+            is exactly what the pipeline optimizes.
+
+        Returns
+        -------
+        A :class:`~repro.storage.parallel.FetchResult` whose payloads are
+        byte-for-byte what raw fetching would have returned (end-of-blob
+        truncation included) and whose batch record carries the timing of
+        the *physical* batch.  Timing caveat: against a simulated store the
+        recorded latency covers only the coalesced physical requests — the
+        whole point — so it is not comparable with a raw per-request
+        replay of the same logical batch.
         """
         if not requests:
             empty = BatchRecord(requests=(), wait_ms=0.0, download_ms=0.0)

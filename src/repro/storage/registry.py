@@ -1,0 +1,269 @@
+"""URI-scheme registry resolving backend strings to object stores.
+
+One string now names any storage backend the reproduction can talk to, so
+the CLI, the service facade, and the benchmarks all share a single
+``--store URI`` vocabulary:
+
+===========================  ====================================================
+URI                          Resolves to
+===========================  ====================================================
+``mem://``                   fresh :class:`~repro.storage.memory.InMemoryObjectStore`
+``mem://name``               process-shared named in-memory store (tests/demos)
+``file:///path`` or a bare   :class:`~repro.storage.local.LocalObjectStore`
+path like ``./bucket``
+``sim://[path]``             :class:`~repro.storage.simulated.SimulatedCloudStore`
+                             over memory (or a local directory when a path is
+                             given); latency-model knobs ride in the query string
+``http(s)://host[:p]/pfx``   :class:`~repro.storage.httpstore.HTTPRangeStore`
+``s3://bucket/prefix``       :class:`~repro.storage.s3.S3ObjectStore`
+                             (``?endpoint=`` for MinIO-style services)
+===========================  ====================================================
+
+Query parameters configure the backend (e.g.
+``sim://?region=asia-southeast1&straggler_probability=0.01`` or
+``s3://idx?endpoint=http%3A//127.0.0.1%3A9000&region=us-east-1``); unknown
+schemes and malformed URIs raise :class:`StoreURIError`.  Third parties can
+:func:`register_scheme` their own backends; resolution composes with
+:class:`~repro.storage.resilient.ResilientStore`, which wraps whatever the
+registry returns (see :meth:`repro.service.config.ServiceConfig.wrap_store`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+from urllib.parse import SplitResult, parse_qsl, unquote, urlsplit
+
+from repro.storage.base import ObjectStore
+from repro.storage.httpstore import HTTPRangeStore
+from repro.storage.latency import REGION_PROFILES, AffineLatencyModel
+from repro.storage.local import LocalObjectStore
+from repro.storage.memory import InMemoryObjectStore
+from repro.storage.s3 import S3ObjectStore
+from repro.storage.simulated import SimulatedCloudStore
+
+#: A factory receives the split URI plus its parsed query parameters.
+StoreFactory = Callable[[SplitResult, dict[str, str]], ObjectStore]
+
+
+class StoreURIError(ValueError):
+    """A store URI that cannot be resolved (unknown scheme or malformed)."""
+
+
+_registry_lock = threading.Lock()
+_factories: dict[str, StoreFactory] = {}
+
+#: Named ``mem://name`` stores shared across the process (so a build and a
+#: later search in the same process hit the same bytes).
+_named_memory_lock = threading.Lock()
+_named_memory: dict[str, InMemoryObjectStore] = {}
+
+
+def register_scheme(scheme: str, factory: StoreFactory, replace: bool = False) -> None:
+    """Register ``factory`` to resolve ``scheme://...`` URIs.
+
+    Parameters
+    ----------
+    scheme:
+        The URI scheme, lowercase, without ``://``.
+    factory:
+        Called as ``factory(parts, params)`` with the ``urlsplit`` result
+        and the de-duplicated query parameters; returns the store.
+    replace:
+        Allow overriding an existing registration (default: raise
+        :class:`StoreURIError` on conflicts).
+    """
+    if not scheme or not scheme.isalnum():
+        raise StoreURIError(f"invalid scheme {scheme!r}")
+    key = scheme.lower()
+    with _registry_lock:
+        if key in _factories and not replace:
+            raise StoreURIError(f"scheme {scheme!r} is already registered")
+        _factories[key] = factory
+
+
+def registered_schemes() -> tuple[str, ...]:
+    """The sorted URI schemes :func:`open_store` currently understands."""
+    with _registry_lock:
+        return tuple(sorted(_factories))
+
+
+def open_store(uri: str) -> ObjectStore:
+    """Resolve a backend string to a ready-to-use :class:`ObjectStore`.
+
+    Parameters
+    ----------
+    uri:
+        A ``scheme://...`` URI from the table above, or a bare filesystem
+        path (treated as ``file://``).
+
+    Returns
+    -------
+    The resolved store.  The caller owns it (and may wrap it further, e.g.
+    in a :class:`~repro.storage.resilient.ResilientStore`).
+
+    Raises
+    ------
+    StoreURIError
+        On an empty string, an unknown scheme, duplicate or unknown query
+        parameters, or scheme-specific validation failures.
+    """
+    if not isinstance(uri, str) or not uri.strip():
+        raise StoreURIError("store URI must be a non-empty string")
+    uri = uri.strip()
+    if "://" not in uri:
+        # Bare paths keep the pre-registry CLI ergonomics: --store ./bucket.
+        return LocalObjectStore(uri)
+    scheme = uri.split("://", 1)[0].lower()
+    if not scheme:
+        raise StoreURIError(f"malformed store URI {uri!r}: empty scheme")
+    with _registry_lock:
+        factory = _factories.get(scheme)
+    if factory is None:
+        known = ", ".join(f"{name}://" for name in registered_schemes())
+        raise StoreURIError(f"unknown store scheme {scheme!r} in {uri!r}; known: {known}")
+    parts = urlsplit(uri)
+    params: dict[str, str] = {}
+    for key, value in parse_qsl(parts.query, keep_blank_values=True):
+        if key in params:
+            raise StoreURIError(f"duplicate query parameter {key!r} in {uri!r}")
+        params[key] = value
+    try:
+        return factory(parts, params)
+    except StoreURIError:
+        raise
+    except (TypeError, ValueError, KeyError) as error:
+        raise StoreURIError(f"cannot open store {uri!r}: {error}") from error
+
+
+def reset_named_memory_stores() -> None:
+    """Forget all ``mem://name`` instances (test isolation helper)."""
+    with _named_memory_lock:
+        _named_memory.clear()
+
+
+# -- built-in factories -------------------------------------------------------------
+
+
+def _reject_params(params: dict[str, str], allowed: tuple[str, ...], uri: str) -> None:
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise StoreURIError(
+            f"unknown query parameter(s) {', '.join(unknown)} in {uri!r}; "
+            f"allowed: {', '.join(allowed) or '(none)'}"
+        )
+
+
+def _float_param(params: dict[str, str], key: str, uri: str) -> float | None:
+    if key not in params:
+        return None
+    try:
+        return float(params[key])
+    except ValueError:
+        raise StoreURIError(f"parameter {key!r} in {uri!r} must be a number") from None
+
+
+def _local_path(parts: SplitResult) -> str:
+    """Reassemble a filesystem path from netloc + path.
+
+    ``file:///abs/dir`` → ``/abs/dir``; ``file://./bucket`` → ``./bucket``;
+    ``sim://bucket/dir`` → ``bucket/dir``.
+    """
+    return unquote(f"{parts.netloc}{parts.path}")
+
+
+def _make_memory(parts: SplitResult, params: dict[str, str]) -> ObjectStore:
+    uri = parts.geturl()
+    _reject_params(params, (), uri)
+    if parts.path.strip("/"):
+        raise StoreURIError(f"mem:// URIs take at most a name, got {uri!r}")
+    name = parts.netloc
+    if not name:
+        return InMemoryObjectStore()
+    with _named_memory_lock:
+        store = _named_memory.get(name)
+        if store is None:
+            store = _named_memory[name] = InMemoryObjectStore()
+        return store
+
+
+def _make_file(parts: SplitResult, params: dict[str, str]) -> ObjectStore:
+    uri = parts.geturl()
+    _reject_params(params, (), uri)
+    path = _local_path(parts)
+    if not path:
+        raise StoreURIError(f"file:// URI needs a path, got {uri!r}")
+    return LocalObjectStore(path)
+
+
+#: Latency-model knobs a ``sim://`` URI may set in its query string.
+_SIM_PARAMS = (
+    "first_byte_ms",
+    "bandwidth_mb_per_s",
+    "aggregate_bandwidth_mb_per_s",
+    "jitter_sigma",
+    "straggler_probability",
+    "straggler_multiplier",
+    "region",
+    "seed",
+)
+
+
+def _make_simulated(parts: SplitResult, params: dict[str, str]) -> ObjectStore:
+    uri = parts.geturl()
+    _reject_params(params, _SIM_PARAMS, uri)
+    model_kwargs: dict[str, object] = {}
+    for key in _SIM_PARAMS:
+        if key not in params:
+            continue
+        if key == "region":
+            if params[key] not in REGION_PROFILES:
+                known = ", ".join(sorted(REGION_PROFILES))
+                raise StoreURIError(f"unknown region {params[key]!r} in {uri!r}; known: {known}")
+            model_kwargs[key] = params[key]
+        elif key == "seed":
+            try:
+                model_kwargs[key] = int(params[key])
+            except ValueError:
+                raise StoreURIError(f"parameter 'seed' in {uri!r} must be an integer") from None
+        else:
+            model_kwargs[key] = _float_param(params, key, uri)
+    path = _local_path(parts)
+    backend: ObjectStore = LocalObjectStore(path) if path else InMemoryObjectStore()
+    return SimulatedCloudStore(backend=backend, latency_model=AffineLatencyModel(**model_kwargs))
+
+
+def _make_http(parts: SplitResult, params: dict[str, str]) -> ObjectStore:
+    uri = parts.geturl()
+    _reject_params(params, ("timeout_s",), uri)
+    if not parts.netloc:
+        raise StoreURIError(f"http(s):// URI needs a host, got {uri!r}")
+    base_url = f"{parts.scheme}://{parts.netloc}{parts.path}"
+    timeout_s = _float_param(params, "timeout_s", uri)
+    return HTTPRangeStore(base_url, timeout_s=timeout_s if timeout_s is not None else 10.0)
+
+
+def _make_s3(parts: SplitResult, params: dict[str, str]) -> ObjectStore:
+    uri = parts.geturl()
+    _reject_params(params, ("endpoint", "region", "timeout_s"), uri)
+    if not parts.netloc:
+        raise StoreURIError(f"s3:// URI needs a bucket, got {uri!r}")
+    endpoint = params.get("endpoint")
+    if endpoint is not None and not endpoint.startswith(("http://", "https://")):
+        raise StoreURIError(f"s3 endpoint must be an http(s) URL, got {endpoint!r}")
+    timeout_s = _float_param(params, "timeout_s", uri)
+    return S3ObjectStore(
+        bucket=parts.netloc,
+        prefix=unquote(parts.path).strip("/"),
+        endpoint=endpoint,
+        region=params.get("region", "us-east-1"),
+        timeout_s=timeout_s if timeout_s is not None else 10.0,
+    )
+
+
+register_scheme("mem", _make_memory)
+register_scheme("file", _make_file)
+register_scheme("sim", _make_simulated)
+register_scheme("http", _make_http)
+register_scheme("https", _make_http)
+register_scheme("s3", _make_s3)

@@ -68,6 +68,20 @@ class SimulatedCloudStore(ObjectStore):
             record_metrics=self._record_metrics,
         )
 
+    def with_backend(self, backend: ObjectStore) -> "SimulatedCloudStore":
+        """Return a simulated view of a *different* backend, same model.
+
+        The complement of :meth:`with_latency_model` — used to slide a
+        wrapper (e.g. a :class:`~repro.storage.resilient.ResilientStore`)
+        *underneath* the simulation layer, so virtual-clock timing stays on
+        top while the wrapper guards the real backend.
+        """
+        return SimulatedCloudStore(
+            backend=backend,
+            latency_model=self._latency,
+            record_metrics=self._record_metrics,
+        )
+
     # -- ObjectStore interface (pass-through data, metered timing) -------------
 
     def put(self, name: str, data: bytes) -> None:
@@ -93,10 +107,22 @@ class SimulatedCloudStore(ObjectStore):
     def list_blobs(self, prefix: str = "") -> list[str]:
         return self._backend.list_blobs(prefix)
 
+    def close(self) -> None:
+        """Close this store's lazy pipeline and the backend's."""
+        super().close()
+        self._backend.close()
+
     # -- timed operations -------------------------------------------------------
 
     def timed_get(self, name: str) -> tuple[bytes, RequestRecord]:
-        """Fetch a whole blob, returning its simulated request timing."""
+        """Fetch a whole blob, returning its simulated request timing.
+
+        Returns
+        -------
+        ``(data, record)`` — the blob bytes plus the virtual-clock
+        :class:`RequestRecord` this request was charged (no real time
+        passes; the simulator never sleeps).
+        """
         data = self._backend.get(name)
         record = self._make_record(name, len(data))
         if self._record_metrics:
@@ -106,7 +132,13 @@ class SimulatedCloudStore(ObjectStore):
     def timed_get_range(
         self, name: str, offset: int, length: int | None = None
     ) -> tuple[bytes, RequestRecord]:
-        """Fetch a byte range, returning its simulated request timing."""
+        """Fetch a byte range, returning its simulated request timing.
+
+        Returns
+        -------
+        ``(data, record)`` like :meth:`timed_get`, with the transfer time
+        charged for the truncated range actually returned.
+        """
         data = self._backend.get_range(name, offset, length)
         record = self._make_record(name, len(data))
         if self._record_metrics:
@@ -114,7 +146,13 @@ class SimulatedCloudStore(ObjectStore):
         return data, record
 
     def timed_read(self, request: RangeRead) -> tuple[bytes, RequestRecord]:
-        """Execute one :class:`RangeRead` with timing."""
+        """Execute one :class:`RangeRead` with timing.
+
+        Returns
+        -------
+        ``(data, record)`` exactly as :meth:`timed_get_range` would for the
+        request's ``(blob, offset, length)``.
+        """
         return self.timed_get_range(request.blob, request.offset, request.length)
 
     def timed_sequential(
@@ -124,7 +162,13 @@ class SimulatedCloudStore(ObjectStore):
 
         This is the access pattern of hierarchical indexes (B-trees, skip
         lists) traversing node by node; the total simulated latency is the
-        *sum* of the individual request latencies.
+        *sum* of the individual request latencies — the opposite timing
+        semantics of :meth:`timed_batch`, which charges one concurrent wave.
+
+        Returns
+        -------
+        ``(payloads, records)`` in request order; callers sum the records'
+        ``total_ms`` to get the end-to-end sequential latency.
         """
         payloads: list[bytes] = []
         records: list[RequestRecord] = []
@@ -143,6 +187,11 @@ class SimulatedCloudStore(ObjectStore):
         once, so the batch's wait time is the *maximum* first-byte latency
         (per concurrency wave) rather than the sum, and the download time is
         bounded by aggregate bandwidth.
+
+        Returns
+        -------
+        ``(payloads, batch)`` — payloads in request order plus one
+        :class:`BatchRecord` covering the whole concurrent batch.
         """
         request_list = list(requests)
         if max_concurrency <= 0:

@@ -263,3 +263,107 @@ class TestSearch:
             thread.join(timeout=10)
         assert len(results) == 8
         assert all(status == 200 and payload["num_results"] == 3 for status, payload in results)
+
+
+class TestStoreFailures:
+    """Backend failures must surface as typed JSON errors, not 500s."""
+
+    @pytest.fixture
+    def flaky_server(self, tmp_path):
+        from repro.storage.faults import FlakyStore
+        from repro.storage.local import LocalObjectStore
+        from repro.storage.resilient import ResilientStore
+
+        inner = LocalObjectStore(str(tmp_path / "bucket"))
+        inner.put("corpora/logs.txt", CORPUS)
+        flaky = FlakyStore(inner)
+        store = ResilientStore(flaky, retries=1, backoff_ms=0.0)
+        service = AirphantService(store, ServiceConfig(query_cache_size=8))
+        server = create_server(service, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server, flaky
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_retry_exhaustion_surfaces_as_503_store_unavailable(self, flaky_server):
+        server, flaky = flaky_server
+        status, _ = _build_index(server)
+        assert status == 200
+        # From now on every read fails; 1 retry cannot save the query.
+        flaky.error_rate = 1.0
+        status, payload = _post(
+            server, "/search", {"index": "logs-index", "query": "error"}
+        )
+        assert status == 503
+        assert payload["error"] == "store_unavailable"
+        assert payload["status"] == 503
+        assert "attempt" in payload["message"]
+
+    def test_transient_faults_are_retried_transparently(self, flaky_server):
+        server, flaky = flaky_server
+        assert _build_index(server)[0] == 200
+        # Exactly one fault per wave of reads: a single retry always rescues.
+        flaky.script(["error"])
+        status, payload = _post(
+            server, "/search", {"index": "logs-index", "query": "error"}
+        )
+        assert status == 200
+        assert payload["num_results"] == 3
+
+    def test_healthz_reports_resilient_store(self, flaky_server):
+        server, _ = flaky_server
+        status, payload = _get(server, "/healthz")
+        assert status == 200
+        assert payload["store"]["type"] == "ResilientStore"
+
+    def test_listing_during_outage_is_typed_503(self, flaky_server):
+        """GET /indexes honours the same error contract as POST /search."""
+        server, flaky = flaky_server
+        assert _build_index(server)[0] == 200
+
+        def listing_fails(prefix=""):
+            from repro.storage.base import TransientStoreError
+
+            raise TransientStoreError("injected listing outage")
+
+        flaky.list_blobs = listing_fails
+        status, payload = _get(server, "/indexes")
+        assert status == 503
+        assert payload["error"] == "store_unavailable"
+
+    def test_healthz_degrades_instead_of_failing_during_outage(self, flaky_server):
+        server, flaky = flaky_server
+
+        def listing_fails(prefix=""):
+            from repro.storage.base import TransientStoreError
+
+            raise TransientStoreError("injected listing outage")
+
+        flaky.list_blobs = listing_fails
+        status, payload = _get(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "degraded"
+        assert "outage" in payload["store_error"]
+        assert "indexes" not in payload
+
+    def test_missing_container_is_typed_404_and_degraded_health(self, flaky_server):
+        """An s3:// URI naming a nonexistent bucket answers 404 on listing;
+        that must be a typed error / degraded health, never a 500."""
+        server, flaky = flaky_server
+
+        def listing_404(prefix=""):
+            from repro.storage.base import BlobNotFoundError
+
+            raise BlobNotFoundError("<list>")
+
+        flaky.list_blobs = listing_404
+        status, payload = _get(server, "/indexes")
+        assert status == 404
+        assert payload["error"] == "store_not_found"
+        status, payload = _get(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "degraded"

@@ -1,5 +1,8 @@
 """Unit tests for the parallel fetcher (including hedged requests)."""
 
+import os
+import threading
+
 import pytest
 
 from repro.storage.base import RangeRead
@@ -101,3 +104,114 @@ class TestHedgedFetch:
         fetcher = ParallelFetcher(backend)
         result = fetcher.fetch_hedged([RangeRead("b", 0, 5), RangeRead("b", 5, 5)], required=1)
         assert result.payloads == [b"01234", b"56789"]
+
+
+def _fetch_worker_threads() -> list[threading.Thread]:
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.name.startswith("airphant-fetch")
+    ]
+
+
+def _assert_no_fetch_threads(timeout: float = 3.0) -> None:
+    """Assert all fetch workers are gone, tolerating asynchronous drains.
+
+    Unrelated fetchers leaked earlier in the test session may sit in
+    reference cycles (store → pipeline → fetcher → store) that only the
+    cyclic GC breaks, and their finalizers shut pools down with
+    ``wait=False`` — so force collection and give those threads a moment.
+    """
+    import gc
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        gc.collect()
+        if not _fetch_worker_threads():
+            return
+        time.sleep(0.05)
+    assert not _fetch_worker_threads()
+
+
+class TestLifecycle:
+    def _plain_fetcher(self) -> ParallelFetcher:
+        backend = InMemoryObjectStore()
+        backend.put("b", b"0123456789")
+        return ParallelFetcher(backend, max_concurrency=2)
+
+    def test_double_close_is_a_noop(self):
+        fetcher = self._plain_fetcher()
+        fetcher.fetch([RangeRead("b", 0, 5)])
+        fetcher.close()
+        fetcher.close()  # second close must not raise or hang
+        # ...and close does not poison the fetcher: a fresh pool appears.
+        assert fetcher.fetch([RangeRead("b", 0, 5)]).payloads == [b"01234"]
+        fetcher.close()
+
+    def test_close_before_any_fetch(self):
+        self._plain_fetcher().close()
+
+    def test_close_joins_worker_threads(self):
+        fetcher = self._plain_fetcher()
+        fetcher.fetch([RangeRead("b", 0, 5)])
+        assert _fetch_worker_threads()
+        fetcher.close()
+        _assert_no_fetch_threads()
+
+    def test_close_after_fork_drops_inherited_pool_without_shutdown(self, monkeypatch):
+        """Simulated fork: the recorded owner pid no longer matches ours."""
+        fetcher = self._plain_fetcher()
+        fetcher.fetch([RangeRead("b", 0, 5)])
+        pool = fetcher._pool
+        assert pool is not None
+        monkeypatch.setattr(fetcher, "_pool_pid", os.getpid() + 1)
+        fetcher.close()
+        # The parent's pool must not have been shut down from the "child".
+        assert not pool._shutdown
+        assert fetcher._pool is None
+        pool.shutdown(wait=True)
+
+    def test_fetch_after_fork_builds_a_fresh_pool(self, monkeypatch):
+        fetcher = self._plain_fetcher()
+        fetcher.fetch([RangeRead("b", 0, 5)])
+        inherited = fetcher._pool
+        monkeypatch.setattr(fetcher, "_pool_pid", os.getpid() + 1)
+        result = fetcher.fetch([RangeRead("b", 2, 3)])
+        assert result.payloads == [b"234"]
+        assert fetcher._pool is not inherited
+        assert not inherited._shutdown  # parent's pool untouched
+        fetcher.close()
+        inherited.shutdown(wait=True)
+
+    def test_service_close_leaves_no_fetch_threads(self, tmp_path):
+        """AirphantService.close() must close catalog searchers' fetchers
+        (including sharded members) and the store's read_many pipeline."""
+        from repro.core.config import SketchConfig
+        from repro.service import AirphantService, SearchRequest
+        from repro.storage.local import LocalObjectStore
+
+        store = LocalObjectStore(tmp_path / "bucket")
+        store.put("corpora/logs.txt", b"error one\ninfo two\nerror three\nwarn four")
+        service = AirphantService(store)
+        service.build_index(
+            "logs",
+            ["corpora/logs.txt"],
+            sketch_config=SketchConfig(num_bins=64),
+            num_shards=2,
+        )
+        assert service.search(SearchRequest(query="error", index="logs")).num_results == 2
+        # Exercise the store-level read_many pipeline too (shard headers).
+        service.index_info("logs")
+        assert _fetch_worker_threads()
+        assert store.__dict__.get("_read_many_pipeline") is not None
+        service.close()
+        # Direct evidence close() did the work (not the garbage collector):
+        # the store's lazy pipeline is gone and no catalog searcher remains.
+        assert store.__dict__.get("_read_many_pipeline") is None
+        assert not service.catalog.is_open("logs")
+        _assert_no_fetch_threads()
+        # Close is non-poisoning: querying again just reopens everything.
+        assert service.search(SearchRequest(query="error", index="logs")).num_results == 2
+        service.close()
+        _assert_no_fetch_threads()

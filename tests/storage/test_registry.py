@@ -1,0 +1,136 @@
+"""Unit tests for the store-URI registry (scheme resolution + errors)."""
+
+import pytest
+
+from repro.storage.httpstore import HTTPRangeStore
+from repro.storage.latency import REGION_PROFILES
+from repro.storage.local import LocalObjectStore
+from repro.storage.memory import InMemoryObjectStore
+from repro.storage.registry import (
+    StoreURIError,
+    open_store,
+    register_scheme,
+    registered_schemes,
+    reset_named_memory_stores,
+)
+from repro.storage.s3 import S3ObjectStore
+from repro.storage.simulated import SimulatedCloudStore
+
+
+class TestSchemes:
+    def test_builtin_schemes_registered(self):
+        schemes = registered_schemes()
+        for scheme in ("mem", "file", "sim", "http", "https", "s3"):
+            assert scheme in schemes
+
+    def test_mem_uri_returns_fresh_memory_store(self):
+        first, second = open_store("mem://"), open_store("mem://")
+        assert isinstance(first, InMemoryObjectStore)
+        assert first is not second
+
+    def test_named_mem_uri_is_process_shared(self):
+        reset_named_memory_stores()
+        try:
+            first = open_store("mem://shared")
+            first.put("blob", b"bytes")
+            second = open_store("mem://shared")
+            assert second is first
+            assert second.get("blob") == b"bytes"
+            assert open_store("mem://other") is not first
+        finally:
+            reset_named_memory_stores()
+
+    def test_file_uri_and_bare_path_resolve_to_local_store(self, tmp_path):
+        by_uri = open_store(f"file://{tmp_path}/bucket-a")
+        bare = open_store(str(tmp_path / "bucket-b"))
+        assert isinstance(by_uri, LocalObjectStore)
+        assert isinstance(bare, LocalObjectStore)
+        by_uri.put("x", b"1")
+        assert (tmp_path / "bucket-a" / "x").read_bytes() == b"1"
+
+    def test_sim_uri_defaults_to_memory_backend(self):
+        store = open_store("sim://")
+        assert isinstance(store, SimulatedCloudStore)
+        assert isinstance(store.backend, InMemoryObjectStore)
+
+    def test_sim_uri_with_path_and_latency_parameters(self, tmp_path):
+        uri = (
+            f"sim://{tmp_path}/bucket"
+            "?region=asia-southeast1&straggler_probability=0.25&first_byte_ms=80&seed=5"
+        )
+        store = open_store(uri)
+        assert isinstance(store, SimulatedCloudStore)
+        assert isinstance(store.backend, LocalObjectStore)
+        model = store.latency_model
+        assert model.region == REGION_PROFILES["asia-southeast1"]
+        assert model.straggler_probability == 0.25
+        assert model.first_byte_ms == 80.0
+        assert model.seed == 5
+
+    def test_http_uri_resolves_with_timeout(self):
+        store = open_store("http://127.0.0.1:9000/exports?timeout_s=2.5")
+        assert isinstance(store, HTTPRangeStore)
+        assert store.base_url == "http://127.0.0.1:9000/exports"
+        assert store.timeout_s == 2.5
+
+    def test_s3_uri_resolves_bucket_prefix_endpoint(self):
+        store = open_store("s3://indexes/prod?endpoint=http://127.0.0.1:9000&region=eu-west-1")
+        assert isinstance(store, S3ObjectStore)
+        assert store.bucket == "indexes"
+        assert store.prefix == "prod"
+        assert store.blob_url("a/b").startswith("http://127.0.0.1:9000/indexes/prod/a/b")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "uri",
+        [
+            "gs://bucket",  # unknown scheme
+            "ftp://host/x",
+            "://no-scheme",
+            "",
+            "   ",
+            "s3://",  # missing bucket
+            "http://",  # missing host
+            "file://",  # missing path
+            "mem://name/extra-path",
+            "sim://?nope=1",  # unknown parameter
+            "sim://?region=mars",  # unknown region
+            "sim://?first_byte_ms=fast",  # non-numeric
+            "sim://?seed=1&seed=2",  # duplicate parameter
+            "http://h?timeout_s=soon",
+            "s3://b?endpoint=ldap://x",
+        ],
+    )
+    def test_malformed_or_unknown_uris_raise_typed_error(self, uri):
+        with pytest.raises(StoreURIError):
+            open_store(uri)
+
+    def test_unknown_scheme_error_names_known_schemes(self):
+        with pytest.raises(StoreURIError, match="mem://"):
+            open_store("gopher://x")
+
+    def test_register_scheme_conflict_and_replace(self):
+        with pytest.raises(StoreURIError):
+            register_scheme("mem", lambda parts, params: InMemoryObjectStore())
+        # replace=True is allowed; restore the builtin right away.
+        from repro.storage.registry import _make_memory
+
+        register_scheme("mem", _make_memory, replace=True)
+
+    def test_register_scheme_validates_name(self):
+        with pytest.raises(StoreURIError):
+            register_scheme("", lambda parts, params: InMemoryObjectStore())
+        with pytest.raises(StoreURIError):
+            register_scheme("my scheme", lambda parts, params: InMemoryObjectStore())
+
+    def test_custom_scheme_round_trip(self):
+        sentinel = InMemoryObjectStore()
+        register_scheme("testonly", lambda parts, params: sentinel)
+        try:
+            assert open_store("testonly://anything") is sentinel
+        finally:
+            import repro.storage.registry as registry
+
+            with registry._registry_lock:
+                registry._factories.pop("testonly", None)

@@ -1,6 +1,9 @@
 """Tests for the ``airphant`` command-line interface."""
 
+import functools
+import http.server
 import json
+import threading
 
 import pytest
 
@@ -164,3 +167,143 @@ class TestBuildAndSearch:
         out = capsys.readouterr().out
         assert "L = 2" in out
         assert "storage" in out
+
+
+class TestStoreURIs:
+    def test_bucket_and_store_are_mutually_exclusive(self, bucket):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["search", "--bucket", bucket, "--store", "mem://", "--index", "i", "--query", "q"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--index", "i", "--query", "q"])
+
+    def test_unknown_scheme_fails_gracefully(self, capsys):
+        exit_code = main([
+            "search", "--store", "gopher://x", "--index", "i", "--query", "q",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown store scheme" in captured.err
+
+    def test_file_store_uri_round_trip(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--store", f"file://{bucket}", "--index", "hdfs-index",
+            "--query", "ERROR", "--top-k", "3",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert all("ERROR" in line for line in captured.out.splitlines() if line)
+
+    def test_search_against_http_store_end_to_end(self, bucket, capsys):
+        """Acceptance: `airphant search --store http://…` over stdlib http.server."""
+        _generate_and_build(bucket, capsys)
+        handler = functools.partial(
+            http.server.SimpleHTTPRequestHandler, directory=bucket
+        )
+        server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            exit_code = main([
+                "search",
+                "--store", f"http://127.0.0.1:{server.server_address[1]}",
+                "--index", "hdfs-index",
+                "--query", "ERROR",
+                "--top-k", "3",
+                "--retries", "2",
+                "--hedge-ms", "200",
+            ])
+            captured = capsys.readouterr()
+            assert exit_code == 0
+            results = [line for line in captured.out.splitlines() if line]
+            assert 1 <= len(results) <= 3
+            assert all("ERROR" in line for line in results)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_build_against_http_store_reports_read_only(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        handler = functools.partial(
+            http.server.SimpleHTTPRequestHandler, directory=bucket
+        )
+        server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            exit_code = main([
+                "build",
+                "--store", f"http://127.0.0.1:{server.server_address[1]}",
+                "--blobs", "corpora/hdfs.txt",
+                "--index", "readonly-target",
+                "--bins", "512",
+            ])
+            captured = capsys.readouterr()
+            assert exit_code == 2
+            assert "read-only" in captured.err
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_sim_store_uri_reports_latency(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--store", f"sim://{bucket}?seed=3", "--simulate-latency",
+            "--index", "hdfs-index", "--query", "blk_1",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code in (0, 1)
+        assert "ms simulated" in captured.err
+
+    def test_resilience_flags_do_not_zero_simulated_latency(self, bucket, capsys):
+        """Regression: wrapping the simulator in ResilientStore used to hide
+        it from the fetcher's virtual-clock path, reporting 0.0 ms."""
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--bucket", bucket, "--simulate-latency", "--retries", "2",
+            "--index", "hdfs-index", "--query", "ERROR", "--top-k", "2",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        simulated = [
+            part for part in captured.err.split(", ") if "ms simulated" in part
+        ]
+        assert simulated and not simulated[0].startswith("0.0 ms")
+
+    def test_generate_against_read_only_store_fails_gracefully(self, bucket, capsys):
+        """Regression: store errors outside build/search used to traceback."""
+        _generate_and_build(bucket, capsys)
+        handler = functools.partial(
+            http.server.SimpleHTTPRequestHandler, directory=bucket
+        )
+        server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            exit_code = main([
+                "generate",
+                "--store", f"http://127.0.0.1:{server.server_address[1]}",
+                "--kind", "diag", "--documents", "10",
+            ])
+            captured = capsys.readouterr()
+            assert exit_code == 2
+            assert "read-only" in captured.err
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_resilience_flags_parse(self):
+        args = build_parser().parse_args([
+            "search", "--store", "mem://", "--index", "i", "--query", "q",
+            "--retries", "3", "--retry-backoff-ms", "5", "--timeout-s", "2.5",
+            "--hedge-ms", "40",
+        ])
+        assert args.retries == 3
+        assert args.retry_backoff_ms == 5.0
+        assert args.timeout_s == 2.5
+        assert args.hedge_ms == 40.0
