@@ -29,6 +29,7 @@ from benchmarks.conftest import save_json, save_result, smoke_mode
 from repro.bench.tables import format_table
 from repro.core.config import SketchConfig
 from repro.index.builder import AirphantBuilder
+from repro.observability import MetricsRegistry
 from repro.parsing.tokenizer import WhitespaceAnalyzer
 from repro.search.searcher import AirphantSearcher
 from repro.storage.faults import FlakyStore
@@ -114,6 +115,9 @@ def _run():
     scenarios = {}
 
     def _scenario(name, error_rate=0.0, slow_rate=0.0, retries=0, hedge_ms=0.0):
+        # One private registry per scenario: the recorded counters are
+        # exactly this replay's, not the whole process's.
+        registry = MetricsRegistry()
         flaky = FlakyStore(
             base,
             error_rate=error_rate,
@@ -129,6 +133,7 @@ def _run():
             hedge_ms=hedge_ms,
             hedge_concurrency=64,
             seed=13,
+            metrics=registry,
         )
         latencies, results = _replay(store, queries, settings["top_k"])
         ordered = sorted(latencies)
@@ -142,6 +147,13 @@ def _run():
             "injected_errors": flaky.injected_errors,
             "injected_slow": flaky.injected_slow,
             "resilience": store.stats.to_dict(),
+            # The registry view of the same accounting (what GET /metrics
+            # would export for this traffic) — must agree with the stats.
+            "registry_counters": {
+                name: value
+                for name, value in registry.summary().items()
+                if name.startswith("airphant_resilience_")
+            },
         }
 
     _scenario("clean")
@@ -210,3 +222,9 @@ def test_ablation_backends(benchmark):
     assert retried["resilience"]["retries"] > 0
     assert retried["resilience"]["failures"] == 0
     assert retried["resilience"]["retry_win_rate"] == 1.0
+
+    # The registry mirror agrees with the stats object in every scenario.
+    for entry in scenarios.values():
+        counters = entry["registry_counters"]
+        assert counters["airphant_resilience_retries_total"] == entry["resilience"]["retries"]
+        assert counters["airphant_resilience_hedges_total"] == entry["resilience"]["hedges"]

@@ -22,8 +22,11 @@ from benchmarks.conftest import save_json, save_result, smoke_mode
 from repro.bench.tables import format_table
 from repro.core.config import SketchConfig
 from repro.index.builder import AirphantBuilder
+from repro.observability import get_registry
 from repro.parsing.tokenizer import WhitespaceAnalyzer
 from repro.search.sharded import ShardedSearcher
+from repro.storage.latency import AffineLatencyModel
+from repro.storage.simulated import SimulatedCloudStore
 from repro.workloads.logs import generate_log_corpus
 
 SHARD_COUNTS = (1, 4, 16)
@@ -99,13 +102,60 @@ def _run(catalog):
             "pipeline_store_requests": stats.requests_out,
             "requests_saved": stats.requests_saved,
             "coalesced_requests": stats.coalesced_requests,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "batches": stats.batches,
             "total_results": results,
         }
-    return corpus, queries, rows, record
+    overhead = _metrics_overhead(store, queries)
+    return corpus, queries, rows, record, overhead
+
+
+def _metrics_overhead(store, queries):
+    """Replay the 4-shard workload with metrics on vs. off.
+
+    Both replays run over the same blobs behind *fresh* identically seeded
+    latency models, so the simulated query latencies are directly
+    comparable; recording on/off is toggled on the process-wide registry.
+    The wall-clock replay times are recorded too (informational only —
+    they include Python scheduling noise).
+    """
+    index_name = "ablation/sharding-04"
+
+    def _replay(sim_store):
+        searcher = ShardedSearcher.open(
+            sim_store, index_name=index_name, coalesce_gap=COALESCE_GAP
+        )
+        started = time.perf_counter()
+        latencies = [searcher.search(query).latency.total_ms for query in queries]
+        wall_seconds = time.perf_counter() - started
+        searcher.close()
+        return sum(latencies) / len(latencies), wall_seconds
+
+    def _fresh_store():
+        return SimulatedCloudStore(
+            backend=store.backend,
+            latency_model=AffineLatencyModel(seed=99, jitter_sigma=0.1),
+        )
+
+    registry = get_registry()
+    mean_on, wall_on = _replay(_fresh_store())
+    registry.disable()
+    try:
+        mean_off, wall_off = _replay(_fresh_store())
+    finally:
+        registry.enable()
+    return {
+        "mean_query_latency_ms_metrics_on": mean_on,
+        "mean_query_latency_ms_metrics_off": mean_off,
+        "latency_overhead_ratio": mean_on / mean_off if mean_off else 1.0,
+        "wall_seconds_metrics_on": wall_on,
+        "wall_seconds_metrics_off": wall_off,
+    }
 
 
 def test_ablation_sharding(benchmark, catalog):
-    corpus, queries, rows, record = benchmark.pedantic(
+    corpus, queries, rows, record, overhead = benchmark.pedantic(
         _run, args=(catalog,), rounds=1, iterations=1
     )
     table = format_table(
@@ -120,6 +170,11 @@ def test_ablation_sharding(benchmark, catalog):
         rows,
     )
     save_result("ablation_sharding", table)
+    registry_summary = {
+        name: value
+        for name, value in get_registry().summary().items()
+        if name.startswith(("airphant_pipeline_", "airphant_sim_"))
+    }
     save_json(
         "BENCH_sharding",
         {
@@ -129,6 +184,10 @@ def test_ablation_sharding(benchmark, catalog):
             "coalesce_gap": COALESCE_GAP,
             "smoke_mode": smoke_mode(),
             "by_shard_count": record,
+            "metrics_overhead": overhead,
+            # Process-wide registry totals at the time of the run — the
+            # same counters GET /metrics would export while serving.
+            "registry_summary": registry_summary,
         },
     )
 
@@ -143,3 +202,7 @@ def test_ablation_sharding(benchmark, catalog):
     # matched the same documents.
     totals = {entry["total_results"] for entry in record.values()}
     assert len(totals) == 1
+    # Metrics recording must be invisible in query latency (<= 5%): the two
+    # replays use identically seeded latency models, so any drift here is
+    # the accounting path changing what gets fetched — a bug.
+    assert abs(overhead["latency_overhead_ratio"] - 1.0) <= 0.05

@@ -57,6 +57,7 @@ from repro.core import (
     minimize_layers,
 )
 from repro.cost import CostModel, PeakTroughWorkload
+from repro.observability import MetricsRegistry, get_registry
 from repro.index import (
     AirphantBuilder,
     AppendOnlyIndexManager,
@@ -146,6 +147,7 @@ __all__ = [
     "LineDelimitedCorpusParser",
     "LocalObjectStore",
     "LuceneLikeEngine",
+    "MetricsRegistry",
     "MultiIndexSearcher",
     "MultilayerHashTable",
     "ObjectStore",
@@ -180,6 +182,7 @@ __all__ = [
     "WhitespaceAnalyzer",
     "WholeBlobCorpusParser",
     "expected_false_positives",
+    "get_registry",
     "minimize_layers",
     "open_store",
     "profile_documents",

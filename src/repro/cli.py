@@ -42,6 +42,16 @@ an index exported to a static file server:
 wrap the chosen backend in a :class:`repro.storage.ResilientStore`
 (bounded retries with jittered exponential backoff, per-request timeouts,
 hedged duplicate reads after an adaptive latency percentile).
+
+``airphant stats`` prints the unified request metrics
+(:mod:`repro.observability`): point it at a store to probe it (optionally
+replaying a query first) or at a running ``serve`` node with ``--url`` to
+scrape its live counters:
+
+.. code-block:: console
+
+    airphant stats --store ./bucket --index hdfs-index --query "ERROR" --repeat 20
+    airphant stats --url http://127.0.0.1:8080 --format prometheus
 """
 
 from __future__ import annotations
@@ -82,6 +92,7 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
         retry_backoff_ms=args.retry_backoff_ms,
         request_timeout_s=args.timeout_s,
         hedge_ms=args.hedge_ms,
+        metrics_enabled=not getattr(args, "no_metrics", False),
     )
 
 
@@ -111,7 +122,7 @@ def _open_service(args: argparse.Namespace) -> AirphantService:
     return AirphantService(_open_store(args, config), config, store_uri=args.store)
 
 
-def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_common_arguments(parser: argparse.ArgumentParser, allow_url: bool = False) -> None:
     target = parser.add_mutually_exclusive_group(required=True)
     target.add_argument("--bucket", help="directory acting as the storage bucket")
     target.add_argument(
@@ -121,6 +132,11 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "http(s)://host[:port]/prefix, or s3://bucket/prefix?endpoint=..."
         ),
     )
+    if allow_url:
+        target.add_argument(
+            "--url",
+            help="base URL of a running `airphant serve` node to scrape instead",
+        )
     parser.add_argument(
         "--simulate-latency",
         action="store_true",
@@ -260,6 +276,82 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0 if result.num_results > 0 else 1
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.url:
+        if args.query or args.index or args.repeat != 1:
+            # Scrape mode reads a remote node's counters; it cannot replay
+            # queries there — silently ignoring these flags would make the
+            # snapshot look like the replay happened.
+            print(
+                "error: --query/--index/--repeat replay against a local store; "
+                "they cannot be combined with --url (scrape mode)",
+                file=sys.stderr,
+            )
+            return 2
+        return _scrape_stats(args)
+    if args.query and not args.index:
+        print("error: --query needs --index", file=sys.stderr)
+        return 2
+    service = _open_service(args)
+    if args.query:
+        if args.regex:
+            mode = "regex"
+        elif args.boolean:
+            mode = "boolean"
+        else:
+            mode = "keyword"
+        request = SearchRequest(query=args.query, index=args.index, mode=mode, top_k=args.top_k)
+        try:
+            for _ in range(args.repeat):
+                service.execute(request)
+        except ServiceError as error:
+            print(f"error: {error.info.message}", file=sys.stderr)
+            return 2
+    elif args.index:
+        # No query to replay: still touch the index so the snapshot shows
+        # the open/header-read traffic instead of an empty registry.
+        try:
+            service.index_info(args.index)
+        except ServiceError as error:
+            print(f"error: {error.info.message}", file=sys.stderr)
+            return 2
+    if args.format == "prometheus":
+        print(service.metrics.to_prometheus(), end="")
+    else:
+        print(json.dumps(service.metrics.snapshot(), indent=2))
+    return 0
+
+
+def _scrape_stats(args: argparse.Namespace) -> int:
+    """Scrape a live query node: /metrics (prometheus) or /healthz (json)."""
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    path = "/metrics" if args.format == "prometheus" else "/healthz"
+    try:
+        with urllib.request.urlopen(f"{base}{path}", timeout=10.0) as response:
+            payload = response.read().decode("utf-8")
+    except (urllib.error.URLError, TimeoutError, ConnectionError, OSError) as error:
+        print(f"error: could not scrape {base}{path}: {error}", file=sys.stderr)
+        return 2
+    if args.format == "prometheus":
+        print(payload, end="")
+    else:
+        try:
+            health = json.loads(payload)
+        except json.JSONDecodeError as error:
+            # A proxy splash page or some non-airphant server answered 200.
+            print(
+                f"error: {base}{path} did not answer JSON ({error}); "
+                "is this an airphant serve node?",
+                file=sys.stderr,
+            )
+            return 2
+        print(json.dumps(health.get("metrics", {}), indent=2))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     service = _open_service(args)
     names = service.catalog.names()
@@ -338,6 +430,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pipeline_arguments(search)
     search.set_defaults(func=_cmd_search)
 
+    stats = subparsers.add_parser(
+        "stats",
+        help="print request metrics: probe a store (optionally replaying a query) "
+        "or scrape a running serve node via --url",
+    )
+    _add_common_arguments(stats, allow_url=True)
+    stats.add_argument("--index", help="index to open / query (optional)")
+    stats.add_argument("--query", help="query to replay before snapshotting (needs --index)")
+    stats.add_argument("--top-k", type=int, default=None)
+    stats.add_argument("--boolean", action="store_true", help="treat the query as AND/OR syntax")
+    stats.add_argument("--regex", action="store_true", help="treat the query as a regular expression")
+    stats.add_argument(
+        "--repeat", type=int, default=1, help="times the query is replayed before the snapshot"
+    )
+    stats.add_argument(
+        "--format",
+        default="json",
+        choices=["json", "prometheus"],
+        help="snapshot rendering: JSON registry dump or Prometheus exposition text",
+    )
+    _add_pipeline_arguments(stats)
+    stats.add_argument(
+        "--query-cache-size",
+        type=int,
+        default=0,
+        help="per-word postings cache capacity (0 disables)",
+    )
+    stats.set_defaults(func=_cmd_stats)
+
     serve = subparsers.add_parser(
         "serve", help="serve the bucket's indexes over a JSON HTTP API"
     )
@@ -349,6 +470,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="per-word postings cache capacity shared by served queries (0 disables)",
+    )
+    serve.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="disable the metrics exports (GET /metrics answers 404, /healthz "
+        "drops its metrics block) and service-level query accounting",
     )
     _add_pipeline_arguments(serve)
     serve.set_defaults(func=_cmd_serve)

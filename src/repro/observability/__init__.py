@@ -1,0 +1,42 @@
+"""Live observability: one metrics registry every layer reports into.
+
+The reproduction's layers each kept private accounting — the simulated
+store's :class:`~repro.storage.metrics.StorageMetrics`, the read pipeline's
+:class:`~repro.storage.pipeline.PipelineStats`, the resilience wrapper's
+:class:`~repro.storage.resilient.ResilienceStats` — which made the paper's
+figures reproducible but left a *served* index blind.  This package unifies
+them: every stats object mirrors its updates into a
+:class:`MetricsRegistry` (process-global by default), the real backends
+record request latencies and status codes, and the service facade records
+per-query-mode counts and end-to-end latency.  Exported three ways:
+
+* ``GET /metrics`` — Prometheus text exposition on the HTTP query node;
+* ``GET /healthz`` — a compact ``metrics`` summary block;
+* ``airphant stats`` — CLI snapshot (local probe or scrape of a live node).
+
+See ``docs/OBSERVABILITY.md`` for the full metric inventory.
+"""
+
+from repro.observability.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.observability.registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.observability.stats import MirroredStats
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "MirroredStats",
+    "NULL_REGISTRY",
+    "PROMETHEUS_CONTENT_TYPE",
+    "get_registry",
+]

@@ -1,0 +1,84 @@
+"""Prometheus text exposition format (version 0.0.4) rendering.
+
+Kept separate from the registry so the wire format is one small,
+independently testable module: ``# HELP`` / ``# TYPE`` headers, label
+escaping, canonical float formatting, and the cumulative ``_bucket`` /
+``_sum`` / ``_count`` triple of histograms.  The format reference is
+https://prometheus.io/docs/instrumenting/exposition_formats/ — everything a
+scraper needs, nothing more.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (registry imports us)
+    from repro.observability.registry import Metric
+
+#: MIME type a ``/metrics`` endpoint must answer with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring (backslash and newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape one label value (backslash, double quote, newline)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """Canonical sample-value formatting: integral floats lose the ``.0``."""
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def format_labels(label_names: tuple[str, ...], label_values: tuple[str, ...], extra: str = "") -> str:
+    """Render the ``{name="value",...}`` block (empty string when no labels)."""
+    parts = [
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in zip(label_names, label_values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_metric(metric: "Metric") -> str:
+    """Render one metric family (header plus every series) as exposition text.
+
+    Families with no recorded series render to an empty string — Prometheus
+    treats absent series as "not yet observed", and emitting bare headers
+    would only pad the payload.
+    """
+    series = metric.series()
+    if not series:
+        return ""
+    lines = []
+    if metric.help:
+        lines.append(f"# HELP {metric.name} {escape_help(metric.help)}")
+    lines.append(f"# TYPE {metric.name} {metric.kind}")
+    if metric.kind == "counter":
+        for key, value in sorted(series.items()):
+            labels = format_labels(metric.label_names, key)
+            lines.append(f"{metric.name}{labels} {format_value(value)}")
+    elif metric.kind == "histogram":
+        bounds = [format_value(bound) for bound in metric.buckets] + ["+Inf"]
+        for key, state in sorted(series.items()):
+            for bound, cumulative in zip(bounds, state["cumulative_buckets"]):
+                labels = format_labels(metric.label_names, key, extra=f'le="{bound}"')
+                lines.append(f"{metric.name}_bucket{labels} {format_value(cumulative)}")
+            labels = format_labels(metric.label_names, key)
+            lines.append(f"{metric.name}_sum{labels} {format_value(state['sum'])}")
+            lines.append(f"{metric.name}_count{labels} {format_value(state['count'])}")
+    else:  # pragma: no cover - only counter/histogram kinds exist today
+        raise ValueError(f"cannot render metric kind {metric.kind!r}")
+    return "\n".join(lines) + "\n"

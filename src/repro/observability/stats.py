@@ -1,0 +1,63 @@
+"""Shared machinery for registry-mirrored per-component stats objects.
+
+``PipelineStats``, ``ResilienceStats``, and the simulated store's
+``StorageMetrics`` all follow one pattern: a plain-attribute stats object
+whose every update must be (a) atomic — pool threads, hedge workers, and
+HTTP server threads report concurrently — and (b) mirrored into a
+:class:`~repro.observability.registry.MetricsRegistry` so live serving and
+the paper figures share one accounting path.  :class:`MirroredStats` is
+that pattern, written once: subclasses declare a ``_COUNTER_TABLE`` mapping
+field names to ``(metric name, help)`` and get :meth:`bind`, :meth:`add`,
+and :meth:`snapshot` for free.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.observability.registry import Counter, MetricsRegistry
+
+
+class MirroredStats:
+    """Lock-protected counters that mirror increments into a registry.
+
+    Designed to be mixed into a ``@dataclass``: the dataclass-generated
+    ``__init__`` calls :meth:`__post_init__`, which sets up the lock.
+    Subclasses set ``_COUNTER_TABLE`` (field name → ``(metric_name, help)``)
+    and expose a ``to_dict()``; everything else is inherited.
+    """
+
+    #: Field name -> (registry counter name, help) mirrored by :meth:`add`.
+    _COUNTER_TABLE: dict[str, tuple[str, str]] = {}
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] | None = None
+
+    def bind(self, metrics: MetricsRegistry) -> "MirroredStats":
+        """Mirror future :meth:`add` increments into ``metrics``; returns self."""
+        self._counters = {
+            field_name: metrics.counter(name, help)
+            for field_name, (name, help) in self._COUNTER_TABLE.items()
+        }
+        return self
+
+    def add(self, **deltas: int) -> None:
+        """Atomically add ``field=delta`` increments (and mirror them)."""
+        with self._lock:
+            for field_name, delta in deltas.items():
+                setattr(self, field_name, getattr(self, field_name) + delta)
+        counters = self._counters
+        if counters is not None:
+            for field_name, delta in deltas.items():
+                if delta:
+                    counters[field_name].inc(delta)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Consistent point-in-time copy (same shape as ``to_dict()``)."""
+        with self._lock:
+            return self.to_dict()
+
+    def to_dict(self) -> dict[str, Any]:  # pragma: no cover - subclasses override
+        raise NotImplementedError

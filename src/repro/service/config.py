@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from repro.observability import NULL_REGISTRY
 from repro.parsing.tokenizer import SimpleAnalyzer, Tokenizer, WhitespaceAnalyzer
 from repro.search.replication import HedgingPolicy
 from repro.storage.base import ObjectStore
@@ -66,6 +67,14 @@ class ServiceConfig:
     hedge_percentile:
         Latency percentile the adaptive hedge delay tracks (floored at
         ``hedge_ms``).
+    metrics_enabled:
+        Whether the service *exports* metrics (``GET /metrics``, the
+        ``metrics`` block of ``/healthz``) and records its own query/build
+        accounting.  When off, the facade and the resilience wrapper
+        record into a disabled registry and ``/metrics`` answers 404;
+        storage-layer counters (pipeline, backends, simulated store) still
+        record into the process-wide registry — they are shared across
+        services and near-free — they are simply not served by this node.
     """
 
     tokenizer: str = "whitespace"
@@ -82,6 +91,7 @@ class ServiceConfig:
     request_timeout_s: float | None = None
     hedge_ms: float = 0.0
     hedge_percentile: float = 95.0
+    metrics_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.tokenizer not in TOKENIZERS:
@@ -156,6 +166,7 @@ class ServiceConfig:
             # not saturate the hedge pool, or the duplicates would queue
             # behind the very stragglers they are meant to race.
             hedge_concurrency=2 * self.max_concurrency,
+            metrics=None if self.metrics_enabled else NULL_REGISTRY,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -175,6 +186,7 @@ class ServiceConfig:
             "request_timeout_s": self.request_timeout_s,
             "hedge_ms": self.hedge_ms,
             "hedge_percentile": self.hedge_percentile,
+            "metrics_enabled": self.metrics_enabled,
         }
 
     @classmethod

@@ -13,10 +13,12 @@ searchers by hand.
 from __future__ import annotations
 
 import re
+import time
 from contextlib import contextmanager
 from typing import Any, Iterator, Sequence
 
 from repro.core.config import SketchConfig
+from repro.observability import NULL_REGISTRY, MetricsRegistry, get_registry
 from repro.index.builder import AirphantBuilder
 from repro.parsing.documents import Posting
 from repro.search.multi import MultiIndexSearcher
@@ -43,12 +45,44 @@ class AirphantService:
         store: ObjectStore,
         config: ServiceConfig | None = None,
         store_uri: str | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._config = config if config is not None else ServiceConfig()
         self._catalog = IndexCatalog(store, self._config)
         #: Recorded for /healthz; informational only (the store is already
         #: resolved).  Set by from_uri and by the CLI's --store path.
         self._store_uri = store_uri
+        # One registry for the whole node: the facade's own query accounting
+        # lands here, and the storage layers underneath default to the same
+        # process-wide registry, so /metrics shows one coherent picture.
+        if metrics is not None:
+            self._metrics = metrics
+        else:
+            self._metrics = get_registry() if self._config.metrics_enabled else NULL_REGISTRY
+        self._queries_metric = self._metrics.counter(
+            "airphant_queries_total",
+            "Queries answered, by query mode",
+            label_names=("mode",),
+        )
+        self._query_seconds_metric = self._metrics.histogram(
+            "airphant_query_seconds",
+            "End-to-end wall-clock query latency, by query mode",
+            label_names=("mode",),
+        )
+        self._query_errors_metric = self._metrics.counter(
+            "airphant_query_errors_total",
+            "Requests rejected with a typed service error, by error code",
+            label_names=("error",),
+        )
+        self._builds_metric = self._metrics.counter(
+            "airphant_builds_total", "Index builds completed through the facade"
+        )
+        self._build_seconds_metric = self._metrics.histogram(
+            "airphant_build_seconds",
+            "Wall-clock latency of facade index builds",
+            # Builds run seconds-to-minutes, far beyond the latency ladder.
+            buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0),
+        )
 
     @contextmanager
     def _store_errors(self) -> Iterator[None]:
@@ -100,6 +134,16 @@ class AirphantService:
         return self._config
 
     @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry this node's request metrics land in.
+
+        The process-wide registry unless the constructor was handed a
+        private one; a permanently disabled registry when the config says
+        ``metrics_enabled=False``.
+        """
+        return self._metrics
+
+    @property
     def catalog(self) -> IndexCatalog:
         """The catalog of named indexes."""
         return self._catalog
@@ -141,6 +185,10 @@ class AirphantService:
             "store": store_info,
             "config": self._config.to_dict(),
         }
+        if self._metrics.enabled:
+            # Compact totals + latency summaries; the full per-label series
+            # live on GET /metrics (Prometheus exposition).
+            payload["metrics"] = self._metrics.summary()
         try:
             names = self._catalog.names()
         except (TransientStoreError, StoreAccessError, BlobNotFoundError) as error:
@@ -185,8 +233,29 @@ class AirphantService:
 
         Most callers want :meth:`search`; this variant serves those (like the
         CLI) that render document text straight from the
-        :class:`~repro.search.results.SearchResult`.
+        :class:`~repro.search.results.SearchResult`.  Every call is
+        accounted: answered queries by mode with end-to-end wall-clock
+        latency, rejected ones by typed error code.
         """
+        started = time.perf_counter()
+        try:
+            result = self._execute(request)
+        except ServiceError as error:
+            self._query_errors_metric.inc(error=error.info.error)
+            raise
+        except Exception:
+            # Anything without a typed code (a corrupted index blob, a
+            # programming error) surfaces as HTTP 500 — count it under the
+            # same label so the worst outage class is never a flat line.
+            self._query_errors_metric.inc(error="internal_error")
+            raise
+        self._queries_metric.inc(mode=request.mode)
+        self._query_seconds_metric.observe(
+            time.perf_counter() - started, mode=request.mode
+        )
+        return result
+
+    def _execute(self, request: SearchRequest) -> SearchResult:
         searcher = self._open(request.index)
         top_k = request.top_k if request.top_k is not None else self._config.default_top_k
         try:
@@ -208,8 +277,19 @@ class AirphantService:
 
     def lookup_postings(self, index: str, word: str) -> tuple[list[Posting], LatencyBreakdown]:
         """Term-index lookup only (the paper's Figure 14 operation)."""
-        with self._store_errors():
-            return self._open(index).lookup_postings(word)
+        started = time.perf_counter()
+        try:
+            with self._store_errors():
+                outcome = self._open(index).lookup_postings(word)
+        except ServiceError as error:
+            self._query_errors_metric.inc(error=error.info.error)
+            raise
+        except Exception:
+            self._query_errors_metric.inc(error="internal_error")
+            raise
+        self._queries_metric.inc(mode="lookup")
+        self._query_seconds_metric.observe(time.perf_counter() - started, mode="lookup")
+        return outcome
 
     def searcher(self, index: str) -> MultiIndexSearcher:
         """The underlying searcher, for callers needing raw :class:`SearchResult`.
@@ -244,6 +324,33 @@ class AirphantService:
         Any previously cached searcher for ``name`` is invalidated so the
         next query reopens the fresh header(s).
         """
+        started = time.perf_counter()
+        try:
+            info = self._build_index(
+                name,
+                blobs,
+                sketch_config=sketch_config,
+                num_shards=num_shards,
+                partitioner=partitioner,
+            )
+        except ServiceError as error:
+            self._query_errors_metric.inc(error=error.info.error)
+            raise
+        except Exception:
+            self._query_errors_metric.inc(error="internal_error")
+            raise
+        self._builds_metric.inc()
+        self._build_seconds_metric.observe(time.perf_counter() - started)
+        return info
+
+    def _build_index(
+        self,
+        name: str,
+        blobs: Sequence[str],
+        sketch_config: SketchConfig | None = None,
+        num_shards: int = 1,
+        partitioner: str = "hash",
+    ) -> IndexInfo:
         if not name or not name.strip("/") or "/delta-" in name or "/shard-" in name:
             raise ServiceError(400, "bad_index_name", f"invalid index name {name!r}")
         blobs = list(blobs)

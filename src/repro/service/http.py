@@ -3,7 +3,9 @@
 A deliberately dependency-free server (stdlib ``http.server`` only) so a
 query node can be started anywhere the bucket is reachable:
 
-* ``GET  /healthz`` — liveness plus catalog/config summary;
+* ``GET  /healthz`` — liveness plus catalog/config/metrics summary;
+* ``GET  /metrics`` — the node's metrics registry in Prometheus text
+  exposition format (404 when ``metrics_enabled`` is off);
 * ``GET  /indexes`` — every servable index as an ``IndexInfo`` list;
 * ``GET  /indexes/{name}`` — one index's ``IndexInfo``;
 * ``POST /search`` — a ``SearchRequest`` JSON body, answered with a
@@ -22,13 +24,23 @@ from __future__ import annotations
 
 import json
 import sys
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 from urllib.parse import urlsplit
 
 from repro.core.config import SketchConfig
+from repro.observability import PROMETHEUS_CONTENT_TYPE
 from repro.service.api import ErrorInfo, SearchRequest, ServiceError
 from repro.service.facade import AirphantService
+
+
+@dataclass(frozen=True)
+class _TextResponse:
+    """A route result served verbatim instead of being JSON-encoded."""
+
+    text: str
+    content_type: str = "text/plain; charset=utf-8"
 
 #: SketchConfig fields a build request body may set.
 _BUILD_CONFIG_FIELDS = (
@@ -90,6 +102,14 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
         path = self._route_path() or "/"
         if path == "/healthz":
             return 200, service.health()
+        if path == "/metrics":
+            if not service.metrics.enabled:
+                raise ServiceError(
+                    404, "metrics_disabled", "metrics are disabled on this node"
+                )
+            return 200, _TextResponse(
+                service.metrics.to_prometheus(), content_type=PROMETHEUS_CONTENT_TYPE
+            )
         if path == "/indexes":
             return 200, {"indexes": [info.to_dict() for info in service.list_indexes()]}
         if path.startswith("/indexes/"):
@@ -164,7 +184,12 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
             info = ErrorInfo(status=500, error="internal_error", message=str(error))
             self._send_json(500, info.to_dict())
         else:
-            self._send_json(status, payload)
+            if isinstance(payload, _TextResponse):
+                self._send_bytes(
+                    status, payload.text.encode("utf-8"), payload.content_type
+                )
+            else:
+                self._send_json(status, payload)
 
     def _read_json_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -181,6 +206,9 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
         return body
 
     def _send_json(self, status: int, payload: Any) -> None:
+        self._send_bytes(status, json.dumps(payload).encode("utf-8"), "application/json")
+
+    def _send_bytes(self, status: int, data: bytes, content_type: str) -> None:
         # Drain any unread request body first: HTTP/1.1 keep-alive would
         # otherwise parse the leftover bytes as the next request line.
         remaining = int(self.headers.get("Content-Length") or 0) - getattr(
@@ -191,9 +219,8 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
             if not chunk:
                 break
             remaining -= len(chunk)
-        data = json.dumps(payload).encode("utf-8")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)

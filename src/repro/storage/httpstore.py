@@ -27,11 +27,13 @@ Semantics notes:
 
 from __future__ import annotations
 
+import time
 import urllib.error
 import urllib.request
 from email.message import Message
 from urllib.parse import quote
 
+from repro.observability import MetricsRegistry, get_registry
 from repro.storage.base import (
     BlobNotFoundError,
     ObjectStore,
@@ -57,19 +59,43 @@ class HTTPRangeStore(ObjectStore):
         ``https://host/prefix``); a trailing slash is optional.
     timeout_s:
         Socket timeout applied to every request, in seconds.
+    metrics:
+        Registry request counts (by method and status) and wall-clock
+        request latency are recorded into; defaults to the process-wide
+        registry (:func:`repro.observability.get_registry`).
 
     Writes (``put``/``delete``) are attempted as HTTP ``PUT``/``DELETE`` —
     WebDAV-style servers accept them — and raise
     :class:`~repro.storage.base.ReadOnlyStoreError` when the server refuses.
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 10.0) -> None:
+    #: ``backend`` label value of this store's registry metrics (the S3
+    #: adapter overrides it so its traffic is distinguishable).
+    _METRICS_BACKEND = "http"
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 10.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise ValueError(f"base_url must be http(s)://, got {base_url!r}")
         if timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
         self._base_url = base_url.rstrip("/")
         self._timeout_s = timeout_s
+        registry = metrics if metrics is not None else get_registry()
+        self._requests_metric = registry.counter(
+            "airphant_backend_requests_total",
+            "HTTP requests issued to real storage backends",
+            label_names=("backend", "method", "status"),
+        )
+        self._latency_metric = registry.histogram(
+            "airphant_backend_request_seconds",
+            "Wall-clock latency of backend HTTP requests",
+            label_names=("backend", "method"),
+        )
 
     @property
     def base_url(self) -> str:
@@ -116,10 +142,14 @@ class HTTPRangeStore(ObjectStore):
         merged = dict(headers or {})
         merged.update(self._headers(method, url, body))
         request = urllib.request.Request(url, data=body, headers=merged, method=method)
+        started = time.perf_counter()
         try:
             with urllib.request.urlopen(request, timeout=self._timeout_s) as response:
-                return response.status, response.headers, response.read()
+                payload = response.read()
+                self._record(method, str(response.status), started)
+                return response.status, response.headers, payload
         except urllib.error.HTTPError as error:
+            self._record(method, str(error.code), started)
             payload = b""
             try:
                 payload = error.read()
@@ -146,7 +176,16 @@ class HTTPRangeStore(ObjectStore):
                 f"{method} {url} failed with HTTP {error.code}"
             ) from error
         except (urllib.error.URLError, TimeoutError, ConnectionError) as error:
+            self._record(method, "error", started)
             raise TransientStoreError(f"{method} {url} failed: {error}") from error
+
+    def _record(self, method: str, status: str, started: float) -> None:
+        """Account one backend request (count by status + wall-clock latency)."""
+        backend = self._METRICS_BACKEND
+        self._requests_metric.inc(backend=backend, method=method, status=status)
+        self._latency_metric.observe(
+            time.perf_counter() - started, backend=backend, method=method
+        )
 
     # -- ObjectStore interface ---------------------------------------------------
 

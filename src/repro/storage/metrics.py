@@ -5,11 +5,28 @@ into *wait time* (time spent blocked on the network before bytes arrive) and
 *download time* (time spent receiving bytes).  The simulator produces both
 quantities directly for every request, so the breakdown experiments simply
 aggregate these records.
+
+:class:`StorageMetrics` also mirrors its totals into the unified
+:class:`~repro.observability.MetricsRegistry` (``airphant_sim_*`` counters),
+so the paper figures and live serving share one accounting path — the
+simulated round-trip counts show up on the same ``/metrics`` page as the
+real backends' request latencies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.observability import MirroredStats, get_registry
+
+#: Registry counters one StorageMetrics mirrors into: name -> help.
+_SIM_COUNTERS: dict[str, str] = {
+    "airphant_sim_requests_total": "Simulated storage requests recorded",
+    "airphant_sim_round_trips_total": "Logical round trips charged on the virtual clock",
+    "airphant_sim_bytes_total": "Bytes transferred by simulated requests",
+    "airphant_sim_wait_ms_total": "Summed first-byte wait time of simulated requests (ms)",
+    "airphant_sim_download_ms_total": "Summed transfer time of simulated requests (ms)",
+}
 
 
 @dataclass(frozen=True)
@@ -52,26 +69,57 @@ class BatchRecord:
 
 
 @dataclass
-class StorageMetrics:
-    """Accumulates request records for one engine / one experiment."""
+class StorageMetrics(MirroredStats):
+    """Accumulates request records for one engine / one experiment.
+
+    Recording is thread-safe (batches arrive from fetcher pool threads) and
+    every record is mirrored as ``airphant_sim_*`` counter increments into
+    the bound registry — the process-wide one unless
+    :meth:`~repro.observability.MirroredStats.bind` says otherwise.  The
+    mirror is batch-shaped (one round trip covers many requests), so
+    :meth:`_mirror` replaces the base class's per-field ``add`` path.
+    """
+
+    #: Keyed by metric name (the mirror aggregates whole batches, so the
+    #: table maps each counter to itself rather than to a field).
+    _COUNTER_TABLE = {name: (name, help) for name, help in _SIM_COUNTERS.items()}
 
     records: list[RequestRecord] = field(default_factory=list)
     round_trips: int = 0
 
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.bind(get_registry())
+
+    def _mirror(self, requests: tuple[RequestRecord, ...] | list[RequestRecord]) -> None:
+        counters = self._counters
+        if counters is None or not requests:
+            return
+        counters["airphant_sim_requests_total"].inc(len(requests))
+        counters["airphant_sim_round_trips_total"].inc(1)
+        counters["airphant_sim_bytes_total"].inc(sum(r.nbytes for r in requests))
+        counters["airphant_sim_wait_ms_total"].inc(sum(r.wait_ms for r in requests))
+        counters["airphant_sim_download_ms_total"].inc(sum(r.download_ms for r in requests))
+
     def record(self, record: RequestRecord) -> None:
         """Add a single request (counts as one round-trip)."""
-        self.records.append(record)
-        self.round_trips += 1
+        with self._lock:
+            self.records.append(record)
+            self.round_trips += 1
+        self._mirror([record])
 
     def record_batch(self, batch: BatchRecord) -> None:
         """Add a concurrent batch (counts as one *logical* round-trip)."""
-        self.records.extend(batch.requests)
-        self.round_trips += 1
+        with self._lock:
+            self.records.extend(batch.requests)
+            self.round_trips += 1
+        self._mirror(batch.requests)
 
     def reset(self) -> None:
-        """Clear all accumulated records."""
-        self.records.clear()
-        self.round_trips = 0
+        """Clear all accumulated records (registry counters stay monotonic)."""
+        with self._lock:
+            self.records.clear()
+            self.round_trips = 0
 
     @property
     def total_bytes(self) -> int:

@@ -26,6 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.observability import MetricsRegistry, MirroredStats, get_registry
 from repro.storage.base import ObjectStore, RangeRead
 from repro.storage.metrics import BatchRecord
 from repro.storage.parallel import FetchResult, ParallelFetcher
@@ -33,10 +34,57 @@ from repro.storage.parallel import FetchResult, ParallelFetcher
 #: Cache key of one bounded logical range.
 _RangeKey = tuple[str, int, int]
 
+#: PipelineStats field -> (registry counter name, help) mirrored on update.
+_PIPELINE_COUNTERS: dict[str, tuple[str, str]] = {
+    "requests_in": (
+        "airphant_pipeline_logical_requests_total",
+        "Logical range reads handed to the read pipeline",
+    ),
+    "requests_out": (
+        "airphant_pipeline_physical_requests_total",
+        "Physical range reads the pipeline issued to the store",
+    ),
+    "batches": (
+        "airphant_pipeline_batches_total",
+        "Physical batches issued (at most one per pipeline fetch)",
+    ),
+    "cache_hits": (
+        "airphant_pipeline_cache_hits_total",
+        "Logical requests answered from the block cache",
+    ),
+    "cache_misses": (
+        "airphant_pipeline_cache_misses_total",
+        "Logical requests that needed bytes from the store",
+    ),
+    "coalesced_requests": (
+        "airphant_pipeline_coalesced_requests_total",
+        "Logical requests folded into a wider or shared physical request",
+    ),
+    "bytes_requested": (
+        "airphant_pipeline_bytes_requested_total",
+        "Bytes covered by logical requests (what raw fetching would transfer)",
+    ),
+    "bytes_fetched": (
+        "airphant_pipeline_bytes_fetched_total",
+        "Bytes actually transferred from the store (includes bridged gaps)",
+    ),
+}
+
 
 @dataclass
-class PipelineStats:
-    """What one :class:`ReadPipeline` received, issued, and saved."""
+class PipelineStats(MirroredStats):
+    """What one :class:`ReadPipeline` received, issued, and saved.
+
+    Updates go through :meth:`~repro.observability.MirroredStats.add`,
+    which is atomic (its own lock, so pool and server threads can report
+    concurrently) and mirrors every increment into the bound
+    :class:`~repro.observability.MetricsRegistry` — the unified accounting
+    path ``/metrics`` exports.  Field reads stay plain attributes;
+    :meth:`~repro.observability.MirroredStats.snapshot` gives a consistent
+    point-in-time copy.
+    """
+
+    _COUNTER_TABLE = _PIPELINE_COUNTERS
 
     #: Logical range reads handed to :meth:`ReadPipeline.fetch`.
     requests_in: int = 0
@@ -115,6 +163,10 @@ class ReadPipeline:
         Byte budget of the LRU block cache keyed by exact logical range.
         ``0`` (the default) disables caching, keeping the pipeline a pure
         per-batch optimizer with no cross-query state.
+    metrics:
+        Registry the pipeline's :class:`PipelineStats` mirror into;
+        defaults to the process-wide registry
+        (:func:`repro.observability.get_registry`).
 
     Open-ended reads (``length=None``) pass through without coalescing or
     caching: their extent is unknown until the store answers, so neither
@@ -126,6 +178,7 @@ class ReadPipeline:
         fetcher: ParallelFetcher,
         max_gap: int = 0,
         cache_bytes: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_gap < 0:
             raise ValueError("max_gap must be non-negative")
@@ -136,10 +189,13 @@ class ReadPipeline:
         self._cache_bytes = cache_bytes
         self._cache: OrderedDict[_RangeKey, bytes] = OrderedDict()
         self._cached_bytes = 0
-        # The cache and stats are shared across server threads; all mutations
-        # happen under this lock (the physical fetch itself runs outside it).
+        # The cache is shared across server threads; all cache mutations
+        # happen under this lock (the physical fetch itself runs outside it;
+        # the stats object carries its own lock).
         self._lock = threading.Lock()
-        self.stats = PipelineStats()
+        self.stats = PipelineStats().bind(
+            metrics if metrics is not None else get_registry()
+        )
 
     @classmethod
     def for_store(
@@ -148,12 +204,14 @@ class ReadPipeline:
         max_concurrency: int = 32,
         max_gap: int = 0,
         cache_bytes: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> "ReadPipeline":
         """Build a pipeline with its own fetcher over ``store``."""
         return cls(
             ParallelFetcher(store, max_concurrency=max_concurrency),
             max_gap=max_gap,
             cache_bytes=cache_bytes,
+            metrics=metrics,
         )
 
     @property
@@ -222,7 +280,15 @@ class ReadPipeline:
             empty = BatchRecord(requests=(), wait_ms=0.0, download_ms=0.0)
             return FetchResult(payloads=[], batch=empty)
 
-        placements, physical = self._plan(requests)
+        placements, physical, deltas = self._plan(requests)
+        # Commit everything known at planning time — including the physical
+        # requests about to be issued — BEFORE the fetch: if the store fails
+        # (e.g. retries exhausted), the batch must still be accounted, or
+        # the pipeline counters would flatline exactly when the backend
+        # counters spike and operators look at them.
+        deltas["requests_out"] = len(physical)
+        deltas["batches"] = 1 if physical else 0
+        self.stats.add(**deltas)
         if physical:
             fetch = self._fetcher.fetch(physical)
         else:
@@ -231,25 +297,32 @@ class ReadPipeline:
             )
 
         payloads = self._resolve(requests, placements, fetch.payloads)
-        with self._lock:
-            self.stats.requests_out += len(physical)
-            if physical:
-                self.stats.batches += 1
-            self.stats.bytes_fetched += sum(len(data) for data in fetch.payloads)
+        self.stats.add(bytes_fetched=sum(len(data) for data in fetch.payloads))
         return FetchResult(payloads=payloads, batch=fetch.batch)
 
     # -- planning ----------------------------------------------------------------
 
     def _plan(
         self, requests: list[RangeRead]
-    ) -> tuple[list[_Placement], list[RangeRead]]:
-        """Map logical requests to cache hits and coalesced physical reads."""
+    ) -> tuple[list[_Placement], list[RangeRead], dict[str, int]]:
+        """Map logical requests to cache hits and coalesced physical reads.
+
+        Returns the placements, the physical reads to issue, and the stats
+        deltas of the planning phase — committed by :meth:`fetch` in one
+        atomic :meth:`PipelineStats.add` together with the fetch outcome.
+        """
         placements: list[_Placement | None] = [None] * len(requests)
         bounded: dict[_RangeKey, list[int]] = {}
         passthrough: list[int] = []
+        deltas = {
+            "requests_in": len(requests),
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "bytes_requested": 0,
+            "coalesced_requests": 0,
+        }
 
         with self._lock:
-            self.stats.requests_in += len(requests)
             for index, request in enumerate(requests):
                 if request.length == 0:
                     # Zero-length reads need no bytes at all.
@@ -257,16 +330,16 @@ class ReadPipeline:
                     continue
                 if request.length is None:
                     passthrough.append(index)
-                    self.stats.cache_misses += 1
+                    deltas["cache_misses"] += 1
                     continue
-                self.stats.bytes_requested += request.length
+                deltas["bytes_requested"] += request.length
                 key = (request.blob, request.offset, request.length)
                 cached = self._cache_get(key)
                 if cached is not None:
                     placements[index] = _Placement(source="cache", payload=cached)
-                    self.stats.cache_hits += 1
+                    deltas["cache_hits"] += 1
                     continue
-                self.stats.cache_misses += 1
+                deltas["cache_misses"] += 1
                 bounded.setdefault(key, []).append(index)
 
         physical: list[RangeRead] = []
@@ -294,12 +367,10 @@ class ReadPipeline:
                         start=offset - run.start,
                         length=length,
                     )
-        if coalesced:
-            with self._lock:
-                self.stats.coalesced_requests += coalesced
+        deltas["coalesced_requests"] = coalesced
 
         assert all(placement is not None for placement in placements)
-        return placements, physical  # type: ignore[return-value]
+        return placements, physical, deltas  # type: ignore[return-value]
 
     def _coalesce(self, keys: list[_RangeKey]) -> list[_Run]:
         """Merge sorted unique ranges into physical runs.

@@ -49,6 +49,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, TypeVar
 
+from repro.observability import MetricsRegistry, MirroredStats, get_registry
 from repro.storage.base import (
     BlobNotFoundError,
     ObjectStore,
@@ -94,9 +95,55 @@ class RetriesExhaustedError(TransientStoreError):
         self.__cause__ = last_error
 
 
+#: ResilienceStats field -> (registry counter name, help) mirrored on update.
+_RESILIENCE_COUNTERS: dict[str, tuple[str, str]] = {
+    "operations": (
+        "airphant_resilience_operations_total",
+        "Store operations entering the retry/hedge machinery",
+    ),
+    "attempts": (
+        "airphant_resilience_attempts_total",
+        "Individual store attempts (each retry adds one)",
+    ),
+    "retries": (
+        "airphant_resilience_retries_total",
+        "Attempts beyond the first of their operation",
+    ),
+    "recoveries": (
+        "airphant_resilience_recoveries_total",
+        "Operations rescued by a later attempt after failing at least once",
+    ),
+    "failures": (
+        "airphant_resilience_failures_total",
+        "Operations that failed even after every allowed retry",
+    ),
+    "timeouts": (
+        "airphant_resilience_timeouts_total",
+        "Attempts abandoned for exceeding the per-request timeout",
+    ),
+    "hedges": (
+        "airphant_resilience_hedges_total",
+        "Duplicate (hedge) requests launched",
+    ),
+    "hedge_wins": (
+        "airphant_resilience_hedge_wins_total",
+        "Hedge requests that finished before their primary",
+    ),
+}
+
+
 @dataclass
-class ResilienceStats:
-    """What one :class:`ResilientStore` attempted, retried, and hedged."""
+class ResilienceStats(MirroredStats):
+    """What one :class:`ResilientStore` attempted, retried, and hedged.
+
+    Updates go through :meth:`~repro.observability.MirroredStats.add`,
+    which is atomic (its own lock — the retry loop, the timeout guard, and
+    the hedge pool all report from different threads) and mirrors every
+    increment into the bound
+    :class:`~repro.observability.MetricsRegistry`.
+    """
+
+    _COUNTER_TABLE = _RESILIENCE_COUNTERS
 
     #: Top-level store operations entering the retry/hedge machinery.
     operations: int = 0
@@ -185,6 +232,9 @@ class ResilientStore(ObjectStore):
     sleep / clock:
         Injection points for tests (defaults: ``time.sleep`` /
         ``time.perf_counter``).
+    metrics:
+        Registry the :class:`ResilienceStats` mirror into; defaults to the
+        process-wide registry (:func:`repro.observability.get_registry`).
     """
 
     #: Observed-latency samples kept for the adaptive hedge delay.
@@ -207,6 +257,7 @@ class ResilientStore(ObjectStore):
         seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.perf_counter,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be non-negative")
@@ -240,7 +291,9 @@ class ResilientStore(ObjectStore):
         self._latencies: deque[float] = deque(maxlen=self._LATENCY_WINDOW)
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
-        self.stats = ResilienceStats()
+        self.stats = ResilienceStats().bind(
+            metrics if metrics is not None else get_registry()
+        )
 
     # -- plumbing ----------------------------------------------------------------
 
@@ -314,21 +367,16 @@ class ResilientStore(ObjectStore):
         backoff_s = self._backoff_ms / 1000.0
         attempts = self._retries + 1
         last_error: BaseException | None = None
-        with self._lock:
-            self.stats.operations += 1
+        self.stats.add(operations=1)
         for attempt in range(attempts):
-            with self._lock:
-                self.stats.attempts += 1
-                if attempt:
-                    self.stats.retries += 1
+            self.stats.add(attempts=1, retries=1 if attempt else 0)
             try:
                 if hedge and self.hedging_enabled:
                     result = self._hedged_call(fn)
                 else:
                     result = self._guarded_call(fn)
                 if attempt:
-                    with self._lock:
-                        self.stats.recoveries += 1
+                    self.stats.add(recoveries=1)
                 return result
             except (BlobNotFoundError, ReadOnlyStoreError):
                 raise
@@ -340,8 +388,7 @@ class ResilientStore(ObjectStore):
                     jitter = 1.0 + self._backoff_jitter * self._rng.random()
                 self._sleep(min(backoff_s, self._max_backoff_ms / 1000.0) * jitter)
                 backoff_s *= self._backoff_multiplier
-        with self._lock:
-            self.stats.failures += 1
+        self.stats.add(failures=1)
         assert last_error is not None
         raise RetriesExhaustedError(operation, attempts, last_error)
 
@@ -375,8 +422,7 @@ class ResilientStore(ObjectStore):
         )
         thread.start()
         if not done.wait(self._timeout_s):
-            with self._lock:
-                self.stats.timeouts += 1
+            self.stats.add(timeouts=1)
             raise StoreTimeoutError(
                 f"attempt exceeded the {self._timeout_s:.3f}s timeout"
             ) from None
@@ -409,14 +455,12 @@ class ResilientStore(ObjectStore):
 
         if self._timeout_s is not None and self._clock() - started >= self._timeout_s:
             primary.cancel()
-            with self._lock:
-                self.stats.timeouts += 1
+            self.stats.add(timeouts=1)
             raise StoreTimeoutError(
                 f"attempt exceeded the {self._timeout_s:.3f}s timeout"
             ) from None
 
-        with self._lock:
-            self.stats.hedges += 1
+        self.stats.add(hedges=1)
         hedge_started = self._clock()
         secondary: Future[T] = pool.submit(fn)
         pending: set[Future[T]] = {primary, secondary}
@@ -431,8 +475,7 @@ class ResilientStore(ObjectStore):
             if not done:
                 for future in pending:
                     future.cancel()
-                with self._lock:
-                    self.stats.timeouts += 1
+                self.stats.add(timeouts=1)
                 raise StoreTimeoutError(
                     f"hedged attempt exceeded the {self._timeout_s:.3f}s timeout"
                 ) from None
@@ -443,8 +486,7 @@ class ResilientStore(ObjectStore):
                     errors.append(error)
                     continue
                 if future is secondary:
-                    with self._lock:
-                        self.stats.hedge_wins += 1
+                    self.stats.add(hedge_wins=1)
                     # Observe the winner's OWN latency, not delay + latency:
                     # feeding the hedge wait back into the reservoir would
                     # ratchet the adaptive delay upward every win until

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from datetime import datetime, timezone
 from urllib.parse import parse_qsl, quote, urlencode, urlsplit
 
+from repro.observability import MetricsRegistry
 from repro.storage.base import TransientStoreError
 from repro.storage.httpstore import HTTPRangeStore
 
@@ -188,7 +189,12 @@ class S3ObjectStore(HTTPRangeStore):
         environment, and requests go out **unsigned** if none are set.
     timeout_s:
         Socket timeout per request, in seconds.
+    metrics:
+        Registry request counts and latencies are recorded into (labelled
+        ``backend="s3"``); defaults to the process-wide registry.
     """
+
+    _METRICS_BACKEND = "s3"
 
     def __init__(
         self,
@@ -198,12 +204,17 @@ class S3ObjectStore(HTTPRangeStore):
         region: str = "us-east-1",
         credentials: S3Credentials | None = None,
         timeout_s: float = 10.0,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if not bucket:
             raise ValueError("bucket must be non-empty")
         if endpoint is None:
             endpoint = f"https://s3.{region}.amazonaws.com"
-        super().__init__(f"{endpoint.rstrip('/')}/{quote(bucket, safe='')}", timeout_s=timeout_s)
+        super().__init__(
+            f"{endpoint.rstrip('/')}/{quote(bucket, safe='')}",
+            timeout_s=timeout_s,
+            metrics=metrics,
+        )
         self._endpoint = endpoint.rstrip("/")
         self._bucket = bucket
         self._prefix = prefix.strip("/")

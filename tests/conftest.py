@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# Make the reusable integration harness (tests/harness/) importable as
+# ``harness`` from every test module, wherever pytest was invoked from.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from harness.s3_emulator import S3Emulator
 
 from repro.core.config import SketchConfig
 from repro.index.builder import AirphantBuilder, BuiltIndex
@@ -34,6 +43,13 @@ SMALL_CORPUS_TEXT = "\n".join(
 def memory_store() -> InMemoryObjectStore:
     """A plain in-memory object store."""
     return InMemoryObjectStore()
+
+
+@pytest.fixture
+def s3_emulator():
+    """A running in-process S3 endpoint on an ephemeral port (see harness/)."""
+    with S3Emulator() as emulator:
+        yield emulator
 
 
 @pytest.fixture

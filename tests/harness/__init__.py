@@ -1,0 +1,19 @@
+"""Reusable integration-test harness for the Airphant reproduction.
+
+Importable from any test module (``tests/conftest.py`` puts the ``tests/``
+directory on ``sys.path``):
+
+* :mod:`harness.s3_emulator` — an in-process, ephemeral-port S3 endpoint
+  (path-style GET/HEAD/PUT/DELETE + paginated ListObjectsV2) for MinIO-style
+  end-to-end tests without a real service;
+* :mod:`harness.prometheus` — a strict parser for the Prometheus text
+  exposition format, used to assert ``GET /metrics`` payloads are valid;
+* :mod:`harness.stores` — counting/observing store wrappers for asserting
+  exactly what traffic reached a backend.
+"""
+
+from harness.prometheus import MetricFamily, parse_prometheus
+from harness.s3_emulator import S3Emulator
+from harness.stores import CountingStore
+
+__all__ = ["CountingStore", "MetricFamily", "S3Emulator", "parse_prometheus"]

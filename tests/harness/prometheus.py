@@ -1,0 +1,203 @@
+"""A strict parser for the Prometheus text exposition format (0.0.4).
+
+The ``/metrics`` acceptance criterion is "returns *valid* Prometheus text
+exposition", so the tests need an independent implementation of the format
+to check the server's output against — this module is that implementation.
+It parses ``# HELP`` / ``# TYPE`` headers and sample lines (with full label
+unescaping) and *validates* the structural rules a real scraper relies on:
+
+* sample names must match the metric-name grammar;
+* ``TYPE`` must be declared before (and at most once for) a family's samples;
+* histogram families must carry, per label set: cumulative, non-decreasing
+  ``_bucket`` series ending in ``le="+Inf"``, plus ``_sum`` and ``_count``
+  with ``count == +Inf bucket``.
+
+Any violation raises :class:`ValueError` with the offending line.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_LINE = re.compile(
+    rf"^(?P<name>{_NAME})(?:\{{(?P<labels>.*)\}})?\s+(?P<value>\S+)$"
+)
+_HELP_LINE = re.compile(rf"^# HELP (?P<name>{_NAME}) (?P<help>.*)$")
+_TYPE_LINE = re.compile(
+    rf"^# TYPE (?P<name>{_NAME}) (?P<kind>counter|gauge|histogram|summary|untyped)$"
+)
+_LABEL = re.compile(rf'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+@dataclass
+class Sample:
+    """One parsed sample line."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+@dataclass
+class MetricFamily:
+    """All samples sharing one declared metric family."""
+
+    name: str
+    kind: str
+    help: str = ""
+    samples: list[Sample] = field(default_factory=list)
+
+    def value(self, **labels: str) -> float:
+        """The single sample value matching ``labels`` exactly."""
+        matches = [s for s in self.samples if s.labels == labels and s.name == self.name]
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} samples of {self.name} match {labels}")
+        return matches[0].value
+
+    def total(self) -> float:
+        """Sum over every plain (non ``_bucket``/``_sum``/``_count``) sample."""
+        return sum(s.value for s in self.samples if s.name == self.name)
+
+    def histogram_count(self, **labels: str) -> float:
+        """The ``_count`` of the histogram series matching ``labels``."""
+        matches = [
+            s
+            for s in self.samples
+            if s.name == f"{self.name}_count" and s.labels == labels
+        ]
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} _count samples of {self.name} match {labels}")
+        return matches[0].value
+
+
+_ESCAPE = re.compile(r"\\(.)")
+_UNESCAPES = {"n": "\n", '"': '"', "\\": "\\"}
+
+
+def _unescape_label(value: str) -> str:
+    # Process escapes left to right in one pass: sequential str.replace
+    # calls would misdecode e.g. '\\\\n' (escaped backslash + literal 'n')
+    # as backslash + newline.
+    return _ESCAPE.sub(lambda match: _UNESCAPES.get(match.group(1), match.group(0)), value)
+
+
+def _parse_labels(raw: str, line: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    rest = raw
+    while rest:
+        match = _LABEL.match(rest)
+        if not match:
+            raise ValueError(f"malformed label block in line: {line!r}")
+        labels[match.group("name")] = _unescape_label(match.group("value"))
+        rest = rest[match.end() :]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise ValueError(f"malformed label separator in line: {line!r}")
+    return labels
+
+
+def _parse_value(raw: str, line: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"malformed sample value in line: {line!r}") from None
+
+
+def _family_of(sample_name: str, kinds: dict[str, str]) -> str:
+    """Map a sample name to its declared family (histogram suffixes fold)."""
+    if sample_name in kinds:
+        return sample_name
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if kinds.get(base) == "histogram":
+                return base
+    raise ValueError(f"sample {sample_name!r} has no preceding # TYPE declaration")
+
+
+def _validate_histogram(family: MetricFamily) -> None:
+    by_labelset: dict[tuple[tuple[str, str], ...], dict[str, object]] = {}
+    for sample in family.samples:
+        labels = dict(sample.labels)
+        le = labels.pop("le", None)
+        key = tuple(sorted(labels.items()))
+        state = by_labelset.setdefault(key, {"buckets": [], "sum": None, "count": None})
+        if sample.name == f"{family.name}_bucket":
+            if le is None:
+                raise ValueError(f"{sample.name} sample without an le label")
+            bound = math.inf if le == "+Inf" else float(le)
+            state["buckets"].append((bound, sample.value))
+        elif sample.name == f"{family.name}_sum":
+            state["sum"] = sample.value
+        elif sample.name == f"{family.name}_count":
+            state["count"] = sample.value
+        else:
+            raise ValueError(f"unexpected sample {sample.name!r} in histogram family")
+    for key, state in by_labelset.items():
+        buckets = sorted(state["buckets"])
+        if not buckets or buckets[-1][0] != math.inf:
+            raise ValueError(f"histogram {family.name}{dict(key)} lacks an le=\"+Inf\" bucket")
+        cumulative = [count for _, count in buckets]
+        if any(b < a for a, b in zip(cumulative, cumulative[1:])):
+            raise ValueError(f"histogram {family.name}{dict(key)} buckets are not cumulative")
+        if state["sum"] is None or state["count"] is None:
+            raise ValueError(f"histogram {family.name}{dict(key)} lacks _sum or _count")
+        if state["count"] != cumulative[-1]:
+            raise ValueError(
+                f"histogram {family.name}{dict(key)}: _count {state['count']} != "
+                f"+Inf bucket {cumulative[-1]}"
+            )
+
+
+def parse_prometheus(text: str) -> dict[str, MetricFamily]:
+    """Parse and validate one exposition payload.
+
+    Returns the metric families keyed by name; raises :class:`ValueError`
+    on any formatting or structural violation.
+    """
+    families: dict[str, MetricFamily] = {}
+    kinds: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    for line in text.split("\n"):
+        if not line:
+            continue
+        if line.startswith("#"):
+            help_match = _HELP_LINE.match(line)
+            if help_match:
+                helps[help_match.group("name")] = help_match.group("help")
+                continue
+            type_match = _TYPE_LINE.match(line)
+            if type_match:
+                name = type_match.group("name")
+                if name in kinds:
+                    raise ValueError(f"duplicate # TYPE for {name!r}")
+                kinds[name] = type_match.group("kind")
+                families[name] = MetricFamily(
+                    name=name, kind=kinds[name], help=helps.get(name, "")
+                )
+                continue
+            raise ValueError(f"malformed comment line: {line!r}")
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ValueError(f"malformed sample line: {line!r}")
+        sample = Sample(
+            name=match.group("name"),
+            labels=_parse_labels(match.group("labels") or "", line),
+            value=_parse_value(match.group("value"), line),
+        )
+        families[_family_of(sample.name, kinds)].samples.append(sample)
+    for family in families.values():
+        if family.kind == "histogram":
+            _validate_histogram(family)
+    return families

@@ -1,0 +1,192 @@
+"""An in-process S3 emulator for integration tests.
+
+A stdlib ``http.server`` speaking just enough of the S3 REST protocol
+(path-style object GET/HEAD/PUT/DELETE plus paginated ListObjectsV2 XML) to
+exercise :class:`repro.storage.s3.S3ObjectStore` end to end — the same
+surface a MinIO container would provide, without needing one.  Promoted out
+of ``tests/storage/test_s3.py`` so every test (and the CI integration job)
+can spin one up via the ``s3_emulator`` fixture in ``tests/conftest.py``.
+
+The emulator binds an ephemeral port on 127.0.0.1 and keeps objects in a
+plain dict (``emulator.objects``), which tests may inspect or pre-seed
+directly.  ``Authorization`` headers of every request are collected in
+``emulator.seen_auth_headers`` for SigV4 assertions.
+"""
+
+from __future__ import annotations
+
+import http.server
+import threading
+import urllib.parse
+from xml.sax.saxutils import escape
+
+#: Objects returned per ListObjectsV2 page — tiny so listing more than a
+#: handful of blobs always exercises the continuation-token path.
+LIST_PAGE_SIZE = 3
+
+
+class _S3Handler(http.server.BaseHTTPRequestHandler):
+    """Minimal path-style S3 endpoint backed by a dict on the server."""
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args):  # noqa: A002 - quiet test output
+        pass
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _parse(self):
+        parts = urllib.parse.urlsplit(self.path)
+        segments = parts.path.lstrip("/").split("/", 1)
+        bucket = segments[0]
+        key = urllib.parse.unquote(segments[1]) if len(segments) > 1 else ""
+        query = dict(urllib.parse.parse_qsl(parts.query, keep_blank_values=True))
+        return bucket, key, query
+
+    def _respond(self, status, body=b"", content_type="application/octet-stream"):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _record_auth(self):
+        self.server.seen_auth_headers.append(self.headers.get("Authorization"))
+
+    # -- verbs -------------------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        self._record_auth()
+        bucket, key, query = self._parse()
+        if bucket != self.server.bucket:
+            self._respond(404)
+            return
+        if not key and query.get("list-type") == "2":
+            self._list(query)
+            return
+        data = self.server.objects.get(key)
+        if data is None:
+            self._respond(404)
+            return
+        header = self.headers.get("Range")
+        if header and header.startswith("bytes="):
+            start_s, _, end_s = header[len("bytes="):].partition("-")
+            start = int(start_s)
+            if start >= len(data):
+                self._respond(416)
+                return
+            end = int(end_s) if end_s else len(data) - 1
+            self._respond(206, data[start : end + 1])
+            return
+        self._respond(200, data)
+
+    def do_HEAD(self):  # noqa: N802 - http.server API
+        self._record_auth()
+        _, key, _ = self._parse()
+        data = self.server.objects.get(key)
+        if data is None:
+            self._respond(404)
+        else:
+            self._respond(200, data)  # body suppressed for HEAD
+
+    def do_PUT(self):  # noqa: N802 - http.server API
+        self._record_auth()
+        _, key, _ = self._parse()
+        length = int(self.headers.get("Content-Length") or 0)
+        self.server.objects[key] = self.rfile.read(length)
+        self._respond(200)
+
+    def do_DELETE(self):  # noqa: N802 - http.server API
+        self._record_auth()
+        _, key, _ = self._parse()
+        self.server.objects.pop(key, None)
+        self._respond(204)
+
+    def _list(self, query):
+        prefix = query.get("prefix", "")
+        token = query.get("continuation-token", "")
+        keys = sorted(k for k in self.server.objects if k.startswith(prefix))
+        start = int(token) if token else 0
+        page = keys[start : start + LIST_PAGE_SIZE]
+        truncated = start + LIST_PAGE_SIZE < len(keys)
+        contents = "".join(
+            f"<Contents><Key>{escape(key)}</Key></Contents>" for key in page
+        )
+        next_token = (
+            f"<NextContinuationToken>{start + LIST_PAGE_SIZE}</NextContinuationToken>"
+            if truncated
+            else ""
+        )
+        body = (
+            '<?xml version="1.0" encoding="UTF-8"?>'
+            '<ListBucketResult xmlns="http://s3.amazonaws.com/doc/2006-03-01/">'
+            f"<IsTruncated>{'true' if truncated else 'false'}</IsTruncated>"
+            f"{contents}{next_token}</ListBucketResult>"
+        )
+        self._respond(200, body.encode("utf-8"), content_type="application/xml")
+
+
+class S3Emulator:
+    """A started-on-demand S3 endpoint on an ephemeral 127.0.0.1 port.
+
+    Usable as a context manager or via explicit :meth:`start`/:meth:`stop`;
+    the ``s3_emulator`` fixture in ``tests/conftest.py`` wraps the former.
+
+    Attributes
+    ----------
+    bucket:
+        The only bucket the emulator answers for (object requests against
+        other buckets get 404, like a real endpoint without that bucket).
+    objects:
+        Key → bytes backing dict; inspect or pre-seed freely.
+    seen_auth_headers:
+        The ``Authorization`` header (or ``None``) of every request served.
+    """
+
+    def __init__(self, bucket: str = "test-bucket") -> None:
+        self.bucket = bucket
+        self.objects: dict[str, bytes] = {}
+        self.seen_auth_headers: list[str | None] = []
+        self._server: http.server.ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "S3Emulator":
+        """Bind an ephemeral port and serve in a daemon thread."""
+        if self._server is not None:
+            return self
+        server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), _S3Handler)
+        server.bucket = self.bucket
+        server.objects = self.objects
+        server.seen_auth_headers = self.seen_auth_headers
+        self._server = server
+        self._thread = threading.Thread(target=server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5)
+
+    def __enter__(self) -> "S3Emulator":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def endpoint(self) -> str:
+        """Base URL of the running emulator (requires :meth:`start`)."""
+        assert self._server is not None, "emulator not started"
+        return f"http://127.0.0.1:{self._server.server_address[1]}"
+
+    def uri(self, prefix: str = "") -> str:
+        """A registry-resolvable ``s3://`` URI pointing at this emulator."""
+        path = f"{self.bucket}/{prefix}" if prefix else self.bucket
+        return f"s3://{path}?endpoint={self.endpoint}"

@@ -1,0 +1,77 @@
+"""Observing store wrappers for exact-traffic assertions.
+
+:class:`CountingStore` wraps any :class:`~repro.storage.base.ObjectStore`
+and counts what actually reaches the backend — read calls and bytes
+returned — so tests can assert that pipeline/resilience metrics are *exactly
+consistent* with observed store traffic, not merely plausible.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.storage.base import ObjectStore
+
+
+class CountingStore(ObjectStore):
+    """Pass-through wrapper counting the reads that reach the backend."""
+
+    def __init__(self, backend: ObjectStore) -> None:
+        self._backend = backend
+        self._lock = threading.Lock()
+        #: get() calls served.
+        self.get_calls = 0
+        #: get_range() calls served.
+        self.range_calls = 0
+        #: Total bytes returned across get()/get_range().
+        self.bytes_returned = 0
+
+    @property
+    def backend(self) -> ObjectStore:
+        return self._backend
+
+    @property
+    def read_calls(self) -> int:
+        """All read calls (whole-object plus range) served."""
+        return self.get_calls + self.range_calls
+
+    def reset_counts(self) -> None:
+        with self._lock:
+            self.get_calls = 0
+            self.range_calls = 0
+            self.bytes_returned = 0
+
+    # -- ObjectStore interface ---------------------------------------------------
+
+    def put(self, name: str, data: bytes) -> None:
+        self._backend.put(name, data)
+
+    def get(self, name: str) -> bytes:
+        data = self._backend.get(name)
+        with self._lock:
+            self.get_calls += 1
+            self.bytes_returned += len(data)
+        return data
+
+    def get_range(self, name: str, offset: int, length: int | None = None) -> bytes:
+        data = self._backend.get_range(name, offset, length)
+        with self._lock:
+            self.range_calls += 1
+            self.bytes_returned += len(data)
+        return data
+
+    def size(self, name: str) -> int:
+        return self._backend.size(name)
+
+    def exists(self, name: str) -> bool:
+        return self._backend.exists(name)
+
+    def delete(self, name: str) -> None:
+        self._backend.delete(name)
+
+    def list_blobs(self, prefix: str = "") -> list[str]:
+        return self._backend.list_blobs(prefix)
+
+    def close(self) -> None:
+        super().close()
+        self._backend.close()

@@ -1,0 +1,214 @@
+"""Unit tests for the metrics registry, histograms, and exposition format."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from harness.prometheus import parse_prometheus
+
+from repro.observability import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("airphant_test_total", "help text")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value() == 42
+        assert counter.total == 42
+
+    def test_labeled_series_are_independent(self, registry):
+        counter = registry.counter("airphant_test_total", label_names=("mode",))
+        counter.inc(mode="keyword")
+        counter.inc(2, mode="regex")
+        assert counter.value(mode="keyword") == 1
+        assert counter.value(mode="regex") == 2
+        assert counter.value(mode="boolean") == 0
+        assert counter.total == 3
+
+    def test_counters_never_decrease(self, registry):
+        counter = registry.counter("airphant_test_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_wrong_labels_are_rejected(self, registry):
+        counter = registry.counter("airphant_test_total", label_names=("mode",))
+        with pytest.raises(ValueError):
+            counter.inc(other="x")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_registration_is_idempotent_but_typed(self, registry):
+        first = registry.counter("airphant_test_total")
+        assert registry.counter("airphant_test_total") is first
+        with pytest.raises(ValueError):
+            registry.histogram("airphant_test_total")
+
+    def test_label_schema_conflicts_fail_at_registration(self, registry):
+        registry.counter("airphant_test_total", label_names=("mode",))
+        # Even an *empty* schema mismatch must fail here, not later inside
+        # .inc() on the record hot path.
+        with pytest.raises(ValueError):
+            registry.counter("airphant_test_total")
+        with pytest.raises(ValueError):
+            registry.counter("airphant_test_total", label_names=("other",))
+
+    def test_histogram_bucket_conflicts_fail_at_registration(self, registry):
+        registry.histogram("airphant_test_seconds", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("airphant_test_seconds", buckets=(0.2, 1.0))
+        assert (
+            registry.histogram("airphant_test_seconds", buckets=(0.1, 1.0)).buckets
+            == (0.1, 1.0)
+        )
+
+    def test_invalid_names_are_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("0bad")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", label_names=("bad-label",))
+
+
+class TestHistogram:
+    def test_quantiles_from_buckets(self, registry):
+        histogram = registry.histogram(
+            "airphant_test_seconds", buckets=(0.01, 0.1, 1.0)
+        )
+        for value in [0.005] * 50 + [0.05] * 40 + [0.5] * 8 + [5.0] * 2:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 0.005
+        assert summary["max"] == 5.0
+        # p50 falls in the first bucket, p95 in the third, p99 in +Inf.
+        assert summary["p50"] <= 0.01
+        assert 0.1 < summary["p95"] <= 1.0
+        assert summary["p99"] > 1.0
+
+    def test_empty_histogram_summary_is_zero(self, registry):
+        histogram = registry.histogram("airphant_test_seconds")
+        assert histogram.summary()["count"] == 0
+        assert histogram.quantile(0.99) == 0.0
+
+    def test_merged_summary_spans_label_sets(self, registry):
+        histogram = registry.histogram(
+            "airphant_test_seconds", label_names=("mode",), buckets=DEFAULT_BUCKETS
+        )
+        histogram.observe(0.002, mode="a")
+        histogram.observe(0.2, mode="b")
+        merged = histogram.merged_summary()
+        assert merged["count"] == 2
+        assert merged["min"] == 0.002
+        assert merged["max"] == 0.2
+
+    def test_buckets_must_increase(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("airphant_bad_seconds", buckets=(1.0, 1.0))
+
+
+class TestExposition:
+    def test_round_trips_through_the_validating_parser(self, registry):
+        counter = registry.counter(
+            "airphant_test_total", 'tricky "help" with \\ and\nnewline', ("status",)
+        )
+        counter.inc(3, status='20"0\\x')
+        histogram = registry.histogram(
+            "airphant_test_seconds", "latency", ("mode",), buckets=(0.01, 1.0)
+        )
+        histogram.observe(0.005, mode="keyword")
+        histogram.observe(2.0, mode="keyword")
+        # A literal backslash followed by 'n' (NOT a newline): renders as
+        # '\\n' and must round-trip back to backslash + 'n'.
+        counter.inc(7, status="C:\\new")
+        families = parse_prometheus(registry.to_prometheus())
+        assert families["airphant_test_total"].value(status='20"0\\x') == 3
+        assert families["airphant_test_total"].value(status="C:\\new") == 7
+        assert families["airphant_test_seconds"].histogram_count(mode="keyword") == 2
+
+    def test_unobserved_families_are_omitted(self, registry):
+        registry.counter("airphant_never_total", "registered but never incremented")
+        assert registry.to_prometheus() == ""
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("airphant_x_total{unclosed 1\n")
+        with pytest.raises(ValueError):
+            parse_prometheus("no_type_declared_total 1\n")
+        with pytest.raises(ValueError):
+            parse_prometheus(
+                "# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\nh_sum 1\nh_count 3\n'
+            )  # non-cumulative buckets
+
+
+class TestRegistry:
+    def test_snapshot_and_summary(self, registry):
+        registry.counter("airphant_a_total").inc(2)
+        registry.histogram("airphant_b_seconds").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["airphant_a_total"]["total"] == 2
+        assert snapshot["histograms"]["airphant_b_seconds"]["values"][0]["count"] == 1
+        summary = registry.summary()
+        assert summary["airphant_a_total"] == 2
+        assert summary["airphant_b_seconds"]["count"] == 1
+
+    def test_reset_keeps_registrations_alive(self, registry):
+        counter = registry.counter("airphant_a_total")
+        counter.inc(5)
+        registry.reset()
+        assert counter.value() == 0
+        counter.inc()  # the held reference still works and lands in the registry
+        assert registry.counter("airphant_a_total").value() == 1
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("airphant_a_total")
+        histogram = registry.histogram("airphant_b_seconds")
+        counter.inc(10)
+        histogram.observe(1.0)
+        assert counter.value() == 0
+        assert histogram.summary()["count"] == 0
+        registry.enable()
+        counter.inc()
+        assert counter.value() == 1
+
+    def test_null_registry_is_permanently_disabled(self):
+        assert not NULL_REGISTRY.enabled
+        # It is shared by every metrics_enabled=False service in the
+        # process, so it must refuse to be switched on.
+        with pytest.raises(RuntimeError):
+            NULL_REGISTRY.enable()
+        assert not NULL_REGISTRY.enabled
+
+    def test_get_registry_is_a_stable_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_concurrent_increments_are_exact(self, registry):
+        counter = registry.counter("airphant_hammer_total", label_names=("worker",))
+        histogram = registry.histogram("airphant_hammer_seconds")
+        threads = 8
+        per_thread = 2_000
+
+        def hammer(worker: int) -> None:
+            for i in range(per_thread):
+                counter.inc(worker=str(worker % 2))
+                histogram.observe(i / per_thread)
+
+        pool = [threading.Thread(target=hammer, args=(t,)) for t in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.total == threads * per_thread
+        assert histogram.summary()["count"] == threads * per_thread

@@ -244,3 +244,34 @@ class TestLifecycle:
         with ParallelFetcher(memory_store) as fetcher:
             result = fetcher.fetch([RangeRead("blob", 0, 4)])
         assert result.payloads == [BLOB_DATA[0:4]]
+
+
+class TestFailureAccounting:
+    def test_failed_physical_fetch_still_accounts_the_batch(self, memory_store):
+        """A store failure must not erase the batch from the pipeline counters.
+
+        When the backend is down, the pipeline counters are exactly what an
+        operator correlates with the spiking backend counters — planning-side
+        accounting therefore commits before the physical fetch.
+        """
+        from repro.observability import MetricsRegistry
+        from repro.storage.base import TransientStoreError
+
+        class _DownStore(InMemoryObjectStore):
+            def get_range(self, name, offset, length=None):
+                raise TransientStoreError("backend down")
+
+        store = _DownStore()
+        store.put("blob", BLOB_DATA)
+        registry = MetricsRegistry()
+        pipeline = ReadPipeline.for_store(store, max_concurrency=2, metrics=registry)
+        with pytest.raises(TransientStoreError):
+            pipeline.fetch([RangeRead("blob", 0, 8), RangeRead("blob", 0, 8)])
+        assert pipeline.stats.requests_in == 2
+        assert pipeline.stats.requests_out == 1  # deduplicated, then issued
+        assert pipeline.stats.batches == 1
+        assert pipeline.stats.bytes_fetched == 0  # nothing ever arrived
+        assert (
+            registry.counter("airphant_pipeline_physical_requests_total").value() == 1
+        )
+        pipeline.close()

@@ -1,16 +1,12 @@
-"""Tests for the S3-compatible adapter against an in-test S3 emulator.
+"""Tests for the S3-compatible adapter against the in-test S3 emulator.
 
-The emulator is a stdlib ``http.server`` handler speaking just enough of the
-S3 REST protocol (path-style GET/HEAD/PUT/DELETE plus paginated
-ListObjectsV2 XML) to exercise the adapter end to end, including a full
-build → search round trip through the service facade.
+The emulator lives in ``tests/harness/s3_emulator.py`` (shared with the
+MinIO-style integration tests in ``tests/integration/test_s3_harness.py``)
+and speaks just enough of the S3 REST protocol — path-style
+GET/HEAD/PUT/DELETE plus paginated ListObjectsV2 XML — to exercise the
+adapter end to end, including a full build → search round trip through the
+service facade.
 """
-
-import threading
-import urllib.parse
-from xml.sax.saxutils import escape
-
-import http.server
 
 import pytest
 
@@ -20,140 +16,18 @@ from repro.storage.base import BlobNotFoundError
 from repro.storage.registry import open_store
 from repro.storage.s3 import S3Credentials, S3ObjectStore, sign_v4
 
-BUCKET = "test-bucket"
-
-
-class _S3Handler(http.server.BaseHTTPRequestHandler):
-    """Minimal path-style S3 endpoint backed by a dict on the server."""
-
-    protocol_version = "HTTP/1.1"
-
-    def log_message(self, *args):  # noqa: A002 - quiet test output
-        pass
-
-    # -- helpers -----------------------------------------------------------------
-
-    def _parse(self):
-        parts = urllib.parse.urlsplit(self.path)
-        segments = parts.path.lstrip("/").split("/", 1)
-        bucket = segments[0]
-        key = urllib.parse.unquote(segments[1]) if len(segments) > 1 else ""
-        query = dict(urllib.parse.parse_qsl(parts.query, keep_blank_values=True))
-        return bucket, key, query
-
-    def _respond(self, status, body=b"", content_type="application/octet-stream"):
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        if self.command != "HEAD":
-            self.wfile.write(body)
-
-    def _record_auth(self):
-        self.server.seen_auth_headers.append(self.headers.get("Authorization"))
-
-    # -- verbs -------------------------------------------------------------------
-
-    def do_GET(self):  # noqa: N802 - http.server API
-        self._record_auth()
-        bucket, key, query = self._parse()
-        if bucket != BUCKET:
-            self._respond(404)
-            return
-        if not key and query.get("list-type") == "2":
-            self._list(query)
-            return
-        data = self.server.objects.get(key)
-        if data is None:
-            self._respond(404)
-            return
-        header = self.headers.get("Range")
-        if header and header.startswith("bytes="):
-            start_s, _, end_s = header[len("bytes="):].partition("-")
-            start = int(start_s)
-            if start >= len(data):
-                self._respond(416)
-                return
-            end = int(end_s) if end_s else len(data) - 1
-            self._respond(206, data[start : end + 1])
-            return
-        self._respond(200, data)
-
-    def do_HEAD(self):  # noqa: N802 - http.server API
-        self._record_auth()
-        _, key, _ = self._parse()
-        data = self.server.objects.get(key)
-        if data is None:
-            self._respond(404)
-        else:
-            self._respond(200, data)  # body suppressed for HEAD
-
-    def do_PUT(self):  # noqa: N802 - http.server API
-        self._record_auth()
-        _, key, _ = self._parse()
-        length = int(self.headers.get("Content-Length") or 0)
-        self.server.objects[key] = self.rfile.read(length)
-        self._respond(200)
-
-    def do_DELETE(self):  # noqa: N802 - http.server API
-        self._record_auth()
-        _, key, _ = self._parse()
-        self.server.objects.pop(key, None)
-        self._respond(204)
-
-    def _list(self, query):
-        prefix = query.get("prefix", "")
-        token = query.get("continuation-token", "")
-        page_size = 3  # tiny pages force the pagination path
-        keys = sorted(k for k in self.server.objects if k.startswith(prefix))
-        start = int(token) if token else 0
-        page = keys[start : start + page_size]
-        truncated = start + page_size < len(keys)
-        contents = "".join(
-            f"<Contents><Key>{escape(key)}</Key></Contents>" for key in page
-        )
-        next_token = (
-            f"<NextContinuationToken>{start + page_size}</NextContinuationToken>"
-            if truncated
-            else ""
-        )
-        body = (
-            '<?xml version="1.0" encoding="UTF-8"?>'
-            '<ListBucketResult xmlns="http://s3.amazonaws.com/doc/2006-03-01/">'
-            f"<IsTruncated>{'true' if truncated else 'false'}</IsTruncated>"
-            f"{contents}{next_token}</ListBucketResult>"
-        )
-        self._respond(200, body.encode("utf-8"), content_type="application/xml")
-
 
 @pytest.fixture
-def s3_server():
-    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), _S3Handler)
-    server.objects = {}
-    server.seen_auth_headers = []
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    try:
-        yield server
-    finally:
-        server.shutdown()
-        server.server_close()
-        thread.join(timeout=5)
-
-
-def _endpoint(server) -> str:
-    return f"http://127.0.0.1:{server.server_address[1]}"
-
-
-@pytest.fixture
-def store(s3_server):
-    return S3ObjectStore(BUCKET, endpoint=_endpoint(s3_server), credentials=None)
+def store(s3_emulator):
+    return S3ObjectStore(
+        s3_emulator.bucket, endpoint=s3_emulator.endpoint, credentials=None
+    )
 
 
 class TestCrud:
-    def test_put_get_round_trip(self, store, s3_server):
+    def test_put_get_round_trip(self, store, s3_emulator):
         store.put("dir/blob.bin", b"payload-bytes")
-        assert s3_server.objects["dir/blob.bin"] == b"payload-bytes"
+        assert s3_emulator.objects["dir/blob.bin"] == b"payload-bytes"
         assert store.get("dir/blob.bin") == b"payload-bytes"
 
     def test_range_reads_are_served_with_206(self, store):
@@ -181,30 +55,36 @@ class TestCrud:
         assert store.list_blobs() == sorted(names)
         assert store.total_bytes("idx/") == 8
 
-    def test_prefix_scopes_all_operations(self, s3_server):
+    def test_prefix_scopes_all_operations(self, s3_emulator):
         scoped = S3ObjectStore(
-            BUCKET, prefix="tenant-a", endpoint=_endpoint(s3_server), credentials=None
+            s3_emulator.bucket,
+            prefix="tenant-a",
+            endpoint=s3_emulator.endpoint,
+            credentials=None,
         )
         scoped.put("blob", b"abc")
-        assert s3_server.objects == {"tenant-a/blob": b"abc"}
+        assert s3_emulator.objects == {"tenant-a/blob": b"abc"}
         assert scoped.list_blobs() == ["blob"]
         assert scoped.get_range("blob", 1, 1) == b"b"
 
 
 class TestSigning:
-    def test_unsigned_requests_without_credentials(self, store, s3_server):
+    def test_unsigned_requests_without_credentials(self, store, s3_emulator):
         store.put("blob", b"x")
         store.get("blob")
-        assert all(header is None for header in s3_server.seen_auth_headers)
+        assert all(header is None for header in s3_emulator.seen_auth_headers)
 
-    def test_signed_requests_carry_sigv4_authorization(self, s3_server):
+    def test_signed_requests_carry_sigv4_authorization(self, s3_emulator):
         creds = S3Credentials(access_key="AKIDEXAMPLE", secret_key="secret")
         signed = S3ObjectStore(
-            BUCKET, endpoint=_endpoint(s3_server), credentials=creds, region="eu-west-1"
+            s3_emulator.bucket,
+            endpoint=s3_emulator.endpoint,
+            credentials=creds,
+            region="eu-west-1",
         )
         signed.put("blob", b"x")
         assert signed.get("blob") == b"x"
-        headers = [h for h in s3_server.seen_auth_headers if h]
+        headers = [h for h in s3_emulator.seen_auth_headers if h]
         assert headers, "no Authorization header reached the server"
         for header in headers:
             assert header.startswith("AWS4-HMAC-SHA256 Credential=AKIDEXAMPLE/")
@@ -236,16 +116,14 @@ class TestSigning:
 
 
 class TestEndToEnd:
-    def test_registry_resolves_s3_uri(self, s3_server):
-        uri = f"s3://{BUCKET}/exports?endpoint={_endpoint(s3_server)}"
-        store = open_store(uri)
+    def test_registry_resolves_s3_uri(self, s3_emulator):
+        store = open_store(s3_emulator.uri(prefix="exports"))
         assert isinstance(store, S3ObjectStore)
         store.put("blob", b"via-registry")
         assert store.get("blob") == b"via-registry"
 
-    def test_build_and_search_through_the_service(self, s3_server):
-        uri = f"s3://{BUCKET}?endpoint={_endpoint(s3_server)}"
-        service = AirphantService.from_uri(uri)
+    def test_build_and_search_through_the_service(self, s3_emulator):
+        service = AirphantService.from_uri(s3_emulator.uri())
         service.store.put(
             "corpora/logs.txt",
             b"error disk full\ninfo started\nerror timeout\nwarn noise",
