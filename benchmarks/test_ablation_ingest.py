@@ -1,0 +1,217 @@
+"""Ablation: mixed read/write workload through the live ingestion subsystem.
+
+A wall-clock benchmark of the write path the paper leaves as future work:
+one service node over an in-memory store runs an interleaved workload —
+query waves alternating with append batches — under three maintenance
+regimes:
+
+* ``no-flush``   — everything stays in the memtable (upper bound on memtable
+  read cost; no delta indexes at all);
+* ``flush``      — the flush policy folds memtables into delta indexes, so
+  reads fan out over base + deltas;
+* ``flush+compact`` — compaction keeps folding deltas back into the base
+  generation, bounding read amplification.
+
+Recorded per regime: append/query latencies (p50/p99), flush/compaction
+counts and durations, stacked-delta peak, and a correctness count (every
+regime must return the identical number of results — maintenance must never
+change answers).  This doubles as the CI **ingest soak**: under
+``AIRPHANT_BENCH_SMOKE=1`` a short run exercises append → flush → compact
+with the background policies enabled.
+
+The machine-readable record lands in ``results/BENCH_ingest.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import save_json, save_result, smoke_mode
+from repro.bench.tables import format_table
+from repro.core.config import SketchConfig
+from repro.observability import MetricsRegistry
+from repro.service import AirphantService, SearchRequest, ServiceConfig
+from repro.storage.memory import InMemoryObjectStore
+from repro.workloads.logs import generate_log_corpus
+
+INDEX = "ablation-ingest"
+
+
+def _settings():
+    if smoke_mode():
+        return {
+            "base_documents": 300,
+            "batches": 6,
+            "batch_size": 25,
+            "queries_per_wave": 8,
+            "bins": 256,
+            "flush_docs": 40,
+            "compact_deltas": 2,
+        }
+    return {
+        "base_documents": 4_000,
+        "batches": 24,
+        "batch_size": 120,
+        "queries_per_wave": 25,
+        "bins": 2_048,
+        "flush_docs": 250,
+        "compact_deltas": 3,
+    }
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _corpus_lines(store: InMemoryObjectStore, documents: int) -> list[str]:
+    corpus = generate_log_corpus(store, "hdfs", num_documents=documents, seed=3)
+    text = store.get(corpus.blob_names[0]).decode("utf-8")
+    return [line for line in text.splitlines() if line.strip()]
+
+
+def _run_scenario(
+    name: str,
+    lines: list[str],
+    settings: dict,
+    flush: bool,
+    compact: bool,
+) -> dict:
+    store = InMemoryObjectStore()
+    store.put("corpus/base.txt", ("\n".join(lines[: settings["base_documents"]]) + "\n").encode())
+    config = ServiceConfig(
+        ingest_interval_s=0,  # the benchmark drives maintenance deterministically
+        ingest_flush_docs=settings["flush_docs"],
+        ingest_compact_deltas=settings["compact_deltas"] if compact else 0,
+    )
+    registry = MetricsRegistry()
+    service = AirphantService(store, config, metrics=registry)
+    service.build_index(
+        INDEX, ["corpus/base.txt"], sketch_config=SketchConfig(num_bins=settings["bins"], seed=7)
+    )
+
+    ingest_lines = lines[settings["base_documents"] :]
+    queries = ["ERROR", "INFO block", "WARN"]
+    append_ms: list[float] = []
+    query_ms: list[float] = []
+    total_results = 0
+    peak_deltas = 0
+    batch_size = settings["batch_size"]
+
+    for wave in range(settings["batches"]):
+        batch = ingest_lines[wave * batch_size : (wave + 1) * batch_size]
+        if batch:
+            started = time.perf_counter()
+            service.append_documents(INDEX, batch)
+            append_ms.append((time.perf_counter() - started) * 1000.0)
+        if flush:
+            service.ingest.run_maintenance()
+        live = service.ingest.live(INDEX)
+        if live is not None:
+            peak_deltas = max(peak_deltas, live.delta_count)
+        for position in range(settings["queries_per_wave"]):
+            query = queries[position % len(queries)]
+            started = time.perf_counter()
+            result = service.execute(
+                SearchRequest(query=query, index=INDEX, top_k=20)
+            )
+            query_ms.append((time.perf_counter() - started) * 1000.0)
+            total_results += result.num_results
+
+    summary = registry.summary()
+    outcome = {
+        "append_p50_ms": round(_percentile(append_ms, 50), 3),
+        "append_p99_ms": round(_percentile(append_ms, 99), 3),
+        "query_p50_ms": round(_percentile(query_ms, 50), 3),
+        "query_p99_ms": round(_percentile(query_ms, 99), 3),
+        "appended_documents": int(summary.get("airphant_ingest_documents_total", 0)),
+        "flushes": int(summary.get("airphant_ingest_flushes_total", 0)),
+        "compactions": int(summary.get("airphant_ingest_compactions_total", 0)),
+        "flush_seconds": summary.get("airphant_ingest_flush_seconds", {}),
+        "compact_seconds": summary.get("airphant_ingest_compact_seconds", {}),
+        "peak_stacked_deltas": peak_deltas,
+        "final_memtable_documents": service.ingest.summary()["memtable_documents"],
+        "total_results": total_results,
+    }
+    service.close()
+    return outcome
+
+
+def _run():
+    settings = _settings()
+    seed_store = InMemoryObjectStore()
+    needed = settings["base_documents"] + settings["batches"] * settings["batch_size"]
+    lines = _corpus_lines(seed_store, needed)
+    scenarios = {
+        "no-flush": _run_scenario("no-flush", lines, settings, flush=False, compact=False),
+        "flush": _run_scenario("flush", lines, settings, flush=True, compact=False),
+        "flush+compact": _run_scenario(
+            "flush+compact", lines, settings, flush=True, compact=True
+        ),
+    }
+    return settings, scenarios
+
+
+def test_ablation_ingest(benchmark):
+    settings, scenarios = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            entry["append_p50_ms"],
+            entry["query_p50_ms"],
+            entry["query_p99_ms"],
+            entry["flushes"],
+            entry["compactions"],
+            entry["peak_stacked_deltas"],
+        ]
+        for name, entry in scenarios.items()
+    ]
+    save_result(
+        "ablation_ingest",
+        format_table(
+            [
+                "scenario",
+                "append p50 ms",
+                "query p50 ms",
+                "query p99 ms",
+                "flushes",
+                "compactions",
+                "peak deltas",
+            ],
+            rows,
+        ),
+    )
+    save_json(
+        "BENCH_ingest",
+        {
+            "experiment": "ingest_mixed_read_write_ablation",
+            "clock": "wall",
+            "settings": settings,
+            "smoke_mode": smoke_mode(),
+            "scenarios": scenarios,
+        },
+    )
+
+    # Correctness first: maintenance must never change answers — every
+    # regime saw the same documents, so result counts are identical.
+    totals = {entry["total_results"] for entry in scenarios.values()}
+    assert len(totals) == 1 and totals.pop() > 0
+    appended = {entry["appended_documents"] for entry in scenarios.values()}
+    assert len(appended) == 1 and appended.pop() > 0
+
+    # The soak contract: the flush regime flushed, the compacting regime
+    # compacted, and compaction bounded the delta stack.
+    assert scenarios["no-flush"]["flushes"] == 0
+    assert scenarios["flush"]["flushes"] > 0
+    assert scenarios["flush+compact"]["compactions"] > 0
+    assert (
+        scenarios["flush+compact"]["peak_stacked_deltas"]
+        <= settings["compact_deltas"]
+    )
+    # Without flushes every appended document sits in the memtable.
+    assert (
+        scenarios["no-flush"]["final_memtable_documents"]
+        == scenarios["no-flush"]["appended_documents"]
+    )

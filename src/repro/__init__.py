@@ -28,6 +28,8 @@ Sub-packages
 * :mod:`repro.core` — IoU Sketch, its optimizer and accuracy analysis.
 * :mod:`repro.index` — Builder, superpost compaction, serialization.
 * :mod:`repro.search` — Searcher, Boolean/regex queries, hedged requests.
+* :mod:`repro.ingest` — live write path: WAL-backed memtables, delta
+  flushes, background compaction (the paper's "frequent updates" extension).
 * :mod:`repro.service` — service facade, typed request/response API, HTTP server.
 * :mod:`repro.storage` — object-store abstraction, URI backend registry
   (``mem://``/``file://``/``sim://``/``http(s)://``/``s3://``), resilience
@@ -65,6 +67,14 @@ from repro.index import (
     BuiltShardedIndex,
     IndexMetadata,
     ShardManifest,
+)
+from repro.ingest import (
+    IngestCoordinator,
+    LiveIndex,
+    LiveSearcher,
+    Memtable,
+    MemtableSearcher,
+    WriteAheadLog,
 )
 from repro.parsing import (
     Document,
@@ -142,11 +152,16 @@ __all__ = [
     "IndexCatalog",
     "IndexInfo",
     "IndexMetadata",
+    "IngestCoordinator",
     "InMemoryObjectStore",
     "IoUSketch",
     "LineDelimitedCorpusParser",
+    "LiveIndex",
+    "LiveSearcher",
     "LocalObjectStore",
     "LuceneLikeEngine",
+    "Memtable",
+    "MemtableSearcher",
     "MetricsRegistry",
     "MultiIndexSearcher",
     "MultilayerHashTable",
@@ -181,6 +196,7 @@ __all__ = [
     "TransientStoreError",
     "WhitespaceAnalyzer",
     "WholeBlobCorpusParser",
+    "WriteAheadLog",
     "expected_false_positives",
     "get_registry",
     "minimize_layers",

@@ -21,6 +21,13 @@ process — one-shot or as a long-lived HTTP query node:
     curl -s -XPOST localhost:8080/search \\
          -d '{"index": "hdfs-index", "query": "ERROR", "top_k": 5}'
 
+    # live ingestion: WAL-durable appends, searchable immediately; flush
+    # folds the memtable into a delta, compact folds deltas into the base
+    airphant ingest  --bucket ./bucket --index hdfs-index --doc "ERROR new event"
+    curl -s -XPOST localhost:8080/indexes/hdfs-index/docs \\
+         -d '{"documents": ["ERROR another event"]}'
+    airphant compact --bucket ./bucket --index hdfs-index
+
 ``search`` and ``serve`` are thin wrappers over
 :class:`repro.service.AirphantService`; ``search --json`` prints the same
 ``SearchResponse`` JSON the HTTP API returns.  Every subcommand accepts
@@ -84,6 +91,7 @@ from repro.workloads.synthetic import SyntheticSpec, generate_synthetic
 
 def _service_config(args: argparse.Namespace) -> ServiceConfig:
     """Translate the parsed CLI flags into one :class:`ServiceConfig`."""
+    defaults = ServiceConfig()
     return ServiceConfig(
         query_cache_size=getattr(args, "query_cache_size", 0),
         coalesce_gap=getattr(args, "coalesce_gap", 0),
@@ -92,6 +100,15 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
         retry_backoff_ms=args.retry_backoff_ms,
         request_timeout_s=args.timeout_s,
         hedge_ms=args.hedge_ms,
+        ingest_flush_docs=getattr(args, "flush_docs", defaults.ingest_flush_docs),
+        ingest_flush_bytes=getattr(args, "flush_bytes", defaults.ingest_flush_bytes),
+        ingest_compact_deltas=getattr(
+            args, "compact_deltas", defaults.ingest_compact_deltas
+        ),
+        ingest_compact_ratio=getattr(
+            args, "compact_ratio", defaults.ingest_compact_ratio
+        ),
+        ingest_interval_s=getattr(args, "ingest_interval_s", defaults.ingest_interval_s),
         metrics_enabled=not getattr(args, "no_metrics", False),
     )
 
@@ -235,6 +252,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
     except ServiceError as error:
         print(f"error: {error.info.message}", file=sys.stderr)
         return 2
+    if args.listing:
+        # Publish/refresh the bucket's listing manifest so static HTTP
+        # exports of this bucket support catalog discovery (GET /indexes).
+        from repro.storage.listing import LISTING_BLOB, write_listing
+
+        listed = write_listing(service.store)
+        print(f"wrote listing manifest {LISTING_BLOB!r} ({len(listed)} blobs)")
     print(
         f"built index {info.name!r}: {info.num_documents} documents, "
         f"{info.num_terms} terms, L = {info.num_layers}, "
@@ -352,6 +376,100 @@ def _scrape_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_ingest_arguments(parser: argparse.ArgumentParser) -> None:
+    defaults = ServiceConfig()
+    parser.add_argument(
+        "--flush-docs",
+        type=int,
+        default=defaults.ingest_flush_docs,
+        help="memtable document count that triggers a background flush",
+    )
+    parser.add_argument(
+        "--flush-bytes",
+        type=int,
+        default=defaults.ingest_flush_bytes,
+        help="memtable byte budget that triggers a background flush",
+    )
+    parser.add_argument(
+        "--compact-deltas",
+        type=int,
+        default=defaults.ingest_compact_deltas,
+        help="stacked-delta count that triggers background compaction (0 disables)",
+    )
+    parser.add_argument(
+        "--compact-ratio",
+        type=float,
+        default=defaults.ingest_compact_ratio,
+        help="delta/base byte ratio that triggers compaction (0 disables)",
+    )
+    parser.add_argument(
+        "--ingest-interval-s",
+        type=float,
+        default=defaults.ingest_interval_s,
+        help="background ingest-worker poll interval in seconds (0 disables)",
+    )
+
+
+def _read_ingest_documents(args: argparse.Namespace) -> list[str]:
+    """Collect the documents an ``airphant ingest`` invocation appends."""
+    documents = list(args.doc or [])
+    if args.input:
+        if args.input == "-":
+            lines = sys.stdin.read().splitlines()
+        else:
+            with open(args.input, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        documents.extend(line for line in lines if line.strip())
+    return documents
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    documents = _read_ingest_documents(args)
+    if not documents:
+        print("error: nothing to ingest (use --doc and/or --input)", file=sys.stderr)
+        return 2
+    service = _open_service(args)
+    try:
+        outcome = service.append_documents(args.index, documents)
+        if args.flush:
+            flushed = service.flush_index(args.index)
+            outcome["flush"] = {"flushed": flushed["flushed"], "delta": flushed["delta"]}
+    except ServiceError as error:
+        print(f"error: {error.info.message}", file=sys.stderr)
+        return 2
+    finally:
+        service.close()
+    summary = (
+        f"appended {outcome['appended']} document(s) to {args.index!r} "
+        f"(wal segment {outcome['wal_segment']}, "
+        f"{outcome['memtable_documents']} memtable document(s))"
+    )
+    if "flush" in outcome:
+        summary += f"; flushed into {outcome['flush']['delta']!r}"
+    print(summary)
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    service = _open_service(args)
+    try:
+        outcome = service.compact_index(args.index)
+    except ServiceError as error:
+        print(f"error: {error.info.message}", file=sys.stderr)
+        return 2
+    finally:
+        service.close()
+    if not outcome["compacted"]:
+        print(f"index {args.index!r}: nothing to compact")
+    else:
+        print(
+            f"compacted {args.index!r}: folded {outcome['deltas_folded']} delta(s) "
+            f"into generation {outcome['generation']} ({outcome['base']!r}) "
+            f"in {outcome['seconds']:.2f}s"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     service = _open_service(args)
     names = service.catalog.names()
@@ -407,6 +525,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["hash", "round-robin"],
         help="how documents are routed to shards",
     )
+    build.add_argument(
+        "--listing",
+        action="store_true",
+        help="also write the bucket's listing manifest (manifest.json), "
+        "enabling catalog discovery over plain http(s):// exports",
+    )
     build.set_defaults(func=_cmd_build)
 
     search = subparsers.add_parser("search", help="search a previously built index")
@@ -459,6 +583,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.set_defaults(func=_cmd_stats)
 
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="append documents to a live index (WAL-durable, searchable at once)",
+    )
+    _add_common_arguments(ingest)
+    ingest.add_argument("--index", required=True, help="index name (blob prefix)")
+    ingest.add_argument(
+        "--doc",
+        action="append",
+        help="a document to append (repeatable; one line each)",
+    )
+    ingest.add_argument(
+        "--input",
+        help="file of documents to append, one per line ('-' reads stdin)",
+    )
+    ingest.add_argument(
+        "--flush",
+        action="store_true",
+        help="fold the memtable into a delta index before exiting",
+    )
+    ingest.set_defaults(func=_cmd_ingest)
+
+    compact = subparsers.add_parser(
+        "compact",
+        help="flush and fold an index's delta indexes into a new base generation",
+    )
+    _add_common_arguments(compact)
+    compact.add_argument("--index", required=True, help="index name (blob prefix)")
+    compact.set_defaults(func=_cmd_compact)
+
     serve = subparsers.add_parser(
         "serve", help="serve the bucket's indexes over a JSON HTTP API"
     )
@@ -478,6 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
         "drops its metrics block) and service-level query accounting",
     )
     _add_pipeline_arguments(serve)
+    _add_ingest_arguments(serve)
     serve.set_defaults(func=_cmd_serve)
     return parser
 

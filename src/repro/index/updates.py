@@ -15,6 +15,15 @@ pattern on top of the unchanged Builder and Searcher:
 * :meth:`AppendOnlyIndexManager.compact` folds every delta back into a single
   base index by enumerating all indexed documents from cloud storage and
   re-running the Builder, then resets the manifest.
+
+Compaction is *generation-safe*: every compaction builds the new base under a
+fresh ``gen-NNNNNNNN/`` prefix and commits it with one atomic manifest write,
+so a concurrent reader either sees the complete old snapshot or the complete
+new one — never a half-built mix.  The blobs a swap strands (the previous
+base build and the folded deltas) are recorded in the manifest's ``retired``
+list and physically deleted one compaction *later*, giving readers that
+opened the old manifest a full generation of grace before their blobs
+disappear.
 """
 
 from __future__ import annotations
@@ -37,17 +46,48 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a runtime import cycle
     from repro.search.replication import HedgingPolicy
 
 
+#: Path fragment that marks a generational base build (written by
+#: :meth:`AppendOnlyIndexManager.compact`; never a directly addressable
+#: catalog entry, like ``/delta-`` and ``/shard-`` members).
+GENERATION_MARKER = "/gen-"
+
+
+def generation_index_name(base_index: str, generation: int) -> str:
+    """Blob prefix of ``base_index``'s generation-``generation`` base build."""
+    return f"{base_index}{GENERATION_MARKER}{generation:08d}"
+
+
 @dataclass(frozen=True)
 class IndexManifest:
-    """Names of the base index and its delta indexes."""
+    """One consistent snapshot of an index: base build, deltas, generation.
+
+    ``base_index`` is the *logical* name (the catalog entry and blob-prefix
+    root); ``active_base`` is the blob prefix actually holding the current
+    base build — equal to ``base_index`` until the first compaction moves it
+    under a ``gen-NNNNNNNN/`` prefix.  ``next_delta`` numbers deltas
+    monotonically across compactions so a fresh delta never reuses (and
+    overwrites) the prefix of a retired one that readers may still hold.
+    ``retired`` lists prefixes stranded by the previous swap, physically
+    purged at the *next* compaction.
+    """
 
     base_index: str
     delta_indexes: tuple[str, ...] = ()
+    generation: int = 0
+    active_base: str | None = None
+    next_delta: int | None = None
+    retired: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.active_base is None:
+            object.__setattr__(self, "active_base", self.base_index)
+        if self.next_delta is None:
+            object.__setattr__(self, "next_delta", len(self.delta_indexes))
 
     @property
     def all_indexes(self) -> list[str]:
-        """Base first, then deltas in creation order."""
-        return [self.base_index, *self.delta_indexes]
+        """Active base first, then deltas in creation order."""
+        return [self.active_base, *self.delta_indexes]
 
 
 class AppendOnlyIndexManager:
@@ -79,31 +119,67 @@ class AppendOnlyIndexManager:
     # -- manifest ------------------------------------------------------------------
 
     def manifest(self) -> IndexManifest:
-        """Read the current manifest (an empty one if none was written yet)."""
+        """Read the current manifest (an empty one if none was written yet).
+
+        Pre-generation manifests (no ``generation``/``active_base`` fields)
+        load with their defaults, so indexes written by older builds keep
+        working unchanged.
+        """
         if not self._store.exists(self.manifest_blob):
             return IndexManifest(base_index=self._base_index)
         payload = json.loads(self._store.get(self.manifest_blob).decode("utf-8"))
+        deltas = tuple(payload["delta_indexes"])
         return IndexManifest(
             base_index=payload["base_index"],
-            delta_indexes=tuple(payload["delta_indexes"]),
+            delta_indexes=deltas,
+            generation=int(payload.get("generation", 0)),
+            active_base=payload.get("active_base"),
+            next_delta=payload.get("next_delta"),
+            retired=tuple(payload.get("retired", ())),
         )
 
     def _write_manifest(self, manifest: IndexManifest) -> None:
+        """Commit one snapshot atomically (a single blob PUT is the swap)."""
         payload = {
             "base_index": manifest.base_index,
             "delta_indexes": list(manifest.delta_indexes),
+            "generation": manifest.generation,
+            "active_base": manifest.active_base,
+            "next_delta": manifest.next_delta,
+            "retired": list(manifest.retired),
         }
         self._store.put(self.manifest_blob, json.dumps(payload).encode("utf-8"))
 
     # -- building ------------------------------------------------------------------
 
     def build_base(self, documents: Sequence[Document], corpus_name: str = "corpus") -> BuiltIndex:
-        """Build (or rebuild) the base index and reset the manifest."""
+        """Build (or rebuild) the base index in place and reset the manifest.
+
+        The rebuild keeps the legacy in-place layout (blobs directly under
+        the index name).  Whatever the previous manifest referenced — a
+        generational base, deltas — is marked retired and purged by the next
+        compaction (or :meth:`reset`).
+        """
+        old = self.manifest()
         builder = AirphantBuilder(self._store, config=self._config, tokenizer=self._tokenizer)
         built = builder.build_from_documents(
             documents, index_name=self._base_index, corpus_name=corpus_name
         )
-        self._write_manifest(IndexManifest(base_index=self._base_index))
+        stranded = tuple(
+            name
+            for name in dict.fromkeys((*old.all_indexes, *old.retired))
+            # The in-place blobs were just overwritten by this rebuild; a
+            # retirement entry for them would purge the *new* base later.
+            if name != self._base_index
+        )
+        self._write_manifest(
+            IndexManifest(
+                base_index=self._base_index,
+                generation=old.generation + 1,
+                next_delta=old.next_delta,
+                retired=stranded,
+            )
+        )
         return built
 
     def append(self, documents: Sequence[Document], corpus_name: str = "delta") -> BuiltIndex:
@@ -112,7 +188,7 @@ class AppendOnlyIndexManager:
         if not documents:
             raise ValueError("append() needs at least one document")
         manifest = self.manifest()
-        delta_name = f"{self._base_index}/delta-{len(manifest.delta_indexes):04d}"
+        delta_name = f"{self._base_index}/delta-{manifest.next_delta:04d}"
         builder = AirphantBuilder(
             self._store, config=self._delta_config, tokenizer=self._tokenizer
         )
@@ -121,6 +197,10 @@ class AppendOnlyIndexManager:
             IndexManifest(
                 base_index=manifest.base_index,
                 delta_indexes=manifest.delta_indexes + (delta_name,),
+                generation=manifest.generation,
+                active_base=manifest.active_base,
+                next_delta=manifest.next_delta + 1,
+                retired=manifest.retired,
             )
         )
         return built
@@ -200,17 +280,21 @@ class AppendOnlyIndexManager:
         return documents
 
     def compact(self, corpus_name: str = "corpus") -> BuiltIndex | "BuiltShardedIndex":
-        """Fold all deltas back into the base index.
+        """Fold all deltas into a fresh generational base and swap atomically.
 
-        The base keeps its layout: a sharded base is rebuilt with the same
-        shard count and partitioner (returning a
-        :class:`~repro.index.builder.BuiltShardedIndex`), a plain base stays
-        single-shard.  Old delta blobs are deleted after the new base index
-        is persisted.
+        The new base is built under ``<name>/gen-NNNNNNNN/`` (keeping the old
+        base's shard count and partitioner; a sharded base returns a
+        :class:`~repro.index.builder.BuiltShardedIndex`), then committed with
+        a single manifest write — the swap.  Readers that already hold the
+        old manifest keep a complete, untouched snapshot: the blobs it
+        references are only *marked* retired now and physically deleted at
+        the **next** compaction, after every reasonable reader has reopened.
         """
         manifest = self.manifest()
-        shard_manifest = read_shard_manifest(self._store, self._base_index)
+        shard_manifest = read_shard_manifest(self._store, manifest.active_base)
         documents = self.indexed_documents()
+        generation = manifest.generation + 1
+        new_base = generation_index_name(self._base_index, generation)
         builder = AirphantBuilder(
             self._store,
             config=self._config,
@@ -219,10 +303,68 @@ class AppendOnlyIndexManager:
             partitioner=shard_manifest.partitioner if shard_manifest is not None else "hash",
         )
         built = builder.build_from_documents(
-            documents, index_name=self._base_index, corpus_name=corpus_name
+            documents, index_name=new_base, corpus_name=corpus_name
         )
-        self._write_manifest(IndexManifest(base_index=self._base_index))
-        for delta_name in manifest.delta_indexes:
-            for blob in self._store.list_blobs(prefix=f"{delta_name}/"):
-                self._store.delete(blob)
+        # The whole old snapshot — including a legacy in-place base — gets
+        # one generation of grace before deletion.  (_purge_index_blobs
+        # deletes an in-place base's own blobs only, never the shared prefix.)
+        stranded = tuple(manifest.all_indexes)
+        # The atomic swap: one blob PUT moves every reader to the new snapshot.
+        self._write_manifest(
+            IndexManifest(
+                base_index=self._base_index,
+                generation=generation,
+                active_base=new_base,
+                next_delta=manifest.next_delta,
+                retired=stranded,
+            )
+        )
+        # Grace expired for what the *previous* swap stranded: purge it now.
+        for name in manifest.retired:
+            self._purge_index_blobs(name)
         return built
+
+    def reset(self) -> None:
+        """Delete every delta/generation artifact and reset the manifest.
+
+        Used by full rebuilds over an existing name: the rebuild writes a
+        fresh in-place base, so old deltas, generational bases, and the
+        retired backlog are all garbage — readers are expected to reopen
+        (the service invalidates its catalog after builds).
+        """
+        manifest = self.manifest()
+        for name in dict.fromkeys(manifest.retired + tuple(manifest.all_indexes)):
+            if name != self._base_index:
+                self._purge_index_blobs(name)
+        self._write_manifest(
+            IndexManifest(
+                base_index=self._base_index,
+                generation=manifest.generation + 1,
+                # Keep delta numbering monotonic: a reader holding the
+                # pre-reset manifest must never see a retired delta prefix
+                # reused for fresh content.
+                next_delta=manifest.next_delta,
+            )
+        )
+
+    def _purge_index_blobs(self, index_name: str) -> None:
+        """Physically delete one retired base/delta build.
+
+        Generational bases and deltas own their whole prefix; the legacy
+        in-place base shares its prefix with the manifest, deltas, and
+        generation directories, so only its own blobs (header, superposts,
+        shard manifest, ``shard-NNNN/`` members) are deleted.
+        """
+        if index_name != self._base_index:
+            for blob in self._store.list_blobs(prefix=f"{index_name}/"):
+                self._store.delete(blob)
+            return
+        from repro.index.compaction import SUPERPOST_BLOB_SUFFIX
+        from repro.index.metadata import ShardManifest
+        from repro.index.sharding import SHARD_MARKER
+
+        self._store.delete(f"{index_name}/{HEADER_BLOB_SUFFIX}")
+        self._store.delete(f"{index_name}/{SUPERPOST_BLOB_SUFFIX}")
+        self._store.delete(ShardManifest.blob_name(index_name))
+        for blob in self._store.list_blobs(prefix=f"{index_name}{SHARD_MARKER}"):
+            self._store.delete(blob)

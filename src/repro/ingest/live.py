@@ -1,0 +1,576 @@
+"""The live write path: one index's ingester, the combined view, the worker.
+
+Lifecycle of an appended document (read-your-writes at every step):
+
+1. ``append`` — the batch becomes a durable WAL segment, then lands in the
+   *active* memtable.  Queries see it immediately through the combined view.
+2. ``flush`` — the active memtable is atomically *sealed* (a fresh active
+   one takes over for concurrent appends), its documents are built into an
+   Airphant delta index with ``AppendOnlyIndexManager.append``, the catalog
+   is invalidated so the next open includes the delta, and only then are the
+   sealed memtable dropped and its WAL segments retired.  At no instant is a
+   document invisible; at worst it is briefly visible twice, which the
+   combined view's de-duplication by ``(blob, offset, length)`` absorbs.
+3. ``compact`` — deltas fold into a fresh generational base via the
+   manager's atomic manifest swap (see :mod:`repro.index.updates`).
+
+:class:`LiveSearcher` is the combined memtable ∪ deltas ∪ base view: a
+:class:`~repro.search.multi.MultiIndexSearcher` whose member list is computed
+*per call*, so catalog invalidations (new delta, new generation) and memtable
+swaps are picked up without any notification plumbing.
+
+:class:`IngestCoordinator` owns every live index of a service plus one
+background worker thread that applies the flush/compaction policies from
+:class:`~repro.service.config.ServiceConfig`; ``close()`` stops the worker
+and waits for an in-flight flush or compaction to drain.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.index.updates import AppendOnlyIndexManager
+from repro.ingest.memtable import Memtable, MemtableSearcher
+from repro.ingest.wal import WriteAheadLog, ingest_manifest_blob
+from repro.observability import MetricsRegistry
+from repro.parsing.documents import Document
+from repro.search.multi import MultiIndexSearcher
+from repro.storage.base import ObjectStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.config import ServiceConfig
+
+#: Histogram buckets for flush/compaction durations (seconds): builds run
+#: longer than the default request-latency ladder.
+_MAINTENANCE_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+class LiveIndex:
+    """The write path of one index: WAL, memtables, flush, compaction."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        index_name: str,
+        config: "ServiceConfig",
+        metrics: MetricsRegistry,
+        invalidate: Callable[[str], None],
+    ) -> None:
+        self._store = store
+        self._index_name = index_name
+        self._config = config
+        self._invalidate = invalidate
+        tokenizer = config.make_tokenizer()
+        self._tokenizer_factory = config.make_tokenizer
+        self._wal = WriteAheadLog(store, index_name)
+        self._manager = AppendOnlyIndexManager(
+            store, base_index=index_name, tokenizer=tokenizer
+        )
+        self._active = Memtable(tokenizer)
+        self._sealed: list[Memtable] = []
+        # _write_lock guards WAL commits and memtable swaps (short holds);
+        # _maintenance_lock serializes flushes/compactions (long holds) so a
+        # manual POST /flush and the background worker never interleave.
+        self._write_lock = threading.RLock()
+        self._maintenance_lock = threading.RLock()
+        self._delta_count = len(self._manager.manifest().delta_indexes)
+        self._ratio_dirty = self._delta_count > 0
+
+        self._documents_metric = metrics.counter(
+            "airphant_ingest_documents_total",
+            "Documents accepted by the live write path",
+            label_names=("index",),
+        )
+        self._batches_metric = metrics.counter(
+            "airphant_ingest_batches_total",
+            "Append batches accepted by the live write path",
+            label_names=("index",),
+        )
+        self._wal_segments_metric = metrics.counter(
+            "airphant_wal_segments_total",
+            "WAL segments written",
+            label_names=("index",),
+        )
+        self._wal_bytes_metric = metrics.counter(
+            "airphant_wal_bytes_total",
+            "Bytes written to WAL segments",
+            label_names=("index",),
+        )
+        self._replayed_metric = metrics.counter(
+            "airphant_wal_replayed_documents_total",
+            "Documents recovered from WAL segments at open",
+            label_names=("index",),
+        )
+        self._flushes_metric = metrics.counter(
+            "airphant_ingest_flushes_total",
+            "Memtable flushes completed (one delta index each)",
+            label_names=("index",),
+        )
+        self._compactions_metric = metrics.counter(
+            "airphant_ingest_compactions_total",
+            "Compactions completed (deltas folded into a new base generation)",
+            label_names=("index",),
+        )
+        self._flush_seconds_metric = metrics.histogram(
+            "airphant_ingest_flush_seconds",
+            "Wall-clock duration of memtable flushes",
+            buckets=_MAINTENANCE_BUCKETS,
+        )
+        self._compact_seconds_metric = metrics.histogram(
+            "airphant_ingest_compact_seconds",
+            "Wall-clock duration of compactions",
+            buckets=_MAINTENANCE_BUCKETS,
+        )
+        self._memtable_docs_gauge = metrics.gauge(
+            "airphant_memtable_documents",
+            "Unflushed documents currently searchable from memtables",
+            label_names=("index",),
+        )
+        self._memtable_bytes_gauge = metrics.gauge(
+            "airphant_memtable_bytes",
+            "Raw bytes of unflushed documents held by memtables",
+            label_names=("index",),
+        )
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def index_name(self) -> str:
+        """The logical index this ingester writes into."""
+        return self._index_name
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The segmented write-ahead log."""
+        return self._wal
+
+    @property
+    def manager(self) -> AppendOnlyIndexManager:
+        """The append-only manager deltas and compactions go through."""
+        return self._manager
+
+    @property
+    def delta_count(self) -> int:
+        """Delta indexes currently stacked on the base (compaction input)."""
+        return self._delta_count
+
+    def memtable_documents(self) -> int:
+        """Searchable-but-unflushed documents (active + sealed memtables)."""
+        with self._write_lock:
+            return sum(len(table) for table in (*self._sealed, self._active))
+
+    def memtable_bytes(self) -> int:
+        """Raw bytes of searchable-but-unflushed documents."""
+        with self._write_lock:
+            return sum(
+                table.approximate_bytes for table in (*self._sealed, self._active)
+            )
+
+    def memtable_searchers(self) -> list[MemtableSearcher]:
+        """One searcher per live memtable (sealed first, active last)."""
+        with self._write_lock:
+            tables = [*self._sealed, self._active]
+        return [
+            MemtableSearcher(table, f"{self._index_name}/memtable")
+            for table in tables
+            if len(table) > 0
+        ]
+
+    def summary(self) -> dict[str, Any]:
+        """Compact state block for ``/healthz``."""
+        return {
+            "memtable_documents": self.memtable_documents(),
+            "memtable_bytes": self.memtable_bytes(),
+            "wal_segments_active": len(self._wal.manifest().active_segments),
+            "delta_indexes": self._delta_count,
+        }
+
+    def _update_gauges(self) -> None:
+        self._memtable_docs_gauge.set(self.memtable_documents(), index=self._index_name)
+        self._memtable_bytes_gauge.set(self.memtable_bytes(), index=self._index_name)
+
+    def clear_gauges(self) -> None:
+        """Drop this index's occupancy series (the index is being discarded)."""
+        self._memtable_docs_gauge.remove(index=self._index_name)
+        self._memtable_bytes_gauge.remove(index=self._index_name)
+
+    # -- recovery -----------------------------------------------------------------
+
+    def replay(self) -> int:
+        """Rebuild the memtable from unflushed WAL segments (crash recovery)."""
+        documents = self._wal.replay()
+        if not documents:
+            return 0
+        with self._write_lock:
+            added = self._active.add(documents)
+        self._replayed_metric.inc(added, index=self._index_name)
+        self._update_gauges()
+        return added
+
+    # -- the write path -----------------------------------------------------------
+
+    def append(self, texts: Sequence[str]) -> dict[str, Any]:
+        """Durably accept one batch of documents; searchable on return.
+
+        Raises ``ValueError`` for documents the WAL segment format cannot
+        hold (empty, or containing newlines).
+        """
+        from repro.ingest.wal import encode_segment, parse_segment
+
+        texts = list(texts)
+        data = encode_segment(texts)  # validation before any I/O or locking
+        with self._write_lock:
+            sequence, blob = self._wal.reserve_segment()
+        # The heavyweight network write happens OUTSIDE the write lock, so
+        # concurrent queries (which briefly take the lock to snapshot the
+        # memtables) never stall behind a slow or retried segment upload.
+        self._store.put(blob, data)
+        documents = parse_segment(blob, data)
+        with self._write_lock:
+            self._wal.commit_segment(sequence, blob)
+            self._active.add(documents)
+        nbytes = sum(document.length for document in documents)
+        self._documents_metric.inc(len(documents), index=self._index_name)
+        self._batches_metric.inc(index=self._index_name)
+        self._wal_segments_metric.inc(index=self._index_name)
+        self._wal_bytes_metric.inc(nbytes, index=self._index_name)
+        self._update_gauges()
+        return {
+            "index": self._index_name,
+            "appended": len(documents),
+            "wal_segment": blob,
+            "memtable_documents": self.memtable_documents(),
+            "refs": [
+                {"blob": doc.blob, "offset": doc.offset, "length": doc.length}
+                for doc in documents
+            ],
+        }
+
+    def should_flush(self) -> bool:
+        """Whether the flush policy (doc count / byte budget) has triggered."""
+        with self._write_lock:
+            return (
+                len(self._active) >= self._config.ingest_flush_docs
+                or self._active.approximate_bytes >= self._config.ingest_flush_bytes
+            )
+
+    def flush(self) -> dict[str, Any] | None:
+        """Fold the active memtable into a fresh delta index.
+
+        Returns ``None`` when there was nothing to flush.  Concurrency: the
+        sealed memtable stays searchable while the delta builds, and the
+        catalog is invalidated *before* it is dropped, so readers never lose
+        sight of a document (they may briefly see it from both places; the
+        combined view de-duplicates).
+        """
+        started = time.perf_counter()
+        with self._maintenance_lock:
+            with self._write_lock:
+                if len(self._active) == 0:
+                    return None
+                sealed = self._active
+                segments = self._wal.manifest().active_segments
+                self._active = Memtable(self._tokenizer_factory())
+                self._sealed.append(sealed)
+            try:
+                built = self._manager.append(sealed.documents(), corpus_name="ingest")
+            except BaseException:
+                # Undo the seal: the documents return to the (new) active
+                # memtable — still searchable, still WAL-covered — so the
+                # next flush retries them.
+                with self._write_lock:
+                    self._sealed.remove(sealed)
+                    self._active.add(sealed.documents())
+                raise
+            self._delta_count += 1
+            self._ratio_dirty = True
+            # New delta first, then drop the sealed memtable: queries in the
+            # gap see the documents twice (de-duplicated), never zero times.
+            self._invalidate(self._index_name)
+            with self._write_lock:
+                self._sealed.remove(sealed)
+                self._wal.retire(segments)
+        elapsed = time.perf_counter() - started
+        self._flushes_metric.inc(index=self._index_name)
+        self._flush_seconds_metric.observe(elapsed)
+        self._update_gauges()
+        return {
+            "index": self._index_name,
+            "flushed": len(sealed),
+            "delta": built.index_name,
+            "seconds": elapsed,
+        }
+
+    def should_compact(self) -> bool:
+        """Whether the compaction policy has triggered.
+
+        Two triggers, both disabled at 0: a maximum stacked-delta count, and
+        a delta-bytes / base-bytes ratio.  The ratio needs storage listings,
+        so it is only recomputed after a flush changed the delta stack.
+        """
+        if self._delta_count == 0:
+            return False
+        max_deltas = self._config.ingest_compact_deltas
+        if max_deltas > 0 and self._delta_count >= max_deltas:
+            return True
+        ratio = self._config.ingest_compact_ratio
+        if ratio > 0 and self._ratio_dirty:
+            manifest = self._manager.manifest()
+            base_bytes = self._base_bytes(manifest.active_base)
+            delta_bytes = sum(
+                self._store.total_bytes(prefix=f"{delta}/")
+                for delta in manifest.delta_indexes
+            )
+            self._ratio_dirty = False
+            if base_bytes > 0 and delta_bytes / base_bytes >= ratio:
+                return True
+        return False
+
+    def _base_bytes(self, active_base: str) -> int:
+        """Bytes of the base build's own blobs (the ratio denominator).
+
+        A generational base owns its whole ``gen-NNNNNNNN/`` prefix, but the
+        legacy in-place base shares its prefix with deltas, WAL segments,
+        and manifests — summing the shared prefix would fold the deltas into
+        the denominator and structurally understate the ratio (a configured
+        ratio >= 1.0 could then never fire).
+        """
+        if active_base != self._index_name:
+            return self._store.total_bytes(prefix=f"{active_base}/")
+        from repro.index.compaction import HEADER_BLOB_SUFFIX, SUPERPOST_BLOB_SUFFIX
+        from repro.index.sharding import SHARD_MARKER
+
+        nbytes = self._store.total_bytes(prefix=f"{active_base}{SHARD_MARKER}")
+        for suffix in (HEADER_BLOB_SUFFIX, SUPERPOST_BLOB_SUFFIX):
+            blob = f"{active_base}/{suffix}"
+            if self._store.exists(blob):
+                nbytes += self._store.size(blob)
+        return nbytes
+
+    def compact(self) -> dict[str, Any] | None:
+        """Flush, then fold every delta into a new base generation.
+
+        Returns ``None`` when there is nothing to fold (no memtable
+        documents and no deltas).
+        """
+        started = time.perf_counter()
+        with self._maintenance_lock:
+            self.flush()
+            manifest = self._manager.manifest()
+            if not manifest.delta_indexes:
+                return None
+            folded = len(manifest.delta_indexes)
+            built = self._manager.compact(corpus_name="compacted")
+            self._delta_count = 0
+            self._ratio_dirty = False
+            self._invalidate(self._index_name)
+        elapsed = time.perf_counter() - started
+        self._compactions_metric.inc(index=self._index_name)
+        self._compact_seconds_metric.observe(elapsed)
+        manager_manifest = self._manager.manifest()
+        return {
+            "index": self._index_name,
+            "deltas_folded": folded,
+            "generation": manager_manifest.generation,
+            "base": built.index_name,
+            "seconds": elapsed,
+        }
+
+
+class LiveSearcher(MultiIndexSearcher):
+    """Combined memtable ∪ deltas ∪ base view over one index.
+
+    A :class:`~repro.search.multi.MultiIndexSearcher` whose members are
+    resolved *per call* from a provider: the catalog's (cached) searcher for
+    the persisted members plus one exact searcher per live memtable.  Every
+    inherited query path — keyword, Boolean (hence regex filtering), and
+    ``lookup_postings`` — therefore sees freshly appended documents with no
+    further wiring, and picks up flush/compaction invalidations on its next
+    call.  ``close`` is a no-op: the catalog owns the persisted members'
+    lifecycles, the memtables own nothing closable.
+    """
+
+    def __init__(self, members: Callable[[], list[Any]]) -> None:
+        # Deliberately no super().__init__: members are computed per call.
+        self._provider = members
+        self.init_latency_ms = 0.0
+
+    @property
+    def _searchers(self) -> list[Any]:  # type: ignore[override]
+        return self._provider()
+
+    def initialize(self) -> float:
+        """Members are initialized by their owners; nothing to do."""
+        return 0.0
+
+    def close(self) -> None:
+        """No-op: the catalog and the live index own the member lifecycles."""
+
+
+class IngestCoordinator:
+    """Registry of live indexes plus the background flush/compaction worker.
+
+    Created by :class:`~repro.service.facade.AirphantService`; one worker
+    thread per service, started lazily with the first live index.  A live
+    index exists for ``name`` once documents were appended this process, or
+    once a query found unflushed WAL segments from a previous process (the
+    crash-recovery replay).
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        config: "ServiceConfig",
+        metrics: MetricsRegistry,
+        invalidate: Callable[[str], None],
+    ) -> None:
+        self._store = store
+        self._config = config
+        self._metrics = metrics
+        self._invalidate = invalidate
+        self._lives: dict[str, LiveIndex] = {}
+        #: Names already probed for leftover WAL state (one probe per name).
+        self._probed: set[str] = set()
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._worker: threading.Thread | None = None
+        self._errors_metric = metrics.counter(
+            "airphant_ingest_errors_total",
+            "Background ingest-maintenance failures, by stage",
+            label_names=("stage",),
+        )
+
+    # -- registry -----------------------------------------------------------------
+
+    def live(self, name: str, create: bool = False) -> LiveIndex | None:
+        """The live index for ``name``, or ``None`` if it has no write state.
+
+        With ``create=True`` (the append path) a missing live index is
+        created.  Either way, the first touch of a name probes the store
+        once for unflushed WAL segments and replays them — this is the
+        crash-recovery path, and it also serves reopened processes.
+        """
+        with self._lock:
+            existing = self._lives.get(name)
+            if existing is not None:
+                return existing
+            needs_replay = False
+            if name not in self._probed:
+                # Mark probed only after the probe (and replay below)
+                # succeed: a transient store failure here must leave the
+                # leftover-WAL check pending, not silently skipped forever.
+                needs_replay = self._store.exists(ingest_manifest_blob(name))
+            if not create and not needs_replay:
+                self._probed.add(name)
+                return None
+            live = LiveIndex(
+                self._store, name, self._config, self._metrics, self._invalidate
+            )
+            if needs_replay:
+                live.replay()
+            self._probed.add(name)
+            if not create and live.memtable_documents() == 0:
+                # The WAL manifest exists but everything was flushed: no
+                # write state to serve; queries stay on the persisted view.
+                return None
+            self._lives[name] = live
+            self._ensure_worker()
+            return live
+
+    def members(self, name: str) -> list[MemtableSearcher]:
+        """Memtable searchers to splice into ``name``'s combined view."""
+        live = self.live(name)
+        return live.memtable_searchers() if live is not None else []
+
+    def discard(self, name: str, destroy_wal: bool = False) -> None:
+        """Forget ``name``'s live state (full rebuild path).
+
+        ``destroy_wal=True`` also deletes its WAL segments — only valid when
+        the whole index is rebuilt from scratch, making the old documents
+        (and hence the segment blobs holding their bytes) garbage.
+        """
+        with self._lock:
+            live = self._lives.pop(name, None)
+            if live is not None:
+                # A rebuilt index must not keep reporting phantom memtable
+                # occupancy from its discarded predecessor.
+                live.clear_gauges()
+            self._probed.discard(name)
+            if destroy_wal:
+                WriteAheadLog(self._store, name).destroy()
+
+    def lives(self) -> list[LiveIndex]:
+        """Every currently tracked live index."""
+        with self._lock:
+            return list(self._lives.values())
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate ingest block for ``/healthz``."""
+        lives = self.lives()
+        return {
+            "live_indexes": len(lives),
+            "memtable_documents": sum(live.memtable_documents() for live in lives),
+            "wal_segments_active": sum(
+                len(live.wal.manifest().active_segments) for live in lives
+            ),
+            "delta_indexes": sum(live.delta_count for live in lives),
+            "worker_running": self._worker is not None and self._worker.is_alive(),
+        }
+
+    # -- the background worker ----------------------------------------------------
+
+    def _ensure_worker(self) -> None:
+        if self._config.ingest_interval_s <= 0:
+            return  # background maintenance disabled; manual flush/compact only
+        if self._worker is not None and self._worker.is_alive():
+            return
+        self._stop = threading.Event()
+        self._worker = threading.Thread(
+            target=self._run, name="airphant-ingest", daemon=True
+        )
+        self._worker.start()
+
+    def _run(self) -> None:
+        stop = self._stop
+        while not stop.wait(self._config.ingest_interval_s):
+            self.run_maintenance()
+
+    def run_maintenance(self) -> dict[str, int]:
+        """One policy pass over every live index (the worker's loop body).
+
+        Public so tests (and ``ingest_interval_s=0`` deployments) can drive
+        maintenance deterministically without a thread.
+        """
+        flushed = compacted = errors = 0
+        for live in self.lives():
+            try:
+                if live.should_flush() and live.flush() is not None:
+                    flushed += 1
+                if live.should_compact() and live.compact() is not None:
+                    compacted += 1
+            except Exception:
+                # The worker must survive transient storage failures: count
+                # them and retry on the next tick (appends stay durable in
+                # the WAL regardless).
+                errors += 1
+                self._errors_metric.inc(stage="maintenance")
+        return {"flushed": flushed, "compacted": compacted, "errors": errors}
+
+    def close(self) -> None:
+        """Stop the worker and wait for an in-flight flush/compaction to drain.
+
+        Memtable contents are *not* force-flushed: every unflushed document
+        is already durable in its WAL segment and will be replayed on the
+        next open, which keeps close() fast and crash-equivalent.
+        """
+        self._stop.set()
+        worker, self._worker = self._worker, None
+        if worker is not None and worker.is_alive():
+            worker.join(timeout=30.0)
+        # Serialize with any maintenance that was mid-flight when the stop
+        # flag was set (manual flush/compact callers hold the same locks).
+        for live in self.lives():
+            with live._maintenance_lock:
+                pass

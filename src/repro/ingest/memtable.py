@@ -1,0 +1,178 @@
+"""In-memory, immediately-searchable store of freshly ingested documents.
+
+A memtable is the read-your-writes half of the ingestion path: documents land
+in it the moment their WAL segment is durable, and every query mode sees them
+*before* any delta index is built.  Unlike the persisted indexes it mirrors,
+a memtable keeps an **exact** inverted map — it is bounded by the flush
+policy to at most a few thousand documents, so exact per-word postings cost
+almost nothing and introduce zero false positives.
+
+:class:`MemtableSearcher` adapts a memtable to the searcher interface
+:class:`~repro.search.multi.MultiIndexSearcher` expects of its members
+(``search`` / ``search_boolean`` / ``lookup_postings`` with the same merging
+semantics), so the combined live view is just "one more member index" — no
+special cases anywhere in the query path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+from repro.core.superpost import Superpost
+from repro.parsing.documents import Document, Posting
+from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
+from repro.search.boolean import BooleanQuery, Term, parse_boolean_query
+from repro.search.results import LatencyBreakdown, SearchResult
+
+
+class Memtable:
+    """Exact inverted map over not-yet-flushed documents (thread-safe)."""
+
+    def __init__(self, tokenizer: Tokenizer | None = None) -> None:
+        self._tokenizer = tokenizer if tokenizer is not None else WhitespaceAnalyzer()
+        self._lock = threading.Lock()
+        self._postings: dict[str, set[Posting]] = {}
+        self._documents: dict[Posting, Document] = {}
+        self._bytes = 0
+
+    @property
+    def tokenizer(self) -> Tokenizer:
+        """The analyzer documents are tokenized with (must match the index)."""
+        return self._tokenizer
+
+    @property
+    def num_documents(self) -> int:
+        """Documents currently held."""
+        with self._lock:
+            return len(self._documents)
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Raw UTF-8 bytes of the held documents (the flush-policy input)."""
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        return self.num_documents
+
+    def add(self, documents: Iterable[Document]) -> int:
+        """Insert parsed documents; returns how many were new."""
+        added = 0
+        with self._lock:
+            for document in documents:
+                if document.ref in self._documents:
+                    continue
+                self._documents[document.ref] = document
+                self._bytes += document.length
+                for word in self._tokenizer.distinct_terms(document.text):
+                    self._postings.setdefault(word, set()).add(document.ref)
+                added += 1
+        return added
+
+    def documents(self) -> list[Document]:
+        """Every held document, in insertion order."""
+        with self._lock:
+            return list(self._documents.values())
+
+    def postings(self, word: str) -> set[Posting]:
+        """Exact postings of ``word`` (empty set when absent)."""
+        with self._lock:
+            return set(self._postings.get(word, ()))
+
+    def document(self, posting: Posting) -> Document | None:
+        """The document at ``posting``, if held."""
+        with self._lock:
+            return self._documents.get(posting)
+
+
+class MemtableSearcher:
+    """Searcher-interface adapter over a :class:`Memtable`.
+
+    Implements exactly the member contract of
+    :class:`~repro.search.multi.MultiIndexSearcher`: the same query entry
+    points returning :class:`~repro.search.results.SearchResult` /
+    ``(postings, LatencyBreakdown)``.  All latencies are zero — memtable
+    reads touch no storage — so merged accounting (max of lookups, sum of
+    bytes) is unaffected by this member.
+    """
+
+    def __init__(self, memtable: Memtable, index_name: str = "memtable") -> None:
+        self._memtable = memtable
+        self._index_name = index_name
+        self.init_latency_ms = 0.0
+
+    @property
+    def memtable(self) -> Memtable:
+        """The underlying memtable."""
+        return self._memtable
+
+    def initialize(self) -> float:
+        """Nothing to download; present for interface parity."""
+        return 0.0
+
+    def close(self) -> None:
+        """Nothing to release; present for interface parity."""
+
+    # -- query entry points --------------------------------------------------------
+
+    def search(self, query: str, top_k: int | None = None) -> SearchResult:
+        """AND-of-keywords search (the keyword mode contract)."""
+        words = list(dict.fromkeys(self._memtable.tokenizer.tokenize(query)))
+        if not words:
+            return SearchResult(query=query)
+        predicate = parse_boolean_query(" AND ".join(words))
+        return self._execute(predicate, query, top_k)
+
+    def search_boolean(
+        self, query: BooleanQuery | str, top_k: int | None = None
+    ) -> SearchResult:
+        """Boolean (AND/OR tree) search."""
+        tree = parse_boolean_query(query) if isinstance(query, str) else query
+        label = query if isinstance(query, str) else " ".join(sorted(tree.terms()))
+        return self._execute(tree, label, top_k)
+
+    def lookup_postings(self, word: str) -> tuple[list[Posting], LatencyBreakdown]:
+        """Exact term lookup (no storage round trips, hence zero latency)."""
+        return sorted(self._memtable.postings(word)), LatencyBreakdown()
+
+    # -- execution -----------------------------------------------------------------
+
+    def _execute(
+        self, tree: BooleanQuery, label: str, top_k: int | None
+    ) -> SearchResult:
+        candidates = tree.candidates(lambda word: Superpost(self._memtable.postings(word)))
+        postings = candidates.sorted_postings()
+        documents: list[Document] = []
+        for posting in postings:
+            document = self._memtable.document(posting)
+            # The exact map admits no false positives; the predicate check
+            # mirrors the persisted searchers' final filter all the same
+            # (e.g. a document evicted between candidates() and here).
+            if document is not None and tree.matches(
+                self._memtable.tokenizer.distinct_terms(document.text)
+            ):
+                documents.append(document)
+        if top_k is not None:
+            documents = documents[:top_k]
+        return SearchResult(
+            query=label,
+            documents=documents,
+            candidate_postings=postings,
+            false_positive_count=0,
+            latency=LatencyBreakdown(),
+        )
+
+
+def single_term(word: str) -> BooleanQuery:
+    """A one-word query tree (convenience for tests and tools)."""
+    return Term(word)
+
+
+def memtable_from_documents(
+    documents: Sequence[Document], tokenizer: Tokenizer | None = None
+) -> Memtable:
+    """Build a memtable pre-loaded with ``documents`` (replay helper)."""
+    memtable = Memtable(tokenizer)
+    memtable.add(documents)
+    return memtable

@@ -1,0 +1,229 @@
+"""Write-ahead log for live ingestion, laid out for object storage.
+
+Cloud object stores have no append operation, so the WAL is *segmented*:
+every accepted ``append`` batch becomes one immutable segment blob under
+``<index>/ingest/seg-NNNNNNNN.log``, committed before the batch is
+acknowledged.  Two deliberate choices make the design cheap:
+
+* **A segment is plain line-delimited corpus bytes** — exactly the layout
+  :class:`~repro.parsing.corpus.LineDelimitedCorpusParser` reads and the
+  Builder indexes.  The segment therefore *is* the documents' permanent
+  storage: postings created at flush time point straight into it with
+  ``(blob, offset, length)`` ranges, and compaction re-reads documents from
+  it like from any corpus blob.  Nothing is ever copied out of the WAL.
+* **One manifest blob is the commit point** — ``<index>/ingest/ingest.json``
+  lists the segments not yet folded into a delta index (``active``) plus a
+  monotonic segment counter.  Replay after a crash reads the manifest and
+  re-parses the active segments; flushing rewrites the manifest with the
+  flushed segments removed.  A flush that crashes *between* writing the
+  delta and trimming the manifest replays those documents a second time —
+  harmless, because postings are ``(blob, offset, length)`` and the combined
+  view de-duplicates by exact reference.
+
+Segment numbering never resets (the counter outlives flushes), so a replayed
+or retried writer can never overwrite a segment readers may hold.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.parsing.corpus import LineDelimitedCorpusParser
+from repro.parsing.documents import Document
+from repro.storage.base import ObjectStore
+
+#: Directory (blob-prefix) fragment holding an index's WAL state.
+INGEST_DIR = "ingest"
+
+#: Manifest blob name within the ingest directory.
+INGEST_MANIFEST = "ingest.json"
+
+
+def ingest_manifest_blob(index_name: str) -> str:
+    """Blob holding ``index_name``'s ingest manifest."""
+    return f"{index_name}/{INGEST_DIR}/{INGEST_MANIFEST}"
+
+
+def segment_blob(index_name: str, sequence: int) -> str:
+    """Blob holding WAL segment number ``sequence`` of ``index_name``."""
+    return f"{index_name}/{INGEST_DIR}/seg-{sequence:08d}.log"
+
+
+@dataclass(frozen=True)
+class IngestManifest:
+    """Durable ingest state of one index: unflushed segments + counter."""
+
+    next_segment: int = 0
+    active_segments: tuple[str, ...] = ()
+
+    def to_bytes(self) -> bytes:
+        """Serialize for the manifest blob."""
+        payload = {
+            "version": 1,
+            "next_segment": self.next_segment,
+            "active_segments": list(self.active_segments),
+        }
+        return json.dumps(payload).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IngestManifest":
+        """Parse a manifest blob."""
+        payload = json.loads(data.decode("utf-8"))
+        return cls(
+            next_segment=int(payload["next_segment"]),
+            active_segments=tuple(payload["active_segments"]),
+        )
+
+
+def encode_segment(texts: list[str]) -> bytes:
+    """Encode one batch of document texts as a line-delimited segment.
+
+    Raises ``ValueError`` on documents the line-delimited layout cannot
+    represent (embedded newlines would silently split into several
+    documents; empty lines are skipped by the corpus parser, so an empty
+    document would vanish on replay).
+    """
+    if not texts:
+        raise ValueError("a WAL segment needs at least one document")
+    for position, text in enumerate(texts):
+        if not isinstance(text, str):
+            raise ValueError(f"document {position} is not a string")
+        if "\n" in text:
+            raise ValueError(
+                f"document {position} contains a newline; one document per "
+                "line is the WAL segment (and corpus) format"
+            )
+        if not text.strip():
+            raise ValueError(f"document {position} is empty (or whitespace only)")
+    return ("\n".join(texts) + "\n").encode("utf-8")
+
+
+def parse_segment(blob_name: str, data: bytes) -> list[Document]:
+    """Documents of one segment, with byte-exact postings into the blob.
+
+    Uses the standard line-delimited corpus parser, so offsets agree with
+    what a flush-time delta build (or a later compaction) computes for the
+    very same blob.
+    """
+    return list(LineDelimitedCorpusParser().parse_blob(blob_name, data))
+
+
+class WriteAheadLog:
+    """The segmented WAL of one index on one object store.
+
+    Not itself thread-safe: :class:`~repro.ingest.live.LiveIndex` serializes
+    all WAL mutations under its write lock (the manifest is a single-writer
+    blob, like every other manifest in the repository).
+    """
+
+    def __init__(self, store: ObjectStore, index_name: str) -> None:
+        self._store = store
+        self._index_name = index_name
+        self._manifest: IngestManifest | None = None
+        #: In-process floor on segment numbers: reservations whose PUT is
+        #: still in flight (not yet in the manifest) must not be reissued.
+        self._reserved = 0
+
+    @property
+    def index_name(self) -> str:
+        """The index this WAL belongs to."""
+        return self._index_name
+
+    @property
+    def manifest_blob(self) -> str:
+        """Blob holding this WAL's manifest."""
+        return ingest_manifest_blob(self._index_name)
+
+    def manifest(self, refresh: bool = False) -> IngestManifest:
+        """The current manifest (cached after the first read)."""
+        if self._manifest is None or refresh:
+            if self._store.exists(self.manifest_blob):
+                self._manifest = IngestManifest.from_bytes(
+                    self._store.get(self.manifest_blob)
+                )
+            else:
+                self._manifest = IngestManifest()
+        return self._manifest
+
+    def _commit(self, manifest: IngestManifest) -> None:
+        self._store.put(self.manifest_blob, manifest.to_bytes())
+        self._manifest = manifest
+
+    # -- writing -------------------------------------------------------------------
+
+    def reserve_segment(self) -> tuple[int, str]:
+        """Allocate the next segment number and blob name (no I/O).
+
+        The caller serializes reservations (LiveIndex's write lock); the
+        in-process floor keeps numbers monotonic even while an earlier
+        reservation's PUT is still in flight.  A reservation whose PUT
+        crashes before :meth:`commit_segment` leaves at most an
+        *unreferenced* blob that a later process may overwrite — it was
+        never acknowledged, so nobody can hold a reference to it.
+        """
+        sequence = max(self.manifest().next_segment, self._reserved)
+        self._reserved = sequence + 1
+        return sequence, segment_blob(self._index_name, sequence)
+
+    def commit_segment(self, sequence: int, blob: str) -> None:
+        """Reference an already-written segment blob from the manifest.
+
+        The commit point of an append: the segment bytes are durable before
+        this runs, so the manifest never points at missing data.
+        """
+        manifest = self.manifest()
+        self._commit(
+            IngestManifest(
+                next_segment=max(manifest.next_segment, sequence + 1),
+                active_segments=manifest.active_segments + (blob,),
+            )
+        )
+
+    def append(self, texts: list[str]) -> tuple[str, list[Document]]:
+        """Persist one batch as a new segment; returns ``(blob, documents)``.
+
+        Convenience wrapper over reserve → PUT → commit for single-threaded
+        callers (tests, tools); LiveIndex drives the three steps itself so
+        the segment PUT happens outside its write lock.
+        """
+        data = encode_segment(texts)
+        sequence, blob = self.reserve_segment()
+        self._store.put(blob, data)
+        self.commit_segment(sequence, blob)
+        return blob, parse_segment(blob, data)
+
+    def retire(self, segments: tuple[str, ...]) -> IngestManifest:
+        """Drop flushed ``segments`` from the active list (the flush commit).
+
+        The segment blobs themselves are **not** deleted: they hold the
+        document bytes the freshly built delta's postings point into.
+        """
+        manifest = self.manifest()
+        remaining = tuple(
+            blob for blob in manifest.active_segments if blob not in set(segments)
+        )
+        committed = IngestManifest(
+            next_segment=manifest.next_segment, active_segments=remaining
+        )
+        self._commit(committed)
+        return committed
+
+    # -- recovery ------------------------------------------------------------------
+
+    def replay(self) -> list[Document]:
+        """Documents of every active (unflushed) segment, in append order."""
+        documents: list[Document] = []
+        for blob in self.manifest(refresh=True).active_segments:
+            documents.extend(parse_segment(blob, self._store.get(blob)))
+        return documents
+
+    def destroy(self) -> None:
+        """Delete the manifest and every segment blob (full index rebuild).
+
+        Only valid when the documents are no longer referenced — i.e. the
+        whole index is being rebuilt from scratch over a new corpus.
+        """
+        for blob in self._store.list_blobs(prefix=f"{self._index_name}/{INGEST_DIR}/"):
+            self._store.delete(blob)
+        self._manifest = IngestManifest()

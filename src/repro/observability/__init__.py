@@ -22,6 +22,7 @@ from repro.observability.registry import (
     DEFAULT_BUCKETS,
     NULL_REGISTRY,
     Counter,
+    Gauge,
     Histogram,
     Metric,
     MetricsRegistry,
@@ -32,6 +33,7 @@ from repro.observability.stats import MirroredStats
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "Gauge",
     "Histogram",
     "Metric",
     "MetricsRegistry",

@@ -66,7 +66,7 @@ def render_metric(metric: "Metric") -> str:
     if metric.help:
         lines.append(f"# HELP {metric.name} {escape_help(metric.help)}")
     lines.append(f"# TYPE {metric.name} {metric.kind}")
-    if metric.kind == "counter":
+    if metric.kind in ("counter", "gauge"):
         for key, value in sorted(series.items()):
             labels = format_labels(metric.label_names, key)
             lines.append(f"{metric.name}{labels} {format_value(value)}")

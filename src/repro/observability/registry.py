@@ -163,6 +163,125 @@ class Counter(Metric):
         return {"type": self.kind, "help": self.help, "total": total, "values": values}
 
 
+class Gauge(Metric):
+    """A point-in-time value family: goes up, goes down, or is computed live.
+
+    Two usage styles:
+
+    * **stored** — components call :meth:`set` / :meth:`inc` / :meth:`dec`
+      whenever the underlying quantity changes (e.g. memtable document
+      counts, labeled per index);
+    * **computed** — an unlabeled gauge is bound to a callable with
+      :meth:`set_function`; the callable is evaluated at read time
+      (snapshot, summary, ``/metrics``), so the exported value is always
+      current without any update hooks (e.g. ``airphant_open_indexes``).
+    """
+
+    kind = "gauge"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._values: dict[tuple[str, ...], float] = {}
+        self._function: Any = None
+
+    def set_function(self, function: Any) -> None:
+        """Bind a zero-argument callable evaluated at every read.
+
+        Only unlabeled gauges support computed mode (a callable cannot
+        enumerate label sets); re-binding replaces the previous callable,
+        which is what a service restart over the shared process registry
+        wants — the newest instance answers.
+        """
+        if self.label_names:
+            raise ValueError(
+                f"gauge {self.name!r} has labels {self.label_names}; "
+                "set_function() only works on unlabeled gauges"
+            )
+        if function is not None and not callable(function):
+            raise TypeError("set_function expects a callable (or None to unbind)")
+        with self._lock:
+            self._function = function
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labeled series to ``value``."""
+        if not self.enabled:
+            return
+        key = self._key(labels)
+        with self._lock:
+            if self._function is not None:
+                raise ValueError(
+                    f"gauge {self.name!r} is bound to a function; set() is invalid"
+                )
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (may be negative) to the labeled series."""
+        if not self.enabled:
+            return
+        key = self._key(labels)
+        with self._lock:
+            if self._function is not None:
+                raise ValueError(
+                    f"gauge {self.name!r} is bound to a function; inc() is invalid"
+                )
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        """Subtract ``amount`` from the labeled series."""
+        self.inc(-amount, **labels)
+
+    def remove(self, **labels: str) -> None:
+        """Drop one labeled series (e.g. an index that no longer exists)."""
+        key = self._key(labels)
+        with self._lock:
+            self._values.pop(key, None)
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labeled series (0 when never set)."""
+        key = self._key(labels)
+        with self._lock:
+            if self._function is not None:
+                return float(self._function()) if self.enabled else 0.0
+            return self._values.get(key, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum across every label combination (the computed value if bound)."""
+        with self._lock:
+            if self._function is not None:
+                return float(self._function()) if self.enabled else 0.0
+            return sum(self._values.values())
+
+    def series(self) -> dict[tuple[str, ...], float]:
+        """Copy of every ``label values -> value`` entry (evaluates callables).
+
+        A function-bound gauge on a *disabled* registry reports no series at
+        all: the callable is not evaluated, matching how stored metrics
+        record nothing while disabled (and keeping the shared
+        ``NULL_REGISTRY`` exposition empty).
+        """
+        with self._lock:
+            if self._function is not None:
+                return {(): float(self._function())} if self.enabled else {}
+            return dict(self._values)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        series = self.series()
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "total": sum(series.values()),
+            "values": [
+                {"labels": dict(zip(self.label_names, key)), "value": value}
+                for key, value in sorted(series.items())
+            ],
+        }
+
+
 class _HistogramSeries:
     """Bucket counts + running aggregates of one labeled histogram series."""
 
@@ -416,6 +535,15 @@ class MetricsRegistry:
             Histogram, name, {"help": help, "label_names": label_names, "buckets": buckets}
         )
 
+    def gauge(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002 - prometheus terminology
+        label_names: tuple[str, ...] = (),
+    ) -> Gauge:
+        """Get or create the gauge family ``name``."""
+        return self._get_or_create(Gauge, name, {"help": help, "label_names": label_names})
+
     def get(self, name: str) -> Metric | None:
         """The registered metric named ``name``, or ``None``."""
         with self._lock:
@@ -443,22 +571,28 @@ class MetricsRegistry:
 
         Returns
         -------
-        ``{"counters": {name: ...}, "histograms": {name: ...}}`` — the
+        ``{"counters": {...}, "gauges": {...}, "histograms": {...}}`` — the
         payload ``/healthz`` embeds and ``airphant stats --format json``
         prints.
         """
         counters: dict[str, Any] = {}
+        gauges: dict[str, Any] = {}
         histograms: dict[str, Any] = {}
         for metric in self.metrics():
-            target = counters if isinstance(metric, Counter) else histograms
+            if isinstance(metric, Counter):
+                target = counters
+            elif isinstance(metric, Gauge):
+                target = gauges
+            else:
+                target = histograms
             target[metric.name] = metric.snapshot()
-        return {"counters": counters, "histograms": histograms}
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     def summary(self) -> dict[str, Any]:
         """Compact one-level view: counter totals + merged histogram summaries."""
         out: dict[str, Any] = {}
         for metric in self.metrics():
-            if isinstance(metric, Counter):
+            if isinstance(metric, (Counter, Gauge)):
                 out[metric.name] = metric.total
             elif isinstance(metric, Histogram):
                 out[metric.name] = metric.merged_summary()

@@ -24,7 +24,7 @@ from repro.index.metadata import (
     merge_shard_metadata,
 )
 from repro.index.sharding import SHARD_MARKER, read_shard_manifest
-from repro.index.updates import AppendOnlyIndexManager
+from repro.index.updates import GENERATION_MARKER, AppendOnlyIndexManager
 from repro.search.multi import MultiIndexSearcher
 from repro.service.api import IndexInfo
 from repro.service.config import ServiceConfig
@@ -60,34 +60,52 @@ class IndexCatalog:
         """Names of all indexes in the store.
 
         Deltas fold into their base; shard sub-indexes fold into the sharded
-        index their ``shards.json`` manifest names.
+        index their ``shards.json`` manifest names; generational base builds
+        (``gen-NNNNNNNN/``, written by compaction) fold into the logical
+        index their append-only manifest names — an index whose base has
+        moved fully generational is discovered through that manifest alone.
         """
         header_suffix = f"/{HEADER_BLOB_SUFFIX}"
-        manifest_suffix = f"/{SHARD_MANIFEST_SUFFIX}"
+        shard_suffix = f"/{SHARD_MANIFEST_SUFFIX}"
+        updates_suffix = f"/{AppendOnlyIndexManager.MANIFEST_SUFFIX}"
         names = set()
         for blob in self._store.list_blobs():
             if blob.endswith(header_suffix):
                 name = blob[: -len(header_suffix)]
-            elif blob.endswith(manifest_suffix):
-                name = blob[: -len(manifest_suffix)]
+            elif blob.endswith(shard_suffix):
+                name = blob[: -len(shard_suffix)]
+            elif blob.endswith(updates_suffix):
+                name = blob[: -len(updates_suffix)]
             else:
                 continue
-            if _DELTA_MARKER in name or SHARD_MARKER in name:
+            if _DELTA_MARKER in name or SHARD_MARKER in name or GENERATION_MARKER in name:
                 continue
             names.add(name)
         return sorted(names)
 
     def contains(self, name: str) -> bool:
         """Whether ``name`` is a servable index."""
-        if _DELTA_MARKER in name or SHARD_MARKER in name:
+        if _DELTA_MARKER in name or SHARD_MARKER in name or GENERATION_MARKER in name:
             return False
-        return self._store.exists(f"{name}/{HEADER_BLOB_SUFFIX}") or self._store.exists(
-            ShardManifest.blob_name(name)
+        return (
+            self._store.exists(f"{name}/{HEADER_BLOB_SUFFIX}")
+            or self._store.exists(ShardManifest.blob_name(name))
+            or self._store.exists(f"{name}/{AppendOnlyIndexManager.MANIFEST_SUFFIX}")
         )
 
     def is_open(self, name: str) -> bool:
         """Whether ``name`` has already been opened (header in memory)."""
         return name in self._searchers
+
+    def open_count(self) -> int:
+        """How many indexes currently hold an opened searcher."""
+        with self._lock:
+            return len(self._searchers)
+
+    def open_searchers(self) -> list[MultiIndexSearcher]:
+        """Every currently opened searcher (for cache/occupancy accounting)."""
+        with self._lock:
+            return list(self._searchers.values())
 
     # -- opening --------------------------------------------------------------------
 
@@ -158,13 +176,19 @@ class IndexCatalog:
             delta_names = tuple(searcher.index_names[1:])
             shard_manifest = base.shard_manifest
         else:
-            if _DELTA_MARKER in name or SHARD_MARKER in name:
+            if _DELTA_MARKER in name or SHARD_MARKER in name or GENERATION_MARKER in name:
                 raise KeyError(name)
-            header_blob = f"{name}/{HEADER_BLOB_SUFFIX}"
+            # Resolve through the append-only manifest first: after a
+            # compaction the live base sits under a gen-NNNNNNNN/ prefix
+            # (and retired in-place blobs may linger for one generation of
+            # reader grace — reading those would report stale metadata).
+            manifest = AppendOnlyIndexManager(self._store, base_index=name).manifest()
+            base_name = manifest.active_base
+            header_blob = f"{base_name}/{HEADER_BLOB_SUFFIX}"
             if self._store.exists(header_blob):
                 metadata = decode_header(self._store.get(header_blob)).metadata
             else:
-                shard_manifest = read_shard_manifest(self._store, name)
+                shard_manifest = read_shard_manifest(self._store, base_name)
                 if shard_manifest is None:
                     raise KeyError(name)
                 # One batched (pipeline-aware) fetch for all shard headers
@@ -180,7 +204,6 @@ class IndexCatalog:
                     [entry for entry in shard_metadatas if entry is not None],
                     partitioner=shard_manifest.partitioner,
                 )
-            manifest = AppendOnlyIndexManager(self._store, base_index=name).manifest()
             delta_names = manifest.delta_indexes
         assert metadata is not None
         return IndexInfo(

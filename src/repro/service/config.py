@@ -67,6 +67,21 @@ class ServiceConfig:
     hedge_percentile:
         Latency percentile the adaptive hedge delay tracks (floored at
         ``hedge_ms``).
+    ingest_flush_docs:
+        Memtable document count that triggers a background flush into a
+        delta index.
+    ingest_flush_bytes:
+        Memtable byte budget (raw document bytes) that triggers a flush.
+    ingest_compact_deltas:
+        Stacked-delta count that triggers background compaction into a new
+        base generation; 0 disables the count trigger.
+    ingest_compact_ratio:
+        Delta-bytes / base-bytes ratio that triggers compaction; 0 disables
+        the ratio trigger (it needs storage listings, so it is only
+        evaluated after a flush changes the delta stack).
+    ingest_interval_s:
+        Poll interval of the background ingest worker; 0 disables the
+        worker entirely (flush/compaction happen only on explicit calls).
     metrics_enabled:
         Whether the service *exports* metrics (``GET /metrics``, the
         ``metrics`` block of ``/healthz``) and records its own query/build
@@ -91,6 +106,11 @@ class ServiceConfig:
     request_timeout_s: float | None = None
     hedge_ms: float = 0.0
     hedge_percentile: float = 95.0
+    ingest_flush_docs: int = 512
+    ingest_flush_bytes: int = 1_048_576
+    ingest_compact_deltas: int = 4
+    ingest_compact_ratio: float = 0.0
+    ingest_interval_s: float = 0.25
     metrics_enabled: bool = True
 
     def __post_init__(self) -> None:
@@ -120,6 +140,16 @@ class ServiceConfig:
             raise ValueError("hedge_ms must be non-negative")
         if not 0.0 < self.hedge_percentile <= 100.0:
             raise ValueError("hedge_percentile must be in (0, 100]")
+        if self.ingest_flush_docs <= 0:
+            raise ValueError("ingest_flush_docs must be positive")
+        if self.ingest_flush_bytes <= 0:
+            raise ValueError("ingest_flush_bytes must be positive")
+        if self.ingest_compact_deltas < 0:
+            raise ValueError("ingest_compact_deltas must be non-negative")
+        if self.ingest_compact_ratio < 0:
+            raise ValueError("ingest_compact_ratio must be non-negative")
+        if self.ingest_interval_s < 0:
+            raise ValueError("ingest_interval_s must be non-negative")
 
     def make_tokenizer(self) -> Tokenizer:
         """Instantiate the configured tokenizer."""
@@ -186,6 +216,11 @@ class ServiceConfig:
             "request_timeout_s": self.request_timeout_s,
             "hedge_ms": self.hedge_ms,
             "hedge_percentile": self.hedge_percentile,
+            "ingest_flush_docs": self.ingest_flush_docs,
+            "ingest_flush_bytes": self.ingest_flush_bytes,
+            "ingest_compact_deltas": self.ingest_compact_deltas,
+            "ingest_compact_ratio": self.ingest_compact_ratio,
+            "ingest_interval_s": self.ingest_interval_s,
             "metrics_enabled": self.metrics_enabled,
         }
 

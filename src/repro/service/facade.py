@@ -14,12 +14,15 @@ from __future__ import annotations
 
 import re
 import time
+import weakref
 from contextlib import contextmanager
 from typing import Any, Iterator, Sequence
 
 from repro.core.config import SketchConfig
 from repro.observability import NULL_REGISTRY, MetricsRegistry, get_registry
 from repro.index.builder import AirphantBuilder
+from repro.index.updates import AppendOnlyIndexManager
+from repro.ingest.live import IngestCoordinator, LiveSearcher
 from repro.parsing.documents import Posting
 from repro.search.multi import MultiIndexSearcher
 from repro.search.regexsearch import RegexSearcher
@@ -61,13 +64,13 @@ class AirphantService:
             self._metrics = get_registry() if self._config.metrics_enabled else NULL_REGISTRY
         self._queries_metric = self._metrics.counter(
             "airphant_queries_total",
-            "Queries answered, by query mode",
-            label_names=("mode",),
+            "Queries answered, by query mode and index",
+            label_names=("mode", "index"),
         )
         self._query_seconds_metric = self._metrics.histogram(
             "airphant_query_seconds",
-            "End-to-end wall-clock query latency, by query mode",
-            label_names=("mode",),
+            "End-to-end wall-clock query latency, by query mode and index",
+            label_names=("mode", "index"),
         )
         self._query_errors_metric = self._metrics.counter(
             "airphant_query_errors_total",
@@ -83,6 +86,39 @@ class AirphantService:
             # Builds run seconds-to-minutes, far beyond the latency ladder.
             buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0),
         )
+        # Live occupancy gauges: bound to callables so /metrics and /healthz
+        # always report the current value with no update hooks.  On the
+        # shared process registry the most recently constructed service
+        # answers (set_function re-binds), matching the one-node-per-process
+        # deployment every other facade metric assumes.  The binding is weak:
+        # a registry-held strong reference would pin the service (and its
+        # fetcher threads) for the life of the process.
+        service_ref = weakref.ref(self)
+        self._metrics.gauge(
+            "airphant_open_indexes",
+            "Indexes whose searcher (headers in memory) is currently open",
+        ).set_function(
+            lambda: s._catalog.open_count() if (s := service_ref()) is not None else 0
+        )
+        self._metrics.gauge(
+            "airphant_read_cache_bytes_used",
+            "Bytes currently held by read-pipeline block caches, all open indexes",
+        ).set_function(
+            lambda: s._read_cache_bytes() if (s := service_ref()) is not None else 0
+        )
+        # The live write path: per-index ingesters (WAL + memtable) plus the
+        # background flush/compaction worker.
+        self._ingest = IngestCoordinator(
+            self.store, self._config, self._metrics, self._catalog.invalidate
+        )
+
+    def _read_cache_bytes(self) -> int:
+        """Current block-cache occupancy summed over every open searcher."""
+        return sum(
+            member.pipeline.cached_bytes
+            for multi in self._catalog.open_searchers()
+            for member in multi.searchers
+        )
 
     @contextmanager
     def _store_errors(self) -> Iterator[None]:
@@ -90,7 +126,9 @@ class AirphantService:
 
         One definition for every endpoint: transient failures (including
         exhausted retries) become ``503 store_unavailable``; definitive
-        access denials become ``403 store_access_denied``.
+        access denials become ``403 store_access_denied``; write refusals
+        (builds or ingest against e.g. a static http:// export) become
+        ``400 store_read_only``.
         """
         try:
             yield
@@ -98,6 +136,8 @@ class AirphantService:
             raise ServiceError(503, "store_unavailable", str(error)) from error
         except StoreAccessError as error:
             raise ServiceError(403, "store_access_denied", str(error)) from error
+        except ReadOnlyStoreError as error:
+            raise ServiceError(400, "store_read_only", str(error)) from error
 
     @classmethod
     def from_uri(cls, uri: str, config: ServiceConfig | None = None) -> "AirphantService":
@@ -151,13 +191,16 @@ class AirphantService:
     def close(self) -> None:
         """Close every opened searcher, releasing fetcher pools and caches.
 
-        Closes each catalog-opened searcher (which shuts down its — possibly
-        sharded — members' pipelines and fetcher thread pools) *and* the
-        store's own lazy ``read_many`` pipeline, so no worker thread
-        outlives the service.  The service stays usable: the next query
-        simply reopens its index (and with it a fresh long-lived fetcher
-        pool).
+        First stops the background ingest worker and drains any in-flight
+        flush/compaction (unflushed memtable documents stay durable in their
+        WAL segments and replay on the next open).  Then closes each
+        catalog-opened searcher (which shuts down its — possibly sharded —
+        members' pipelines and fetcher thread pools) *and* the store's own
+        lazy ``read_many`` pipeline, so no worker thread outlives the
+        service.  The service stays usable: the next query simply reopens
+        its index (and with it a fresh long-lived fetcher pool).
         """
+        self._ingest.close()
         self._catalog.close()
         self.store.close()
 
@@ -189,6 +232,15 @@ class AirphantService:
             # Compact totals + latency summaries; the full per-label series
             # live on GET /metrics (Prometheus exposition).
             payload["metrics"] = self._metrics.summary()
+        # Live write-path state: memtable occupancy, unflushed WAL segments,
+        # stacked deltas, worker liveness.  Degrades like the catalog block:
+        # a live index's WAL-manifest read hitting a down store must not
+        # fail the liveness probe.
+        try:
+            payload["ingest"] = self._ingest.summary()
+        except (TransientStoreError, StoreAccessError, BlobNotFoundError) as error:
+            payload["status"] = "degraded"
+            payload["ingest"] = {"error": str(error)}
         try:
             names = self._catalog.names()
         except (TransientStoreError, StoreAccessError, BlobNotFoundError) as error:
@@ -249,9 +301,9 @@ class AirphantService:
             # same label so the worst outage class is never a flat line.
             self._query_errors_metric.inc(error="internal_error")
             raise
-        self._queries_metric.inc(mode=request.mode)
+        self._queries_metric.inc(mode=request.mode, index=request.index)
         self._query_seconds_metric.observe(
-            time.perf_counter() - started, mode=request.mode
+            time.perf_counter() - started, mode=request.mode, index=request.index
         )
         return result
 
@@ -287,8 +339,10 @@ class AirphantService:
         except Exception:
             self._query_errors_metric.inc(error="internal_error")
             raise
-        self._queries_metric.inc(mode="lookup")
-        self._query_seconds_metric.observe(time.perf_counter() - started, mode="lookup")
+        self._queries_metric.inc(mode="lookup", index=index)
+        self._query_seconds_metric.observe(
+            time.perf_counter() - started, mode="lookup", index=index
+        )
         return outcome
 
     def searcher(self, index: str) -> MultiIndexSearcher:
@@ -302,9 +356,90 @@ class AirphantService:
         try:
             # _store_errors: header/manifest reads failing before open.
             with self._store_errors():
-                return self._catalog.open(index)
+                self._catalog.open(index)
         except KeyError:
             raise ServiceError(404, "index_not_found", f"no index named {index!r}") from None
+        # The combined live view: the catalog's (cached) persisted members —
+        # re-resolved per call, so flush/compaction invalidations take effect
+        # on the next query — plus one exact searcher per live memtable.
+        # For an index with no write state this degenerates to exactly the
+        # catalog searcher's members.
+        return LiveSearcher(lambda: self._live_members(index))
+
+    def _live_members(self, index: str) -> list[Any]:
+        return [*self._catalog.open(index).searchers, *self._ingest.members(index)]
+
+    # -- live ingestion ----------------------------------------------------------------
+
+    @property
+    def ingest(self) -> IngestCoordinator:
+        """The live-ingestion coordinator (per-index WAL + memtable state)."""
+        return self._ingest
+
+    def append_documents(self, index: str, documents: Sequence[str]) -> dict[str, Any]:
+        """Durably append documents to a live index; searchable on return.
+
+        The batch is committed to a WAL segment first and then becomes
+        visible through the in-memory memtable — keyword, Boolean, and regex
+        queries all see the documents before any flush.  Raises
+        :class:`ServiceError` 404 for unknown indexes and 400 for payloads
+        the line-delimited WAL format cannot hold.
+        """
+        if not documents:
+            raise ServiceError(400, "bad_ingest_request", "append needs at least one document")
+        with self._store_errors():
+            self._require_index(index)
+            live = self._ingest.live(index, create=True)
+            try:
+                return live.append(documents)
+            except ValueError as error:
+                raise ServiceError(400, "bad_ingest_request", str(error)) from error
+
+    def _require_index(self, index: str) -> None:
+        """404 unless ``index`` exists — without store probes when avoidable.
+
+        The write path runs this per batch: an already-opened searcher or
+        registered live index answers from memory; only the first touch of
+        an unknown name pays the catalog's existence round trips.
+        """
+        if self._catalog.is_open(index) or self._ingest.live(index) is not None:
+            return
+        if not self._catalog.contains(index):
+            raise ServiceError(404, "index_not_found", f"no index named {index!r}")
+
+    def flush_index(self, index: str) -> dict[str, Any]:
+        """Fold ``index``'s memtable into a delta now (no-op when empty)."""
+        with self._store_errors():
+            live = self._ingest.live(index)
+            if live is None:
+                self._require_index(index)
+                outcome = None
+            else:
+                outcome = live.flush()
+        if outcome is None:
+            return {"index": index, "flushed": 0, "delta": None}
+        return outcome
+
+    def compact_index(self, index: str) -> dict[str, Any]:
+        """Flush, then fold every delta into a new base generation now.
+
+        Answers ``{"compacted": false}`` when there is nothing to fold.
+        """
+        with self._store_errors():
+            live = self._ingest.live(index)
+            if live is None:
+                self._require_index(index)
+                # No write state this process and nothing replayable: only
+                # pre-existing deltas (e.g. built offline via the manager)
+                # would justify registering a live index + worker here.
+                manifest = AppendOnlyIndexManager(self.store, base_index=index).manifest()
+                if not manifest.delta_indexes:
+                    return {"index": index, "compacted": False, "deltas_folded": 0}
+                live = self._ingest.live(index, create=True)
+            outcome = live.compact()
+        if outcome is None:
+            return {"index": index, "compacted": False, "deltas_folded": 0}
+        return {"compacted": True, **outcome}
 
     # -- building ---------------------------------------------------------------------
 
@@ -351,7 +486,13 @@ class AirphantService:
         num_shards: int = 1,
         partitioner: str = "hash",
     ) -> IndexInfo:
-        if not name or not name.strip("/") or "/delta-" in name or "/shard-" in name:
+        if (
+            not name
+            or not name.strip("/")
+            or "/delta-" in name
+            or "/shard-" in name
+            or "/gen-" in name
+        ):
             raise ServiceError(400, "bad_index_name", f"invalid index name {name!r}")
         blobs = list(blobs)
         if not blobs:
@@ -374,13 +515,17 @@ class AirphantService:
             raise ServiceError(400, "bad_build_request", str(error)) from error
         # The builder removes any stale blobs from a previous layout of this
         # name (e.g. resharding, or sharded -> single-shard), so a rebuild is
-        # authoritative regardless of what was there before.
-        try:
-            with self._store_errors():
-                builder.build_from_blobs(blobs, index_name=name, corpus_name=name)
-        except ReadOnlyStoreError as error:
-            # e.g. building against a static http:// export — the backend can
-            # serve the index but will never accept one.
-            raise ServiceError(400, "store_read_only", str(error)) from error
+        # authoritative regardless of what was there before.  A read-only
+        # backend (static http:// export) surfaces as 400 store_read_only
+        # through _store_errors.
+        with self._store_errors():
+            builder.build_from_blobs(blobs, index_name=name, corpus_name=name)
+        # A full rebuild is authoritative: any previous generational bases,
+        # deltas, and unflushed WAL segments describe documents that are no
+        # longer part of this index.
+        manager = AppendOnlyIndexManager(self.store, base_index=name)
+        if self.store.exists(manager.manifest_blob):
+            manager.reset()
+        self._ingest.discard(name, destroy_wal=True)
         self._catalog.invalidate(name)
         return self.index_info(name)

@@ -12,7 +12,13 @@ query node can be started anywhere the bucket is reachable:
   ``SearchResponse``;
 * ``POST /indexes/{name}/build`` — build/rebuild an index from corpus blobs
   already present in the bucket (body: ``{"blobs": [...], "num_bins": ...,
-  "num_shards": ..., "partitioner": ...}``).
+  "num_shards": ..., "partitioner": ...}``);
+* ``POST /indexes/{name}/docs`` — append documents to a live index (body:
+  ``{"documents": ["one doc per entry", ...]}``); WAL-durable and
+  searchable in every query mode when the call returns;
+* ``POST /indexes/{name}/flush`` — fold the memtable into a delta index now;
+* ``POST /indexes/{name}/compact`` — flush, then fold all deltas into a new
+  base generation now.
 
 Errors come back as ``ErrorInfo`` JSON bodies with matching HTTP status
 codes.  Requests are served by a thread pool (``ThreadingHTTPServer``);
@@ -131,6 +137,34 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
             name = path[len("/indexes/") : -len("/build")]
             body = self._read_json_body()
             return 200, self._build(name, body).to_dict()
+        if path.startswith("/indexes/") and path.endswith("/docs"):
+            name = path[len("/indexes/") : -len("/docs")]
+            body = self._read_json_body()
+            documents = body.get("documents")
+            if (
+                not isinstance(documents, list)
+                or not documents
+                or not all(isinstance(text, str) for text in documents)
+            ):
+                raise ServiceError(
+                    400,
+                    "bad_ingest_request",
+                    "ingest body needs a non-empty 'documents' list of strings",
+                )
+            unknown = set(body) - {"documents"}
+            if unknown:
+                raise ServiceError(
+                    400,
+                    "bad_ingest_request",
+                    f"unknown ingest field(s): {', '.join(sorted(unknown))}",
+                )
+            return 200, service.append_documents(name, documents)
+        if path.startswith("/indexes/") and path.endswith("/flush"):
+            name = path[len("/indexes/") : -len("/flush")]
+            return 200, service.flush_index(name)
+        if path.startswith("/indexes/") and path.endswith("/compact"):
+            name = path[len("/indexes/") : -len("/compact")]
+            return 200, service.compact_index(name)
         raise ServiceError(404, "not_found", f"no route for POST {self.path}")
 
     def _build(self, name: str, body: Mapping[str, Any]):

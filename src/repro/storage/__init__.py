@@ -48,6 +48,7 @@ from repro.storage.base import (
 from repro.storage.faults import FlakyStore
 from repro.storage.httpstore import HTTPRangeStore
 from repro.storage.latency import AffineLatencyModel, RegionProfile, REGION_PROFILES
+from repro.storage.listing import LISTING_BLOB, write_listing
 from repro.storage.local import LocalObjectStore
 from repro.storage.memory import InMemoryObjectStore
 from repro.storage.metrics import RequestRecord, StorageMetrics
@@ -74,6 +75,7 @@ __all__ = [
     "FlakyStore",
     "HTTPRangeStore",
     "InMemoryObjectStore",
+    "LISTING_BLOB",
     "LocalObjectStore",
     "ObjectStore",
     "ParallelFetcher",
@@ -97,6 +99,7 @@ __all__ = [
     "StoreURIError",
     "TransientStoreError",
     "open_store",
+    "write_listing",
     "register_scheme",
     "registered_schemes",
 ]

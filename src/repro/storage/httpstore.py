@@ -16,10 +16,15 @@ Semantics notes:
   out client-side, so callers observe byte-identical results either way.
 * Reads past end-of-blob truncate (HTTP ``416`` maps to ``b""``), matching
   the local and in-memory backends.
-* The protocol has no portable listing operation, so :meth:`list_blobs`
-  returns ``[]``; point queries (``exists``/``size``/``get``) all work, which
-  is what opening and searching a *named* index needs.  Use the
-  S3-compatible adapter (:mod:`repro.storage.s3`) when discovery matters.
+* The protocol has no portable listing operation.  :meth:`list_blobs` first
+  tries the optional *listing manifest* (a well-known ``manifest.json``
+  blob written at build time with ``airphant build --listing``; see
+  :mod:`repro.storage.listing`) and answers from it — which makes catalog
+  discovery work against any static file server.  Without the manifest it
+  returns ``[]``; point queries (``exists``/``size``/``get``) always work,
+  which is what opening and searching a *named* index needs.  Use the
+  S3-compatible adapter (:mod:`repro.storage.s3`) when live discovery
+  matters.
 * Network failures and ``5xx`` answers raise
   :class:`~repro.storage.base.TransientStoreError`, so wrapping in a
   :class:`~repro.storage.resilient.ResilientStore` makes them retryable.
@@ -85,6 +90,8 @@ class HTTPRangeStore(ObjectStore):
             raise ValueError("timeout_s must be positive")
         self._base_url = base_url.rstrip("/")
         self._timeout_s = timeout_s
+        #: ``(fetched_at, decoded listing or None)`` — see :meth:`_listing`.
+        self._listing_cache: tuple[float, dict[str, int] | None] | None = None
         registry = metrics if metrics is not None else get_registry()
         self._requests_metric = registry.counter(
             "airphant_backend_requests_total",
@@ -255,12 +262,57 @@ class HTTPRangeStore(ObjectStore):
         except BlobNotFoundError:
             pass
 
-    def list_blobs(self, prefix: str = "") -> list[str]:
-        """Return ``[]``: plain HTTP has no portable listing operation.
+    #: How long a fetched listing manifest is reused before re-downloading.
+    #: One catalog operation (GET /indexes = one list_blobs + one
+    #: total_bytes per index) issues many listing reads back to back; the
+    #: short TTL collapses them into one download while keeping staleness
+    #: bounded for refreshed exports.
+    _LISTING_TTL_S = 5.0
 
-        Consequences: catalog *discovery* (``GET /indexes``) sees no entries
-        and ``total_bytes`` reports 0, but opening and searching an index by
-        name works fully (it only needs ``exists``/``get``/``get_range``).
+    def _listing(self) -> dict[str, int] | None:
+        """The export's listing manifest as ``{blob: size}``, if published.
+
+        Cached for :attr:`_LISTING_TTL_S` seconds (absence included);
+        absent or unparsable manifests degrade to ``None``.
+        """
+        from repro.storage.listing import LISTING_BLOB, decode_listing
+
+        cached = self._listing_cache
+        now = time.monotonic()
+        if cached is not None and now - cached[0] < self._LISTING_TTL_S:
+            return cached[1]
+        try:
+            listing: dict[str, int] | None = decode_listing(self.get(LISTING_BLOB))
+        except BlobNotFoundError:
+            listing = None
+        except ValueError:
+            # Some unrelated manifest.json answered; treat as "no listing".
+            listing = None
+        self._listing_cache = (now, listing)
+        return listing
+
+    def list_blobs(self, prefix: str = "") -> list[str]:
+        """Blob names from the listing manifest (``[]`` when not published).
+
+        Plain HTTP has no portable listing operation; exports that publish
+        the optional manifest (``airphant build --listing``) get full
+        catalog discovery (``GET /indexes``), everything else degrades to
+        the old behaviour: no entries, but opening and searching an index
+        by name works fully (it only needs ``exists``/``get``/``get_range``).
         Backends with real listings (local, memory, S3) are unaffected.
         """
-        return []
+        listing = self._listing()
+        if listing is None:
+            return []
+        return sorted(name for name in listing if name.startswith(prefix))
+
+    def total_bytes(self, prefix: str = "") -> int:
+        """Summed blob sizes under ``prefix``, from the listing manifest.
+
+        The manifest records sizes, so this needs one GET instead of one
+        HEAD per blob.  Reports 0 when no manifest is published.
+        """
+        listing = self._listing()
+        if listing is None:
+            return 0
+        return sum(size for name, size in listing.items() if name.startswith(prefix))

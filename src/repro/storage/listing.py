@@ -1,0 +1,72 @@
+"""Optional listing manifest for backends with no native listing operation.
+
+Plain ``http(s)://`` stores can open and search any index *by name* but
+cannot discover what a bucket contains — HTTP has no portable LIST.  The
+standard workaround (used by static site generators and OCI registries
+alike) is an index document: a single well-known blob enumerating every blob
+(and its size) in the export.  :func:`write_listing` produces that blob at
+build time from any listable store; :class:`~repro.storage.httpstore.HTTPRangeStore`
+reads it back to implement ``list_blobs`` / ``total_bytes``, which makes
+``IndexCatalog`` discovery (``GET /indexes``, ``airphant serve``) work
+against ``python -m http.server``, nginx, or a CDN bucket website.
+
+The manifest is a snapshot: re-run :func:`write_listing` (or build with
+``airphant build --listing``) after changing the bucket.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.storage.base import ObjectStore
+
+#: Well-known blob name of the listing manifest, at the bucket root.
+LISTING_BLOB = "manifest.json"
+
+#: Format marker inside the manifest (rejects unrelated manifest.json files).
+_LISTING_FORMAT = "airphant-listing"
+
+
+def encode_listing(blobs: dict[str, int]) -> bytes:
+    """Serialize a ``{blob name: size}`` listing as the manifest payload."""
+    payload = {
+        "format": _LISTING_FORMAT,
+        "version": 1,
+        "blobs": {name: int(size) for name, size in sorted(blobs.items())},
+    }
+    return json.dumps(payload, indent=2).encode("utf-8")
+
+
+def decode_listing(data: bytes) -> dict[str, int]:
+    """Parse a listing manifest back into ``{blob name: size}``.
+
+    Raises ``ValueError`` when the payload is not a listing manifest (for
+    example an index's *append-only* ``manifest.json``, which lives under
+    the index prefix, not at the root — but a misconfigured base URL could
+    point at one).
+    """
+    payload = json.loads(data.decode("utf-8"))
+    if not isinstance(payload, dict) or payload.get("format") != _LISTING_FORMAT:
+        raise ValueError(
+            f"not a listing manifest (missing format={_LISTING_FORMAT!r} marker)"
+        )
+    blobs = payload.get("blobs")
+    if not isinstance(blobs, dict):
+        raise ValueError("listing manifest has no 'blobs' object")
+    return {str(name): int(size) for name, size in blobs.items()}
+
+
+def write_listing(store: ObjectStore) -> dict[str, int]:
+    """Write/refresh the listing manifest of ``store``; returns the listing.
+
+    The store must support native listing (local, memory, s3, …): this runs
+    at *build* time, against the bucket the index was just written to.  The
+    manifest never lists itself, so repeated refreshes are stable.
+    """
+    blobs = {
+        name: store.size(name)
+        for name in store.list_blobs()
+        if name != LISTING_BLOB
+    }
+    store.put(LISTING_BLOB, encode_listing(blobs))
+    return blobs

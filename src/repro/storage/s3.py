@@ -257,6 +257,14 @@ class S3ObjectStore(HTTPRangeStore):
 
     # -- listing (the operation plain HTTP cannot offer) -------------------------
 
+    def total_bytes(self, prefix: str = "") -> int:
+        """Summed blob sizes under ``prefix`` via the native listing.
+
+        Overrides the HTTP parent's listing-manifest shortcut — S3 has a
+        real LIST, so the generic enumerate-and-size path applies.
+        """
+        return sum(self.size(name) for name in self.list_blobs(prefix))
+
     def list_blobs(self, prefix: str = "") -> list[str]:
         """Enumerate blob names under ``prefix`` via paginated ListObjectsV2.
 

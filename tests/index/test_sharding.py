@@ -199,13 +199,22 @@ class TestShardedBaseWithDeltas:
 
         compacted = manager.compact()
         # Compaction folds the deltas in while preserving the base's sharded
-        # layout (same shard count, delta blobs gone).
+        # layout: the new generational base has the same shard count, and the
+        # manifest no longer lists any delta.
         assert compacted.num_documents == len(small_documents) + 1
-        assert read_shard_manifest(sim_store, "idx").num_shards == 4
-        assert manager.manifest().delta_indexes == ()
-        assert not sim_store.list_blobs("idx/delta-")
+        manifest = manager.manifest()
+        assert manifest.delta_indexes == ()
+        assert read_shard_manifest(sim_store, manifest.active_base).num_shards == 4
+        # Readers that opened the pre-compaction manifest get one generation
+        # of grace: the folded delta's blobs are retired, not yet deleted.
+        assert manifest.retired == ("idx", "idx/delta-0000")
+        assert sim_store.list_blobs("idx/delta-")
         searcher = manager.open_searcher()
         assert extra_text in {d.text for d in searcher.search("error").documents}
+        # The next compaction purges what the previous swap stranded.
+        manager.compact()
+        assert not sim_store.list_blobs("idx/delta-")
+        assert not sim_store.list_blobs("idx/shard-")
 
     def test_open_searcher_spans_sharded_base_and_deltas(
         self, sim_store, small_documents, small_config

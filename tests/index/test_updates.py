@@ -89,8 +89,17 @@ class TestCompaction:
         assert built.metadata.num_documents == 6
         manifest = manager.manifest()
         assert manifest.delta_indexes == ()
-        # Delta blobs are cleaned up; the compacted base answers everything.
-        assert sim_store.list_blobs("logs/delta-0000/") == []
+        # The swap moved the base into a fresh generation directory; the old
+        # base and the folded deltas are retired (still readable for one
+        # generation of grace) and purged by the *next* compaction.
+        # build_base wrote generation 1; the compaction swap is generation 2.
+        assert manifest.generation == 2
+        assert manifest.active_base == "logs/gen-00000002"
+        assert set(manifest.retired) == {"logs", "logs/delta-0000", "logs/delta-0001"}
+        assert sim_store.list_blobs("logs/delta-0000/") != []
         searcher = manager.open_searcher()
         assert len(searcher.search("error").documents) == 3
         assert len(searcher.search("five").documents) == 1
+        manager.compact()
+        assert sim_store.list_blobs("logs/delta-0000/") == []
+        assert not sim_store.exists("logs/header.json")

@@ -99,14 +99,14 @@ class TestS3EndToEnd:
         # valid Prometheus exposition.
         families = parse_prometheus(metrics.to_prometheus())
         queries = families["airphant_queries_total"]
-        assert queries.value(mode="keyword") == 1
-        assert queries.value(mode="boolean") == 1
-        assert queries.value(mode="regex") == 1
+        assert queries.value(mode="keyword", index="events") == 1
+        assert queries.value(mode="boolean", index="events") == 1
+        assert queries.value(mode="regex", index="events") == 1
         assert families["airphant_builds_total"].total() == 1
         latency = families["airphant_query_seconds"]
-        assert latency.histogram_count(mode="keyword") == 1
-        assert latency.histogram_count(mode="boolean") == 1
-        assert latency.histogram_count(mode="regex") == 1
+        assert latency.histogram_count(mode="keyword", index="events") == 1
+        assert latency.histogram_count(mode="boolean", index="events") == 1
+        assert latency.histogram_count(mode="regex", index="events") == 1
 
         service.close()
 

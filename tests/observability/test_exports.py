@@ -86,7 +86,12 @@ class TestMetricsEndpoint:
         assert any(s.labels.get("backend") == "s3" for s in backend.samples)
         assert families["airphant_backend_request_seconds"].samples
         assert families["airphant_queries_total"].total() > 0
-        assert families["airphant_query_seconds"].histogram_count(mode="keyword") > 0
+        assert (
+            families["airphant_query_seconds"].histogram_count(
+                mode="keyword", index="logs"
+            )
+            > 0
+        )
         assert families["airphant_builds_total"].total() > 0
         assert families["airphant_sim_round_trips_total"].total() > 0
 
@@ -230,7 +235,9 @@ class TestStatsCLI:
         )
         assert code == 0
         families = parse_prometheus(capsys.readouterr().out)
-        assert families["airphant_queries_total"].value(mode="keyword") >= 1
+        assert (
+            families["airphant_queries_total"].value(mode="keyword", index="logs") >= 1
+        )
 
     def test_query_without_index_is_rejected(self, bucket, capsys):
         assert main(["stats", "--bucket", str(bucket), "--query", "error"]) == 2

@@ -1,0 +1,105 @@
+"""Property: the live combined view ≡ a fresh full rebuild (byte-identical).
+
+The acceptance criterion of the ingestion subsystem: for any split of a
+corpus into an initial build plus a sequence of ingested batches — with any
+interleaving of flushes and compactions — the memtable ∪ deltas ∪ base view
+answers every query mode with exactly the documents a from-scratch index
+over the same document set returns, text and ``(blob, offset, length)``
+references alike.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SketchConfig
+from repro.service import AirphantService, SearchRequest, ServiceConfig
+from repro.index.builder import AirphantBuilder
+from repro.observability import MetricsRegistry
+from repro.parsing.corpus import LineDelimitedCorpusParser
+from repro.search.searcher import AirphantSearcher
+from repro.storage.memory import InMemoryObjectStore
+
+#: Small vocabulary so documents share words (intersections, false positives).
+WORDS = ["error", "info", "warn", "disk", "net", "cpu", "node1", "node2", "retry"]
+
+#: Queries spanning every mode, chosen to hit single words, ANDs, ORs, and a
+#: regex whose literal filter goes through the Boolean path.
+QUERIES = [
+    ("error", "keyword"),
+    ("error disk", "keyword"),
+    ("error OR warn", "boolean"),
+    ("(error OR info) AND disk", "boolean"),
+    ("error .*disk", "regex"),
+]
+
+documents_strategy = st.lists(
+    st.lists(st.sampled_from(WORDS), min_size=1, max_size=5).map(" ".join),
+    min_size=1,
+    max_size=12,
+)
+
+#: Per-batch action after appending: 0 = nothing, 1 = flush, 2 = compact.
+actions_strategy = st.lists(st.integers(min_value=0, max_value=2), min_size=0, max_size=3)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    initial=documents_strategy,
+    batches=st.lists(documents_strategy, min_size=0, max_size=3),
+    actions=actions_strategy,
+    data=st.data(),
+)
+def test_combined_view_equals_full_rebuild(initial, batches, actions, data):
+    store = InMemoryObjectStore()
+    config = ServiceConfig(ingest_interval_s=0)
+    service = AirphantService(store, config, metrics=MetricsRegistry())
+    sketch = SketchConfig(num_bins=64, seed=11)
+
+    store.put("corpus/base.txt", ("\n".join(initial) + "\n").encode("utf-8"))
+    service.build_index("live", ["corpus/base.txt"], sketch_config=sketch)
+
+    for position, batch in enumerate(batches):
+        service.append_documents("live", batch)
+        action = actions[position] if position < len(actions) else 0
+        if action == 1:
+            service.flush_index("live")
+        elif action == 2:
+            service.compact_index("live")
+
+    # The reference: a from-scratch single index over the *same* documents —
+    # the initial corpus blob plus every WAL segment blob, which is exactly
+    # where the ingested documents' bytes live.
+    parser = LineDelimitedCorpusParser()
+    blobs = ["corpus/base.txt"] + sorted(store.list_blobs(prefix="live/ingest/seg-"))
+    reference_documents = list(parser.parse(store, blobs))
+    AirphantBuilder(store, config=sketch).build_from_documents(
+        reference_documents, index_name="reference"
+    )
+    reference = AirphantSearcher.open(store, index_name="reference")
+
+    for query, mode in QUERIES:
+        live_result = service.execute(
+            SearchRequest(query=query, index="live", mode=mode)
+        )
+        if mode == "boolean":
+            expected = reference.search_boolean(query)
+        elif mode == "regex":
+            from repro.search.regexsearch import RegexSearcher
+
+            expected = RegexSearcher(reference).search(query)
+        else:
+            expected = reference.search(query)
+        live_docs = {(d.blob, d.offset, d.length, d.text) for d in live_result.documents}
+        expected_docs = {
+            (d.blob, d.offset, d.length, d.text) for d in expected.documents
+        }
+        assert live_docs == expected_docs, f"divergence on {mode} query {query!r}"
+
+    reference.close()
+    service.close()

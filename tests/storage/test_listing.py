@@ -1,0 +1,145 @@
+"""Tests for the optional listing manifest (plain-HTTP catalog discovery)."""
+
+from __future__ import annotations
+
+import functools
+import http.server
+import threading
+
+import pytest
+
+from repro.core.config import SketchConfig
+from repro.service import AirphantService, SearchRequest, ServiceConfig
+from repro.storage.httpstore import HTTPRangeStore
+from repro.storage.listing import (
+    LISTING_BLOB,
+    decode_listing,
+    encode_listing,
+    write_listing,
+)
+from repro.storage.local import LocalObjectStore
+from repro.storage.memory import InMemoryObjectStore
+
+
+class TestListingManifest:
+    def test_round_trip(self):
+        blobs = {"idx/header.json": 120, "corpus/a.txt": 44}
+        assert decode_listing(encode_listing(blobs)) == blobs
+
+    def test_decode_rejects_unrelated_manifests(self):
+        with pytest.raises(ValueError):
+            decode_listing(b'{"base_index": "idx", "delta_indexes": []}')
+        with pytest.raises(ValueError):
+            decode_listing(b'{"format": "airphant-listing", "blobs": [1]}')
+
+    def test_write_listing_enumerates_and_never_lists_itself(self):
+        store = InMemoryObjectStore()
+        store.put("a.txt", b"xx")
+        store.put("dir/b.txt", b"yyy")
+        listed = write_listing(store)
+        assert listed == {"a.txt": 2, "dir/b.txt": 3}
+        # A refresh over the written manifest stays stable.
+        assert write_listing(store) == listed
+        assert decode_listing(store.get(LISTING_BLOB)) == listed
+
+
+@pytest.fixture
+def exported_bucket(tmp_path):
+    """A built index in a local bucket directory, with a listing manifest."""
+    store = LocalObjectStore(tmp_path)
+    store.put("corpus/a.txt", b"error disk full\ninfo service ok\n")
+    service = AirphantService(store, ServiceConfig(ingest_interval_s=0))
+    service.build_index("idx", ["corpus/a.txt"], sketch_config=SketchConfig(num_bins=32))
+    service.close()
+    write_listing(store)
+    return tmp_path
+
+
+@pytest.fixture
+def static_server(exported_bucket):
+    """The bucket served by the stdlib static file server (no Range, no LIST)."""
+    handler = functools.partial(
+        http.server.SimpleHTTPRequestHandler, directory=str(exported_bucket)
+    )
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestHTTPListing:
+    def test_list_blobs_and_total_bytes_from_the_manifest(self, static_server):
+        store = HTTPRangeStore(static_server)
+        blobs = store.list_blobs()
+        assert "idx/header.json" in blobs
+        assert "corpus/a.txt" in blobs
+        assert LISTING_BLOB not in blobs
+        assert store.list_blobs(prefix="idx/") == [
+            name for name in blobs if name.startswith("idx/")
+        ]
+        assert store.total_bytes(prefix="corpus/") == len(
+            b"error disk full\ninfo service ok\n"
+        )
+
+    def test_no_manifest_degrades_to_empty_listing(self, tmp_path):
+        handler = functools.partial(
+            http.server.SimpleHTTPRequestHandler, directory=str(tmp_path)
+        )
+        server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            store = HTTPRangeStore(f"http://127.0.0.1:{server.server_address[1]}")
+            assert store.list_blobs() == []
+            assert store.total_bytes() == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_catalog_discovery_and_search_against_a_static_server(self, static_server):
+        # The ROADMAP scenario: `python -m http.server` on an exported
+        # bucket, full catalog discovery plus search through the service.
+        service = AirphantService.from_uri(
+            static_server, ServiceConfig(ingest_interval_s=0)
+        )
+        assert [info.name for info in service.list_indexes()] == ["idx"]
+        info = service.index_info("idx")
+        assert info.num_documents == 2
+        assert info.storage_bytes > 0  # sizes come from the manifest
+        result = service.execute(SearchRequest(query="error", index="idx"))
+        assert [d.text for d in result.documents] == ["error disk full"]
+        service.close()
+
+
+class TestCLIListingFlag:
+    def test_build_listing_writes_the_manifest(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bucket = tmp_path / "bucket"
+        bucket.mkdir()
+        (bucket / "corpus").mkdir()
+        (bucket / "corpus" / "a.txt").write_bytes(b"error one\ninfo two\n")
+        code = main(
+            [
+                "build",
+                "--bucket",
+                str(bucket),
+                "--blobs",
+                "corpus/a.txt",
+                "--index",
+                "idx",
+                "--bins",
+                "64",
+                "--listing",
+            ]
+        )
+        assert code == 0
+        assert "listing manifest" in capsys.readouterr().out
+        listed = decode_listing((bucket / LISTING_BLOB).read_bytes())
+        assert "idx/header.json" in listed
