@@ -107,6 +107,16 @@ def _run(catalog):
             "batches": stats.batches,
             "total_results": results,
         }
+    # The headline sharding number: latency relative to the single-shard
+    # build of the same corpus.  Before the fetcher learned to scale its
+    # concurrency with the shard count this sat at ~1.31x for 16 shards
+    # (the lookup wave spilled into extra concurrency waves); it must stay
+    # close to 1.0 now.
+    single = record["1"]["mean_query_latency_ms"]
+    for entry in record.values():
+        entry["latency_vs_single_shard"] = entry["mean_query_latency_ms"] / single
+    for row, num_shards in zip(rows, SHARD_COUNTS):
+        row.append(round(record[str(num_shards)]["latency_vs_single_shard"], 3))
     overhead = _metrics_overhead(store, queries)
     return corpus, queries, rows, record, overhead
 
@@ -166,6 +176,7 @@ def test_ablation_sharding(benchmark, catalog):
             "bytes fetched",
             "raw requests",
             "pipeline requests",
+            "vs 1 shard",
         ],
         rows,
     )
@@ -202,6 +213,10 @@ def test_ablation_sharding(benchmark, catalog):
     # matched the same documents.
     totals = {entry["total_results"] for entry in record.values()}
     assert len(totals) == 1
+    # Sharding must not cost latency: with the fetcher scaling its
+    # concurrency to the shard count, the 16-shard lookup wave stays a
+    # single concurrency wave and the old ~1.31x regression is gone.
+    assert record["16"]["latency_vs_single_shard"] <= 1.15
     # Metrics recording must be invisible in query latency (<= 5%): the two
     # replays use identically seeded latency models, so any drift here is
     # the accounting path changing what gets fetched — a bug.

@@ -1,4 +1,4 @@
-"""Figure 15: scalability with corpus size (latency and index storage).
+"""Figure 15: scalability with corpus size — and with cluster size.
 
 The paper sweeps synthetic corpora from 10^3 to 10^8 documents and observes:
 
@@ -8,18 +8,43 @@ The paper sweeps synthetic corpora from 10^3 to 10^8 documents and observes:
   with Airphant using more storage than SQLite/Lucene (up to ~2.85x).
 
 The sweep here covers 10^2.5 .. 10^4.5 documents of the zipf family.
+
+The second half scales the *query tier* instead of the corpus: the same
+sharded index is served by 1, 4, and 16 real HTTP searcher nodes behind the
+cluster :class:`~repro.cluster.router.QueryRouter`, with every store read
+paying a real (slept) straggler delay so per-node I/O capacity is the
+bottleneck, exactly like a bucket-backed deployment.  Adding stateless
+nodes must raise sustained QPS and cut tail latency; the measured per-node
+throughput then feeds the deployment simulator's fixed-fleet vs autoscaling
+cost projection (the paper's decoupled-compute argument).  The record
+lands in ``results/BENCH_cluster.json``.
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import save_result
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+
+from benchmarks.conftest import save_json, save_result, smoke_mode
 from repro.baselines.airphant import AirphantEngine
 from repro.baselines.lucene_like import LuceneLikeEngine
 from repro.baselines.sqlite_like import SQLiteLikeEngine
 from repro.bench.harness import LatencyStats
-from repro.bench.tables import format_series
+from repro.bench.tables import format_series, format_table
+from repro.cluster.router import http_transport
 from repro.core.config import SketchConfig
+from repro.deploy.simulator import AutoscalingPolicy, DeploymentSimulator
+from repro.deploy.workload import WorkloadTrace
 from repro.profiling.profiler import profile_documents
+from repro.service.api import SearchRequest
+from repro.service.config import ServiceConfig
+from repro.service.facade import AirphantService
+from repro.service.http import create_server
+from repro.storage.faults import FlakyStore
+from repro.storage.memory import InMemoryObjectStore
+from repro.workloads.logs import generate_log_corpus
 from repro.workloads.queries import sample_query_words
 from repro.workloads.synthetic import SyntheticSpec, generate_zipf
 
@@ -90,3 +115,189 @@ def test_fig15_scalability_with_corpus_size(benchmark, catalog):
         assert values == sorted(values)
     assert storage["Airphant"][largest] > storage["SQLite"][largest] * 0.8
     assert storage["Airphant"][largest] < storage["Lucene"][largest] * 4.0
+
+
+# -- cluster scalability ---------------------------------------------------------------
+
+
+def _cluster_settings():
+    if smoke_mode():
+        return {
+            "documents": 400,
+            "num_shards": 4,
+            "node_counts": (1, 2),
+            "clients": 4,
+            "queries_per_client": 2,
+            "slow_ms": 10.0,
+        }
+    return {
+        "documents": 2_000,
+        "num_shards": 16,
+        "node_counts": (1, 4, 16),
+        "clients": 8,
+        "queries_per_client": 4,
+        "slow_ms": 100.0,
+    }
+
+
+#: Per-node query-side config: a *narrow* fetch pool and no caches, so a
+#: node's capacity is its read concurrency times the store's service rate —
+#: the bucket-backed regime where every query pays real (GIL-releasing)
+#: storage waits and scale-out adds read capacity, not just CPU.
+def _node_config() -> ServiceConfig:
+    return ServiceConfig(
+        max_concurrency=1,  # sharded searchers scale this by num_shards
+        query_cache_size=0,
+        read_cache_bytes=0,
+        probe_interval_s=0,
+    )
+
+
+def _measure_fleet(backend, num_nodes, queries, settings):
+    """Sustained QPS and latency of ``num_nodes`` real HTTP nodes + router.
+
+    Every node wraps the shared bucket in its own :class:`FlakyStore` with
+    ``slow_rate=1.0``: each store read really sleeps, so a node's capacity
+    is bounded by its I/O concurrency and the fleet's by the node count —
+    the regime where adding stateless searcher nodes should pay off.
+    """
+    servers = []
+    for node_ordinal in range(num_nodes):
+        store = FlakyStore(
+            backend, slow_rate=1.0, slow_ms=settings["slow_ms"], seed=node_ordinal
+        )
+        service = AirphantService(store, _node_config())
+        server = create_server(service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        servers.append(server)
+    peers = tuple(server.url for server in servers)
+    router = AirphantService(
+        backend,
+        ServiceConfig(peers=peers, shard_timeout_s=60.0, probe_interval_s=0),
+    )
+    try:
+        for server in servers:
+            http_transport(
+                server.url, "/search", {"query": "warmup", "index": "cluster-logs"}, 60.0
+            )
+        workload = queries * settings["clients"] * settings["queries_per_client"]
+
+        def one_query(query):
+            started = time.perf_counter()
+            response = router.search(
+                SearchRequest(query=query, index="cluster-logs", top_k=10)
+            )
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            assert not response.partial
+            return elapsed_ms, response.num_results
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=settings["clients"]) as pool:
+            outcomes = list(pool.map(one_query, workload))
+        elapsed_s = time.perf_counter() - started
+        latencies = [latency for latency, _ in outcomes]
+        stats = LatencyStats.from_latencies(latencies)
+        return {
+            "nodes": num_nodes,
+            "queries": len(workload),
+            "qps": len(workload) / elapsed_s,
+            "mean_ms": stats.mean_ms,
+            "p50_ms": stats.p50_ms,
+            "p99_ms": stats.p99_ms,
+            "total_results": sum(results for _, results in outcomes),
+        }
+    finally:
+        router.close()
+        for server in servers:
+            server.shutdown()
+            server.server_close()
+
+
+def _run_cluster(settings):
+    backend = InMemoryObjectStore()
+    corpus = generate_log_corpus(
+        backend, "hdfs", num_documents=settings["documents"], name="cluster", seed=29
+    )
+    builder_service = AirphantService(backend)
+    builder_service.build_index(
+        "cluster-logs",
+        list(corpus.blob_names),
+        sketch_config=SketchConfig(num_bins=512, target_false_positives=1.0, seed=7),
+        num_shards=settings["num_shards"],
+    )
+    builder_service.close()
+    profile = profile_documents(corpus.documents)
+    queries = sample_query_words(profile, 8, seed=41)
+    return [
+        _measure_fleet(backend, num_nodes, queries, settings)
+        for num_nodes in settings["node_counts"]
+    ]
+
+
+def test_fig15_cluster_scalability(benchmark):
+    settings = _cluster_settings()
+    sweep = benchmark.pedantic(_run_cluster, args=(settings,), rounds=1, iterations=1)
+
+    rows = [
+        [
+            entry["nodes"],
+            round(entry["qps"], 2),
+            round(entry["mean_ms"], 1),
+            round(entry["p50_ms"], 1),
+            round(entry["p99_ms"], 1),
+        ]
+        for entry in sweep
+    ]
+    save_result(
+        "fig15_cluster_scalability",
+        format_table(["nodes", "qps", "mean ms", "p50 ms", "p99 ms"], rows),
+    )
+
+    # Project the measured per-node throughput onto the paper's
+    # decoupled-deployment cost argument: a peak-provisioned fixed fleet vs
+    # an autoscaler following a bursty diurnal trace.
+    node_throughput = sweep[0]["qps"]
+    peak = node_throughput * max(entry["nodes"] for entry in sweep)
+    trace = WorkloadTrace(
+        interval_seconds=300.0,
+        demand_ops=tuple(
+            peak * fraction
+            for fraction in (0.05, 0.1, 0.3, 1.0, 0.8, 0.3, 0.1, 0.05)
+        ),
+    )
+    simulator = DeploymentSimulator(node_throughput_ops=node_throughput)
+    projection = {
+        name: {
+            **asdict(report),
+            "unserved_fraction": report.unserved_fraction,
+            "late_fraction": report.late_fraction,
+        }
+        for name, report in simulator.compare(
+            trace, AutoscalingPolicy(min_nodes=1, headroom=0.1)
+        ).items()
+    }
+
+    save_json(
+        "BENCH_cluster",
+        {
+            "experiment": "cluster_scalability",
+            "corpus": {"kind": "hdfs", "documents": settings["documents"]},
+            "num_shards": settings["num_shards"],
+            "replication_factor": ServiceConfig.replication_factor,
+            "clients": settings["clients"],
+            "store_read_sleep_ms": settings["slow_ms"],
+            "smoke_mode": smoke_mode(),
+            "by_node_count": {str(entry["nodes"]): entry for entry in sweep},
+            "deployment_projection": projection,
+        },
+    )
+
+    # Every fleet size answers the full workload identically.
+    assert len({entry["total_results"] for entry in sweep}) == 1
+    assert all(entry["total_results"] > 0 for entry in sweep)
+    first, last = sweep[0], sweep[-1]
+    if not smoke_mode():
+        # Scaling out the stateless query tier must raise sustained
+        # throughput and cut tail latency (Figure 15's cluster analogue).
+        assert last["qps"] > 1.2 * first["qps"]
+        assert last["p99_ms"] < first["p99_ms"]

@@ -109,6 +109,19 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
             args, "compact_ratio", defaults.ingest_compact_ratio
         ),
         ingest_interval_s=getattr(args, "ingest_interval_s", defaults.ingest_interval_s),
+        peers=tuple(
+            peer.strip()
+            for entry in (getattr(args, "peers", None) or [])
+            for peer in entry.split(",")
+            if peer.strip()
+        ),
+        replication_factor=getattr(
+            args, "replication_factor", defaults.replication_factor
+        ),
+        shard_timeout_s=getattr(args, "shard_timeout_s", defaults.shard_timeout_s),
+        node_hedge_ms=getattr(args, "node_hedge_ms", defaults.node_hedge_ms),
+        node_retries=getattr(args, "node_retries", defaults.node_retries),
+        probe_interval_s=getattr(args, "probe_interval_s", defaults.probe_interval_s),
         metrics_enabled=not getattr(args, "no_metrics", False),
     )
 
@@ -470,13 +483,62 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
+    cluster = parser.add_argument_group("cluster (scale-out query tier)")
+    cluster.add_argument(
+        "--peers",
+        action="append",
+        metavar="URL[,URL...]",
+        help=(
+            "base URLs of the cluster's searcher nodes (repeat or "
+            "comma-separate; include this node's own URL); turns the node "
+            "into a scatter-gather query router"
+        ),
+    )
+    cluster.add_argument(
+        "--replication-factor",
+        type=int,
+        default=ServiceConfig.replication_factor,
+        help="distinct nodes each shard is placed on (failover/hedge targets)",
+    )
+    cluster.add_argument(
+        "--shard-timeout-s",
+        type=float,
+        default=ServiceConfig.shard_timeout_s,
+        help="wall-clock bound on one node's shard-subset answer",
+    )
+    cluster.add_argument(
+        "--node-hedge-ms",
+        type=float,
+        default=ServiceConfig.node_hedge_ms,
+        help="duplicate an unanswered shard query to the next replica after this many ms (0 disables)",
+    )
+    cluster.add_argument(
+        "--node-retries",
+        type=int,
+        default=ServiceConfig.node_retries,
+        help="extra passes over a shard's replica set before answering partially",
+    )
+    cluster.add_argument(
+        "--probe-interval-s",
+        type=float,
+        default=ServiceConfig.probe_interval_s,
+        help="period of the background peer /healthz probes (0 disables)",
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     service = _open_service(args)
     names = service.catalog.names()
     origin = args.store if args.store else args.bucket
+    role = (
+        f"router over {len(service.config.peers)} peer(s)"
+        if service.config.peers
+        else "standalone node"
+    )
     print(
         f"serving {len(names)} index(es) from {origin!r} "
-        f"on http://{args.host}:{args.port}",
+        f"on http://{args.host}:{args.port} ({role})",
         file=sys.stderr,
     )
     serve_forever(service, host=args.host, port=args.port)
@@ -633,6 +695,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_pipeline_arguments(serve)
     _add_ingest_arguments(serve)
+    _add_cluster_arguments(serve)
     serve.set_defaults(func=_cmd_serve)
     return parser
 

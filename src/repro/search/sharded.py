@@ -24,7 +24,11 @@ so callers can always use this class regardless of how the index was built.
 
 from __future__ import annotations
 
+import copy
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.mht import MultilayerHashTable
 from repro.core.superpost import Superpost
@@ -47,6 +51,13 @@ class ShardState:
     metadata: IndexMetadata | None
 
 
+#: Ceiling on how far a sharded searcher widens its fetcher on its own.  A
+#: query's lookup wave carries every shard's layer reads at once, so the
+#: fan-out budget scales with the shard count — but a real store's thread
+#: pool should not grow unboundedly with pathological shard counts.
+MAX_SHARDED_CONCURRENCY = 128
+
+
 class ShardedSearcher(AirphantSearcher):
     """Answers queries over every shard of a sharded index in one batch.
 
@@ -60,6 +71,7 @@ class ShardedSearcher(AirphantSearcher):
         super().__init__(*args, **kwargs)  # type: ignore[arg-type]
         self._shard_manifest: ShardManifest | None = None
         self._shards: list[ShardState] | None = None
+        self._base_concurrency = self._fetcher.max_concurrency
 
     # -- initialization ----------------------------------------------------------
 
@@ -87,6 +99,15 @@ class ShardedSearcher(AirphantSearcher):
         manifest = ShardManifest.from_json(data)
         if manifest.num_shards == 0:
             return super().initialize()
+
+        # Keep the *per-shard* concurrency budget constant as shards are
+        # added: a lookup wave carries num_shards × layers reads, and with
+        # the single-shard ceiling it would spill into extra concurrency
+        # waves, stacking each shard's first-byte wait instead of
+        # amortizing it (the measured 16-shard regression).
+        self._fetcher.scale_concurrency(
+            min(self._base_concurrency * manifest.num_shards, MAX_SHARDED_CONCURRENCY)
+        )
 
         header_requests = [
             RangeRead(blob=f"{entry.name}/{HEADER_BLOB_SUFFIX}")
@@ -130,6 +151,52 @@ class ShardedSearcher(AirphantSearcher):
     def shards(self) -> list[ShardState]:
         """Per-shard header state (empty before initialization)."""
         return list(self._shards) if self._shards is not None else []
+
+    def restrict(self, shard_ordinals: Iterable[int]) -> "ShardedSearcher":
+        """A view of this searcher answering only the given shard ordinals.
+
+        The scatter half of the cluster tier's scatter-gather: a router
+        assigns each node a subset of ordinals, and the node answers its
+        subset through this view while the router unions the partial
+        answers (partitions are disjoint, so the union is exact).
+
+        The view shares the parent's pipeline, fetcher, and block cache —
+        only the shard list (and the metadata merged over it) differs.  The
+        per-word query cache is disabled on the view: its entries would
+        describe just the subset while being keyed like whole-index
+        answers, poisoning the shared searcher.
+
+        Requires an initialized searcher.  On a single-shard index the only
+        valid subset is ``{0}`` (which returns ``self``); out-of-range or
+        empty ordinal sets raise ``ValueError``.
+        """
+        self._require_initialized()
+        ordinals = sorted(set(shard_ordinals))
+        if not ordinals:
+            raise ValueError("restrict needs at least one shard ordinal")
+        if self._shards is None:
+            if ordinals != [0]:
+                raise ValueError(
+                    f"single-shard index only has ordinal 0, requested {ordinals}"
+                )
+            return self
+        out_of_range = [o for o in ordinals if not 0 <= o < len(self._shards)]
+        if out_of_range:
+            raise ValueError(
+                f"shard ordinal(s) {out_of_range} out of range for "
+                f"{len(self._shards)} shards"
+            )
+        if len(ordinals) == len(self._shards):
+            return self
+        view = copy.copy(self)
+        view._shards = [self._shards[ordinal] for ordinal in ordinals]
+        view._metadata = view._merge_metadata(view._shards)
+        view._query_cache_size = 0
+        view._query_cache = OrderedDict()
+        view._cache_lock = threading.Lock()
+        view.cache_hits = 0
+        view.cache_misses = 0
+        return view
 
     def _merge_metadata(self, shards: list[ShardState]) -> IndexMetadata | None:
         """Corpus-wide metadata aggregated over the opened shards."""

@@ -30,6 +30,7 @@ __all__ = [
     "SearchRequest",
     "SearchResponse",
     "ServiceError",
+    "ShardErrorInfo",
     "ShardInfo",
 ]
 
@@ -91,6 +92,13 @@ class SearchRequest:
     ``top_k`` caps the number of returned documents (top-K sampling,
     Equation 6 of the paper); ``include_text`` controls whether document
     bodies are returned or only their ``(blob, offset, length)`` references.
+
+    ``shards`` restricts execution to a subset of the index's shard
+    ordinals — the scatter half of the cluster tier's scatter-gather: a
+    router sends each searcher node the same query with a different
+    ``shards`` list and merges the partial answers.  ``None`` (the default)
+    answers over every shard; unsharded members (a plain index, deltas, the
+    memtable) belong to ordinal 0.
     """
 
     query: str
@@ -98,6 +106,7 @@ class SearchRequest:
     mode: str = "keyword"
     top_k: int | None = None
     include_text: bool = True
+    shards: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.query, str) or not self.query.strip():
@@ -113,16 +122,32 @@ class SearchRequest:
                 raise ValueError(f"top_k must be an integer, got {self.top_k!r}")
             if self.top_k <= 0:
                 raise ValueError(f"top_k must be positive, got {self.top_k}")
+        if self.shards is not None:
+            if isinstance(self.shards, (str, bytes)) or not isinstance(
+                self.shards, (list, tuple)
+            ):
+                raise ValueError(f"shards must be a list of shard ordinals, got {self.shards!r}")
+            ordinals = tuple(self.shards)
+            if not ordinals:
+                raise ValueError("shards must name at least one shard ordinal")
+            for ordinal in ordinals:
+                if not isinstance(ordinal, int) or isinstance(ordinal, bool) or ordinal < 0:
+                    raise ValueError(f"shard ordinals must be non-negative integers, got {ordinal!r}")
+            # Canonical form: sorted, de-duplicated, immutable.
+            object.__setattr__(self, "shards", tuple(sorted(set(ordinals))))
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serializable representation."""
-        return {
+        """JSON-serializable representation (``shards`` only when set)."""
+        payload: dict[str, Any] = {
             "query": self.query,
             "index": self.index,
             "mode": self.mode,
             "top_k": self.top_k,
             "include_text": self.include_text,
         }
+        if self.shards is not None:
+            payload["shards"] = list(self.shards)
+        return payload
 
     def to_json(self, indent: int | None = None) -> str:
         """Serialize as a JSON string."""
@@ -215,8 +240,53 @@ class LatencyInfo:
 
 
 @dataclass(frozen=True)
+class ShardErrorInfo:
+    """One shard a routed query could not answer (the degraded detail).
+
+    Attached to a partial :class:`SearchResponse` by the cluster router:
+    ``shard`` is the unanswered ordinal, ``node`` the last replica tried,
+    ``error`` a stable machine-readable code (``node_timeout``,
+    ``node_unreachable``, ``node_error``, ``no_replicas``), and ``message``
+    the human-readable cause.
+    """
+
+    shard: int
+    node: str
+    error: str
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "shard": self.shard,
+            "node": self.node,
+            "error": self.error,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardErrorInfo":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            shard=int(data["shard"]),
+            node=str(data["node"]),
+            error=str(data["error"]),
+            message=str(data["message"]),
+        )
+
+
+@dataclass(frozen=True)
 class SearchResponse:
-    """The service's answer to one :class:`SearchRequest`."""
+    """The service's answer to one :class:`SearchRequest`.
+
+    ``partial`` / ``shard_errors`` are set only by the cluster router when
+    some shards could not be answered: the response then holds the merged
+    results of the *surviving* shards plus one :class:`ShardErrorInfo` per
+    unanswered shard.  A complete answer (every single-node response, and
+    every fully-merged routed one) leaves them at their defaults, and
+    ``to_dict`` omits them — so a healthy routed answer serializes exactly
+    like a single-node one.
+    """
 
     query: str
     index: str
@@ -225,6 +295,8 @@ class SearchResponse:
     num_candidates: int = 0
     false_positive_count: int = 0
     latency: LatencyInfo = field(default_factory=LatencyInfo)
+    partial: bool = False
+    shard_errors: tuple[ShardErrorInfo, ...] = ()
 
     @property
     def num_results(self) -> int:
@@ -262,8 +334,8 @@ class SearchResponse:
         )
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serializable representation."""
-        return {
+        """JSON-serializable representation (partial fields only when set)."""
+        payload: dict[str, Any] = {
             "query": self.query,
             "index": self.index,
             "mode": self.mode,
@@ -273,6 +345,10 @@ class SearchResponse:
             "documents": [document.to_dict() for document in self.documents],
             "latency": self.latency.to_dict(),
         }
+        if self.partial or self.shard_errors:
+            payload["partial"] = self.partial
+            payload["shard_errors"] = [error.to_dict() for error in self.shard_errors]
+        return payload
 
     def to_json(self, indent: int | None = None) -> str:
         """Serialize as a JSON string."""
@@ -291,6 +367,10 @@ class SearchResponse:
             num_candidates=int(data.get("num_candidates", 0)),
             false_positive_count=int(data.get("false_positive_count", 0)),
             latency=LatencyInfo.from_dict(data.get("latency", {})),
+            partial=bool(data.get("partial", False)),
+            shard_errors=tuple(
+                ShardErrorInfo.from_dict(entry) for entry in data.get("shard_errors", ())
+            ),
         )
 
     @classmethod

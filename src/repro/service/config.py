@@ -82,6 +82,30 @@ class ServiceConfig:
     ingest_interval_s:
         Poll interval of the background ingest worker; 0 disables the
         worker entirely (flush/compaction happen only on explicit calls).
+    peers:
+        Base URLs of the cluster's searcher nodes (normally including this
+        node's own URL).  Empty — the default — keeps the node standalone;
+        non-empty turns the service into a query router that scatters
+        ``POST /search`` over the peers' shard subsets and merges the
+        partial answers (see :mod:`repro.cluster`).
+    replication_factor:
+        Distinct nodes each shard is assigned to; replicas beyond the
+        first serve as failover / hedge targets for the router.
+    shard_timeout_s:
+        Wall-clock bound on one node's answer for its shard subset; a
+        timed-out node counts as failed and the next replica is tried.
+    node_hedge_ms:
+        Delay after which the router duplicates a still-unanswered shard
+        query to the next replica (node-level hedged reads, mirroring the
+        storage layer's :class:`ResilientStore`); 0 disables hedging and
+        replicas are only tried sequentially on failure.
+    node_retries:
+        Extra full passes over a shard's replica set before the router
+        gives the shard up and answers partially.
+    probe_interval_s:
+        Period of the background ``/healthz`` probes feeding the router's
+        mark-down/mark-up decisions; 0 disables background probing (peers
+        are then only marked down when queries to them fail).
     metrics_enabled:
         Whether the service *exports* metrics (``GET /metrics``, the
         ``metrics`` block of ``/healthz``) and records its own query/build
@@ -111,6 +135,12 @@ class ServiceConfig:
     ingest_compact_deltas: int = 4
     ingest_compact_ratio: float = 0.0
     ingest_interval_s: float = 0.25
+    peers: tuple[str, ...] = ()
+    replication_factor: int = 2
+    shard_timeout_s: float = 5.0
+    node_hedge_ms: float = 0.0
+    node_retries: int = 1
+    probe_interval_s: float = 5.0
     metrics_enabled: bool = True
 
     def __post_init__(self) -> None:
@@ -150,6 +180,25 @@ class ServiceConfig:
             raise ValueError("ingest_compact_ratio must be non-negative")
         if self.ingest_interval_s < 0:
             raise ValueError("ingest_interval_s must be non-negative")
+        # Normalize peers: accept any iterable of URLs (from_dict hands a
+        # JSON list), dedupe preserving order, strip trailing slashes.
+        if isinstance(self.peers, (str, bytes)):
+            raise ValueError("peers must be a sequence of base URLs, not a string")
+        peers = tuple(dict.fromkeys(str(peer).rstrip("/") for peer in self.peers))
+        for peer in peers:
+            if not peer.startswith(("http://", "https://")):
+                raise ValueError(f"peer {peer!r} must be an http(s):// base URL")
+        object.__setattr__(self, "peers", peers)
+        if self.replication_factor <= 0:
+            raise ValueError("replication_factor must be positive")
+        if self.shard_timeout_s <= 0:
+            raise ValueError("shard_timeout_s must be positive")
+        if self.node_hedge_ms < 0:
+            raise ValueError("node_hedge_ms must be non-negative")
+        if self.node_retries < 0:
+            raise ValueError("node_retries must be non-negative")
+        if self.probe_interval_s < 0:
+            raise ValueError("probe_interval_s must be non-negative")
 
     def make_tokenizer(self) -> Tokenizer:
         """Instantiate the configured tokenizer."""
@@ -221,6 +270,12 @@ class ServiceConfig:
             "ingest_compact_deltas": self.ingest_compact_deltas,
             "ingest_compact_ratio": self.ingest_compact_ratio,
             "ingest_interval_s": self.ingest_interval_s,
+            "peers": list(self.peers),
+            "replication_factor": self.replication_factor,
+            "shard_timeout_s": self.shard_timeout_s,
+            "node_hedge_ms": self.node_hedge_ms,
+            "node_retries": self.node_retries,
+            "probe_interval_s": self.probe_interval_s,
             "metrics_enabled": self.metrics_enabled,
         }
 

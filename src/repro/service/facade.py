@@ -18,6 +18,7 @@ import weakref
 from contextlib import contextmanager
 from typing import Any, Iterator, Sequence
 
+from repro.cluster.router import QueryRouter
 from repro.core.config import SketchConfig
 from repro.observability import NULL_REGISTRY, MetricsRegistry, get_registry
 from repro.index.builder import AirphantBuilder
@@ -27,6 +28,7 @@ from repro.parsing.documents import Posting
 from repro.search.multi import MultiIndexSearcher
 from repro.search.regexsearch import RegexSearcher
 from repro.search.results import LatencyBreakdown, SearchResult
+from repro.search.sharded import ShardedSearcher
 from repro.service.api import IndexInfo, SearchRequest, SearchResponse, ServiceError
 from repro.service.catalog import IndexCatalog
 from repro.service.config import ServiceConfig
@@ -111,6 +113,21 @@ class AirphantService:
         self._ingest = IngestCoordinator(
             self.store, self._config, self._metrics, self._catalog.invalidate
         )
+        # The scale-out query tier: with peers configured this node doubles
+        # as a router — whole queries scatter over the peers' shard subsets
+        # (including, usually, this node itself via its own URL) and merge;
+        # requests that already pin shards are answered locally.
+        self._router: QueryRouter | None = None
+        if self._config.peers:
+            self._router = QueryRouter(
+                self._config.peers,
+                replication_factor=self._config.replication_factor,
+                shard_timeout_s=self._config.shard_timeout_s,
+                node_hedge_ms=self._config.node_hedge_ms,
+                node_retries=self._config.node_retries,
+                probe_interval_s=self._config.probe_interval_s,
+                metrics=self._metrics,
+            )
 
     def _read_cache_bytes(self) -> int:
         """Current block-cache occupancy summed over every open searcher."""
@@ -200,6 +217,8 @@ class AirphantService:
         service.  The service stays usable: the next query simply reopens
         its index (and with it a fresh long-lived fetcher pool).
         """
+        if self._router is not None:
+            self._router.close()
         self._ingest.close()
         self._catalog.close()
         self.store.close()
@@ -241,6 +260,17 @@ class AirphantService:
         except (TransientStoreError, StoreAccessError, BlobNotFoundError) as error:
             payload["status"] = "degraded"
             payload["ingest"] = {"error": str(error)}
+        # The scale-out tier's view: peer count, live / marked-down nodes,
+        # last-probe ages.  Same contract as the ingest block — the probe
+        # must answer even when the cluster state itself misbehaves.
+        if self._router is None:
+            payload["cluster"] = {"enabled": False, "peers": 0}
+        else:
+            try:
+                payload["cluster"] = self._router.summary()
+            except Exception as error:  # noqa: BLE001 - liveness must answer
+                payload["status"] = "degraded"
+                payload["cluster"] = {"enabled": True, "error": str(error)}
         try:
             names = self._catalog.names()
         except (TransientStoreError, StoreAccessError, BlobNotFoundError) as error:
@@ -276,8 +306,21 @@ class AirphantService:
 
     # -- querying ---------------------------------------------------------------------
 
+    @property
+    def router(self) -> QueryRouter | None:
+        """The cluster query router (``None`` when no peers are configured)."""
+        return self._router
+
     def search(self, request: SearchRequest) -> SearchResponse:
-        """Answer one typed search request (the service's main entry point)."""
+        """Answer one typed search request (the service's main entry point).
+
+        On a clustered node a whole-index request scatter-gathers over the
+        peers; a request already pinned to shard ordinals — the routed
+        sub-requests themselves — is always answered locally, which is what
+        keeps routing from recursing.
+        """
+        if self._router is not None and request.shards is None:
+            return self._router.route(request)
         return SearchResponse.from_result(request, self.execute(request))
 
     def execute(self, request: SearchRequest) -> SearchResult:
@@ -308,7 +351,7 @@ class AirphantService:
         return result
 
     def _execute(self, request: SearchRequest) -> SearchResult:
-        searcher = self._open(request.index)
+        searcher = self._open(request.index, shards=request.shards)
         top_k = request.top_k if request.top_k is not None else self._config.default_top_k
         try:
             # _store_errors: the backend (not the request) failing — retries,
@@ -352,22 +395,55 @@ class AirphantService:
         """
         return self._open(index)
 
-    def _open(self, index: str) -> MultiIndexSearcher:
+    def _open(self, index: str, shards: Sequence[int] | None = None) -> MultiIndexSearcher:
         try:
             # _store_errors: header/manifest reads failing before open.
             with self._store_errors():
                 self._catalog.open(index)
         except KeyError:
             raise ServiceError(404, "index_not_found", f"no index named {index!r}") from None
+        if shards is not None:
+            # Validate eagerly (typed 400, not a silent empty answer): every
+            # requested ordinal must exist somewhere among the members.
+            num_shards = max(
+                (member.num_shards for member in self._catalog.open(index).searchers),
+                default=1,
+            )
+            invalid = [ordinal for ordinal in shards if ordinal >= num_shards]
+            if invalid:
+                raise ServiceError(
+                    400,
+                    "bad_shards",
+                    f"index {index!r} has {num_shards} shard(s); "
+                    f"ordinal(s) {invalid} do not exist",
+                )
         # The combined live view: the catalog's (cached) persisted members —
         # re-resolved per call, so flush/compaction invalidations take effect
         # on the next query — plus one exact searcher per live memtable.
         # For an index with no write state this degenerates to exactly the
         # catalog searcher's members.
-        return LiveSearcher(lambda: self._live_members(index))
+        return LiveSearcher(lambda: self._live_members(index, shards))
 
-    def _live_members(self, index: str) -> list[Any]:
-        return [*self._catalog.open(index).searchers, *self._ingest.members(index)]
+    def _live_members(self, index: str, shards: Sequence[int] | None = None) -> list[Any]:
+        members = [*self._catalog.open(index).searchers, *self._ingest.members(index)]
+        if shards is None:
+            return members
+        # Shard-subset execution (the scatter half of the cluster tier): a
+        # sharded member answers with a view over the requested ordinals it
+        # actually holds; everything unsharded — plain indexes, deltas, live
+        # memtables — rides with ordinal 0.  Disjoint ordinal subsets across
+        # nodes therefore partition the full member set exactly: each shard
+        # is answered once, and the write-path members exactly once (by
+        # whichever node owns ordinal 0).
+        restricted: list[Any] = []
+        for member in members:
+            if isinstance(member, ShardedSearcher):
+                held = [o for o in shards if o < member.num_shards]
+                if held:
+                    restricted.append(member.restrict(held))
+            elif 0 in shards:
+                restricted.append(member)
+        return restricted
 
     # -- live ingestion ----------------------------------------------------------------
 
@@ -528,4 +604,7 @@ class AirphantService:
             manager.reset()
         self._ingest.discard(name, destroy_wal=True)
         self._catalog.invalidate(name)
+        if self._router is not None:
+            # The rebuild may have changed the shard count.
+            self._router.invalidate(name)
         return self.index_info(name)

@@ -3,13 +3,18 @@
 A deliberately dependency-free server (stdlib ``http.server`` only) so a
 query node can be started anywhere the bucket is reachable:
 
-* ``GET  /healthz`` — liveness plus catalog/config/metrics summary;
+* ``GET  /healthz`` — liveness plus catalog/config/metrics summary (and, on
+  clustered nodes, the ``cluster`` peer-health block);
 * ``GET  /metrics`` — the node's metrics registry in Prometheus text
   exposition format (404 when ``metrics_enabled`` is off);
+* ``GET  /cluster`` — topology, per-index shard assignments, and peer
+  health of a clustered node (404 when no peers are configured);
 * ``GET  /indexes`` — every servable index as an ``IndexInfo`` list;
 * ``GET  /indexes/{name}`` — one index's ``IndexInfo``;
 * ``POST /search`` — a ``SearchRequest`` JSON body, answered with a
-  ``SearchResponse``;
+  ``SearchResponse``.  On a clustered node a request without ``shards``
+  is scatter-gathered over the peers; with ``shards`` it is answered
+  locally over just those ordinals (the router's sub-request form);
 * ``POST /indexes/{name}/build`` — build/rebuild an index from corpus blobs
   already present in the bucket (body: ``{"blobs": [...], "num_bins": ...,
   "num_shards": ..., "partitioner": ...}``);
@@ -116,6 +121,12 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
             return 200, _TextResponse(
                 service.metrics.to_prometheus(), content_type=PROMETHEUS_CONTENT_TYPE
             )
+        if path == "/cluster":
+            if service.router is None:
+                raise ServiceError(
+                    404, "not_clustered", "this node has no peers configured"
+                )
+            return 200, service.router.describe()
         if path == "/indexes":
             return 200, {"indexes": [info.to_dict() for info in service.list_indexes()]}
         if path.startswith("/indexes/"):
@@ -253,11 +264,18 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
             if not chunk:
                 break
             remaining -= len(chunk)
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        self.wfile.write(data)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except ConnectionError:
+            # The client hung up (e.g. a router abandoned us after its
+            # per-shard timeout and failed over to a replica).  There is
+            # nobody left to answer; don't let the threading server spam
+            # a traceback for a normal disconnect.
+            self.close_connection = True
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if not self.server.quiet:

@@ -88,6 +88,31 @@ class ParallelFetcher:
         """Maximum number of concurrent requests per batch."""
         return self._max_concurrency
 
+    def scale_concurrency(self, minimum: int) -> None:
+        """Raise the concurrency ceiling to at least ``minimum`` (never lower).
+
+        A sharded index multiplies every lookup wave's request count by the
+        shard count; with a fixed ceiling those batches spill into extra
+        concurrency waves and per-shard overhead stacks instead of
+        amortizing.  Callers that know their fan-out (the sharded searcher
+        at initialize time) widen the ceiling up front.  An existing thread
+        pool is discarded so the next threaded batch builds one at the new
+        width; simulated batches pick the new ceiling up immediately.
+        """
+        if minimum <= self._max_concurrency:
+            return
+        with self._pool_lock:
+            if minimum <= self._max_concurrency:
+                return
+            self._max_concurrency = minimum
+            pool, self._pool = self._pool, None
+            owner_pid, self._pool_pid = self._pool_pid, 0
+            finalizer, self._pool_finalizer = self._pool_finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        if pool is not None and owner_pid == os.getpid():
+            pool.shutdown(wait=False)
+
     def close(self) -> None:
         """Shut down the current thread pool (idempotent, fork-safe).
 

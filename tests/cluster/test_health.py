@@ -1,0 +1,161 @@
+"""Unit tests for the peer health tracker (injected probe + clock)."""
+
+import pytest
+
+from repro.cluster.health import HealthTracker
+from repro.observability import MetricsRegistry
+
+PEERS = ("http://n1", "http://n2", "http://n3")
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakeProbe:
+    """A probe whose per-node outcome tests flip at will."""
+
+    def __init__(self) -> None:
+        self.down: set[str] = set()
+        self.calls: list[str] = []
+
+    def __call__(self, url: str, timeout_s: float) -> None:
+        self.calls.append(url)
+        if url in self.down:
+            raise ConnectionRefusedError(f"{url} is down")
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def probe():
+    return FakeProbe()
+
+
+@pytest.fixture
+def tracker(clock, probe):
+    return HealthTracker(
+        PEERS,
+        probe_interval_s=0,  # no background thread in unit tests
+        backoff_ms=1000.0,
+        max_backoff_ms=8000.0,
+        probe=probe,
+        clock=clock,
+    )
+
+
+class TestHealthTracker:
+    def test_starts_optimistic(self, tracker):
+        assert sorted(tracker.live_nodes()) == sorted(PEERS)
+        assert all(tracker.is_live(url) for url in PEERS)
+
+    def test_needs_at_least_one_peer(self, clock, probe):
+        with pytest.raises(ValueError):
+            HealthTracker((), probe=probe, clock=clock)
+
+    def test_failure_marks_down(self, tracker):
+        tracker.record_failure("http://n2", "boom")
+        assert "http://n2" not in tracker.live_nodes()
+        assert not tracker.is_live("http://n2")
+
+    def test_success_marks_back_up(self, tracker):
+        tracker.record_failure("http://n2", "boom")
+        tracker.record_success("http://n2")
+        assert "http://n2" in tracker.live_nodes()
+
+    def test_backoff_doubles_then_caps(self, tracker, clock):
+        for expected_backoff_s in (1.0, 2.0, 4.0, 8.0, 8.0):
+            tracker.record_failure("http://n1", "boom")
+            assert not tracker.is_live("http://n1")
+            clock.advance(expected_backoff_s - 0.001)
+            assert not tracker.is_live("http://n1")
+            clock.advance(0.002)
+            # Past the deadline the node is retry-able (but not "live").
+            assert tracker.is_live("http://n1")
+            assert "http://n1" not in tracker.live_nodes()
+
+    def test_probe_once_skips_backed_off_nodes(self, tracker, probe, clock):
+        probe.down.add("http://n2")
+        tracker.probe_once()
+        assert probe.calls.count("http://n2") == 1
+        probe.calls.clear()
+        tracker.probe_once()  # still inside the 1s backoff window
+        assert "http://n2" not in probe.calls
+        clock.advance(1.5)
+        tracker.probe_once()
+        assert "http://n2" in probe.calls
+
+    def test_probe_recovery_marks_up(self, tracker, probe, clock):
+        probe.down.add("http://n2")
+        tracker.probe_once()
+        probe.down.clear()
+        clock.advance(2.0)
+        tracker.probe_once()
+        assert "http://n2" in tracker.live_nodes()
+
+    def test_ordered_puts_down_nodes_last(self, tracker):
+        tracker.record_failure("http://n1", "boom")
+        assert tracker.ordered(["http://n1", "http://n2"]) == [
+            "http://n2",
+            "http://n1",
+        ]
+        # Replica order is preserved within each class.
+        assert tracker.ordered(["http://n3", "http://n2"]) == [
+            "http://n3",
+            "http://n2",
+        ]
+
+    def test_unknown_node_is_not_live(self, tracker):
+        assert not tracker.is_live("http://stranger")
+        tracker.record_failure("http://stranger", "boom")  # must not raise
+
+    def test_summary_shape(self, tracker, clock):
+        tracker.record_failure("http://n3", "connection refused")
+        summary = tracker.summary()
+        assert summary["peers"] == 3
+        assert summary["live"] == 2
+        assert summary["marked_down"] == ["http://n3"]
+        entry = summary["nodes"]["http://n3"]
+        assert entry["healthy"] is False
+        assert entry["last_error"] == "connection refused"
+        assert entry["retry_in_s"] == pytest.approx(1.0)
+
+    def test_metrics_transitions_and_gauges(self, clock, probe):
+        registry = MetricsRegistry()
+        tracker = HealthTracker(
+            PEERS, probe_interval_s=0, probe=probe, clock=clock, metrics=registry
+        )
+        probe.down.add("http://n1")
+        tracker.probe_once()
+        probes = registry.get("airphant_cluster_probes_total")
+        assert probes.value(outcome="success") == 2
+        assert probes.value(outcome="failure") == 1
+        transitions = registry.get("airphant_cluster_transitions_total")
+        assert transitions.value(direction="down") == 1
+        assert registry.get("airphant_cluster_peer_nodes").value() == 3
+        assert registry.get("airphant_cluster_live_nodes").value() == 2
+
+    def test_background_thread_lifecycle(self, probe):
+        tracker = HealthTracker(PEERS, probe_interval_s=0.01, probe=probe)
+        tracker.start()
+        try:
+            deadline = 200
+            while not probe.calls and deadline:
+                deadline -= 1
+                import time
+
+                time.sleep(0.005)
+            assert probe.calls
+        finally:
+            tracker.close()
+        assert tracker._thread is None

@@ -1,0 +1,298 @@
+"""Unit tests for the scatter-gather router over an in-memory fake transport."""
+
+import threading
+
+import pytest
+
+from repro.cluster.health import HealthTracker
+from repro.cluster.router import NodeQueryError, QueryRouter
+from repro.observability import MetricsRegistry
+from repro.service.api import (
+    DocumentHit,
+    SearchRequest,
+    SearchResponse,
+    ServiceError,
+)
+
+PEERS = ("http://n1", "http://n2", "http://n3")
+
+#: A tiny 4-shard "index": shard ordinal -> the documents that live in it.
+SHARD_DOCS = {
+    0: [DocumentHit(blob="corpora/a.txt", offset=0, length=10, text="doc a0")],
+    1: [DocumentHit(blob="corpora/a.txt", offset=10, length=10, text="doc a1")],
+    2: [DocumentHit(blob="corpora/b.txt", offset=0, length=12, text="doc b0")],
+    3: [DocumentHit(blob="corpora/b.txt", offset=12, length=12, text="doc b1")],
+}
+NUM_SHARDS = len(SHARD_DOCS)
+
+
+class FakeCluster:
+    """An in-memory node fleet the router's transport talks to.
+
+    Every node can answer any shard subset (they all see the same bucket);
+    tests make nodes fail by adding them to ``down`` or give them per-call
+    behavior via ``hooks``.
+    """
+
+    def __init__(self) -> None:
+        self.down: set[str] = set()
+        self.calls: list[tuple[str, str, tuple[int, ...] | None]] = []
+        self.hooks: dict[str, object] = {}
+        self.lock = threading.Lock()
+
+    def transport(self, url, path, payload, timeout_s):
+        shards = None if payload is None else tuple(payload.get("shards", ()))
+        with self.lock:
+            self.calls.append((url, path, shards))
+        hook = self.hooks.get(url)
+        if hook is not None:
+            hook(url, path, payload)
+        if url in self.down:
+            raise NodeQueryError("node_unreachable", f"{url}: connection refused")
+        if path.startswith("/indexes/"):
+            return {"name": path.rsplit("/", 1)[-1], "num_shards": NUM_SHARDS}
+        if path == "/healthz":
+            return {"status": "ok"}
+        assert path == "/search"
+        request = SearchRequest.from_dict(payload)
+        documents = []
+        for ordinal in request.shards:
+            documents.extend(SHARD_DOCS[ordinal])
+        return SearchResponse(
+            query=request.query,
+            index=request.index,
+            mode=request.mode,
+            documents=tuple(documents),
+            num_candidates=len(documents),
+        ).to_dict()
+
+
+@pytest.fixture
+def cluster():
+    return FakeCluster()
+
+
+def make_router(cluster, **kwargs):
+    kwargs.setdefault("probe_interval_s", 0)
+    kwargs.setdefault("transport", cluster.transport)
+    return QueryRouter(PEERS, **kwargs)
+
+
+ALL_DOCS = sorted(
+    (doc for docs in SHARD_DOCS.values() for doc in docs),
+    key=lambda d: (d.blob, d.offset, d.length),
+)
+
+
+class TestRouting:
+    def test_full_merge_covers_every_shard_once(self, cluster):
+        with make_router(cluster) as router:
+            response = router.route(SearchRequest(query="doc", index="logs"))
+        assert list(response.documents) == ALL_DOCS
+        assert response.partial is False
+        assert response.shard_errors == ()
+        queried = sorted(
+            ordinal
+            for _, path, shards in cluster.calls
+            if path == "/search"
+            for ordinal in shards
+        )
+        assert queried == list(range(NUM_SHARDS))
+
+    def test_merge_deduplicates_and_truncates_to_top_k(self, cluster):
+        with make_router(cluster) as router:
+            response = router.route(SearchRequest(query="doc", index="logs", top_k=2))
+        assert list(response.documents) == ALL_DOCS[:2]
+
+    def test_num_shards_is_cached_until_invalidated(self, cluster):
+        with make_router(cluster) as router:
+            router.route(SearchRequest(query="doc", index="logs"))
+            router.route(SearchRequest(query="doc", index="logs"))
+            describes = [c for c in cluster.calls if c[1] == "/indexes/logs"]
+            assert len(describes) == 1
+            router.invalidate("logs")
+            router.route(SearchRequest(query="doc", index="logs"))
+            describes = [c for c in cluster.calls if c[1] == "/indexes/logs"]
+            assert len(describes) == 2
+
+    def test_rejects_requests_that_pin_shards(self, cluster):
+        with make_router(cluster) as router:
+            with pytest.raises(ServiceError) as exc_info:
+                router.route(SearchRequest(query="doc", index="logs", shards=(0,)))
+        assert exc_info.value.status == 400
+
+    def test_plan_groups_ordinals_by_replica_sequence(self, cluster):
+        with make_router(cluster) as router:
+            plan = router.plan("logs", NUM_SHARDS)
+        planned = sorted(o for _, ordinals in plan.groups for o in ordinals)
+        assert planned == list(range(NUM_SHARDS))
+        for candidates, _ in plan.groups:
+            assert len(set(candidates)) == len(candidates)
+            assert set(candidates) <= set(PEERS)
+
+
+class TestFailover:
+    def test_dead_node_fails_over_to_replica(self, cluster):
+        cluster.down.add("http://n1")
+        with make_router(cluster) as router:
+            response = router.route(SearchRequest(query="doc", index="logs"))
+        assert list(response.documents) == ALL_DOCS
+        assert response.partial is False
+        assert not router.health.is_live("http://n1")
+
+    def test_all_replicas_dead_yields_typed_partial_response(self, cluster):
+        cluster.down.add("http://n1")
+        with make_router(cluster, replication_factor=1) as router:
+            response = router.route(SearchRequest(query="doc", index="logs"))
+        # n1 owns at least one shard of this fixture under RF=1.
+        assert response.partial is True
+        assert response.shard_errors
+        for error in response.shard_errors:
+            assert error.node == "http://n1"
+            assert error.error == "node_unreachable"
+        answered = {
+            ordinal
+            for doc_ordinal, docs in SHARD_DOCS.items()
+            for doc in docs
+            if doc in response.documents
+            for ordinal in [doc_ordinal]
+        }
+        missing = {error.shard for error in response.shard_errors}
+        assert answered.isdisjoint(missing)
+        assert answered | missing == set(range(NUM_SHARDS))
+
+    def test_partial_response_serializes_with_flags(self, cluster):
+        cluster.down.add("http://n1")
+        with make_router(cluster, replication_factor=1) as router:
+            payload = router.route(SearchRequest(query="doc", index="logs")).to_dict()
+        assert payload["partial"] is True
+        assert payload["shard_errors"]
+        entry = payload["shard_errors"][0]
+        assert set(entry) == {"shard", "node", "error", "message"}
+        roundtrip = SearchResponse.from_dict(payload)
+        assert roundtrip.partial is True
+
+    def test_every_node_dead_raises_503(self, cluster):
+        cluster.down.update(PEERS)
+        with make_router(cluster) as router:
+            with pytest.raises(ServiceError) as exc_info:
+                router.route(SearchRequest(query="doc", index="logs"))
+        assert exc_info.value.status == 503
+        assert exc_info.value.info.error == "cluster_unavailable"
+
+    def test_definitive_4xx_fails_whole_query_without_failover(self, cluster):
+        def reject(url, path, payload):
+            if path == "/search":
+                raise ServiceError(400, "unfilterable_query", "no literal terms")
+
+        cluster.hooks = {url: reject for url in PEERS}
+        with make_router(cluster) as router:
+            with pytest.raises(ServiceError) as exc_info:
+                router.route(SearchRequest(query="doc", index="logs"))
+        assert exc_info.value.status == 400
+        # A 4xx is not a node failure: nothing should be marked down.
+        assert sorted(router.health.live_nodes()) == sorted(PEERS)
+
+    def test_transient_failure_retries_same_replica_set(self, cluster):
+        failures = {"remaining": 1}
+
+        def flaky(url, path, payload):
+            if path == "/search" and failures["remaining"] > 0:
+                failures["remaining"] -= 1
+                raise NodeQueryError("node_timeout", f"{url} timed out")
+
+        cluster.hooks = {url: flaky for url in PEERS}
+        with make_router(cluster, node_retries=1) as router:
+            response = router.route(SearchRequest(query="doc", index="logs"))
+        assert list(response.documents) == ALL_DOCS
+        assert response.partial is False
+
+
+class TestHedging:
+    def test_slow_primary_triggers_hedge(self, cluster):
+        release = threading.Event()
+
+        def slow_n1(url, path, payload):
+            if path == "/search":
+                release.wait(5.0)
+
+        cluster.hooks = {"http://n1": slow_n1}
+        registry = MetricsRegistry()
+        router = make_router(cluster, node_hedge_ms=20.0, metrics=registry)
+        try:
+            response = router.route(SearchRequest(query="doc", index="logs"))
+        finally:
+            release.set()
+            router.close()
+        assert list(response.documents) == ALL_DOCS
+        hedges = registry.get("airphant_router_hedges_total").total
+        n1_groups = sum(
+            1
+            for candidates, _ in router.plan("logs", NUM_SHARDS).groups
+            if candidates and candidates[0] == "http://n1"
+        )
+        if n1_groups:
+            assert hedges >= 1
+
+    def test_fast_primary_skips_hedge(self, cluster):
+        registry = MetricsRegistry()
+        with make_router(cluster, node_hedge_ms=5_000.0, metrics=registry) as router:
+            router.route(SearchRequest(query="doc", index="logs"))
+        assert registry.get("airphant_router_hedges_total").total == 0
+
+
+class TestRouterMetrics:
+    def test_ok_and_partial_outcomes(self, cluster):
+        registry = MetricsRegistry()
+        with make_router(cluster, replication_factor=1, metrics=registry) as router:
+            router.route(SearchRequest(query="doc", index="logs"))
+            cluster.down.add("http://n1")
+            router.route(SearchRequest(query="doc", index="logs"))
+        requests = registry.get("airphant_router_requests_total")
+        assert requests.value(outcome="ok") == 1
+        assert requests.value(outcome="partial") == 1
+        assert registry.get("airphant_router_seconds").count() == 2
+        assert registry.get("airphant_router_shard_errors_total").total >= 1
+        node_requests = registry.get("airphant_router_node_requests_total")
+        assert node_requests.value(node="http://n1", outcome="failure") >= 1
+
+    def test_failover_counter(self, cluster):
+        registry = MetricsRegistry()
+        cluster.down.add("http://n2")
+        with make_router(cluster, metrics=registry) as router:
+            router.route(SearchRequest(query="doc", index="logs"))
+        n2_groups = sum(
+            1
+            for candidates, _ in router.plan("logs", NUM_SHARDS).groups
+            if "http://n2" in candidates
+        )
+        if n2_groups:
+            assert registry.get("airphant_router_failovers_total").total >= 1
+
+    def test_injected_health_tracker_is_not_owned(self, cluster):
+        health = HealthTracker(PEERS, probe_interval_s=0, probe=lambda url, t: None)
+        router = QueryRouter(
+            PEERS, transport=cluster.transport, health=health, probe_interval_s=0
+        )
+        router.close()
+        # Closing the router must not have closed the borrowed tracker.
+        health.record_failure("http://n1", "still usable")
+        assert not health.is_live("http://n1")
+
+
+class TestDescribe:
+    def test_describe_shape(self, cluster):
+        with make_router(cluster) as router:
+            router.route(SearchRequest(query="doc", index="logs"))
+            description = router.describe()
+        assert set(description) == {"topology", "health", "router"}
+        assert description["topology"]["assignments"]["logs"]
+        assert description["health"]["peers"] == 3
+        assert description["router"]["node_retries"] == 1
+
+    def test_summary_is_the_healthz_cluster_block(self, cluster):
+        with make_router(cluster) as router:
+            summary = router.summary()
+        assert summary["enabled"] is True
+        assert summary["peers"] == 3
+        assert summary["live"] == 3

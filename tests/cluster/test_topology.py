@@ -1,0 +1,90 @@
+"""Unit tests for the consistent-hash cluster topology."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+
+PEERS = (
+    "http://10.0.0.1:8080",
+    "http://10.0.0.2:8080",
+    "http://10.0.0.3:8080",
+)
+
+
+class TestClusterTopology:
+    def test_peers_and_len(self):
+        topology = ClusterTopology(PEERS)
+        assert set(topology.peers) == set(PEERS)
+        assert len(topology) == 3
+
+    def test_duplicate_peers_are_dropped(self):
+        topology = ClusterTopology(PEERS + PEERS)
+        assert len(topology) == 3
+
+    def test_replication_factor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(PEERS, replication_factor=0)
+
+    def test_shard_key_is_stable_and_zero_padded(self):
+        assert ClusterTopology.shard_key("logs", 3) == "logs/shard-0003"
+        assert ClusterTopology.shard_key("logs", 123) == "logs/shard-0123"
+
+    def test_replicas_are_distinct_and_sized(self):
+        topology = ClusterTopology(PEERS, replication_factor=2)
+        for ordinal in range(16):
+            replicas = topology.replicas("logs", ordinal)
+            assert len(replicas) == 2
+            assert len(set(replicas)) == 2
+            assert set(replicas) <= set(PEERS)
+
+    def test_replication_factor_is_capped_at_peer_count(self):
+        topology = ClusterTopology(PEERS, replication_factor=5)
+        replicas = topology.replicas("logs", 0)
+        assert sorted(replicas) == sorted(PEERS)
+
+    def test_assignments_cover_every_ordinal(self):
+        topology = ClusterTopology(PEERS)
+        assignments = topology.assignments("logs", 16)
+        assert sorted(assignments) == list(range(16))
+        for ordinal in range(16):
+            assert assignments[ordinal] == topology.replicas("logs", ordinal)
+
+    def test_assignments_reject_nonpositive_shard_count(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(PEERS).assignments("logs", 0)
+
+    def test_placement_is_deterministic_across_instances(self):
+        a = ClusterTopology(PEERS).assignments("logs", 32)
+        b = ClusterTopology(reversed(PEERS)).assignments("logs", 32)
+        assert a == b
+
+    def test_join_moves_a_bounded_fraction_of_owners(self):
+        before = ClusterTopology(PEERS)
+        after = before.with_peer("http://10.0.0.4:8080")
+        num_shards = 128
+        old = before.assignments("logs", num_shards)
+        new = after.assignments("logs", num_shards)
+        moved = sum(1 for o in range(num_shards) if old[o][0] != new[o][0])
+        # Consistent hashing: a join should move roughly 1/n of the owners,
+        # never rebalance everything.
+        assert moved <= num_shards // 2
+
+    def test_leave_only_reassigns_the_leavers_shards(self):
+        before = ClusterTopology(PEERS, replication_factor=1)
+        leaver = PEERS[0]
+        after = before.without_peer(leaver)
+        num_shards = 128
+        old = before.assignments("logs", num_shards)
+        new = after.assignments("logs", num_shards)
+        for ordinal in range(num_shards):
+            if old[ordinal][0] != leaver:
+                assert new[ordinal][0] == old[ordinal][0]
+
+    def test_describe_includes_optional_assignments(self):
+        topology = ClusterTopology(PEERS, replication_factor=2)
+        plain = topology.describe()
+        assert plain["replication_factor"] == 2
+        assert set(plain["peers"]) == set(PEERS)
+        assert "assignments" not in plain
+        detailed = topology.describe(indexes=[("logs", 4)])
+        assert set(detailed["assignments"]["logs"]) == {"0", "1", "2", "3"}

@@ -186,3 +186,97 @@ class TestShardedThroughService:
         # Still usable afterwards: the index simply reopens.
         response = service.search(SearchRequest(query="ERROR", index="sharded"))
         assert response.num_results > 0
+
+
+class TestShardRestriction:
+    """restrict(): the node-side half of the cluster scatter-gather."""
+
+    def test_disjoint_subsets_partition_the_results(self, searchers):
+        _, sharded = searchers
+        full = doc_keys(sharded.search("ERROR"))
+        union = set()
+        for ordinals in [(0, 2), (1, 3)]:
+            subset = doc_keys(sharded.restrict(ordinals).search("ERROR"))
+            assert union.isdisjoint(subset)
+            union |= subset
+        assert union == full
+
+    def test_single_ordinal_views_cover_all_modes(self, searchers):
+        single, sharded = searchers
+        for query, run in [
+            ("ERROR", lambda s: s.search("ERROR")),
+            ("ERROR AND block", lambda s: s.search_boolean("ERROR AND block")),
+        ]:
+            expected = doc_keys(run(single))
+            union = set()
+            for ordinal in range(sharded.num_shards):
+                union |= doc_keys(run(sharded.restrict([ordinal])))
+            assert union == expected
+
+    def test_full_subset_returns_self(self, searchers):
+        _, sharded = searchers
+        assert sharded.restrict(range(sharded.num_shards)) is sharded
+
+    def test_view_shares_fetcher_but_not_query_cache(self, searchers):
+        _, sharded = searchers
+        view = sharded.restrict([1])
+        assert view is not sharded
+        assert view._fetcher is sharded._fetcher
+        view.search("ERROR")
+        view.search("ERROR")
+        assert view.cache_hits == 0  # cache disabled on views
+
+    def test_view_metadata_covers_only_the_subset(self, searchers):
+        _, sharded = searchers
+        view = sharded.restrict([0, 1])
+        assert view.num_shards == 2
+        assert 0 < view.metadata.num_documents < sharded.metadata.num_documents
+
+    def test_empty_subset_raises(self, searchers):
+        _, sharded = searchers
+        with pytest.raises(ValueError):
+            sharded.restrict([])
+
+    def test_out_of_range_ordinal_raises(self, searchers):
+        _, sharded = searchers
+        with pytest.raises(ValueError):
+            sharded.restrict([sharded.num_shards])
+
+    def test_single_shard_index_only_accepts_ordinal_zero(self, searchers):
+        single, _ = searchers
+        assert single.restrict([0]) is single
+        with pytest.raises(ValueError):
+            single.restrict([1])
+
+    def test_uninitialized_restrict_raises(self, sim_store, searchers):
+        searcher = ShardedSearcher(sim_store, index_name="sharded")
+        with pytest.raises(RuntimeError):
+            searcher.restrict([0])
+
+
+class TestShardedConcurrencyScaling:
+    """The 16-shard regression fix: the fetcher widens with the shard count."""
+
+    def test_initialize_scales_fetcher_concurrency(self, sim_store, corpus):
+        from repro.search.sharded import MAX_SHARDED_CONCURRENCY
+
+        config = SketchConfig(num_bins=512, target_false_positives=1.0, seed=7)
+        AirphantBuilder(sim_store, config=config, num_shards=4).build_from_documents(
+            corpus.documents, index_name="scaled"
+        )
+        searcher = ShardedSearcher(sim_store, index_name="scaled")
+        base = searcher._fetcher.max_concurrency
+        searcher.initialize()
+        assert searcher._fetcher.max_concurrency == min(
+            base * 4, MAX_SHARDED_CONCURRENCY
+        )
+
+    def test_single_shard_keeps_base_concurrency(self, sim_store, corpus):
+        config = SketchConfig(num_bins=512, target_false_positives=1.0, seed=7)
+        AirphantBuilder(sim_store, config=config).build_from_documents(
+            corpus.documents, index_name="plain"
+        )
+        searcher = ShardedSearcher(sim_store, index_name="plain")
+        base = searcher._fetcher.max_concurrency
+        searcher.initialize()
+        assert searcher._fetcher.max_concurrency == base

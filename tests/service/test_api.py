@@ -14,6 +14,7 @@ from repro.service.api import (
     SearchRequest,
     SearchResponse,
     ServiceError,
+    ShardErrorInfo,
 )
 
 
@@ -149,3 +150,56 @@ class TestErrorInfo:
         assert error.status == 400
         assert error.info.error == "bad_query"
         assert "parenthesis" in str(error)
+
+
+class TestSearchRequestShards:
+    def test_shards_default_to_none_and_are_omitted(self):
+        request = SearchRequest(query="error")
+        assert request.shards is None
+        assert "shards" not in request.to_dict()
+
+    def test_shards_are_sorted_and_deduplicated(self):
+        request = SearchRequest(query="error", shards=[3, 1, 3, 0])
+        assert request.shards == (0, 1, 3)
+        assert request.to_dict()["shards"] == [0, 1, 3]
+
+    def test_shards_round_trip(self):
+        request = SearchRequest(query="error", shards=(2, 5))
+        assert SearchRequest.from_json(request.to_json()) == request
+
+    @pytest.mark.parametrize("shards", [[], "0", 3, [0, -1], [True], [1.5]])
+    def test_invalid_shards_rejected(self, shards):
+        with pytest.raises(ValueError):
+            SearchRequest(query="error", shards=shards)
+
+
+class TestShardErrorInfo:
+    def test_round_trip(self):
+        error = ShardErrorInfo(
+            shard=3, node="http://n1:8080", error="node_timeout", message="5s elapsed"
+        )
+        assert ShardErrorInfo.from_dict(error.to_dict()) == error
+
+    def test_partial_response_round_trip(self):
+        response = SearchResponse(
+            query="error",
+            index="logs",
+            mode="keyword",
+            partial=True,
+            shard_errors=(
+                ShardErrorInfo(shard=1, node="http://n2", error="node_unreachable", message="refused"),
+            ),
+        )
+        payload = response.to_dict()
+        assert payload["partial"] is True
+        assert payload["shard_errors"][0]["shard"] == 1
+        assert SearchResponse.from_json(response.to_json()) == response
+
+    def test_complete_response_omits_partial_fields(self):
+        response = SearchResponse(query="error", index="logs", mode="keyword")
+        payload = response.to_dict()
+        assert "partial" not in payload
+        assert "shard_errors" not in payload
+        rebuilt = SearchResponse.from_dict(payload)
+        assert rebuilt.partial is False
+        assert rebuilt.shard_errors == ()

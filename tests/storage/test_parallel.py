@@ -215,3 +215,36 @@ class TestLifecycle:
         assert service.search(SearchRequest(query="error", index="logs")).num_results == 2
         service.close()
         _assert_no_fetch_threads()
+
+
+class TestScaleConcurrency:
+    def test_raises_the_ceiling(self, store):
+        fetcher = ParallelFetcher(store, max_concurrency=4)
+        fetcher.scale_concurrency(16)
+        assert fetcher.max_concurrency == 16
+
+    def test_never_shrinks(self, store):
+        fetcher = ParallelFetcher(store, max_concurrency=16)
+        fetcher.scale_concurrency(4)
+        assert fetcher.max_concurrency == 16
+
+    def test_existing_pool_is_replaced(self):
+        backend = InMemoryObjectStore()
+        backend.put("a", b"aa")
+        backend.put("b", b"bb")
+        fetcher = ParallelFetcher(backend, max_concurrency=2)
+        fetcher.fetch([RangeRead("a")])  # builds the 2-wide pool
+        fetcher.scale_concurrency(8)
+        result = fetcher.fetch([RangeRead("a"), RangeRead("b")])
+        assert result.payloads == [b"aa", b"bb"]
+        assert fetcher.max_concurrency == 8
+        fetcher.close()
+
+    def test_scaled_batch_is_one_concurrency_wave(self, store):
+        fetcher = ParallelFetcher(store, max_concurrency=2)
+        fetcher.scale_concurrency(64)
+        requests = [RangeRead("blob", i, 8) for i in range(48)]
+        result = fetcher.fetch(requests)
+        # One wave: the batch charges a single 50ms first-byte wait, where
+        # the unscaled 2-wide pool would stack 24 of them.
+        assert result.batch.wait_ms == pytest.approx(50.0)
