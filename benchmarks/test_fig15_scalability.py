@@ -109,11 +109,13 @@ def test_fig15_scalability_with_corpus_size(benchmark, catalog):
     assert min(latencies["Lucene"][smallest], latencies["SQLite"][smallest]) < 2 * latencies[
         "Airphant"
     ][smallest]
-    # Index storage grows monotonically with corpus size for every engine, and
-    # Airphant uses more storage than the exact inverted indexes (<= ~3x).
+    # Index storage grows monotonically with corpus size for every engine.
+    # Since the v2 delta codec, Airphant's superpost blobs come in *below*
+    # the exact inverted indexes but stay the same order of magnitude (the
+    # sketch still stores every chain's unioned postings).
     for name, values in storage.items():
         assert values == sorted(values)
-    assert storage["Airphant"][largest] > storage["SQLite"][largest] * 0.8
+    assert storage["Airphant"][largest] > storage["SQLite"][largest] * 0.4
     assert storage["Airphant"][largest] < storage["Lucene"][largest] * 4.0
 
 

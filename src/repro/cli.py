@@ -261,6 +261,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
             sketch_config=config,
             num_shards=args.shards,
             partitioner=args.partitioner,
+            format_version={"v1": 1, "v2": 2}[args.format],
         )
     except ServiceError as error:
         print(f"error: {error.info.message}", file=sys.stderr)
@@ -586,6 +587,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="hash",
         choices=["hash", "round-robin"],
         help="how documents are routed to shards",
+    )
+    build.add_argument(
+        "--format",
+        default="v2",
+        choices=["v1", "v2"],
+        help="superpost codec: v2 (delta-coded, default) or v1 (legacy, "
+        "readable by pre-v2 searchers)",
     )
     build.add_argument(
         "--listing",

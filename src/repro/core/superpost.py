@@ -9,16 +9,40 @@ intersection over :class:`~repro.parsing.documents.Posting` values.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.parsing.documents import Posting
 
 
 @dataclass
 class Superpost:
-    """A merged postings list stored in one IoU Sketch bin."""
+    """A merged postings list stored in one IoU Sketch bin.
+
+    Postings are held as a set (intersection/union are the query-path
+    operations); the deterministic ``(blob, offset, length)`` order that
+    serialization and document retrieval need is memoized in ``_sorted`` so
+    the decode hot path — which receives postings already in that order —
+    never re-sorts.
+    """
 
     postings: set[Posting] = field(default_factory=set)
+    #: Memoized sorted order; ``None`` until computed (or after mutation).
+    _sorted: tuple[Posting, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_sorted(cls, ordered: Sequence[Posting]) -> "Superpost":
+        """Build a superpost from postings already in sorted order.
+
+        The decoder's fast path: serialized superposts store postings in
+        ``(blob, offset, length)`` order, so the sorted view comes for free
+        and :meth:`sorted_postings` never has to sort.
+        """
+        superpost = cls(set(ordered))
+        if len(superpost.postings) == len(ordered):
+            superpost._sorted = tuple(ordered)
+        return superpost
 
     def __len__(self) -> int:
         return len(self.postings)
@@ -32,6 +56,7 @@ class Superpost:
     def add_all(self, postings: Iterable[Posting]) -> None:
         """Union this superpost with ``postings`` in place (insert path)."""
         self.postings.update(postings)
+        self._sorted = None
 
     def union(self, other: "Superpost") -> "Superpost":
         """Return a new superpost containing both postings sets."""
@@ -42,8 +67,14 @@ class Superpost:
         return Superpost(self.postings & other.postings)
 
     def sorted_postings(self) -> list[Posting]:
-        """Postings in a deterministic (blob, offset, length) order."""
-        return sorted(self.postings)
+        """Postings in a deterministic (blob, offset, length) order.
+
+        The order is computed once and memoized; superposts built by
+        :meth:`from_sorted` (the decode path) never sort at all.
+        """
+        if self._sorted is None or len(self._sorted) != len(self.postings):
+            self._sorted = tuple(sorted(self.postings))
+        return list(self._sorted)
 
     @staticmethod
     def intersect_all(superposts: Iterable["Superpost"]) -> "Superpost":

@@ -30,13 +30,25 @@ from repro.index.sharding import (
     shard_index_name,
     write_shard_manifest,
 )
+from repro.index.layout import (
+    LAYOUT_COACCESS,
+    LAYOUT_PLAIN,
+    LAYOUTS,
+    coaccess_order,
+    plain_order,
+)
 from repro.index.updates import AppendOnlyIndexManager, IndexManifest
 from repro.index.serialization import (
+    DEFAULT_FORMAT_VERSION,
+    FORMAT_V1,
+    FORMAT_V2,
+    SUPPORTED_FORMAT_VERSIONS,
     StringTable,
     decode_superpost,
     decode_varint,
     encode_superpost,
     encode_varint,
+    uncompressed_superpost_bytes,
 )
 
 __all__ = [
@@ -46,15 +58,23 @@ __all__ = [
     "BuiltIndex",
     "BuiltShardedIndex",
     "CompactedSketch",
+    "DEFAULT_FORMAT_VERSION",
+    "FORMAT_V1",
+    "FORMAT_V2",
     "HEADER_BLOB_SUFFIX",
     "IndexMetadata",
+    "LAYOUTS",
+    "LAYOUT_COACCESS",
+    "LAYOUT_PLAIN",
     "PARTITIONERS",
     "SHARD_MANIFEST_SUFFIX",
     "SHARD_MARKER",
     "SUPERPOST_BLOB_SUFFIX",
+    "SUPPORTED_FORMAT_VERSIONS",
     "ShardEntry",
     "ShardManifest",
     "StringTable",
+    "coaccess_order",
     "compact_sketch",
     "decode_header",
     "decode_superpost",
@@ -63,7 +83,9 @@ __all__ = [
     "encode_superpost",
     "encode_varint",
     "partition_documents",
+    "plain_order",
     "read_shard_manifest",
     "shard_index_name",
+    "uncompressed_superpost_bytes",
     "write_shard_manifest",
 ]

@@ -33,7 +33,9 @@ from repro.index.compaction import (
     compact_sketch,
     encode_header,
 )
+from repro.index.layout import LAYOUTS
 from repro.index.metadata import IndexMetadata, ShardEntry, ShardManifest
+from repro.index.serialization import DEFAULT_FORMAT_VERSION, SUPPORTED_FORMAT_VERSIONS
 from repro.index.sharding import (
     PARTITIONERS,
     SHARD_MARKER,
@@ -108,6 +110,8 @@ class AirphantBuilder:
         num_shards: int = 1,
         partitioner: str = "hash",
         build_concurrency: int | None = None,
+        format_version: int | None = None,
+        layout: str | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -117,12 +121,25 @@ class AirphantBuilder:
             )
         if build_concurrency is not None and build_concurrency < 1:
             raise ValueError("build_concurrency must be positive when set")
+        if format_version is not None and format_version not in SUPPORTED_FORMAT_VERSIONS:
+            raise ValueError(
+                f"unsupported format_version {format_version}; expected one of "
+                f"{SUPPORTED_FORMAT_VERSIONS}"
+            )
+        if layout is not None and layout not in LAYOUTS:
+            raise ValueError(
+                f"unknown layout {layout!r}; expected one of {', '.join(LAYOUTS)}"
+            )
         self._store = store
         self._config = config if config is not None else SketchConfig()
         self._tokenizer = tokenizer if tokenizer is not None else WhitespaceAnalyzer()
         self._num_shards = num_shards
         self._partitioner = partitioner
         self._build_concurrency = build_concurrency
+        self._format_version = (
+            format_version if format_version is not None else DEFAULT_FORMAT_VERSION
+        )
+        self._layout = layout
         self._metadata_extra: dict[str, Any] = {}
 
     @property
@@ -139,6 +156,16 @@ class AirphantBuilder:
     def partitioner(self) -> str:
         """Document partitioner used in sharded mode."""
         return self._partitioner
+
+    @property
+    def format_version(self) -> int:
+        """Superpost codec version this builder writes."""
+        return self._format_version
+
+    @property
+    def layout(self) -> str | None:
+        """Superpost placement order (``None`` = default for the codec)."""
+        return self._layout
 
     # -- public build entry points -----------------------------------------------
 
@@ -186,9 +213,9 @@ class AirphantBuilder:
     ) -> BuiltIndex:
         profile = profile_documents(documents, self._tokenizer)
         num_layers = self._choose_layers(profile)
-        sketch = self._populate_sketch(documents, profile, num_layers)
+        sketch, word_weights = self._populate_sketch(documents, profile, num_layers)
         metadata = self._make_metadata(corpus_name, profile, sketch, num_layers)
-        compacted = self._persist(sketch, metadata, index_name)
+        compacted = self._persist(sketch, metadata, index_name, word_weights)
         return BuiltIndex(
             index_name=index_name,
             header_blob=f"{index_name}/{HEADER_BLOB_SUFFIX}",
@@ -217,7 +244,11 @@ class AirphantBuilder:
 
         def build_shard(shard: int) -> BuiltIndex:
             shard_builder = AirphantBuilder(
-                self._store, config=self._config, tokenizer=self._tokenizer
+                self._store,
+                config=self._config,
+                tokenizer=self._tokenizer,
+                format_version=self._format_version,
+                layout=self._layout,
             )
             shard_builder._metadata_extra = {
                 "shard_index": shard,
@@ -245,6 +276,7 @@ class AirphantBuilder:
         manifest = ShardManifest(
             index_name=index_name,
             partitioner=self._partitioner,
+            index_format_version=self._format_version,
             shards=tuple(
                 ShardEntry(
                     name=shard.index_name,
@@ -303,8 +335,12 @@ class AirphantBuilder:
         documents: Sequence[Document],
         profile: CorpusProfile,
         num_layers: int,
-    ) -> IoUSketch:
-        """Build the in-memory sketch: common-word table plus hashed layers."""
+    ) -> tuple[IoUSketch, dict[str, int]]:
+        """Build the in-memory sketch: common-word table plus hashed layers.
+
+        Also returns the per-word document frequencies, which the layout pass
+        uses as co-access weights (heavier words get contiguous chains).
+        """
         common_table = CommonWordTable()
         for word in select_common_words(profile, self._config.common_word_bins):
             common_table.register(word)
@@ -320,9 +356,11 @@ class AirphantBuilder:
         for document in documents:
             for word in self._tokenizer.distinct_terms(document.text):
                 postings_by_word[word].add(document.ref)
+        word_weights: dict[str, int] = {}
         for word, postings in postings_by_word.items():
             sketch.insert(word, postings)
-        return sketch
+            word_weights[word] = len(postings)
+        return sketch, word_weights
 
     def _make_metadata(
         self,
@@ -350,14 +388,26 @@ class AirphantBuilder:
             seed=self._config.seed,
             target_false_positives=self._config.target_false_positives,
             expected_false_positives=expected,
+            format_version=self._format_version,
         )
 
     def _persist(
-        self, sketch: IoUSketch, metadata: IndexMetadata, index_name: str
+        self,
+        sketch: IoUSketch,
+        metadata: IndexMetadata,
+        index_name: str,
+        word_weights: dict[str, int] | None = None,
     ) -> CompactedSketch:
         superpost_blob = f"{index_name}/{SUPERPOST_BLOB_SUFFIX}"
         header_blob = f"{index_name}/{HEADER_BLOB_SUFFIX}"
-        compacted = compact_sketch(sketch, superpost_blob, metadata=metadata)
+        compacted = compact_sketch(
+            sketch,
+            superpost_blob,
+            metadata=metadata,
+            format_version=self._format_version,
+            layout=self._layout,
+            word_weights=word_weights,
+        )
         self._store.put(superpost_blob, compacted.superpost_blob_data)
         self._store.put(header_blob, encode_header(compacted))
         return compacted

@@ -7,19 +7,41 @@ every bin, the (offset, length) of its superpost within that blob, plus the
 hash seeds, string table, common-word pointers, and metadata.  A Searcher
 downloads only the header at initialization and can afterwards fetch any
 superpost with a single range read.
+
+The header also carries the superpost codec ``format_version`` (see
+:mod:`repro.index.serialization`): v1 headers are readable forever, and the
+Searcher dispatches its decoder on whatever version the header declares.
+Inside the blob, superposts are placed either layer-major (``plain``) or in
+co-access order (``coaccess``; see :mod:`repro.index.layout`) — placement is
+invisible to readers, which only ever follow pointers.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.core.mht import BinPointer, MultilayerHashTable
 from repro.core.hashing import LayeredHasher
 from repro.core.sketch import IoUSketch
 from repro.core.superpost import Superpost
+from repro.index.layout import (
+    LAYOUT_COACCESS,
+    LAYOUT_PLAIN,
+    LAYOUTS,
+    coaccess_order,
+    plain_order,
+)
 from repro.index.metadata import IndexMetadata
-from repro.index.serialization import StringTable, encode_superpost
+from repro.index.serialization import (
+    DEFAULT_FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
+    StringTable,
+    encode_superpost,
+    uncompressed_superpost_bytes,
+)
+from repro.observability.registry import get_registry
 
 #: Blob name suffixes for the two persisted pieces of an index.
 SUPERPOST_BLOB_SUFFIX = "superposts.bin"
@@ -27,7 +49,6 @@ HEADER_BLOB_SUFFIX = "header.json"
 
 #: Magic marker of the header format (helps catch accidental blob mixups).
 _HEADER_MAGIC = "airphant-header"
-_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -36,6 +57,8 @@ class CompactedSketch:
 
     ``superpost_blob_data`` is the byte concatenation of all serialized
     superposts; ``mht`` holds the per-bin pointers into it.
+    ``format_version`` names the superpost codec the blob was written with —
+    readers must hand it to ``decode_superpost``.
     """
 
     superpost_blob_name: str
@@ -44,36 +67,72 @@ class CompactedSketch:
     string_table: StringTable
     metadata: IndexMetadata | None = None
     common_word_list: list[str] = field(default_factory=list)
+    format_version: int = DEFAULT_FORMAT_VERSION
 
 
 def compact_sketch(
     sketch: IoUSketch,
     superpost_blob_name: str,
     metadata: IndexMetadata | None = None,
+    format_version: int | None = None,
+    layout: str | None = None,
+    word_weights: Mapping[str, int] | None = None,
 ) -> CompactedSketch:
     """Serialize and concatenate all superposts of ``sketch``.
+
+    ``format_version`` picks the superpost codec (defaults to the current
+    :data:`~repro.index.serialization.DEFAULT_FORMAT_VERSION`).  ``layout``
+    picks the placement order inside the blob: ``"plain"`` is layer-major,
+    ``"coaccess"`` places each word's layer chain adjacently so the read
+    pipeline can coalesce a query's fetches; when left ``None`` it defaults
+    to co-access whenever ``word_weights`` (word → document frequency,
+    supplied by the builder) are available.
 
     Empty bins produce zero-length pointers so the Searcher can skip them
     without issuing a request.
     """
+    if format_version is None:
+        format_version = DEFAULT_FORMAT_VERSION
+    if format_version not in SUPPORTED_FORMAT_VERSIONS:
+        raise ValueError(f"unsupported superpost codec version {format_version}")
+    if layout is None:
+        layout = LAYOUT_COACCESS if word_weights else LAYOUT_PLAIN
+    if layout not in LAYOUTS:
+        raise ValueError(f"unknown layout {layout!r} (expected one of {LAYOUTS})")
+
+    if layout == LAYOUT_COACCESS:
+        placement = coaccess_order(sketch, word_weights or {})
+    else:
+        placement = plain_order(sketch.num_layers, sketch.bins_per_layer)
+
     string_table = StringTable()
     blob = bytearray()
-    pointers: list[list[BinPointer]] = []
-    for layer in sketch.layers:
-        layer_pointers: list[BinPointer] = []
-        for superpost in layer:
-            layer_pointers.append(
-                _append_superpost(blob, superpost, superpost_blob_name, string_table)
-            )
-        pointers.append(layer_pointers)
+    raw_bytes = 0
+    pointer_by_node: dict[tuple[int, int], BinPointer] = {}
+    for layer, bin_index in placement:
+        superpost = sketch.layers[layer][bin_index]
+        pointer_by_node[(layer, bin_index)] = _append_superpost(
+            blob, superpost, superpost_blob_name, string_table, format_version
+        )
+        raw_bytes += uncompressed_superpost_bytes(superpost) if len(superpost) else 0
+    pointers = [
+        [
+            pointer_by_node[(layer, bin_index)]
+            for bin_index in range(sketch.bins_per_layer)
+        ]
+        for layer in range(sketch.num_layers)
+    ]
 
     common_word_pointers: dict[str, BinPointer] = {}
     common_word_list = sorted(sketch.common_words.postings_by_word)
     for word in common_word_list:
         superpost = sketch.common_words.postings_by_word[word]
         common_word_pointers[word] = _append_superpost(
-            blob, superpost, superpost_blob_name, string_table
+            blob, superpost, superpost_blob_name, string_table, format_version
         )
+        raw_bytes += uncompressed_superpost_bytes(superpost) if len(superpost) else 0
+
+    _record_codec_bytes(format_version, raw_bytes, len(blob))
 
     mht = MultilayerHashTable(
         hasher=sketch.hasher,
@@ -87,6 +146,7 @@ def compact_sketch(
         string_table=string_table,
         metadata=metadata,
         common_word_list=common_word_list,
+        format_version=format_version,
     )
 
 
@@ -95,13 +155,30 @@ def _append_superpost(
     superpost: Superpost,
     blob_name: str,
     string_table: StringTable,
+    format_version: int,
 ) -> BinPointer:
     if len(superpost) == 0:
         return BinPointer(blob=blob_name, offset=len(blob), length=0)
-    encoded = encode_superpost(superpost, string_table)
+    encoded = encode_superpost(superpost, string_table, format_version)
     pointer = BinPointer(blob=blob_name, offset=len(blob), length=len(encoded))
     blob += encoded
     return pointer
+
+
+def _record_codec_bytes(format_version: int, raw_bytes: int, encoded_bytes: int) -> None:
+    """Expose compression effectiveness on live nodes via ``/metrics``."""
+    registry = get_registry()
+    labels = {"format": f"v{format_version}"}
+    registry.counter(
+        "airphant_codec_bytes_raw_total",
+        help="Superpost bytes before compression (inline names, absolute offsets).",
+        label_names=("format",),
+    ).inc(raw_bytes, **labels)
+    registry.counter(
+        "airphant_codec_bytes_encoded_total",
+        help="Superpost bytes actually written, by codec format version.",
+        label_names=("format",),
+    ).inc(encoded_bytes, **labels)
 
 
 def encode_header(compacted: CompactedSketch) -> bytes:
@@ -114,7 +191,7 @@ def encode_header(compacted: CompactedSketch) -> bytes:
     mht = compacted.mht
     payload = {
         "magic": _HEADER_MAGIC,
-        "format_version": _FORMAT_VERSION,
+        "format_version": compacted.format_version,
         "seed": mht.hasher.seed,
         "num_layers": mht.num_layers,
         "bins_per_layer": mht.bins_per_layer,
@@ -136,15 +213,17 @@ def encode_header(compacted: CompactedSketch) -> bytes:
 def decode_header(data: bytes) -> CompactedSketch:
     """Inverse of :func:`encode_header`.
 
-    The returned :class:`CompactedSketch` has an empty ``superpost_blob_data``
-    (the superposts themselves stay in cloud storage); its ``mht`` and
-    ``string_table`` are fully reconstructed.
+    Accepts any supported ``format_version`` — a v2 searcher reads v1 indexes
+    forever.  The returned :class:`CompactedSketch` has an empty
+    ``superpost_blob_data`` (the superposts themselves stay in cloud
+    storage); its ``mht`` and ``string_table`` are fully reconstructed.
     """
     payload = json.loads(data.decode("utf-8"))
     if payload.get("magic") != _HEADER_MAGIC:
         raise ValueError("not an Airphant header blob")
-    if payload.get("format_version") != _FORMAT_VERSION:
-        raise ValueError(f"unsupported header version {payload.get('format_version')}")
+    format_version = payload.get("format_version")
+    if format_version not in SUPPORTED_FORMAT_VERSIONS:
+        raise ValueError(f"unsupported header version {format_version}")
 
     superpost_blob = payload["superpost_blob"]
     hasher = LayeredHasher.build(
@@ -176,4 +255,5 @@ def decode_header(data: bytes) -> CompactedSketch:
         string_table=StringTable.from_list(payload["string_table"]),
         metadata=metadata,
         common_word_list=sorted(common_word_pointers),
+        format_version=format_version,
     )

@@ -93,6 +93,11 @@ class ShardManifest:
     partitioner: str = "hash"
     shards: tuple[ShardEntry, ...] = ()
     format_version: int = SHARD_MANIFEST_VERSION
+    #: Superpost codec version the shard sub-indexes were written with
+    #: (distinct from ``format_version``, which versions this manifest's own
+    #: schema).  Informational — each shard header re-states its codec, so
+    #: shards of mixed vintage still open correctly.
+    index_format_version: int = 1
 
     @property
     def num_shards(self) -> int:
@@ -116,6 +121,7 @@ class ShardManifest:
             "format_version": self.format_version,
             "index_name": self.index_name,
             "partitioner": self.partitioner,
+            "index_format_version": self.index_format_version,
             "shards": [shard.to_dict() for shard in self.shards],
         }
 
@@ -136,6 +142,7 @@ class ShardManifest:
             partitioner=str(data.get("partitioner", "hash")),
             shards=tuple(ShardEntry.from_dict(entry) for entry in data.get("shards", [])),
             format_version=version,
+            index_format_version=int(data.get("index_format_version", 1)),
         )
 
     @classmethod
@@ -173,5 +180,6 @@ def merge_shard_metadata(
         expected_false_positives=sum(
             metadata.expected_false_positives for metadata in metadatas
         ),
+        format_version=first.format_version,
         extra={"num_shards": len(metadatas), "partitioner": partitioner},
     )

@@ -102,6 +102,8 @@ class AppendOnlyIndexManager:
         config: SketchConfig | None = None,
         delta_config: SketchConfig | None = None,
         tokenizer: Tokenizer | None = None,
+        format_version: int | None = None,
+        layout: str | None = None,
     ) -> None:
         self._store = store
         self._base_index = base_index
@@ -110,6 +112,11 @@ class AppendOnlyIndexManager:
         # budget keeps their headers tiny unless the caller overrides it.
         self._delta_config = delta_config if delta_config is not None else self._config
         self._tokenizer = tokenizer
+        # Every rebuild this manager performs — base builds, delta builds, and
+        # compactions — writes this codec version, so compacting a live index
+        # whose base was written as v1 upgrades it to the current default.
+        self._format_version = format_version
+        self._layout = layout
 
     @property
     def manifest_blob(self) -> str:
@@ -161,7 +168,13 @@ class AppendOnlyIndexManager:
         compaction (or :meth:`reset`).
         """
         old = self.manifest()
-        builder = AirphantBuilder(self._store, config=self._config, tokenizer=self._tokenizer)
+        builder = AirphantBuilder(
+            self._store,
+            config=self._config,
+            tokenizer=self._tokenizer,
+            format_version=self._format_version,
+            layout=self._layout,
+        )
         built = builder.build_from_documents(
             documents, index_name=self._base_index, corpus_name=corpus_name
         )
@@ -190,7 +203,11 @@ class AppendOnlyIndexManager:
         manifest = self.manifest()
         delta_name = f"{self._base_index}/delta-{manifest.next_delta:04d}"
         builder = AirphantBuilder(
-            self._store, config=self._delta_config, tokenizer=self._tokenizer
+            self._store,
+            config=self._delta_config,
+            tokenizer=self._tokenizer,
+            format_version=self._format_version,
+            layout=self._layout,
         )
         built = builder.build_from_documents(documents, index_name=delta_name, corpus_name=corpus_name)
         self._write_manifest(
@@ -272,7 +289,9 @@ class AppendOnlyIndexManager:
             )
             for pointer in pointers:
                 payload = self._store.get_range(pointer.blob, pointer.offset, pointer.length)
-                postings |= decode_superpost(payload, compacted.string_table).postings
+                postings |= decode_superpost(
+                    payload, compacted.string_table, compacted.format_version
+                ).postings
         documents = []
         for posting in sorted(postings):
             data = self._store.get_range(posting.blob, posting.offset, posting.length)
@@ -301,6 +320,8 @@ class AppendOnlyIndexManager:
             tokenizer=self._tokenizer,
             num_shards=shard_manifest.num_shards if shard_manifest is not None else 1,
             partitioner=shard_manifest.partitioner if shard_manifest is not None else "hash",
+            format_version=self._format_version,
+            layout=self._layout,
         )
         built = builder.build_from_documents(
             documents, index_name=new_base, corpus_name=corpus_name

@@ -23,7 +23,7 @@ from repro.core.mht import MultilayerHashTable
 from repro.core.superpost import Superpost
 from repro.index.compaction import HEADER_BLOB_SUFFIX, decode_header
 from repro.index.metadata import IndexMetadata
-from repro.index.serialization import StringTable, decode_superpost
+from repro.index.serialization import FORMAT_V1, StringTable, decode_superpost
 from repro.parsing.documents import Document, Posting
 from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
 from repro.search.boolean import BooleanQuery, Term, parse_boolean_query
@@ -70,6 +70,7 @@ class AirphantSearcher:
         self._mht: MultilayerHashTable | None = None
         self._string_table: StringTable | None = None
         self._metadata: IndexMetadata | None = None
+        self._format_version: int = FORMAT_V1
         self.init_latency_ms: float = 0.0
         # Optional per-word memoization of final postings lists (Section IV-A
         # suggests query caching to bound the worst-case deviation).  Valid
@@ -138,6 +139,9 @@ class AirphantSearcher:
         self._mht = compacted.mht
         self._string_table = compacted.string_table
         self._metadata = compacted.metadata
+        # The header names the superpost codec; dispatching on it here is what
+        # keeps v1 indexes readable forever.
+        self._format_version = compacted.format_version
         return self.init_latency_ms
 
     @property
@@ -254,7 +258,9 @@ class AirphantSearcher:
                 if payload is None:
                     # Hedged-away straggler: skip this layer (superset remains valid).
                     continue
-                superposts.append(decode_superpost(payload, self._string_table))
+                superposts.append(
+                    decode_superpost(payload, self._string_table, self._format_version)
+                )
             if not superposts:
                 result = Superpost()
             else:

@@ -43,12 +43,17 @@ from repro.storage.simulated import SimulatedCloudStore
 
 @dataclass
 class ShardState:
-    """In-memory header state of one opened shard."""
+    """In-memory header state of one opened shard.
+
+    ``format_version`` is per-shard: shards written by builders of different
+    vintages may mix codecs, and each decodes with its own header's version.
+    """
 
     name: str
     mht: MultilayerHashTable
     string_table: StringTable
     metadata: IndexMetadata | None
+    format_version: int = 1
 
 
 #: Ceiling on how far a sharded searcher widens its fetcher on its own.  A
@@ -120,6 +125,7 @@ class ShardedSearcher(AirphantSearcher):
                 mht=compacted.mht,
                 string_table=compacted.string_table,
                 metadata=compacted.metadata,
+                format_version=compacted.format_version,
             )
             for entry, compacted in zip(
                 manifest.shards, (decode_header(payload) for payload in fetch.payloads)
@@ -133,6 +139,7 @@ class ShardedSearcher(AirphantSearcher):
         # corpus rather than any single shard.
         self._mht = shards[0].mht
         self._string_table = shards[0].string_table
+        self._format_version = shards[0].format_version
         self._metadata = self._merge_metadata(shards)
         self.init_latency_ms = manifest_ms + fetch.batch.total_ms
         return self.init_latency_ms
@@ -275,7 +282,11 @@ class ShardedSearcher(AirphantSearcher):
                 if not indexes:
                     continue
                 superposts = [
-                    decode_superpost(fetch.payloads[request_index], shard.string_table)
+                    decode_superpost(
+                        fetch.payloads[request_index],
+                        shard.string_table,
+                        shard.format_version,
+                    )
                     for request_index in indexes
                 ]
                 per_shard.append(Superpost.intersect_all(superposts))

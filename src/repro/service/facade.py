@@ -526,12 +526,15 @@ class AirphantService:
         sketch_config: SketchConfig | None = None,
         num_shards: int = 1,
         partitioner: str = "hash",
+        format_version: int | None = None,
     ) -> IndexInfo:
         """Build (or rebuild) index ``name`` over the given corpus blobs.
 
         ``num_shards > 1`` builds a sharded index: the corpus is partitioned
         (``"hash"`` or ``"round-robin"``), per-shard sub-indexes build in
         parallel, and queries later fan out across the shards in one batch.
+        ``format_version`` pins the superpost codec (``None`` = current
+        default, i.e. v2); pass 1 to write an index older readers can open.
         Any previously cached searcher for ``name`` is invalidated so the
         next query reopens the fresh header(s).
         """
@@ -543,6 +546,7 @@ class AirphantService:
                 sketch_config=sketch_config,
                 num_shards=num_shards,
                 partitioner=partitioner,
+                format_version=format_version,
             )
         except ServiceError as error:
             self._query_errors_metric.inc(error=error.info.error)
@@ -561,6 +565,7 @@ class AirphantService:
         sketch_config: SketchConfig | None = None,
         num_shards: int = 1,
         partitioner: str = "hash",
+        format_version: int | None = None,
     ) -> IndexInfo:
         if (
             not name
@@ -585,9 +590,10 @@ class AirphantService:
                 tokenizer=self._config.make_tokenizer(),
                 num_shards=num_shards,
                 partitioner=partitioner,
+                format_version=format_version,
             )
         except ValueError as error:
-            # Bad num_shards / partitioner — the request is at fault.
+            # Bad num_shards / partitioner / format_version — the request is at fault.
             raise ServiceError(400, "bad_build_request", str(error)) from error
         # The builder removes any stale blobs from a previous layout of this
         # name (e.g. resharding, or sharded -> single-shard), so a rebuild is

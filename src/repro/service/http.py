@@ -65,6 +65,9 @@ _BUILD_CONFIG_FIELDS = (
 #: the sketch configuration).
 _BUILD_SHARD_FIELDS = ("num_shards", "partitioner")
 
+#: Superpost codec names a build request's ``format`` field may use.
+_BUILD_FORMATS = {"v1": 1, "v2": 2}
+
 
 class AirphantHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server bound to one :class:`AirphantService`."""
@@ -188,7 +191,10 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
             key: body[key] for key in _BUILD_CONFIG_FIELDS if body.get(key) is not None
         }
         unknown = (
-            set(body) - set(_BUILD_CONFIG_FIELDS) - set(_BUILD_SHARD_FIELDS) - {"blobs"}
+            set(body)
+            - set(_BUILD_CONFIG_FIELDS)
+            - set(_BUILD_SHARD_FIELDS)
+            - {"blobs", "format"}
         )
         if unknown:
             raise ServiceError(
@@ -205,12 +211,28 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
             partitioner = "hash"
         if not isinstance(partitioner, str):
             raise ServiceError(400, "bad_build_request", "partitioner must be a string")
+        format_name = body.get("format")
+        format_version = None
+        if format_name is not None:
+            if format_name not in _BUILD_FORMATS:
+                raise ServiceError(
+                    400,
+                    "bad_build_request",
+                    f"unknown format {format_name!r}; expected one of "
+                    f"{', '.join(sorted(_BUILD_FORMATS))}",
+                )
+            format_version = _BUILD_FORMATS[format_name]
         try:
             config = SketchConfig(**overrides) if overrides else None
         except (ValueError, TypeError) as error:
             raise ServiceError(400, "bad_build_request", str(error)) from error
         return self.server.service.build_index(
-            name, blobs, sketch_config=config, num_shards=num_shards, partitioner=partitioner
+            name,
+            blobs,
+            sketch_config=config,
+            num_shards=num_shards,
+            partitioner=partitioner,
+            format_version=format_version,
         )
 
     # -- plumbing --------------------------------------------------------------------

@@ -11,6 +11,7 @@ import pytest
 # ``harness`` from every test module, wherever pytest was invoked from.
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from harness.corpora import SMALL_CORPUS_TEXT  # noqa: F401  (re-export)
 from harness.s3_emulator import S3Emulator
 
 from repro.core.config import SketchConfig
@@ -20,23 +21,6 @@ from repro.parsing.documents import Document
 from repro.storage.latency import AffineLatencyModel
 from repro.storage.memory import InMemoryObjectStore
 from repro.storage.simulated import SimulatedCloudStore
-
-#: A small log-like corpus with known term/document relationships, used by
-#: most unit and integration tests.  One document per line.
-SMALL_CORPUS_TEXT = "\n".join(
-    [
-        "error disk full on node1",
-        "info service started on node1",
-        "error timeout connecting to node2",
-        "warn retry after error on node3",
-        "info heartbeat ok node2",
-        "error disk failure on node3",
-        "debug cache miss for key alpha",
-        "info snapshot completed node1",
-        "error timeout reading block beta",
-        "warn slow response from node2",
-    ]
-)
 
 
 @pytest.fixture

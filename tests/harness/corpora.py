@@ -1,0 +1,23 @@
+"""Shared test corpora.
+
+Importable as ``harness.corpora`` from any test (the tests directory is on
+``sys.path``), unlike ``conftest`` whose module name is ambiguous when the
+full suite collects ``benchmarks/conftest.py`` too.
+"""
+
+#: A small log-like corpus with known term/document relationships, used by
+#: most unit and integration tests.  One document per line.
+SMALL_CORPUS_TEXT = "\n".join(
+    [
+        "error disk full on node1",
+        "info service started on node1",
+        "error timeout connecting to node2",
+        "warn retry after error on node3",
+        "info heartbeat ok node2",
+        "error disk failure on node3",
+        "debug cache miss for key alpha",
+        "info snapshot completed node1",
+        "error timeout reading block beta",
+        "warn slow response from node2",
+    ]
+)

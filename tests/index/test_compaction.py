@@ -7,6 +7,7 @@ from repro.core.sketch import IoUSketch
 from repro.index.compaction import compact_sketch, decode_header, encode_header
 from repro.index.metadata import IndexMetadata
 from repro.index.serialization import decode_superpost
+from repro.observability.registry import get_registry
 from repro.parsing.documents import Posting
 
 
@@ -57,7 +58,9 @@ class TestCompaction:
                     assert expected == set()
                     continue
                 payload = blob[pointer.offset : pointer.offset + pointer.length]
-                decoded = decode_superpost(payload, compacted.string_table)
+                decoded = decode_superpost(
+                    payload, compacted.string_table, compacted.format_version
+                )
                 assert decoded.postings == expected
 
     def test_common_word_pointer_decodes_exact_postings(self):
@@ -65,7 +68,9 @@ class TestCompaction:
         compacted = compact_sketch(sketch, "index/superposts.bin")
         pointer = compacted.mht.common_word_pointers["the"]
         payload = compacted.superpost_blob_data[pointer.offset : pointer.offset + pointer.length]
-        decoded = decode_superpost(payload, compacted.string_table)
+        decoded = decode_superpost(
+            payload, compacted.string_table, compacted.format_version
+        )
         assert decoded.postings == sketch.common_words.query("the").postings
 
     def test_empty_bins_have_zero_length_pointers(self):
@@ -115,11 +120,36 @@ class TestHeaderCodec:
 
     def test_wrong_version_rejected(self):
         compacted = compact_sketch(_sketch(), "s.bin")
-        data = encode_header(compacted).replace(b'"format_version":1', b'"format_version":99')
+        needle = f'"format_version":{compacted.format_version}'.encode()
+        data = encode_header(compacted).replace(needle, b'"format_version":99')
         with pytest.raises(ValueError):
             decode_header(data)
+
+    def test_header_carries_codec_version(self):
+        for version in (1, 2):
+            compacted = compact_sketch(_sketch(), "s.bin", format_version=version)
+            assert decode_header(encode_header(compacted)).format_version == version
 
     def test_header_without_metadata(self):
         compacted = compact_sketch(_sketch(), "s.bin", metadata=None)
         decoded = decode_header(encode_header(compacted))
         assert decoded.metadata is None
+
+
+class TestCodecMetrics:
+    def test_compaction_records_raw_and_encoded_bytes(self):
+        registry = get_registry()
+        raw = registry.counter(
+            "airphant_codec_bytes_raw_total", label_names=("format",)
+        )
+        encoded = registry.counter(
+            "airphant_codec_bytes_encoded_total", label_names=("format",)
+        )
+        raw_before = raw.value(format="v2")
+        encoded_before = encoded.value(format="v2")
+        compacted = compact_sketch(_sketch(), "s.bin", format_version=2)
+        raw_delta = raw.value(format="v2") - raw_before
+        encoded_delta = encoded.value(format="v2") - encoded_before
+        assert encoded_delta == len(compacted.superpost_blob_data) > 0
+        # The string table plus delta coding must actually compress.
+        assert raw_delta > encoded_delta

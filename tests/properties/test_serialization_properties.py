@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.superpost import Superpost
 from repro.index.serialization import (
+    FORMAT_V1,
+    FORMAT_V2,
     StringTable,
     decode_superpost,
     decode_varint,
@@ -78,6 +81,90 @@ class TestSuperpostCodecProperties:
         encoded = [encode_superpost(Superpost(postings), table) for postings in batches]
         for data, postings in zip(encoded, batches):
             assert decode_superpost(data, table).postings == postings
+
+
+#: Offsets up to 2**62 (pathological for delta coding: enormous gaps, equal
+#: offsets with different lengths, zero-length postings).
+pathological_postings_strategy = st.sets(
+    st.builds(
+        Posting,
+        blob=st.sampled_from(["a", "b", "corpus/with/long/name.txt"]),
+        offset=st.one_of(
+            st.integers(min_value=0, max_value=8),
+            st.integers(min_value=0, max_value=2**62),
+        ),
+        length=st.integers(min_value=0, max_value=2**20),
+    ),
+    max_size=30,
+)
+
+
+class TestV2CodecProperties:
+    """The delta codec must be a pure re-encoding of v1's semantics."""
+
+    @given(postings=postings_strategy | pathological_postings_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_v2_round_trip_preserves_postings(self, postings):
+        table = StringTable()
+        encoded = encode_superpost(Superpost(postings), table, FORMAT_V2)
+        assert decode_superpost(encoded, table, FORMAT_V2).postings == postings
+
+    @given(postings=postings_strategy | pathological_postings_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_v2_decodes_identically_to_v1(self, postings):
+        superpost = Superpost(postings)
+        table_v1, table_v2 = StringTable(), StringTable()
+        from_v1 = decode_superpost(
+            encode_superpost(superpost, table_v1, FORMAT_V1), table_v1, FORMAT_V1
+        )
+        from_v2 = decode_superpost(
+            encode_superpost(superpost, table_v2, FORMAT_V2), table_v2, FORMAT_V2
+        )
+        assert from_v1.postings == from_v2.postings == postings
+        assert from_v1.sorted_postings() == from_v2.sorted_postings()
+
+    @given(postings=postings_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_v2_encoding_deterministic(self, postings):
+        assert encode_superpost(
+            Superpost(postings), StringTable(), FORMAT_V2
+        ) == encode_superpost(Superpost(postings), StringTable(), FORMAT_V2)
+
+    @given(postings=postings_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_v2_never_larger_than_v1_plus_group_overhead(self, postings):
+        # Per blob group v2 spends one count varint v1 doesn't, but saves the
+        # per-posting blob key and shortens every offset varint; with < 128
+        # postings per group the count costs 1 byte, so the worst case is
+        # exactly one byte per distinct blob.
+        superpost = Superpost(postings)
+        v1 = encode_superpost(superpost, StringTable(), FORMAT_V1)
+        v2 = encode_superpost(superpost, StringTable(), FORMAT_V2)
+        num_groups = len({posting.blob for posting in postings})
+        assert len(v2) <= len(v1) + num_groups
+
+    @given(postings=postings_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_decode_yields_presorted_superpost(self, postings):
+        # The decode hot path hands sorted postings to Superpost.from_sorted;
+        # the memoized order must match a from-scratch sort.
+        table = StringTable()
+        for version in (FORMAT_V1, FORMAT_V2):
+            encoded = encode_superpost(Superpost(postings), table, version)
+            decoded = decode_superpost(encoded, table, version)
+            assert decoded.sorted_postings() == sorted(postings)
+
+    def test_empty_superpost_round_trips_in_both_formats(self):
+        table = StringTable()
+        for version in (FORMAT_V1, FORMAT_V2):
+            encoded = encode_superpost(Superpost(), table, version)
+            assert decode_superpost(encoded, table, version).postings == set()
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            encode_superpost(Superpost(), StringTable(), 99)
+        with pytest.raises(ValueError):
+            decode_superpost(b"\x00", StringTable(), 99)
 
 
 class TestCorpusParsingProperties:
