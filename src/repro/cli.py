@@ -286,16 +286,43 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_mode(args: argparse.Namespace) -> str:
+    """Query mode from ``--mode`` (preferred) or the legacy boolean flags."""
+    mode = getattr(args, "mode", None)
+    if mode is not None:
+        # CLI flag values use dashes; the API mode name uses an underscore.
+        return mode.replace("-", "_") if mode == "topk-bm25" else mode
+    if getattr(args, "regex", False):
+        return "regex"
+    if getattr(args, "boolean", False):
+        return "boolean"
+    return "keyword"
+
+
+def _parse_weights(entries: list[str] | None) -> dict[str, float] | None:
+    """Parse repeated ``--weight TERM=MULTIPLIER`` flags into a mapping."""
+    if not entries:
+        return None
+    weights: dict[str, float] = {}
+    for entry in entries:
+        term, separator, value = entry.partition("=")
+        if not separator or not term:
+            raise ValueError(f"--weight expects TERM=MULTIPLIER, got {entry!r}")
+        weights[term] = float(value)
+    return weights
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     service = _open_service(args)
-    if args.regex:
-        mode = "regex"
-    elif args.boolean:
-        mode = "boolean"
-    else:
-        mode = "keyword"
+    mode = _resolve_mode(args)
     try:
-        request = SearchRequest(query=args.query, index=args.index, mode=mode, top_k=args.top_k)
+        request = SearchRequest(
+            query=args.query,
+            index=args.index,
+            mode=mode,
+            top_k=args.top_k,
+            weights=_parse_weights(args.weight),
+        )
         result = service.execute(request)
     except (ServiceError, ValueError) as error:
         message = error.info.message if isinstance(error, ServiceError) else str(error)
@@ -304,6 +331,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if args.json:
         # The same SearchResponse JSON the HTTP API returns for this request.
         print(SearchResponse.from_result(request, result).to_json(indent=2))
+    elif result.scores is not None:
+        # Ranked mode: best-first with each document's normalized score.
+        for score, document in zip(result.scores, result.documents):
+            print(f"{score:.4f}\t{document.text}")
     else:
         for document in result.documents:
             print(document.text)
@@ -332,13 +363,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         return 2
     service = _open_service(args)
     if args.query:
-        if args.regex:
-            mode = "regex"
-        elif args.boolean:
-            mode = "boolean"
-        else:
-            mode = "keyword"
-        request = SearchRequest(query=args.query, index=args.index, mode=mode, top_k=args.top_k)
+        request = SearchRequest(
+            query=args.query, index=args.index, mode=_resolve_mode(args), top_k=args.top_k
+        )
         try:
             for _ in range(args.repeat):
                 service.execute(request)
@@ -607,9 +634,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(search)
     search.add_argument("--index", required=True, help="index name (blob prefix)")
     search.add_argument("--query", required=True)
-    search.add_argument("--top-k", type=int, default=None)
+    search.add_argument(
+        "-k",
+        "--top-k",
+        dest="top_k",
+        type=int,
+        default=None,
+        help="result cap; for --mode topk-bm25 the ranked k (default 10)",
+    )
+    search.add_argument(
+        "--mode",
+        choices=("keyword", "boolean", "regex", "topk-bm25"),
+        default=None,
+        help="query mode (topk-bm25 returns BM25-scored results, best first)",
+    )
     search.add_argument("--boolean", action="store_true", help="treat the query as AND/OR syntax")
     search.add_argument("--regex", action="store_true", help="treat the query as a regular expression")
+    search.add_argument(
+        "--weight",
+        action="append",
+        metavar="TERM=MULTIPLIER",
+        help="boost/damp one query term in topk-bm25 mode (repeatable)",
+    )
     search.add_argument(
         "--json",
         action="store_true",
@@ -633,6 +679,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--index", help="index to open / query (optional)")
     stats.add_argument("--query", help="query to replay before snapshotting (needs --index)")
     stats.add_argument("--top-k", type=int, default=None)
+    stats.add_argument(
+        "--mode",
+        choices=("keyword", "boolean", "regex", "topk-bm25"),
+        default=None,
+        help="query mode for the replayed query",
+    )
     stats.add_argument("--boolean", action="store_true", help="treat the query as AND/OR syntax")
     stats.add_argument("--regex", action="store_true", help="treat the query as a regular expression")
     stats.add_argument(

@@ -476,7 +476,16 @@ class QueryRouter:
                 if ref not in seen:
                     seen.add(ref)
                     documents.append(document)
-        documents.sort(key=lambda d: (d.blob, d.offset, d.length))
+        if request.mode == "topk_bm25":
+            # Ranked gather: every node scored with the same corpus-wide
+            # statistics, so merging the per-node top-k lists best-first
+            # (posting order breaks ties) reproduces the single-node ranked
+            # list exactly.
+            documents.sort(
+                key=lambda d: (-(d.score or 0.0), d.blob, d.offset, d.length)
+            )
+        else:
+            documents.sort(key=lambda d: (d.blob, d.offset, d.length))
         if request.top_k is not None:
             documents = documents[: request.top_k]
         latency = LatencyInfo(

@@ -43,6 +43,7 @@ from repro.index.sharding import (
     shard_index_name,
     write_shard_manifest,
 )
+from repro.index.stats import build_stats, encode_stats, stats_blob_name
 from repro.parsing.corpus import CorpusParser, LineDelimitedCorpusParser
 from repro.parsing.documents import Document, Posting
 from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
@@ -61,10 +62,14 @@ class BuiltIndex:
     mht: MultilayerHashTable
     profile: CorpusProfile
     config: SketchConfig
+    stats_blob: str = ""
 
     def storage_bytes(self, store: ObjectStore) -> int:
         """Total bytes the index occupies in cloud storage."""
-        return store.size(self.header_blob) + store.size(self.superpost_blob)
+        total = store.size(self.header_blob) + store.size(self.superpost_blob)
+        if self.stats_blob:
+            total += store.size(self.stats_blob)
+        return total
 
 
 @dataclass
@@ -216,6 +221,12 @@ class AirphantBuilder:
         sketch, word_weights = self._populate_sketch(documents, profile, num_layers)
         metadata = self._make_metadata(corpus_name, profile, sketch, num_layers)
         compacted = self._persist(sketch, metadata, index_name, word_weights)
+        # Ranking statistics ride along with every build: exact doc lengths
+        # and term frequencies (mode="topk_bm25" scores from them without
+        # touching document text).  Written last, so a crash mid-build leaves
+        # a membership-only index rather than stats for a missing sketch.
+        stats_blob = stats_blob_name(index_name)
+        self._store.put(stats_blob, encode_stats(build_stats(documents, self._tokenizer)))
         return BuiltIndex(
             index_name=index_name,
             header_blob=f"{index_name}/{HEADER_BLOB_SUFFIX}",
@@ -224,6 +235,7 @@ class AirphantBuilder:
             mht=compacted.mht,
             profile=profile,
             config=self._config,
+            stats_blob=stats_blob,
         )
 
     # -- sharded build --------------------------------------------------------------
@@ -308,6 +320,7 @@ class AirphantBuilder:
             keep = {shard_index_name(index_name, shard) for shard in range(num_shards)}
             self._store.delete(f"{index_name}/{HEADER_BLOB_SUFFIX}")
             self._store.delete(f"{index_name}/{SUPERPOST_BLOB_SUFFIX}")
+            self._store.delete(stats_blob_name(index_name))
         for blob in self._store.list_blobs(prefix=f"{index_name}{SHARD_MARKER}"):
             shard_name = blob.rsplit("/", 1)[0]
             if shard_name not in keep:

@@ -36,6 +36,7 @@ from repro.ingest.memtable import Memtable, MemtableSearcher
 from repro.ingest.wal import WriteAheadLog, ingest_manifest_blob
 from repro.observability import MetricsRegistry
 from repro.parsing.documents import Document
+from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
 from repro.search.multi import MultiIndexSearcher
 from repro.storage.base import ObjectStore
 
@@ -392,9 +393,12 @@ class LiveSearcher(MultiIndexSearcher):
     lifecycles, the memtables own nothing closable.
     """
 
-    def __init__(self, members: Callable[[], list[Any]]) -> None:
+    def __init__(
+        self, members: Callable[[], list[Any]], tokenizer: Tokenizer | None = None
+    ) -> None:
         # Deliberately no super().__init__: members are computed per call.
         self._provider = members
+        self._tokenizer = tokenizer if tokenizer is not None else WhitespaceAnalyzer()
         self.init_latency_ms = 0.0
 
     @property

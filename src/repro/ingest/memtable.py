@@ -20,9 +20,11 @@ import threading
 from typing import Iterable, Sequence
 
 from repro.core.superpost import Superpost
+from repro.index.stats import IndexStats, build_stats
 from repro.parsing.documents import Document, Posting
 from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
 from repro.search.boolean import BooleanQuery, Term, parse_boolean_query
+from repro.search.ranking import BM25Params, execute_topk
 from repro.search.results import LatencyBreakdown, SearchResult
 
 
@@ -135,6 +137,47 @@ class MemtableSearcher:
     def lookup_postings(self, word: str) -> tuple[list[Posting], LatencyBreakdown]:
         """Exact term lookup (no storage round trips, hence zero latency)."""
         return sorted(self._memtable.postings(word)), LatencyBreakdown()
+
+    # -- ranked retrieval (mode="topk_bm25") ---------------------------------------
+
+    def ranking_stats(self) -> IndexStats:
+        """Exact ranking statistics over the held documents.
+
+        Computed on demand from the in-memory text with the same analyzer as
+        the persisted stats blobs, so an unflushed document scores exactly as
+        it will after the flush persists it.
+        """
+        return build_stats(self._memtable.documents(), self._memtable.tokenizer)
+
+    def ranked_candidates(
+        self, words: Sequence[str], latency: LatencyBreakdown
+    ) -> Superpost:
+        """Conjunctive candidates for a ranked query (exact, zero latency)."""
+        return Superpost.intersect_all(
+            Superpost(self._memtable.postings(word)) for word in words
+        )
+
+    def fetch_documents(
+        self, postings: Sequence[Posting], latency: LatencyBreakdown
+    ) -> list[Document]:
+        """Resolve postings straight from memory (member protocol)."""
+        documents: list[Document] = []
+        for posting in postings:
+            document = self._memtable.document(posting)
+            if document is not None:
+                documents.append(document)
+        return documents
+
+    def search_topk(
+        self,
+        query: str,
+        k: int,
+        weights: dict[str, float] | None = None,
+        params: BM25Params | None = None,
+    ) -> SearchResult:
+        """BM25 top-k over the memtable alone (read-your-writes for ranks)."""
+        words = list(dict.fromkeys(self._memtable.tokenizer.tokenize(query)))
+        return execute_topk([self], words, query, k, params=params, weights=weights)
 
     # -- execution -----------------------------------------------------------------
 

@@ -14,8 +14,9 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.parsing.documents import Document, Posting
-from repro.parsing.tokenizer import Tokenizer
+from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
 from repro.search.boolean import BooleanQuery
+from repro.search.ranking import BM25Params, execute_topk
 from repro.search.replication import HedgingPolicy
 from repro.search.results import LatencyBreakdown, SearchResult
 from repro.search.sharded import ShardedSearcher
@@ -48,6 +49,7 @@ class MultiIndexSearcher:
     ) -> None:
         if not index_names:
             raise ValueError("MultiIndexSearcher needs at least one index")
+        self._tokenizer = tokenizer if tokenizer is not None else WhitespaceAnalyzer()
         self._searchers = [
             ShardedSearcher(
                 store,
@@ -137,6 +139,26 @@ class MultiIndexSearcher:
         ]
         label = per_index[0].query if per_index else ""
         return self._merge(label, per_index, top_k)
+
+    def search_topk(
+        self,
+        query: str,
+        k: int,
+        weights: dict[str, float] | None = None,
+        params: BM25Params | None = None,
+    ) -> SearchResult:
+        """BM25 top-k over the union of all member indexes.
+
+        Every member contributes its exact ranking statistics; the executor
+        merges them by posting (a document transiently visible in two members
+        mid-flush counts once) and scores all members' candidates against the
+        merged, corpus-wide statistics — so the ranked list matches what a
+        fresh single-index rebuild over the same documents would return.
+        """
+        words = list(dict.fromkeys(self._tokenizer.tokenize(query)))
+        return execute_topk(
+            list(self._searchers), words, query, k, params=params, weights=weights
+        )
 
     def lookup_postings(self, word: str) -> tuple[list[Posting], LatencyBreakdown]:
         """Term-index lookup across all indexes, merged and de-duplicated.

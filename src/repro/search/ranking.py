@@ -1,0 +1,291 @@
+"""BM25 top-k ranked retrieval over Airphant indexes.
+
+``mode="topk_bm25"`` keeps the membership machinery intact and layers
+scoring on top of it:
+
+1. **candidates** come from the superposts exactly like a keyword query
+   (every member's per-word layer intersections, unioned across shards) — a
+   slight superset of the true matches;
+2. **scores** come from the persisted :mod:`~repro.index.stats` blob:
+   ``score(d) = Σ_t w_t · idf(t) · tf(t,d)·(k1+1) / (tf(t,d) + k1·(1 − b +
+   b·|d|/avgdl))`` with the classic ``k1 = 1.2``, ``b = 0.75`` defaults and
+   optional per-term field weights ``w_t``.  Because the stats are exact, a
+   candidate with ``tf = 0`` for any query term is provably a false positive
+   (or a partial match) and is dropped *without fetching its text* — ranked
+   queries retrieve document bytes only for the final top-k;
+3. **normalization** divides by the query's supremum score
+   ``Σ_t w_t · idf(t) · (k1+1)`` (the tf saturation term is strictly below
+   ``k1+1``), so every score lands in ``[0, 1)`` and scores are comparable
+   across queries;
+4. **merging** is deterministic: ties break on the posting's
+   ``(blob, offset, length)`` order, so repeated runs, rebuilt indexes,
+   sharded fan-outs, and routed clusters all produce the identical ranked
+   list.
+
+Cross-tier identity hinges on one invariant: *every* execution scores with
+the same corpus-wide statistics.  Members therefore expose their exact
+stats contribution (:meth:`ranking_stats`), the executor merges them by
+posting (so a document counts once even if it is transiently visible in two
+members mid-flush), and a shard-restricted view still reports its *full*
+index stats — a node answering shards {2,3} uses the same IDF as the node
+answering {0,1}, which is what makes routed answers byte-identical to
+single-node ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence
+
+from repro.core.superpost import Superpost
+from repro.index.stats import IndexStats, idf, merge_stats
+from repro.parsing.documents import Document, Posting
+from repro.search.results import LatencyBreakdown, SearchResult
+
+#: Default ranked result count when neither the request nor the service
+#: config pins one (the "bounded k" contract: ranked queries never return
+#: the whole candidate set).
+DEFAULT_RANKED_K = 10
+
+#: Hard ceiling on ranked k — scoring is in-memory, but document retrieval
+#: for the final list is not, and an unbounded k defeats the mode's point.
+MAX_RANKED_K = 10_000
+
+
+@dataclass(frozen=True)
+class BM25Params:
+    """The two BM25 free parameters (paper-classic defaults)."""
+
+    k1: float = 1.2
+    b: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.k1 < 0:
+            raise ValueError(f"k1 must be non-negative, got {self.k1}")
+        if not 0.0 <= self.b <= 1.0:
+            raise ValueError(f"b must be within [0, 1], got {self.b}")
+
+
+@dataclass(frozen=True)
+class ScoredHit:
+    """One ranked result: the document reference plus its normalized score."""
+
+    posting: Posting
+    score: float
+
+
+class RankedMember(Protocol):
+    """What :func:`execute_topk` needs from each member searcher.
+
+    Implemented by :class:`~repro.search.searcher.AirphantSearcher` (hence
+    :class:`~repro.search.sharded.ShardedSearcher` and its shard-restricted
+    views) and :class:`~repro.ingest.memtable.MemtableSearcher`, so the
+    combined live view ranks memtable ∪ deltas ∪ base with no special cases.
+    """
+
+    def ranking_stats(self) -> IndexStats:
+        """This member's exact stats contribution (may raise
+        :class:`~repro.index.stats.RankingUnsupportedError`)."""
+        ...
+
+    def ranked_candidates(
+        self, words: Sequence[str], latency: LatencyBreakdown
+    ) -> Superpost:
+        """Conjunctive candidate postings for ``words`` (membership superset)."""
+        ...
+
+    def fetch_documents(
+        self, postings: Sequence[Posting], latency: LatencyBreakdown
+    ) -> list[Document]:
+        """Retrieve document text for ``postings`` (one batch, no filtering)."""
+        ...
+
+
+def normalize_weights(
+    words: Sequence[str], weights: Mapping[str, float] | None
+) -> dict[str, float]:
+    """Per-term weights for ``words`` (1.0 where unspecified)."""
+    if not weights:
+        return {word: 1.0 for word in words}
+    return {word: float(weights.get(word, 1.0)) for word in words}
+
+
+def score_posting(
+    posting: Posting,
+    words: Sequence[str],
+    term_frequencies: Mapping[str, Mapping[Posting, int]],
+    doc_lengths: Mapping[Posting, int],
+    idf_by_word: Mapping[str, float],
+    weights: Mapping[str, float],
+    params: BM25Params,
+    avg_doc_length: float,
+    max_score: float,
+) -> float | None:
+    """Normalized BM25 score of one candidate, or ``None`` to drop it.
+
+    ``None`` means the exact stats refute the candidate: it misses at least
+    one query term (a sketch false positive, or a partial match under the
+    conjunctive contract), or it is unknown to the stats entirely.
+    """
+    doc_length = doc_lengths.get(posting)
+    if doc_length is None:
+        return None
+    if avg_doc_length > 0:
+        norm = 1.0 - params.b + params.b * (doc_length / avg_doc_length)
+    else:
+        norm = 1.0
+    score = 0.0
+    for word in words:
+        tf = term_frequencies[word].get(posting, 0)
+        if tf == 0:
+            return None
+        score += (
+            weights[word]
+            * idf_by_word[word]
+            * (tf * (params.k1 + 1.0))
+            / (tf + params.k1 * norm)
+        )
+    if max_score <= 0.0 or not math.isfinite(max_score):
+        return 0.0
+    # At k1 = 0 the saturation term attains its supremum exactly and float
+    # rounding can land a hair above 1.0; clamp to keep the [0, 1] contract.
+    return min(score / max_score, 1.0)
+
+
+def execute_topk(
+    members: Sequence[RankedMember],
+    words: Sequence[str],
+    label: str,
+    k: int,
+    params: BM25Params | None = None,
+    weights: Mapping[str, float] | None = None,
+) -> SearchResult:
+    """Run one BM25 top-k query over ``members`` and merge deterministically.
+
+    The shared flow behind every execution tier: a standalone searcher, a
+    sharded index, the live memtable ∪ deltas ∪ base view, and each node of
+    a routed cluster all funnel through here, which is what keeps their
+    ranked lists identical.
+
+    Raises :class:`~repro.index.stats.RankingUnsupportedError` if any member
+    index lacks ranking statistics, and ``ValueError`` for an invalid ``k``.
+    """
+    if k <= 0:
+        raise ValueError(f"ranked queries need a positive k, got {k}")
+    k = min(k, MAX_RANKED_K)
+    params = params if params is not None else BM25Params()
+    if not words:
+        return SearchResult(query=label, scores=[])
+
+    # Corpus-wide statistics, merged by posting so overlapping members (a
+    # document mid-flush) never double-count.
+    member_stats = [member.ranking_stats() for member in members]
+    merged = merge_stats(member_stats)
+    avg_doc_length = merged.average_length
+    idf_by_word = {
+        word: idf(merged.num_documents, merged.doc_frequency(word)) for word in words
+    }
+    weight_by_word = normalize_weights(words, weights)
+    max_score = sum(
+        weight_by_word[word] * idf_by_word[word] * (params.k1 + 1.0) for word in words
+    )
+    term_frequencies = {
+        word: merged.term_frequencies.get(word, {}) for word in words
+    }
+
+    # Candidates per member (their superpost intersections), scored against
+    # the *global* statistics.  Latencies merge with the multi-index
+    # convention: members proceed in parallel (max) while bytes and round
+    # trips are real work (sum).
+    member_latencies: list[LatencyBreakdown] = []
+    candidate_postings: list[Posting] = []
+    candidate_seen: set[Posting] = set()
+    scored: dict[Posting, tuple[float, int]] = {}
+    for member_index, member in enumerate(members):
+        member_latency = LatencyBreakdown()
+        candidates = member.ranked_candidates(words, member_latency)
+        member_latencies.append(member_latency)
+        for posting in candidates.sorted_postings():
+            if posting in candidate_seen:
+                continue
+            candidate_seen.add(posting)
+            candidate_postings.append(posting)
+            score = score_posting(
+                posting,
+                words,
+                term_frequencies,
+                merged.doc_lengths,
+                idf_by_word,
+                weight_by_word,
+                params,
+                avg_doc_length,
+                max_score,
+            )
+            if score is not None:
+                scored[posting] = (score, member_index)
+
+    ranked = sorted(scored.items(), key=lambda item: (-item[1][0], item[0]))[:k]
+
+    # Retrieve text only for the winners, each posting through the member
+    # that produced it (the memtable answers from memory, persisted members
+    # batch range reads through their pipelines).
+    retrieval_latencies: list[LatencyBreakdown] = []
+    documents_by_posting: dict[Posting, Document] = {}
+    for member_index, member in enumerate(members):
+        wanted = [
+            posting
+            for posting, (_, owner) in ranked
+            if owner == member_index
+        ]
+        if not wanted:
+            continue
+        retrieval_latency = LatencyBreakdown()
+        for document in member.fetch_documents(wanted, retrieval_latency):
+            documents_by_posting[document.ref] = document
+        retrieval_latencies.append(retrieval_latency)
+
+    documents: list[Document] = []
+    scores: list[float] = []
+    for posting, (score, _) in ranked:
+        document = documents_by_posting.get(posting)
+        if document is None:
+            continue
+        documents.append(document)
+        scores.append(score)
+
+    candidate_postings.sort()
+    return SearchResult(
+        query=label,
+        documents=documents,
+        scores=scores,
+        candidate_postings=candidate_postings,
+        false_positive_count=len(candidate_postings) - len(scored),
+        latency=_merge_latencies(member_latencies + retrieval_latencies),
+    )
+
+
+def _merge_latencies(latencies: Sequence[LatencyBreakdown]) -> LatencyBreakdown:
+    """Parallel-member latency merge (max elapsed, summed bytes/trips)."""
+    if not latencies:
+        return LatencyBreakdown()
+    return LatencyBreakdown(
+        lookup_ms=max(latency.lookup_ms for latency in latencies),
+        retrieval_ms=max(latency.retrieval_ms for latency in latencies),
+        wait_ms=max(latency.wait_ms for latency in latencies),
+        download_ms=sum(latency.download_ms for latency in latencies),
+        bytes_fetched=sum(latency.bytes_fetched for latency in latencies),
+        round_trips=sum(latency.round_trips for latency in latencies),
+    )
+
+
+__all__ = [
+    "DEFAULT_RANKED_K",
+    "MAX_RANKED_K",
+    "BM25Params",
+    "RankedMember",
+    "ScoredHit",
+    "execute_topk",
+    "normalize_weights",
+    "score_posting",
+]

@@ -73,6 +73,9 @@ class SearchResult:
     candidate_postings: list[Posting] = field(default_factory=list)
     false_positive_count: int = 0
     latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    #: Ranked modes only: normalized BM25 scores aligned with ``documents``
+    #: (best first).  ``None`` for membership/Boolean results.
+    scores: list[float] | None = None
 
     @property
     def num_results(self) -> int:
@@ -104,12 +107,14 @@ class SearchResult:
         range-read the documents themselves.
         """
         documents = []
-        for document in self.documents:
+        for position, document in enumerate(self.documents):
             entry: dict[str, Any] = {
                 "blob": document.blob,
                 "offset": document.offset,
                 "length": document.length,
             }
+            if self.scores is not None and position < len(self.scores):
+                entry["score"] = self.scores[position]
             if include_text:
                 entry["text"] = document.text
             documents.append(entry)

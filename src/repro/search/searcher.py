@@ -24,15 +24,37 @@ from repro.core.superpost import Superpost
 from repro.index.compaction import HEADER_BLOB_SUFFIX, decode_header
 from repro.index.metadata import IndexMetadata
 from repro.index.serialization import FORMAT_V1, StringTable, decode_superpost
+from repro.index.stats import (
+    IndexStats,
+    RankingUnsupportedError,
+    decode_stats,
+    stats_blob_name,
+)
 from repro.parsing.documents import Document, Posting
 from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
 from repro.search.boolean import BooleanQuery, Term, parse_boolean_query
+from repro.search.ranking import BM25Params, execute_topk
 from repro.search.replication import HedgingPolicy
 from repro.search.results import LatencyBreakdown, SearchResult
 from repro.storage.base import ObjectStore, RangeRead
 from repro.storage.parallel import ParallelFetcher
 from repro.storage.pipeline import ReadPipeline
 from repro.storage.simulated import SimulatedCloudStore
+
+
+class _StatsCache:
+    """Lazily-loaded ranking statistics, shared across searcher views.
+
+    A mutable holder (rather than a plain attribute) so that shard-restricted
+    copies of a :class:`~repro.search.sharded.ShardedSearcher` — created with
+    ``copy.copy`` — keep pointing at the *same* cache: whichever view loads
+    the stats first, every view scores with the identical full-corpus
+    statistics afterwards.
+    """
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.stats: IndexStats | None = None
 
 
 class AirphantSearcher:
@@ -82,6 +104,10 @@ class AirphantSearcher:
         self._cache_lock = threading.Lock()
         self.cache_hits: int = 0
         self.cache_misses: int = 0
+        # Ranking statistics (mode="topk_bm25") load lazily on the first
+        # ranked query — membership-only workloads never pay for them.
+        self._stats_cache = _StatsCache()
+        self.stats_load_ms: float = 0.0
 
     # -- initialization -----------------------------------------------------------
 
@@ -301,6 +327,87 @@ class AirphantSearcher:
             self._query_cache.move_to_end(word)
             while len(self._query_cache) > self._query_cache_size:
                 self._query_cache.popitem(last=False)
+
+    # -- ranked retrieval (mode="topk_bm25") -----------------------------------------
+
+    def ranking_stats(self) -> IndexStats:
+        """The index's persisted ranking statistics (loaded once, cached).
+
+        Like the header, the stats blob is a one-time download amortized over
+        every later ranked query; its latency is recorded in
+        ``stats_load_ms`` rather than charged to any single query.
+
+        Raises :class:`~repro.index.stats.RankingUnsupportedError` when the
+        index was built before ranked retrieval existed (no stats blob).
+        """
+        with self._stats_cache.lock:
+            if self._stats_cache.stats is None:
+                self._stats_cache.stats = self._load_stats()
+            return self._stats_cache.stats
+
+    def _load_stats(self) -> IndexStats:
+        from repro.storage.base import BlobNotFoundError
+
+        blob = stats_blob_name(self._index_name)
+        try:
+            if isinstance(self._store, SimulatedCloudStore):
+                data, record = self._store.timed_get(blob)
+                self.stats_load_ms += record.total_ms
+            else:
+                data = self._store.get(blob)
+        except BlobNotFoundError:
+            raise RankingUnsupportedError(
+                self._index_name, "no ranking statistics blob"
+            ) from None
+        return decode_stats(data, index_name=self._index_name)
+
+    def ranked_candidates(
+        self, words: list[str], latency: LatencyBreakdown
+    ) -> Superpost:
+        """Conjunctive candidate postings for a ranked query (member protocol)."""
+        self._require_initialized()
+        return self._lookup_terms(list(words), latency)
+
+    def fetch_documents(
+        self, postings: list[Posting], latency: LatencyBreakdown
+    ) -> list[Document]:
+        """Retrieve the named documents in one pipelined batch, unfiltered.
+
+        Ranked queries call this only for the final top-k — the exact stats
+        already filtered false positives, so no text check is needed.
+        """
+        if not postings:
+            return []
+        requests = [posting.to_range_read() for posting in postings]
+        fetch = self._pipeline.fetch(requests)
+        if fetch.batch.requests:
+            latency.add_retrieval(
+                fetch.batch.total_ms,
+                fetch.batch.wait_ms,
+                fetch.batch.download_ms,
+                fetch.batch.nbytes,
+            )
+        documents: list[Document] = []
+        for posting, payload in zip(postings, fetch.payloads):
+            if payload is None:
+                continue
+            documents.append(
+                Document(ref=posting, text=payload.decode("utf-8", errors="replace"))
+            )
+        return documents
+
+    def search_topk(
+        self,
+        query: str,
+        k: int,
+        weights: dict[str, float] | None = None,
+        params: BM25Params | None = None,
+    ) -> SearchResult:
+        """BM25 top-k ranked retrieval: the best ``k`` documents matching all
+        query terms, scored into [0, 1] and ordered best-first."""
+        self._require_initialized()
+        words = list(dict.fromkeys(self._tokenizer.tokenize(query)))
+        return execute_topk([self], words, query, k, params=params, weights=weights)
 
     # -- full searches ---------------------------------------------------------------
 

@@ -35,6 +35,13 @@ from repro.core.superpost import Superpost
 from repro.index.compaction import HEADER_BLOB_SUFFIX, decode_header
 from repro.index.metadata import IndexMetadata, ShardManifest, merge_shard_metadata
 from repro.index.serialization import StringTable, decode_superpost
+from repro.index.stats import (
+    IndexStats,
+    RankingUnsupportedError,
+    decode_stats,
+    merge_stats,
+    stats_blob_name,
+)
 from repro.search.results import LatencyBreakdown
 from repro.search.searcher import AirphantSearcher
 from repro.storage.base import BlobNotFoundError, RangeRead
@@ -212,6 +219,36 @@ class ShardedSearcher(AirphantSearcher):
             partitioner=(
                 self._shard_manifest.partitioner if self._shard_manifest else "hash"
             ),
+        )
+
+    # -- ranked retrieval ----------------------------------------------------------
+
+    def _load_stats(self) -> IndexStats:
+        """Merge every shard's stats blob into full-corpus statistics.
+
+        Always loads over the **manifest's** complete shard list — never the
+        restricted subset — so a shard-restricted view scores with exactly
+        the same corpus-wide IDF and average length as the full searcher (and
+        as every other node of a routed cluster).  The shared ``_StatsCache``
+        means whichever view triggers the load, all views reuse it.
+        """
+        if self._shard_manifest is None:
+            return super()._load_stats()
+        requests = [
+            RangeRead(blob=stats_blob_name(entry.name))
+            for entry in self._shard_manifest.shards
+        ]
+        try:
+            fetch = self._fetcher.fetch(requests)
+        except BlobNotFoundError:
+            raise RankingUnsupportedError(
+                self._index_name, "one or more shards have no ranking statistics blob"
+            ) from None
+        if isinstance(self._store, SimulatedCloudStore):
+            self.stats_load_ms += fetch.batch.total_ms
+        return merge_stats(
+            decode_stats(payload, index_name=entry.name)
+            for entry, payload in zip(self._shard_manifest.shards, fetch.payloads)
         )
 
     # -- lookup ------------------------------------------------------------------

@@ -19,7 +19,7 @@ from repro.index.metadata import ShardEntry as ShardInfo
 from repro.search.results import SearchResult
 
 #: Query modes the service can dispatch.
-SEARCH_MODES = ("keyword", "boolean", "regex")
+SEARCH_MODES = ("keyword", "boolean", "regex", "topk_bm25")
 
 __all__ = [
     "SEARCH_MODES",
@@ -87,11 +87,19 @@ class SearchRequest:
 
     * ``"keyword"`` — whitespace keywords, implicitly AND-ed;
     * ``"boolean"`` — ``error AND (timeout OR refused)`` syntax;
-    * ``"regex"`` — a regular expression accelerated via its literal words.
+    * ``"regex"`` — a regular expression accelerated via its literal words;
+    * ``"topk_bm25"`` — BM25-ranked retrieval: the best ``top_k`` documents
+      matching all keywords, each with a score normalized into [0, 1].
 
     ``top_k`` caps the number of returned documents (top-K sampling,
-    Equation 6 of the paper); ``include_text`` controls whether document
-    bodies are returned or only their ``(blob, offset, length)`` references.
+    Equation 6 of the paper; for ``"topk_bm25"`` it is the ranked ``k``,
+    defaulting to the service's configured value); ``include_text`` controls
+    whether document bodies are returned or only their
+    ``(blob, offset, length)`` references.
+
+    ``weights`` (ranked mode only) boosts or damps individual query terms:
+    a ``{term: positive multiplier}`` mapping applied to each term's BM25
+    contribution.  Terms not named keep weight 1.0.
 
     ``shards`` restricts execution to a subset of the index's shard
     ordinals — the scatter half of the cluster tier's scatter-gather: a
@@ -107,6 +115,7 @@ class SearchRequest:
     top_k: int | None = None
     include_text: bool = True
     shards: tuple[int, ...] | None = None
+    weights: tuple[tuple[str, float], ...] | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.query, str) or not self.query.strip():
@@ -135,9 +144,46 @@ class SearchRequest:
                     raise ValueError(f"shard ordinals must be non-negative integers, got {ordinal!r}")
             # Canonical form: sorted, de-duplicated, immutable.
             object.__setattr__(self, "shards", tuple(sorted(set(ordinals))))
+        if self.weights is not None:
+            if self.mode != "topk_bm25":
+                raise ValueError("weights are only valid with mode='topk_bm25'")
+            if isinstance(self.weights, (str, bytes)) or not isinstance(
+                self.weights, (dict, list, tuple)
+            ):
+                raise ValueError(
+                    f"weights must map terms to positive numbers, got {self.weights!r}"
+                )
+            pairs = (
+                tuple(self.weights.items())
+                if isinstance(self.weights, dict)
+                else tuple(tuple(pair) for pair in self.weights)
+            )
+            for pair in pairs:
+                if len(pair) != 2:
+                    raise ValueError(f"malformed weight entry {pair!r}")
+                term, weight = pair
+                if not isinstance(term, str) or not term:
+                    raise ValueError(f"weight terms must be non-empty strings, got {term!r}")
+                if isinstance(weight, bool) or not isinstance(weight, (int, float)):
+                    raise ValueError(f"weight for {term!r} must be a number, got {weight!r}")
+                if not weight > 0:
+                    raise ValueError(f"weight for {term!r} must be positive, got {weight}")
+            # Canonical form: sorted by term, floats, immutable (the request
+            # stays hashable for caching layers).
+            canonical = tuple(
+                sorted((term, float(weight)) for term, weight in dict(pairs).items())
+            )
+            object.__setattr__(self, "weights", canonical)
+
+    @property
+    def weight_map(self) -> dict[str, float] | None:
+        """The canonicalized weights as a plain mapping (``None`` if unset)."""
+        if self.weights is None:
+            return None
+        return dict(self.weights)
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serializable representation (``shards`` only when set)."""
+        """JSON-serializable representation (``shards``/``weights`` only when set)."""
         payload: dict[str, Any] = {
             "query": self.query,
             "index": self.index,
@@ -147,6 +193,8 @@ class SearchRequest:
         }
         if self.shards is not None:
             payload["shards"] = list(self.shards)
+        if self.weights is not None:
+            payload["weights"] = dict(self.weights)
         return payload
 
     def to_json(self, indent: int | None = None) -> str:
@@ -181,14 +229,18 @@ class DocumentHit:
     offset: int
     length: int
     text: str | None = None
+    #: Ranked modes only: the document's normalized BM25 score in [0, 1].
+    score: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-serializable representation (text omitted when absent)."""
+        """JSON-serializable representation (text/score omitted when absent)."""
         entry: dict[str, Any] = {
             "blob": self.blob,
             "offset": self.offset,
             "length": self.length,
         }
+        if self.score is not None:
+            entry["score"] = self.score
         if self.text is not None:
             entry["text"] = self.text
         return entry
@@ -196,11 +248,13 @@ class DocumentHit:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "DocumentHit":
         """Rebuild from :meth:`to_dict` output."""
+        score = data.get("score")
         return cls(
             blob=str(data["blob"]),
             offset=int(data["offset"]),
             length=int(data["length"]),
             text=data.get("text"),
+            score=float(score) if score is not None else None,
         )
 
 
@@ -306,14 +360,20 @@ class SearchResponse:
     @classmethod
     def from_result(cls, request: SearchRequest, result: SearchResult) -> "SearchResponse":
         """Build the response for ``request`` from a searcher's ``result``."""
+        scores = result.scores
         documents = tuple(
             DocumentHit(
                 blob=document.blob,
                 offset=document.offset,
                 length=document.length,
                 text=document.text if request.include_text else None,
+                score=(
+                    scores[position]
+                    if scores is not None and position < len(scores)
+                    else None
+                ),
             )
-            for document in result.documents
+            for position, document in enumerate(result.documents)
         )
         latency = result.latency
         return cls(

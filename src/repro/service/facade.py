@@ -12,6 +12,7 @@ searchers by hand.
 
 from __future__ import annotations
 
+import dataclasses
 import re
 import time
 import weakref
@@ -22,10 +23,12 @@ from repro.cluster.router import QueryRouter
 from repro.core.config import SketchConfig
 from repro.observability import NULL_REGISTRY, MetricsRegistry, get_registry
 from repro.index.builder import AirphantBuilder
+from repro.index.stats import RankingUnsupportedError
 from repro.index.updates import AppendOnlyIndexManager
 from repro.ingest.live import IngestCoordinator, LiveSearcher
 from repro.parsing.documents import Posting
 from repro.search.multi import MultiIndexSearcher
+from repro.search.ranking import DEFAULT_RANKED_K
 from repro.search.regexsearch import RegexSearcher
 from repro.search.results import LatencyBreakdown, SearchResult
 from repro.search.sharded import ShardedSearcher
@@ -319,9 +322,22 @@ class AirphantService:
         sub-requests themselves — is always answered locally, which is what
         keeps routing from recursing.
         """
+        if request.mode == "topk_bm25" and request.top_k is None:
+            # Materialize the default k into the request *before* any
+            # routing: the scattered sub-requests and the router's global
+            # truncation must agree on the same explicit k.
+            request = dataclasses.replace(request, top_k=self._ranked_k(None))
         if self._router is not None and request.shards is None:
             return self._router.route(request)
         return SearchResponse.from_result(request, self.execute(request))
+
+    def _ranked_k(self, top_k: int | None) -> int:
+        """The effective ranked k: explicit, else configured, else 10."""
+        if top_k is not None:
+            return top_k
+        if self._config.default_top_k is not None:
+            return self._config.default_top_k
+        return DEFAULT_RANKED_K
 
     def execute(self, request: SearchRequest) -> SearchResult:
         """Dispatch ``request`` to the right query mode, returning the raw result.
@@ -364,7 +380,17 @@ class AirphantService:
                         searcher, min_literal_length=self._config.min_literal_length
                     )
                     return regex.search(request.query, top_k=top_k)
+                if request.mode == "topk_bm25":
+                    return searcher.search_topk(
+                        request.query,
+                        k=self._ranked_k(request.top_k),
+                        weights=request.weight_map,
+                    )
                 return searcher.search(request.query, top_k=top_k)
+        except RankingUnsupportedError as error:
+            # The index predates ranked retrieval (no stats blob): a typed
+            # rejection telling the caller to rebuild, not a crash.
+            raise ServiceError(400, "ranking_unavailable", str(error)) from error
         except (ValueError, re.error) as error:
             # Malformed Boolean syntax, bad regex, or a regex with no literal
             # words to filter on — the request, not the service, is at fault.

@@ -1,4 +1,4 @@
-"""Cranfield-like corpus generator.
+"""Cranfield-like corpus generator and relevance judgments.
 
 The Cranfield 1400 collection (1398 abstracts of aerodynamics research
 papers) cannot be bundled here, so this generator produces a corpus with the
@@ -7,9 +7,27 @@ distinct terms, 1.2 × 10⁵ total words (≈ 85 words per abstract), with a
 Zipfian term distribution typical of natural-language text.  The vocabulary
 is synthesized from aerodynamics-flavoured stems and affixes so the examples
 read plausibly, but only the statistics matter to the index structures.
+
+For ranked retrieval (``mode="topk_bm25"``) the module adds the relevance
+side of the Cranfield methodology:
+
+* :func:`load_qrels` parses the collection's standard ``cranqrel`` judgment
+  format (``query_id doc_id relevance`` triples) into per-query gain maps,
+  so the real judgments drop in unchanged whenever the collection itself is
+  available;
+* :func:`generate_judged_queries` synthesizes judged queries *for the
+  generated corpus*: each query is a pair of co-occurring technical terms,
+  and each matching document receives a graded judgment derived from how
+  often the query terms actually occur in it.  The grades are a coarse
+  (bucketed) function of raw term counts — deliberately not the BM25 value
+  — so ranking quality metrics against them measure real ordering skill,
+  not a tautology.
 """
 
 from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -91,3 +109,115 @@ def generate_cranfield(
         indices = rng.choice(vocabulary_size, size=int(length), p=probabilities)
         lines.append(" ".join(vocabulary[int(index)] for index in indices))
     return _write_corpus(store, name, lines)
+
+
+# -- relevance judgments ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JudgedQuery:
+    """One query with graded relevance judgments.
+
+    ``judgments`` maps a document identifier (the 0-based line number for
+    generated corpora, the collection's document id for real qrels) to its
+    *gain*: 0 = not relevant, larger = more relevant.  Documents absent from
+    the map are unjudged and count as gain 0.
+    """
+
+    query: str
+    judgments: dict[int, int]
+
+
+def load_qrels(text: str) -> dict[int, dict[int, int]]:
+    """Parse the Cranfield ``cranqrel`` judgment file into gain maps.
+
+    The standard format is one whitespace-separated ``query_id doc_id code``
+    triple per line, where the historical relevance codes run 1 (a complete
+    answer to the question) through 4 (of minimal interest) — *lower is
+    better* — with stray ``-1`` entries meaning the same as 1.  The returned
+    gains invert that scale into the higher-is-better convention every rank
+    metric expects: code 1 → gain 4, code 4 → gain 1, anything outside the
+    scale → gain 0.
+
+    Blank and malformed lines are skipped (the distributed file contains a
+    few), so the real ``cranqrel`` can be fed in verbatim.
+    """
+    qrels: dict[int, dict[int, int]] = {}
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) < 3:
+            continue
+        try:
+            query_id, doc_id, code = int(parts[0]), int(parts[1]), int(parts[2])
+        except ValueError:
+            continue
+        if code == -1:
+            code = 1
+        gain = 5 - code if 1 <= code <= 4 else 0
+        qrels.setdefault(query_id, {})[doc_id] = gain
+    return qrels
+
+
+def generate_judged_queries(
+    corpus: GeneratedCorpus,
+    num_queries: int = 20,
+    seed: int = 0,
+    min_df: int = 10,
+    max_df: int = 400,
+    min_matches: int = 12,
+) -> list[JudgedQuery]:
+    """Synthesize judged two-term queries for a generated Cranfield corpus.
+
+    Query terms come from the mid-frequency technical band (``min_df`` ≤ df
+    ≤ ``max_df``: frequent enough to have co-occurrences, rare enough to be
+    discriminative), paired only when at least ``min_matches`` documents
+    contain both.  A matching document's gain buckets the *total* count of
+    query-term occurrences in it: 1–2 occurrences → 1, 3–4 → 2, 5–7 → 3,
+    8+ → 4.  Judgments are keyed by the document's 0-based line number.
+    """
+    term_counts: list[Counter[str]] = [
+        Counter(document.text.split()) for document in corpus.documents
+    ]
+    df: Counter[str] = Counter()
+    for counts in term_counts:
+        df.update(counts.keys())
+    candidates = sorted(
+        term
+        for term, count in df.items()
+        if min_df <= count <= max_df and term not in _CONNECTORS
+    )
+    rng = np.random.default_rng(seed)
+    rng.shuffle(candidates)
+
+    queries: list[JudgedQuery] = []
+    used: set[tuple[str, str]] = set()
+    for first in candidates:
+        if len(queries) >= num_queries:
+            break
+        for second in candidates:
+            if first >= second or (first, second) in used:
+                continue
+            judgments: dict[int, int] = {}
+            for doc_id, counts in enumerate(term_counts):
+                if counts[first] == 0 or counts[second] == 0:
+                    continue
+                total = counts[first] + counts[second]
+                if total >= 8:
+                    gain = 4
+                elif total >= 5:
+                    gain = 3
+                elif total >= 3:
+                    gain = 2
+                else:
+                    gain = 1
+                judgments[doc_id] = gain
+            if len(judgments) >= min_matches:
+                used.add((first, second))
+                queries.append(JudgedQuery(query=f"{first} {second}", judgments=judgments))
+                break
+    if len(queries) < num_queries:
+        raise ValueError(
+            f"could only synthesize {len(queries)} of {num_queries} judged queries; "
+            "relax min_df/max_df/min_matches or grow the corpus"
+        )
+    return queries

@@ -180,6 +180,68 @@ class TestRoutedEqualsSingleNode:
         assert "partial" not in routed
 
 
+class TestRankedIdentity:
+    """Routed BM25 answers must be byte-identical to the single-node oracle.
+
+    Per-node top-k truncation followed by the router's score-ordered merge is
+    exact because every node scores with the same corpus-wide statistics and
+    ties break on posting order — the global top-k is always contained in the
+    union of per-node top-ks.
+    """
+
+    @given(query=keyword_queries, top_k=st.integers(min_value=1, max_value=20))
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_ranked_identity(self, cluster, query, top_k):
+        routed_equals_local(
+            cluster,
+            SearchRequest(query=query, index="logs", mode="topk_bm25", top_k=top_k),
+        )
+
+    def test_ranked_default_k_identity(self, cluster):
+        routed_equals_local(
+            cluster, SearchRequest(query="block", index="logs", mode="topk_bm25")
+        )
+
+    def test_ranked_weighted_identity(self, cluster):
+        routed_equals_local(
+            cluster,
+            SearchRequest(
+                query="INFO block",
+                index="logs",
+                mode="topk_bm25",
+                top_k=15,
+                weights={"block": 4.0},
+            ),
+        )
+
+    def test_ranked_over_http_returns_descending_scores(self, cluster):
+        body = http_transport(
+            cluster.router_server.url,
+            "/search",
+            {"query": "INFO block", "index": "logs", "mode": "topk_bm25", "top_k": 5},
+            30.0,
+        )
+        scores = [document["score"] for document in body["documents"]]
+        assert len(scores) == body["num_results"] > 0
+        assert all(0.0 <= score <= 1.0 for score in scores)
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ranked_mode_counted_in_metrics(self, cluster):
+        http_transport(
+            cluster.peers[0],
+            "/search",
+            {"query": "INFO", "index": "logs", "mode": "topk_bm25"},
+            30.0,
+        )
+        with urllib.request.urlopen(f"{cluster.peers[0]}/metrics") as response:
+            text = response.read().decode("utf-8")
+        assert 'airphant_queries_total{mode="topk_bm25",index="logs"}' in text
+
+
 class TestShardSubsets:
     def test_disjoint_subsets_partition_the_answer(self, cluster):
         request = SearchRequest(query="INFO", index="logs")

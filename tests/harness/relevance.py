@@ -1,0 +1,104 @@
+"""Ranking-quality metrics against graded relevance judgments.
+
+The reusable evaluation half of the Cranfield methodology: given a ranked
+list of document identifiers and a ``{doc_id: gain}`` judgment map (see
+:func:`repro.workloads.cranfield.load_qrels` /
+:func:`~repro.workloads.cranfield.generate_judged_queries`), compute the
+standard rank metrics — nDCG@k, Precision@k, and (Mean) Average Precision.
+Used by the relevance regression tests and the ranking benchmark, so a
+quality floor asserted in CI and a number reported in RESULTS.md are always
+the same computation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def dcg_at_k(ranked_ids: Sequence[int], judgments: Mapping[int, int], k: int) -> float:
+    """Discounted cumulative gain of the first ``k`` ranked documents."""
+    total = 0.0
+    for position, doc_id in enumerate(ranked_ids[:k]):
+        gain = judgments.get(doc_id, 0)
+        if gain > 0:
+            total += (2**gain - 1) / math.log2(position + 2)
+    return total
+
+
+def ndcg_at_k(ranked_ids: Sequence[int], judgments: Mapping[int, int], k: int = 10) -> float:
+    """Normalized DCG@k in [0, 1] (1.0 = the ideal ordering; 0.0 if nothing
+    relevant is judged)."""
+    ideal_gains = sorted(judgments.values(), reverse=True)
+    ideal = 0.0
+    for position, gain in enumerate(ideal_gains[:k]):
+        if gain > 0:
+            ideal += (2**gain - 1) / math.log2(position + 2)
+    if ideal == 0.0:
+        return 0.0
+    return dcg_at_k(ranked_ids, judgments, k) / ideal
+
+
+def precision_at_k(
+    ranked_ids: Sequence[int], judgments: Mapping[int, int], k: int = 10
+) -> float:
+    """Fraction of the first ``k`` results that are relevant (gain > 0).
+
+    The denominator is ``k`` even when fewer results were returned — an
+    engine that finds 3 relevant documents out of a possible 10 scores 0.3
+    whether it padded the list or not.
+    """
+    if k <= 0:
+        return 0.0
+    relevant = sum(1 for doc_id in ranked_ids[:k] if judgments.get(doc_id, 0) > 0)
+    return relevant / k
+
+
+def average_precision(ranked_ids: Sequence[int], judgments: Mapping[int, int]) -> float:
+    """Average of precision values at each relevant rank (AP).
+
+    Normalized by the total number of relevant documents in the judgments,
+    so leaving relevant documents unretrieved costs score.
+    """
+    num_relevant = sum(1 for gain in judgments.values() if gain > 0)
+    if num_relevant == 0:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for position, doc_id in enumerate(ranked_ids):
+        if judgments.get(doc_id, 0) > 0:
+            hits += 1
+            total += hits / (position + 1)
+    return total / num_relevant
+
+
+def evaluate_rankings(
+    rankings: Sequence[Sequence[int]],
+    judgment_maps: Sequence[Mapping[int, int]],
+    k: int = 10,
+) -> dict[str, float]:
+    """Mean nDCG@k / P@k / MAP over a batch of (ranking, judgments) pairs."""
+    if len(rankings) != len(judgment_maps):
+        raise ValueError(
+            f"got {len(rankings)} rankings but {len(judgment_maps)} judgment maps"
+        )
+    if not rankings:
+        return {f"ndcg@{k}": 0.0, f"p@{k}": 0.0, "map": 0.0}
+    count = len(rankings)
+    return {
+        f"ndcg@{k}": sum(
+            ndcg_at_k(ranked, judgments, k)
+            for ranked, judgments in zip(rankings, judgment_maps)
+        )
+        / count,
+        f"p@{k}": sum(
+            precision_at_k(ranked, judgments, k)
+            for ranked, judgments in zip(rankings, judgment_maps)
+        )
+        / count,
+        "map": sum(
+            average_precision(ranked, judgments)
+            for ranked, judgments in zip(rankings, judgment_maps)
+        )
+        / count,
+    }

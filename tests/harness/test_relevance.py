@@ -1,0 +1,77 @@
+"""Unit tests for the rank-metric helpers in :mod:`harness.relevance`."""
+
+from __future__ import annotations
+
+import pytest
+
+from harness.relevance import (
+    average_precision,
+    dcg_at_k,
+    evaluate_rankings,
+    ndcg_at_k,
+    precision_at_k,
+)
+
+JUDGMENTS = {1: 4, 2: 2, 3: 1}
+
+
+class TestNdcg:
+    def test_ideal_ordering_scores_one(self):
+        assert ndcg_at_k([1, 2, 3], JUDGMENTS, k=10) == pytest.approx(1.0)
+
+    def test_reversed_ordering_scores_below_one(self):
+        value = ndcg_at_k([3, 2, 1], JUDGMENTS, k=10)
+        assert 0.0 < value < 1.0
+
+    def test_irrelevant_results_score_zero(self):
+        assert ndcg_at_k([7, 8, 9], JUDGMENTS, k=10) == 0.0
+
+    def test_no_relevant_judgments_scores_zero(self):
+        assert ndcg_at_k([1, 2], {1: 0, 2: 0}, k=10) == 0.0
+
+    def test_higher_gains_earlier_always_wins(self):
+        better = ndcg_at_k([1, 3, 2], JUDGMENTS, k=10)
+        worse = ndcg_at_k([2, 3, 1], JUDGMENTS, k=10)
+        assert better > worse
+
+    def test_dcg_uses_exponential_gains(self):
+        # Gain 2 at rank 1: (2^2 - 1) / log2(2) = 3.
+        assert dcg_at_k([2], JUDGMENTS, k=1) == pytest.approx(3.0)
+
+
+class TestPrecision:
+    def test_counts_relevant_in_prefix(self):
+        assert precision_at_k([1, 7, 2, 8], JUDGMENTS, k=4) == pytest.approx(0.5)
+
+    def test_short_result_lists_are_penalized(self):
+        # 3 relevant results against k=10 is 0.3, not 1.0.
+        assert precision_at_k([1, 2, 3], JUDGMENTS, k=10) == pytest.approx(0.3)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking_is_one(self):
+        assert average_precision([1, 2, 3], JUDGMENTS) == pytest.approx(1.0)
+
+    def test_missing_relevant_documents_cost_score(self):
+        assert average_precision([1], JUDGMENTS) == pytest.approx(1 / 3)
+
+    def test_no_relevant_judgments_is_zero(self):
+        assert average_precision([1, 2], {}) == 0.0
+
+
+class TestEvaluateRankings:
+    def test_averages_across_queries(self):
+        metrics = evaluate_rankings(
+            [[1, 2, 3], [3, 2, 1]], [JUDGMENTS, JUDGMENTS], k=3
+        )
+        assert metrics["ndcg@3"] == pytest.approx(
+            (ndcg_at_k([1, 2, 3], JUDGMENTS, 3) + ndcg_at_k([3, 2, 1], JUDGMENTS, 3)) / 2
+        )
+        assert metrics["p@3"] == pytest.approx(1.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            evaluate_rankings([[1]], [JUDGMENTS, JUDGMENTS])
+
+    def test_empty_batch_is_all_zero(self):
+        assert evaluate_rankings([], [], k=5) == {"ndcg@5": 0.0, "p@5": 0.0, "map": 0.0}

@@ -26,10 +26,14 @@ class TestBuildFromBlobs:
         assert built.metadata.num_terms == built.profile.num_terms
         assert built.metadata.num_layers >= 1
 
-    def test_storage_bytes_counts_both_blobs(self, sim_store, small_corpus_blob, small_config):
+    def test_storage_bytes_counts_all_blobs(self, sim_store, small_corpus_blob, small_config):
         builder = AirphantBuilder(sim_store, config=small_config)
         built = builder.build_from_blobs([small_corpus_blob], index_name="idx")
-        expected = sim_store.size(built.header_blob) + sim_store.size(built.superpost_blob)
+        expected = (
+            sim_store.size(built.header_blob)
+            + sim_store.size(built.superpost_blob)
+            + sim_store.size(built.stats_blob)
+        )
         assert built.storage_bytes(sim_store) == expected
 
 

@@ -141,7 +141,11 @@ class TestShardedBuild:
         # The manifest and every shard sub-index are gone: readers must not
         # keep answering from the old sharded corpus.
         assert read_shard_manifest(sim_store, "idx") is None
-        assert sim_store.list_blobs("idx/") == ["idx/header.json", "idx/superposts.bin"]
+        assert sim_store.list_blobs("idx/") == [
+            "idx/header.json",
+            "idx/stats.json",
+            "idx/superposts.bin",
+        ]
 
     def test_sharded_rebuild_removes_stale_single_shard_layout(
         self, sim_store, small_documents, small_config
@@ -154,6 +158,7 @@ class TestShardedBuild:
         )
         assert not sim_store.exists("idx/header.json")
         assert not sim_store.exists("idx/superposts.bin")
+        assert not sim_store.exists("idx/stats.json")
         assert read_shard_manifest(sim_store, "idx").num_shards == 2
 
     def test_resharding_to_fewer_shards_drops_orphans(

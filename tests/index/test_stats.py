@@ -1,0 +1,135 @@
+"""Unit tests for the persisted ranking-statistics blob."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.index.builder import AirphantBuilder
+from repro.index.stats import (
+    RankingUnsupportedError,
+    build_stats,
+    decode_stats,
+    encode_stats,
+    idf,
+    merge_stats,
+    stats_blob_name,
+)
+from repro.parsing.documents import Document, Posting
+from repro.parsing.tokenizer import WhitespaceAnalyzer
+
+
+def _doc(offset: int, text: str, blob: str = "corpus/a.txt") -> Document:
+    return Document(ref=Posting(blob=blob, offset=offset, length=len(text)), text=text)
+
+
+class TestBuildStats:
+    def test_exact_lengths_and_frequencies(self):
+        docs = [_doc(0, "a b a c"), _doc(10, "b b")]
+        stats = build_stats(docs, WhitespaceAnalyzer())
+        assert stats.num_documents == 2
+        assert stats.total_words == 6
+        assert stats.average_length == 3.0
+        assert stats.doc_lengths[docs[0].ref] == 4
+        assert stats.term_frequency("a", docs[0].ref) == 2
+        assert stats.term_frequency("b", docs[1].ref) == 2
+        assert stats.doc_frequency("b") == 2
+        assert stats.doc_frequency("c") == 1
+        assert stats.doc_frequency("missing") == 0
+
+    def test_duplicate_refs_count_once(self):
+        doc = _doc(0, "x y")
+        stats = build_stats([doc, doc], WhitespaceAnalyzer())
+        assert stats.num_documents == 1
+        assert stats.total_words == 2
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        docs = [_doc(0, "alpha beta alpha"), _doc(20, "beta gamma", blob="corpus/b.txt")]
+        stats = build_stats(docs, WhitespaceAnalyzer())
+        decoded = decode_stats(encode_stats(stats))
+        assert decoded.num_documents == stats.num_documents
+        assert decoded.total_words == stats.total_words
+        assert decoded.doc_lengths == stats.doc_lengths
+        assert decoded.term_frequencies == stats.term_frequencies
+
+    def test_encoding_is_deterministic(self):
+        docs = [_doc(0, "a b c"), _doc(10, "c b a")]
+        assert encode_stats(build_stats(docs, WhitespaceAnalyzer())) == encode_stats(
+            build_stats(list(reversed(docs)), WhitespaceAnalyzer())
+        )
+
+    def test_not_a_stats_blob_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            decode_stats(b'{"something": "else"}')
+
+    def test_unknown_version_is_the_typed_error(self):
+        payload = json.loads(encode_stats(build_stats([_doc(0, "a")], WhitespaceAnalyzer())))
+        payload["version"] = 99
+        with pytest.raises(RankingUnsupportedError) as excinfo:
+            decode_stats(json.dumps(payload).encode(), index_name="old-index")
+        assert excinfo.value.index_name == "old-index"
+        assert "rebuild" in str(excinfo.value)
+
+
+class TestMergeStats:
+    def test_disjoint_parts_sum(self):
+        a = build_stats([_doc(0, "x y")], WhitespaceAnalyzer())
+        b = build_stats([_doc(10, "y z z")], WhitespaceAnalyzer())
+        merged = merge_stats([a, b])
+        assert merged.num_documents == 2
+        assert merged.total_words == 5
+        assert merged.doc_frequency("y") == 2
+
+    def test_overlapping_documents_count_once(self):
+        # A document transiently visible in two members mid-flush.
+        doc = _doc(0, "x y")
+        a = build_stats([doc], WhitespaceAnalyzer())
+        b = build_stats([doc, _doc(10, "z")], WhitespaceAnalyzer())
+        merged = merge_stats([a, b])
+        assert merged.num_documents == 2
+        assert merged.total_words == 3
+        assert merged.doc_frequency("x") == 1
+
+
+class TestIdf:
+    def test_always_positive(self):
+        for num_documents in (1, 2, 100):
+            for doc_frequency in range(num_documents + 1):
+                assert idf(num_documents, doc_frequency) > 0
+
+    def test_monotone_decreasing_in_df(self):
+        values = [idf(100, df) for df in range(1, 101)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestBuilderIntegration:
+    def test_build_writes_stats_blob(self, sim_store, small_documents, small_config):
+        builder = AirphantBuilder(sim_store, config=small_config)
+        built = builder.build_from_documents(small_documents, index_name="with-stats")
+        assert built.stats_blob == stats_blob_name("with-stats")
+        stats = decode_stats(sim_store.get(built.stats_blob))
+        assert stats.num_documents == len(small_documents)
+
+    def test_sharded_build_writes_per_shard_stats(self, sim_store, small_documents, small_config):
+        builder = AirphantBuilder(sim_store, config=small_config, num_shards=2)
+        built = builder.build_from_documents(small_documents, index_name="sh")
+        total = 0
+        for shard in built.shards:
+            stats = decode_stats(sim_store.get(stats_blob_name(shard.index_name)))
+            total += stats.num_documents
+        assert total == len(small_documents)
+
+    def test_sharded_rebuild_drops_stale_toplevel_stats(
+        self, sim_store, small_documents, small_config
+    ):
+        AirphantBuilder(sim_store, config=small_config).build_from_documents(
+            small_documents, index_name="re"
+        )
+        assert sim_store.exists(stats_blob_name("re"))
+        AirphantBuilder(sim_store, config=small_config, num_shards=2).build_from_documents(
+            small_documents, index_name="re"
+        )
+        assert not sim_store.exists(stats_blob_name("re"))

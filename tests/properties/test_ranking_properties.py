@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for BM25 ranked retrieval.
+
+The contract ``mode="topk_bm25"`` must uphold for *any* corpus:
+
+* scores always land in ``[0, 1]`` and come back in descending order;
+* the BM25 scoring function is monotone in term frequency;
+* rankings are deterministic — identical across repeated runs and across
+  independently rebuilt indexes;
+* the top-k set is a subset of the conjunctive membership result.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SketchConfig
+from repro.index.builder import AirphantBuilder
+from repro.parsing.documents import Posting
+from repro.search.ranking import BM25Params, score_posting
+from repro.search.searcher import AirphantSearcher
+from repro.storage.memory import InMemoryObjectStore
+
+
+# -- strategies ---------------------------------------------------------------------
+
+# A tiny closed vocabulary keeps the corpora dense enough that conjunctive
+# queries actually match while still exercising varied tf/df/length shapes.
+_VOCAB = ["alpha", "beta", "gamma", "delta", "omega"]
+
+documents_strategy = st.lists(
+    st.lists(st.sampled_from(_VOCAB), min_size=1, max_size=12).map(" ".join),
+    min_size=1,
+    max_size=15,
+)
+
+query_strategy = st.lists(st.sampled_from(_VOCAB), min_size=1, max_size=3, unique=True).map(
+    " ".join
+)
+
+
+# An explicit layer count skips the (slow) optimizer — hypothesis runs
+# hundreds of builds, and the ranking contract is independent of the layout.
+_CONFIG = SketchConfig(num_bins=32, num_layers=2, seed=3)
+
+
+def _build_searcher(lines: list[str]) -> AirphantSearcher:
+    store = InMemoryObjectStore()
+    store.put("corpus/p.txt", "\n".join(lines).encode())
+    offset = 0
+    documents = []
+    from repro.parsing.documents import Document
+
+    for line in lines:
+        ref = Posting(blob="corpus/p.txt", offset=offset, length=len(line))
+        documents.append(Document(ref=ref, text=line))
+        offset += len(line) + 1
+    AirphantBuilder(store, config=_CONFIG).build_from_documents(documents, index_name="prop")
+    return AirphantSearcher.open(store, index_name="prop")
+
+
+class TestScoreRangeProperty:
+    @given(lines=documents_strategy, query=query_strategy, k=st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_scores_in_unit_interval_and_descending(self, lines, query, k):
+        searcher = _build_searcher(lines)
+        result = searcher.search_topk(query, k=k)
+        assert len(result.scores) == result.num_results <= k
+        assert all(0.0 <= score <= 1.0 for score in result.scores)
+        assert result.scores == sorted(result.scores, reverse=True)
+
+    @given(lines=documents_strategy, query=query_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_topk_set_is_subset_of_membership(self, lines, query):
+        searcher = _build_searcher(lines)
+        ranked = searcher.search_topk(query, k=50)
+        membership = searcher.search(query)
+        ranked_refs = {document.ref for document in ranked.documents}
+        member_refs = {document.ref for document in membership.documents}
+        assert ranked_refs <= member_refs
+
+
+class TestDeterminismProperty:
+    @given(lines=documents_strategy, query=query_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_identical_across_runs_and_rebuilds(self, lines, query):
+        first = _build_searcher(lines)
+        second = _build_searcher(lines)
+        a1 = first.search_topk(query, k=20)
+        a2 = first.search_topk(query, k=20)
+        b = second.search_topk(query, k=20)
+        ranking_a1 = [(d.ref, s) for d, s in zip(a1.documents, a1.scores)]
+        ranking_a2 = [(d.ref, s) for d, s in zip(a2.documents, a2.scores)]
+        ranking_b = [(d.ref, s) for d, s in zip(b.documents, b.scores)]
+        assert ranking_a1 == ranking_a2 == ranking_b
+
+
+class TestMonotonicityProperty:
+    @given(
+        tf_low=st.integers(min_value=1, max_value=30),
+        tf_delta=st.integers(min_value=1, max_value=30),
+        doc_length=st.integers(min_value=30, max_value=200),
+        avg_doc_length=st.floats(min_value=5.0, max_value=200.0),
+        idf_value=st.floats(min_value=0.01, max_value=10.0),
+        k1=st.floats(min_value=0.0, max_value=3.0),
+        b=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_score_is_monotone_in_tf(
+        self, tf_low, tf_delta, doc_length, avg_doc_length, idf_value, k1, b
+    ):
+        # Two documents identical in every respect except the query term's
+        # frequency: the one with more occurrences never scores lower.
+        params = BM25Params(k1=k1, b=b)
+        low = Posting("b", 0, doc_length)
+        high = Posting("b", 1000, doc_length)
+        term_frequencies = {"w": {low: tf_low, high: tf_low + tf_delta}}
+        doc_lengths = {low: doc_length, high: doc_length}
+        idf_by_word = {"w": idf_value}
+        weights = {"w": 1.0}
+        max_score = idf_value * (params.k1 + 1.0)
+        common = dict(
+            words=["w"],
+            term_frequencies=term_frequencies,
+            doc_lengths=doc_lengths,
+            idf_by_word=idf_by_word,
+            weights=weights,
+            params=params,
+            avg_doc_length=avg_doc_length,
+            max_score=max_score,
+        )
+        score_low = score_posting(low, **common)
+        score_high = score_posting(high, **common)
+        assert score_low is not None and score_high is not None
+        # At k1 = 0 the saturation term is exactly 1 for any tf, so the two
+        # scores are mathematically equal and may differ by float rounding;
+        # allow an ulp-scale slack on the comparison.
+        assert score_high >= score_low - 1e-12
+        assert 0.0 <= score_low <= 1.0
+        assert 0.0 <= score_high <= 1.0
+
+    @given(
+        tf=st.integers(min_value=1, max_value=30),
+        short_length=st.integers(min_value=10, max_value=100),
+        extra_length=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_longer_document_never_outscores_shorter_at_equal_tf(
+        self, tf, short_length, extra_length
+    ):
+        params = BM25Params()
+        short = Posting("b", 0, short_length)
+        longer = Posting("b", 1000, short_length + extra_length)
+        common = dict(
+            words=["w"],
+            term_frequencies={"w": {short: tf, longer: tf}},
+            doc_lengths={short: short_length, longer: short_length + extra_length},
+            idf_by_word={"w": 1.0},
+            weights={"w": 1.0},
+            params=params,
+            avg_doc_length=50.0,
+            max_score=params.k1 + 1.0,
+        )
+        assert score_posting(short, **common) >= score_posting(longer, **common)

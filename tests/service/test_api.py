@@ -173,6 +173,70 @@ class TestSearchRequestShards:
             SearchRequest(query="error", shards=shards)
 
 
+class TestRankedRequest:
+    def test_mode_round_trips_with_weights(self):
+        request = SearchRequest(
+            query="error disk",
+            index="logs",
+            mode="topk_bm25",
+            top_k=5,
+            weights={"disk": 2.5},
+        )
+        assert SearchRequest.from_json(request.to_json()) == request
+        assert request.weight_map == {"disk": 2.5}
+
+    def test_weights_are_canonicalized(self):
+        request = SearchRequest(
+            query="a b", mode="topk_bm25", weights={"b": 2, "a": 1.0}
+        )
+        assert request.weights == (("a", 1.0), ("b", 2.0))
+
+    def test_weights_accept_pair_lists(self):
+        request = SearchRequest(
+            query="a b", mode="topk_bm25", weights=[["b", 2.0], ["a", 1.5]]
+        )
+        assert request.weight_map == {"a": 1.5, "b": 2.0}
+
+    def test_weights_require_ranked_mode(self):
+        with pytest.raises(ValueError, match="weights"):
+            SearchRequest(query="x", weights={"x": 2.0})
+
+    @pytest.mark.parametrize(
+        "weights",
+        ["disk=2", {"": 2.0}, {"disk": 0}, {"disk": -1.0}, {"disk": "heavy"}, {3: 1.0}],
+    )
+    def test_invalid_weights_rejected(self, weights):
+        with pytest.raises(ValueError):
+            SearchRequest(query="x", mode="topk_bm25", weights=weights)
+
+    def test_weights_omitted_from_dict_when_unset(self):
+        request = SearchRequest(query="x", mode="topk_bm25")
+        assert "weights" not in request.to_dict()
+        assert request.weight_map is None
+
+
+class TestRankedResponse:
+    def test_scores_ride_on_document_hits(self):
+        posting = Posting(blob="corpus/a.txt", offset=0, length=9)
+        result = SearchResult(
+            query="error",
+            documents=[Document(ref=posting, text="error one")],
+            scores=[0.75],
+        )
+        request = SearchRequest(query="error", index="logs", mode="topk_bm25", top_k=1)
+        response = SearchResponse.from_result(request, result)
+        assert response.documents[0].score == 0.75
+        payload = response.to_dict()
+        assert payload["documents"][0]["score"] == 0.75
+        assert SearchResponse.from_json(response.to_json()) == response
+
+    def test_unranked_hits_omit_score(self):
+        hit = DocumentHit(blob="b", offset=1, length=2, text="hi")
+        assert "score" not in hit.to_dict()
+        scored = DocumentHit(blob="b", offset=1, length=2, text="hi", score=0.5)
+        assert DocumentHit.from_dict(scored.to_dict()) == scored
+
+
 class TestShardErrorInfo:
     def test_round_trip(self):
         error = ShardErrorInfo(

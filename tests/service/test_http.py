@@ -182,6 +182,70 @@ class TestSearch:
             assert "text" not in doc
             assert doc["blob"] == "corpora/logs.txt"
 
+    def test_ranked_search_end_to_end(self, server):
+        _build_index(server)
+        status, payload = _post(
+            server,
+            "/search",
+            {"index": "logs-index", "query": "error", "mode": "topk_bm25", "top_k": 2},
+        )
+        assert status == 200
+        assert payload["mode"] == "topk_bm25"
+        assert payload["num_results"] == 2
+        scores = [doc["score"] for doc in payload["documents"]]
+        assert all(0.0 <= score <= 1.0 for score in scores)
+        assert scores == sorted(scores, reverse=True)
+        assert all("error" in doc["text"] for doc in payload["documents"])
+
+    def test_ranked_search_defaults_k_when_omitted(self, server):
+        _build_index(server)
+        status, payload = _post(
+            server, "/search", {"index": "logs-index", "query": "error", "mode": "topk_bm25"}
+        )
+        assert status == 200
+        # All three matches fit under the default k of 10.
+        assert payload["num_results"] == 3
+
+    def test_ranked_search_accepts_weights(self, server):
+        _build_index(server)
+        status, payload = _post(
+            server,
+            "/search",
+            {
+                "index": "logs-index",
+                "query": "error timeout",
+                "mode": "topk_bm25",
+                "weights": {"timeout": 3.0},
+            },
+        )
+        assert status == 200
+        assert payload["documents"][0]["text"] == "error timeout connecting to node2"
+
+    def test_bad_weights_are_400(self, server):
+        _build_index(server)
+        status, payload = _post(
+            server,
+            "/search",
+            {
+                "index": "logs-index",
+                "query": "error",
+                "mode": "topk_bm25",
+                "weights": {"error": -2.0},
+            },
+        )
+        assert status == 400
+        assert payload["error"] == "bad_request"
+
+    def test_ranked_search_without_stats_blob_is_typed_400(self, server, tmp_path):
+        _build_index(server)
+        (tmp_path / "bucket" / "logs-index" / "stats.json").unlink()
+        status, payload = _post(
+            server, "/search", {"index": "logs-index", "query": "error", "mode": "topk_bm25"}
+        )
+        assert status == 400
+        assert payload["error"] == "ranking_unavailable"
+        assert "rebuild" in payload["message"]
+
     def test_search_unknown_index_is_404(self, server):
         status, payload = _post(server, "/search", {"index": "missing", "query": "error"})
         assert status == 404

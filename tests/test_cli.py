@@ -44,6 +44,22 @@ class TestParser:
         assert not args.json
         assert args.query_cache_size == 0
 
+    def test_ranked_mode_flags(self):
+        args = build_parser().parse_args([
+            "search", "--bucket", "/tmp/b", "--index", "i", "--query", "q",
+            "--mode", "topk-bm25", "-k", "5", "--weight", "disk=2.5",
+        ])
+        assert args.mode == "topk-bm25"
+        assert args.top_k == 5
+        assert args.weight == ["disk=2.5"]
+
+    def test_mode_rejects_unknown_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "search", "--bucket", "/tmp/b", "--index", "i", "--query", "q",
+                "--mode", "fuzzy",
+            ])
+
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve", "--bucket", "/tmp/b"])
         assert args.host == "127.0.0.1"
@@ -112,6 +128,55 @@ class TestBuildAndSearch:
         assert exit_code == 0
         for line in [line for line in captured.out.splitlines() if line]:
             assert "INFO" in line and "dfs.DataNode" in line
+
+    def test_ranked_search_prints_scores(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--bucket", bucket, "--index", "hdfs-index",
+            "--query", "ERROR", "--mode", "topk-bm25", "-k", "3",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        results = [line for line in captured.out.splitlines() if line]
+        assert 1 <= len(results) <= 3
+        scores = []
+        for line in results:
+            score_text, _, text = line.partition("\t")
+            assert "ERROR" in text
+            scores.append(float(score_text))
+        assert all(0.0 <= score <= 1.0 for score in scores)
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ranked_search_json_carries_scores(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--bucket", bucket, "--index", "hdfs-index",
+            "--query", "ERROR", "--mode", "topk-bm25", "-k", "3", "--json",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["mode"] == "topk_bm25"
+        assert all("score" in doc for doc in payload["documents"])
+
+    def test_ranked_search_with_weights(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--bucket", bucket, "--index", "hdfs-index",
+            "--query", "ERROR", "--mode", "topk-bm25", "-k", "3",
+            "--weight", "ERROR=2.0",
+        ])
+        assert exit_code == 0
+
+    def test_malformed_weight_fails_gracefully(self, bucket, capsys):
+        _generate_and_build(bucket, capsys)
+        exit_code = main([
+            "search", "--bucket", bucket, "--index", "hdfs-index",
+            "--query", "ERROR", "--mode", "topk-bm25", "--weight", "no-equals-sign",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "TERM=MULTIPLIER" in captured.err
 
     def test_simulated_latency_reported(self, bucket, capsys):
         _generate_and_build(bucket, capsys)

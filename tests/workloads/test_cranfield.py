@@ -1,10 +1,14 @@
-"""Unit tests for the Cranfield-like corpus generator."""
+"""Unit tests for the Cranfield-like corpus generator and its judgments."""
 
 import pytest
 
 from repro.profiling.profiler import profile_documents
 from repro.storage.memory import InMemoryObjectStore
-from repro.workloads.cranfield import generate_cranfield
+from repro.workloads.cranfield import (
+    generate_cranfield,
+    generate_judged_queries,
+    load_qrels,
+)
 
 
 @pytest.fixture
@@ -48,3 +52,74 @@ class TestCranfieldGenerator:
         profile = profile_documents(corpus.documents)
         top_words = set(profile.most_common_words(10))
         assert top_words & {"the", "of", "and", "in", "for"}
+
+
+class TestLoadQrels:
+    def test_parses_triples_and_inverts_the_scale(self):
+        text = "1 51 1\n1 102 4\n2 12 2\n2 13 3\n"
+        qrels = load_qrels(text)
+        # Historical codes are lower-is-better; gains are higher-is-better.
+        assert qrels == {1: {51: 4, 102: 1}, 2: {12: 3, 13: 2}}
+
+    def test_minus_one_means_top_relevance(self):
+        qrels = load_qrels("3 7 -1\n")
+        assert qrels == {3: {7: 4}}
+
+    def test_out_of_scale_codes_become_gain_zero(self):
+        qrels = load_qrels("1 5 0\n1 6 9\n")
+        assert qrels == {1: {5: 0, 6: 0}}
+
+    def test_malformed_lines_are_skipped(self):
+        text = "1 51 1\n\nnot numbers here\n2 12\n2 13 2\n"
+        qrels = load_qrels(text)
+        assert qrels == {1: {51: 4}, 2: {13: 3}}
+
+
+class TestGenerateJudgedQueries:
+    # A scaled-down corpus keeps the quadratic pair scan fast; the df band
+    # and match floor scale down with it.
+    BAND = dict(min_df=8, max_df=200, min_matches=8)
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_cranfield(
+            InMemoryObjectStore(),
+            num_documents=400,
+            vocabulary_size=1500,
+            words_per_document=60,
+            seed=9,
+        )
+
+    def test_yields_requested_count_of_two_term_queries(self, corpus):
+        queries = generate_judged_queries(corpus, num_queries=10, seed=9, **self.BAND)
+        assert len(queries) == 10
+        for judged in queries:
+            assert len(judged.query.split()) == 2
+
+    def test_judgments_point_at_real_co_occurrences(self, corpus):
+        queries = generate_judged_queries(corpus, num_queries=5, seed=9, **self.BAND)
+        for judged in queries:
+            first, second = judged.query.split()
+            assert len(judged.judgments) >= self.BAND["min_matches"]
+            for doc_id, gain in judged.judgments.items():
+                words = corpus.documents[doc_id].text.split()
+                assert first in words and second in words
+                assert 1 <= gain <= 4
+
+    def test_gains_track_term_counts(self, corpus):
+        (judged,) = generate_judged_queries(corpus, num_queries=1, seed=9, **self.BAND)
+        first, second = judged.query.split()
+        for doc_id, gain in judged.judgments.items():
+            words = corpus.documents[doc_id].text.split()
+            total = words.count(first) + words.count(second)
+            expected = 4 if total >= 8 else 3 if total >= 5 else 2 if total >= 3 else 1
+            assert gain == expected
+
+    def test_deterministic_given_seed(self, corpus):
+        first = generate_judged_queries(corpus, num_queries=5, seed=4, **self.BAND)
+        second = generate_judged_queries(corpus, num_queries=5, seed=4, **self.BAND)
+        assert first == second
+
+    def test_impossible_demands_raise(self, corpus):
+        with pytest.raises(ValueError, match="judged queries"):
+            generate_judged_queries(corpus, num_queries=5, min_matches=10_000)
