@@ -1,0 +1,193 @@
+"""Ablation: query cost under tombstoned deletes, before and after purge.
+
+The tombstone lifecycle trades write latency for read-side filtering: a
+DELETE is one WAL record, and every query thereafter filters condemned
+references until compaction rebuilds the base generation without them.
+This benchmark quantifies that trade across delete ratios:
+
+* ``filtered`` — queries answered while tombstones are pending (the
+  combined view filters every tier);
+* ``purged``   — the same queries after ``compact`` physically dropped the
+  deleted documents and retired the tombstone records.
+
+Recorded per ratio: query latencies (p50/p99) and simulated bytes/query in
+both phases, pending-tombstone counts before and after the compaction, and
+a correctness count (filtered and purged answers must be identical — purge
+must never change visibility, only cost).  This doubles as the CI
+**lifecycle soak**: under ``AIRPHANT_BENCH_SMOKE=1`` a short run exercises
+delete → filtered reads → compact → purged reads at every ratio.
+
+The machine-readable record lands in ``results/BENCH_lifecycle.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import save_json, save_result, smoke_mode
+from repro.bench.tables import format_table
+from repro.core.config import SketchConfig
+from repro.observability import MetricsRegistry
+from repro.parsing.corpus import LineDelimitedCorpusParser
+from repro.service import AirphantService, SearchRequest, ServiceConfig
+from repro.storage.memory import InMemoryObjectStore
+from repro.workloads.logs import generate_log_corpus
+
+INDEX = "ablation-lifecycle"
+
+DELETE_RATIOS = [0.0, 0.1, 0.3]
+
+
+def _settings():
+    if smoke_mode():
+        return {
+            "documents": 300,
+            "bins": 256,
+            "queries_per_phase": 24,
+        }
+    return {
+        "documents": 4_000,
+        "bins": 2_048,
+        "queries_per_phase": 150,
+    }
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _corpus_text(documents: int) -> bytes:
+    seed_store = InMemoryObjectStore()
+    corpus = generate_log_corpus(seed_store, "hdfs", num_documents=documents, seed=3)
+    return seed_store.get(corpus.blob_names[0])
+
+
+def _query_phase(service: AirphantService, settings: dict) -> dict:
+    queries = ["ERROR", "INFO block", "WARN"]
+    elapsed_ms: list[float] = []
+    bytes_fetched: list[int] = []
+    total_results = 0
+    for position in range(settings["queries_per_phase"]):
+        query = queries[position % len(queries)]
+        started = time.perf_counter()
+        result = service.execute(SearchRequest(query=query, index=INDEX))
+        elapsed_ms.append((time.perf_counter() - started) * 1000.0)
+        bytes_fetched.append(result.latency.bytes_fetched)
+        total_results += len(result.documents)
+    return {
+        "query_p50_ms": round(_percentile(elapsed_ms, 50), 3),
+        "query_p99_ms": round(_percentile(elapsed_ms, 99), 3),
+        "bytes_per_query": round(sum(bytes_fetched) / len(bytes_fetched), 1),
+        "total_results": total_results,
+    }
+
+
+def _run_ratio(corpus: bytes, ratio: float, settings: dict) -> dict:
+    store = InMemoryObjectStore()
+    store.put("corpus/base.txt", corpus)
+    service = AirphantService(
+        store, ServiceConfig(ingest_interval_s=0), metrics=MetricsRegistry()
+    )
+    service.build_index(
+        INDEX, ["corpus/base.txt"], sketch_config=SketchConfig(num_bins=settings["bins"], seed=7)
+    )
+
+    documents = list(LineDelimitedCorpusParser().parse(store, ["corpus/base.txt"]))
+    stride = int(round(1.0 / ratio)) if ratio else 0
+    doomed = [document.ref for position, document in enumerate(documents) if stride and position % stride == 0]
+    started = time.perf_counter()
+    if doomed:
+        service.delete_documents(INDEX, doomed)
+    delete_ms = (time.perf_counter() - started) * 1000.0
+
+    pending_before = len(service.ingest.tombstone_refs(INDEX))
+    filtered = _query_phase(service, settings)
+
+    compact_outcome = service.compact_index(INDEX)
+    pending_after = len(service.ingest.tombstone_refs(INDEX))
+    purged = _query_phase(service, settings)
+
+    outcome = {
+        "delete_ratio": ratio,
+        "documents": len(documents),
+        "deleted": len(doomed),
+        "delete_batch_ms": round(delete_ms, 3),
+        "tombstones_pending_before_compact": pending_before,
+        "tombstones_pending_after_compact": pending_after,
+        "tombstones_purged": compact_outcome.get("tombstones_purged", 0),
+        "filtered": filtered,
+        "purged": purged,
+    }
+    service.close()
+    return outcome
+
+
+def _run():
+    settings = _settings()
+    corpus = _corpus_text(settings["documents"])
+    scenarios = {f"{ratio:.0%}": _run_ratio(corpus, ratio, settings) for ratio in DELETE_RATIOS}
+    return settings, scenarios
+
+
+def test_ablation_lifecycle(benchmark):
+    settings, scenarios = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            entry["deleted"],
+            entry["filtered"]["query_p99_ms"],
+            entry["purged"]["query_p99_ms"],
+            entry["filtered"]["bytes_per_query"],
+            entry["purged"]["bytes_per_query"],
+            entry["tombstones_pending_before_compact"],
+            entry["tombstones_pending_after_compact"],
+        ]
+        for name, entry in scenarios.items()
+    ]
+    save_result(
+        "ablation_lifecycle",
+        format_table(
+            [
+                "deleted",
+                "docs gone",
+                "filtered p99 ms",
+                "purged p99 ms",
+                "filtered B/q",
+                "purged B/q",
+                "tombs before",
+                "tombs after",
+            ],
+            rows,
+        ),
+    )
+    save_json(
+        "BENCH_lifecycle",
+        {
+            "experiment": "lifecycle_delete_ratio_ablation",
+            "clock": "wall",
+            "settings": settings,
+            "smoke_mode": smoke_mode(),
+            "scenarios": scenarios,
+        },
+    )
+
+    # Correctness first: purge must never change answers, only their cost —
+    # filtered and purged phases return identical result counts.
+    for name, entry in scenarios.items():
+        assert entry["filtered"]["total_results"] == entry["purged"]["total_results"], name
+
+    # The soak contract: every pending tombstone is gone after compaction,
+    # the purge count matches the delete count, and deleting documents
+    # strictly shrinks the answer set.
+    for entry in scenarios.values():
+        assert entry["tombstones_pending_before_compact"] == entry["deleted"]
+        assert entry["tombstones_pending_after_compact"] == 0
+        assert entry["tombstones_purged"] == entry["deleted"]
+    baseline = scenarios["0%"]["filtered"]["total_results"]
+    assert baseline > 0
+    for name, entry in scenarios.items():
+        if entry["deleted"]:
+            assert entry["filtered"]["total_results"] < baseline, name

@@ -511,6 +511,49 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    if args.action != "list" and not args.snapshot:
+        print(f"error: --snapshot is required for {args.action!r}", file=sys.stderr)
+        return 2
+    service = _open_service(args)
+    try:
+        if args.action == "create":
+            outcome = service.create_snapshot(args.index, args.snapshot)
+            print(
+                f"snapshot {outcome['snapshot']!r} of {args.index!r} created "
+                f"(generation {outcome['generation']}, "
+                f"{outcome['delta_indexes']} delta(s), "
+                f"{outcome['tombstones']} pending delete(s))"
+            )
+        elif args.action == "restore":
+            outcome = service.restore_snapshot(args.index, args.snapshot)
+            print(
+                f"index {args.index!r} restored to snapshot "
+                f"{outcome['snapshot']!r} (generation {outcome['generation']}, "
+                f"{outcome['tombstones']} pending delete(s))"
+            )
+        elif args.action == "delete":
+            service.delete_snapshot(args.index, args.snapshot)
+            print(f"snapshot {args.snapshot!r} of {args.index!r} deleted")
+        else:  # list
+            snapshots = service.list_snapshots(args.index)
+            if not snapshots:
+                print(f"index {args.index!r} has no snapshots")
+            for entry in snapshots:
+                print(
+                    f"{entry['snapshot']}\tgeneration={entry['generation']}\t"
+                    f"deltas={entry['delta_indexes']}\t"
+                    f"tombstones={entry['tombstones']}\t"
+                    f"created_at={entry['created_at']:.0f}"
+                )
+    except ServiceError as error:
+        print(f"error: {error.info.message}", file=sys.stderr)
+        return 2
+    finally:
+        service.close()
+    return 0
+
+
 def _add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
     cluster = parser.add_argument_group("cluster (scale-out query tier)")
     cluster.add_argument(
@@ -734,6 +777,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(compact)
     compact.add_argument("--index", required=True, help="index name (blob prefix)")
     compact.set_defaults(func=_cmd_compact)
+
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        help="create, restore, list, or delete point-in-time index snapshots",
+    )
+    _add_common_arguments(snapshot)
+    snapshot.add_argument(
+        "action",
+        choices=("create", "restore", "list", "delete"),
+        help="what to do with the index's snapshots",
+    )
+    snapshot.add_argument("--index", required=True, help="index name (blob prefix)")
+    snapshot.add_argument(
+        "--snapshot",
+        help="snapshot name (required for create/restore/delete)",
+    )
+    snapshot.set_defaults(func=_cmd_snapshot)
 
     serve = subparsers.add_parser(
         "serve", help="serve the bucket's indexes over a JSON HTTP API"

@@ -30,7 +30,7 @@ import json
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Container, Iterable, Sequence
 
 from repro.parsing.documents import Document, Posting
 from repro.parsing.tokenizer import Tokenizer
@@ -135,6 +135,38 @@ def merge_stats(parts: Iterable[IndexStats]) -> IndexStats:
     return merged
 
 
+def prune_stats(stats: IndexStats, removed: "Container[Posting]") -> IndexStats:
+    """Stats with every posting in ``removed`` excised (the delete path).
+
+    Ranking under pending deletes must score with the *surviving* corpus —
+    ``N``, ``df``, ``avgdl`` all shrink — or BM25 would diverge from a fresh
+    rebuild over the surviving documents.  Pruning is exact integer surgery
+    on the aggregates, so the result is byte-identical to recomputing the
+    stats from scratch without the condemned documents.  Returns ``stats``
+    unchanged (same object) when nothing held is being removed.
+    """
+    doc_lengths = {
+        posting: length
+        for posting, length in stats.doc_lengths.items()
+        if posting not in removed
+    }
+    if len(doc_lengths) == len(stats.doc_lengths):
+        return stats
+    term_frequencies: dict[str, dict[Posting, int]] = {}
+    for term, postings in stats.term_frequencies.items():
+        kept = {
+            posting: tf for posting, tf in postings.items() if posting not in removed
+        }
+        if kept:
+            term_frequencies[term] = kept
+    return IndexStats(
+        num_documents=len(doc_lengths),
+        total_words=sum(doc_lengths.values()),
+        doc_lengths=doc_lengths,
+        term_frequencies=term_frequencies,
+    )
+
+
 def encode_stats(stats: IndexStats) -> bytes:
     """Serialize the stats blob (versioned JSON, blob names interned).
 
@@ -231,5 +263,6 @@ __all__ = [
     "encode_stats",
     "idf",
     "merge_stats",
+    "prune_stats",
     "stats_blob_name",
 ]

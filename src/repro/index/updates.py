@@ -29,8 +29,10 @@ disappear.
 from __future__ import annotations
 
 import json
+import re
+import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, AbstractSet, Sequence
 
 from repro.core.config import SketchConfig
 from repro.index.builder import AirphantBuilder, BuiltIndex, BuiltShardedIndex
@@ -55,6 +57,44 @@ GENERATION_MARKER = "/gen-"
 def generation_index_name(base_index: str, generation: int) -> str:
     """Blob prefix of ``base_index``'s generation-``generation`` base build."""
     return f"{base_index}{GENERATION_MARKER}{generation:08d}"
+
+
+#: Path fragment holding an index's point-in-time snapshots (never a
+#: directly addressable catalog entry).
+SNAPSHOT_MARKER = "/snapshots/"
+
+#: Blob-name suffix of one snapshot record.
+SNAPSHOT_SUFFIX = ".snap.json"
+
+#: Snapshot record format version.
+SNAPSHOT_FORMAT_V1 = 1
+
+#: Names a snapshot may carry: filesystem-safe, no separators.
+_SNAPSHOT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def snapshot_blob_name(base_index: str, snapshot: str) -> str:
+    """Blob holding snapshot ``snapshot`` of ``base_index``."""
+    return f"{base_index}{SNAPSHOT_MARKER}{snapshot}{SNAPSHOT_SUFFIX}"
+
+
+class SnapshotRestoreError(Exception):
+    """The snapshot exists but its referenced blobs no longer do.
+
+    Raised when a restore finds a member build missing — e.g. the snapshot
+    pinned a legacy in-place base that a later full rebuild overwrote, or
+    its blobs were purged outside the manager's pin protection.  Typed so
+    the service layer can answer 409 instead of restoring a broken timeline.
+    """
+
+    def __init__(self, base_index: str, snapshot: str, missing: Sequence[str]) -> None:
+        super().__init__(
+            f"snapshot {snapshot!r} of index {base_index!r} is not restorable: "
+            f"missing index build(s) {', '.join(missing)}"
+        )
+        self.base_index = base_index
+        self.snapshot = snapshot
+        self.missing = tuple(missing)
 
 
 @dataclass(frozen=True)
@@ -88,6 +128,62 @@ class IndexManifest:
     def all_indexes(self) -> list[str]:
         """Active base first, then deltas in creation order."""
         return [self.active_base, *self.delta_indexes]
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """One named point-in-time snapshot of an index.
+
+    A snapshot *is* a copy of the generational manifest (plus the pending
+    tombstone set at creation time): the base build and delta prefixes it
+    references are immutable, so freezing the manifest freezes the whole
+    index.  The manager's purge paths skip prefixes any snapshot pins, which
+    is what keeps the referenced blobs alive past later compactions.
+    """
+
+    snapshot: str
+    base_index: str
+    created_at: float
+    manifest: IndexManifest
+    tombstones: tuple[Posting, ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable description (the snapshot record payload)."""
+        return {
+            "version": SNAPSHOT_FORMAT_V1,
+            "snapshot": self.snapshot,
+            "base_index": self.base_index,
+            "created_at": self.created_at,
+            "manifest": {
+                "base_index": self.manifest.base_index,
+                "delta_indexes": list(self.manifest.delta_indexes),
+                "generation": self.manifest.generation,
+                "active_base": self.manifest.active_base,
+                "next_delta": self.manifest.next_delta,
+            },
+            "tombstones": [[ref.blob, ref.offset, ref.length] for ref in self.tombstones],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SnapshotInfo":
+        """Inverse of :meth:`to_dict`."""
+        manifest = payload["manifest"]
+        return cls(
+            snapshot=str(payload["snapshot"]),
+            base_index=str(payload["base_index"]),
+            created_at=float(payload.get("created_at", 0.0)),
+            manifest=IndexManifest(
+                base_index=manifest["base_index"],
+                delta_indexes=tuple(manifest["delta_indexes"]),
+                generation=int(manifest.get("generation", 0)),
+                active_base=manifest.get("active_base"),
+                next_delta=manifest.get("next_delta"),
+            ),
+            tombstones=tuple(
+                Posting(blob=str(blob), offset=int(offset), length=int(length))
+                for blob, offset, length in payload.get("tombstones", ())
+            ),
+        )
 
 
 class AppendOnlyIndexManager:
@@ -263,12 +359,14 @@ class AppendOnlyIndexManager:
                 names.append(index_name)
         return names
 
-    def indexed_documents(self) -> list[Document]:
+    def indexed_documents(self, exclude: AbstractSet[Posting] = frozenset()) -> list[Document]:
         """Enumerate every document covered by the base and delta indexes.
 
         The union of all superposts (plus the common-word lists) of an index
         is exactly its set of postings, and each posting locates a document's
         bytes, so the documents can be re-read directly from cloud storage.
+        ``exclude`` (the pending tombstone set) drops condemned postings
+        *before* their bytes are fetched — deleted documents cost no reads.
         """
         postings: set[Posting] = set()
         for index_name in self._member_indexes():
@@ -293,12 +391,16 @@ class AppendOnlyIndexManager:
                     payload, compacted.string_table, compacted.format_version
                 ).postings
         documents = []
-        for posting in sorted(postings):
+        for posting in sorted(postings - set(exclude)):
             data = self._store.get_range(posting.blob, posting.offset, posting.length)
             documents.append(Document(ref=posting, text=data.decode("utf-8", errors="replace")))
         return documents
 
-    def compact(self, corpus_name: str = "corpus") -> BuiltIndex | "BuiltShardedIndex":
+    def compact(
+        self,
+        corpus_name: str = "corpus",
+        exclude: AbstractSet[Posting] = frozenset(),
+    ) -> BuiltIndex | "BuiltShardedIndex":
         """Fold all deltas into a fresh generational base and swap atomically.
 
         The new base is built under ``<name>/gen-NNNNNNNN/`` (keeping the old
@@ -308,10 +410,16 @@ class AppendOnlyIndexManager:
         old manifest keep a complete, untouched snapshot: the blobs it
         references are only *marked* retired now and physically deleted at
         the **next** compaction, after every reasonable reader has reopened.
+
+        ``exclude`` (the pending tombstone set) is how deletes become
+        physical: condemned documents are left out of the rebuilt base — and
+        out of its ranking stats — so after the swap no tombstone filtering
+        is needed for them anywhere.  Prefixes pinned by a snapshot are never
+        purged; they stay on the retired list until the snapshot is deleted.
         """
         manifest = self.manifest()
         shard_manifest = read_shard_manifest(self._store, manifest.active_base)
-        documents = self.indexed_documents()
+        documents = self.indexed_documents(exclude=exclude)
         generation = manifest.generation + 1
         new_base = generation_index_name(self._base_index, generation)
         builder = AirphantBuilder(
@@ -330,6 +438,12 @@ class AppendOnlyIndexManager:
         # one generation of grace before deletion.  (_purge_index_blobs
         # deletes an in-place base's own blobs only, never the shared prefix.)
         stranded = tuple(manifest.all_indexes)
+        # Grace expired for what the *previous* swap stranded — except what a
+        # snapshot still pins, which stays on the retired list for later.
+        pinned = self._snapshot_pins()
+        carried = tuple(
+            name for name in manifest.retired if name in pinned and name not in stranded
+        )
         # The atomic swap: one blob PUT moves every reader to the new snapshot.
         self._write_manifest(
             IndexManifest(
@@ -337,12 +451,12 @@ class AppendOnlyIndexManager:
                 generation=generation,
                 active_base=new_base,
                 next_delta=manifest.next_delta,
-                retired=stranded,
+                retired=stranded + carried,
             )
         )
-        # Grace expired for what the *previous* swap stranded: purge it now.
         for name in manifest.retired:
-            self._purge_index_blobs(name)
+            if name not in pinned:
+                self._purge_index_blobs(name)
         return built
 
     def reset(self) -> None:
@@ -351,11 +465,19 @@ class AppendOnlyIndexManager:
         Used by full rebuilds over an existing name: the rebuild writes a
         fresh in-place base, so old deltas, generational bases, and the
         retired backlog are all garbage — readers are expected to reopen
-        (the service invalidates its catalog after builds).
+        (the service invalidates its catalog after builds).  Prefixes pinned
+        by a surviving snapshot are kept (on the retired list); the facade's
+        rebuild path deletes the snapshots first, making the reset total.
         """
         manifest = self.manifest()
+        pinned = self._snapshot_pins()
+        kept: list[str] = []
         for name in dict.fromkeys(manifest.retired + tuple(manifest.all_indexes)):
-            if name != self._base_index:
+            if name == self._base_index:
+                continue
+            if name in pinned:
+                kept.append(name)
+            else:
                 self._purge_index_blobs(name)
         self._write_manifest(
             IndexManifest(
@@ -365,8 +487,138 @@ class AppendOnlyIndexManager:
                 # pre-reset manifest must never see a retired delta prefix
                 # reused for fresh content.
                 next_delta=manifest.next_delta,
+                retired=tuple(kept),
             )
         )
+
+    # -- snapshots -----------------------------------------------------------------
+
+    def snapshot_blob(self, snapshot: str) -> str:
+        """Blob holding snapshot ``snapshot`` of this index."""
+        return snapshot_blob_name(self._base_index, snapshot)
+
+    def _snapshot_pins(self) -> set[str]:
+        """Every index prefix some snapshot still references (purge guard)."""
+        pinned: set[str] = set()
+        for info in self.list_snapshots():
+            pinned.update(info.manifest.all_indexes)
+        return pinned
+
+    def create_snapshot(
+        self, snapshot: str, tombstones: Sequence[Posting] = ()
+    ) -> SnapshotInfo:
+        """Freeze the current manifest under ``snapshot`` (point-in-time copy).
+
+        The snapshot captures the manifest *and* the pending tombstone set,
+        so a restore reproduces exactly what queries answered at creation
+        time — deletes awaiting compaction included.  Re-creating an existing
+        name overwrites it.  Raises ``ValueError`` on names the blob layout
+        cannot hold.
+        """
+        if not _SNAPSHOT_NAME.match(snapshot):
+            raise ValueError(
+                f"invalid snapshot name {snapshot!r}; expected 1-64 characters "
+                "from [A-Za-z0-9._-] starting with a letter or digit"
+            )
+        manifest = self.manifest()
+        info = SnapshotInfo(
+            snapshot=snapshot,
+            base_index=self._base_index,
+            created_at=time.time(),
+            manifest=manifest,
+            tombstones=tuple(sorted(set(tombstones))),
+        )
+        self._store.put(
+            self.snapshot_blob(snapshot), json.dumps(info.to_dict()).encode("utf-8")
+        )
+        return info
+
+    def get_snapshot(self, snapshot: str) -> SnapshotInfo:
+        """Read one snapshot record; raises ``KeyError`` if it does not exist."""
+        blob = self.snapshot_blob(snapshot)
+        if not self._store.exists(blob):
+            raise KeyError(snapshot)
+        return SnapshotInfo.from_dict(json.loads(self._store.get(blob).decode("utf-8")))
+
+    def list_snapshots(self) -> list[SnapshotInfo]:
+        """Every snapshot of this index, sorted by name."""
+        prefix = f"{self._base_index}{SNAPSHOT_MARKER}"
+        infos: list[SnapshotInfo] = []
+        for blob in self._store.list_blobs(prefix=prefix):
+            if not blob.endswith(SNAPSHOT_SUFFIX):
+                continue
+            try:
+                infos.append(
+                    SnapshotInfo.from_dict(json.loads(self._store.get(blob).decode("utf-8")))
+                )
+            except (ValueError, KeyError, TypeError):
+                continue  # not a snapshot record; never block the listing
+        return sorted(infos, key=lambda info: info.snapshot)
+
+    def delete_snapshot(self, snapshot: str) -> None:
+        """Drop one snapshot record; raises ``KeyError`` if it does not exist.
+
+        The blobs it pinned become purgeable at the next compaction (they
+        stay on the manifest's retired list until then).
+        """
+        blob = self.snapshot_blob(snapshot)
+        if not self._store.exists(blob):
+            raise KeyError(snapshot)
+        self._store.delete(blob)
+
+    def delete_all_snapshots(self) -> int:
+        """Drop every snapshot (the full-rebuild path); returns how many."""
+        prefix = f"{self._base_index}{SNAPSHOT_MARKER}"
+        blobs = [
+            blob
+            for blob in self._store.list_blobs(prefix=prefix)
+            if blob.endswith(SNAPSHOT_SUFFIX)
+        ]
+        for blob in blobs:
+            self._store.delete(blob)
+        return len(blobs)
+
+    def restore_snapshot(self, snapshot: str) -> SnapshotInfo:
+        """Point the index back at ``snapshot``'s manifest (one atomic PUT).
+
+        The current timeline's builds become retired (purged by a later
+        compaction, unless another snapshot pins them); ``generation`` and
+        ``next_delta`` keep counting from the *maximum* of both timelines so
+        post-restore builds never reuse an abandoned prefix.  Raises
+        ``KeyError`` for an unknown snapshot and
+        :class:`SnapshotRestoreError` when the pinned blobs are gone.
+        """
+        info = self.get_snapshot(snapshot)
+        target = info.manifest
+        missing = [
+            name for name in target.all_indexes if not self._index_build_exists(name)
+        ]
+        if missing:
+            raise SnapshotRestoreError(self._base_index, snapshot, missing)
+        current = self.manifest()
+        referenced = set(target.all_indexes)
+        stranded = tuple(
+            name
+            for name in dict.fromkeys((*current.all_indexes, *current.retired))
+            if name not in referenced
+        )
+        self._write_manifest(
+            IndexManifest(
+                base_index=self._base_index,
+                delta_indexes=target.delta_indexes,
+                generation=max(current.generation, target.generation),
+                active_base=target.active_base,
+                next_delta=max(current.next_delta or 0, target.next_delta or 0),
+                retired=stranded,
+            )
+        )
+        return info
+
+    def _index_build_exists(self, index_name: str) -> bool:
+        """Whether a base/delta build still has its header (restore guard)."""
+        if self._store.exists(f"{index_name}/{HEADER_BLOB_SUFFIX}"):
+            return True
+        return read_shard_manifest(self._store, index_name) is not None
 
     def _purge_index_blobs(self, index_name: str) -> None:
         """Physically delete one retired base/delta build.

@@ -22,13 +22,19 @@ write path a serving node can expose:
   policies.
 """
 
-from repro.ingest.live import IngestCoordinator, LiveIndex, LiveSearcher
+from repro.ingest.live import (
+    IngestCoordinator,
+    IngestOverloadedError,
+    LiveIndex,
+    LiveSearcher,
+)
 from repro.ingest.memtable import Memtable, MemtableSearcher
 from repro.ingest.wal import IngestManifest, WriteAheadLog
 
 __all__ = [
     "IngestCoordinator",
     "IngestManifest",
+    "IngestOverloadedError",
     "LiveIndex",
     "LiveSearcher",
     "Memtable",

@@ -35,7 +35,7 @@ from repro.index.updates import AppendOnlyIndexManager
 from repro.ingest.memtable import Memtable, MemtableSearcher
 from repro.ingest.wal import WriteAheadLog, ingest_manifest_blob
 from repro.observability import MetricsRegistry
-from repro.parsing.documents import Document
+from repro.parsing.documents import Document, Posting
 from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
 from repro.search.multi import MultiIndexSearcher
 from repro.storage.base import ObjectStore
@@ -46,6 +46,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Histogram buckets for flush/compaction durations (seconds): builds run
 #: longer than the default request-latency ladder.
 _MAINTENANCE_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+class IngestOverloadedError(RuntimeError):
+    """The memtable has outrun the flusher (typed, maps to HTTP 429).
+
+    Raised by the write path when the configured memtable occupancy limits
+    (``ingest_max_memtable_docs`` / ``ingest_max_memtable_bytes``) are still
+    exceeded after the bounded wait (``ingest_overload_wait_s``).  The write
+    was **not** accepted — nothing was made durable — so the caller can
+    safely retry once the flusher catches up.
+    """
+
+    def __init__(self, index_name: str, documents: int, nbytes: int) -> None:
+        super().__init__(
+            f"index {index_name!r} is overloaded: {documents} unflushed documents "
+            f"({nbytes} bytes) exceed the configured memtable limits; retry after "
+            "the flusher catches up"
+        )
+        self.index_name = index_name
+        self.documents = documents
+        self.nbytes = nbytes
 
 
 class LiveIndex:
@@ -78,6 +99,15 @@ class LiveIndex:
         self._maintenance_lock = threading.RLock()
         self._delta_count = len(self._manager.manifest().delta_indexes)
         self._ratio_dirty = self._delta_count > 0
+        # Pending deletes, keyed by tombstone record blob; the flattened
+        # frozenset is what query-time filtering and flush-survivor selection
+        # read (swapped atomically under the write lock on every mutation).
+        self._tombstones: dict[str, tuple[Posting, ...]] = dict(
+            self._wal.load_tombstones()
+        )
+        self._tombstone_set: frozenset[Posting] = frozenset(
+            ref for refs in self._tombstones.values() for ref in refs
+        )
 
         self._documents_metric = metrics.counter(
             "airphant_ingest_documents_total",
@@ -134,6 +164,26 @@ class LiveIndex:
             "Raw bytes of unflushed documents held by memtables",
             label_names=("index",),
         )
+        self._deletes_metric = metrics.counter(
+            "airphant_ingest_deletes_total",
+            "Document references tombstoned by DELETE operations",
+            label_names=("index",),
+        )
+        self._updates_metric = metrics.counter(
+            "airphant_ingest_updates_total",
+            "UPDATE operations accepted (new segment + old-ref tombstone)",
+            label_names=("index",),
+        )
+        self._overloads_metric = metrics.counter(
+            "airphant_ingest_overloads_total",
+            "Writes rejected with ingest_overloaded (memtable over its limits)",
+            label_names=("index",),
+        )
+        self._tombstones_gauge = metrics.gauge(
+            "airphant_tombstones_pending",
+            "Condemned document references awaiting physical purge at compaction",
+            label_names=("index",),
+        )
 
     # -- inspection ---------------------------------------------------------------
 
@@ -179,6 +229,16 @@ class LiveIndex:
             if len(table) > 0
         ]
 
+    def tombstone_refs(self) -> frozenset[Posting]:
+        """Pending deletes: refs condemned but not yet physically purged.
+
+        Query tiers that may still surface a condemned document (deltas,
+        base, cluster-routed shards) filter against this set; the memtable
+        tier never needs it (deletes are applied there physically).
+        """
+        with self._write_lock:
+            return self._tombstone_set
+
     def summary(self) -> dict[str, Any]:
         """Compact state block for ``/healthz``."""
         return {
@@ -186,42 +246,88 @@ class LiveIndex:
             "memtable_bytes": self.memtable_bytes(),
             "wal_segments_active": len(self._wal.manifest().active_segments),
             "delta_indexes": self._delta_count,
+            "tombstones_pending": len(self.tombstone_refs()),
         }
 
     def _update_gauges(self) -> None:
         self._memtable_docs_gauge.set(self.memtable_documents(), index=self._index_name)
         self._memtable_bytes_gauge.set(self.memtable_bytes(), index=self._index_name)
+        self._tombstones_gauge.set(len(self.tombstone_refs()), index=self._index_name)
 
     def clear_gauges(self) -> None:
         """Drop this index's occupancy series (the index is being discarded)."""
         self._memtable_docs_gauge.remove(index=self._index_name)
         self._memtable_bytes_gauge.remove(index=self._index_name)
+        self._tombstones_gauge.remove(index=self._index_name)
+
+    def _record_tombstones(self, blob: str, refs: Sequence[Posting]) -> None:
+        """Track one committed tombstone record (caller holds the write lock)."""
+        self._tombstones[blob] = tuple(refs)
+        self._tombstone_set = self._tombstone_set | frozenset(refs)
 
     # -- recovery -----------------------------------------------------------------
 
     def replay(self) -> int:
-        """Rebuild the memtable from unflushed WAL segments (crash recovery)."""
+        """Rebuild the memtable from unflushed WAL segments (crash recovery).
+
+        Replayed documents are filtered against the pending tombstone set, so
+        a document appended *and* deleted before the crash stays deleted — a
+        replay must never resurrect an acknowledged delete.
+        """
         documents = self._wal.replay()
         if not documents:
             return 0
         with self._write_lock:
-            added = self._active.add(documents)
+            tombstones = self._tombstone_set
+            added = self._active.add(
+                document for document in documents if document.ref not in tombstones
+            )
         self._replayed_metric.inc(added, index=self._index_name)
         self._update_gauges()
         return added
 
     # -- the write path -----------------------------------------------------------
 
+    def _wait_for_capacity(self) -> None:
+        """Block (briefly) until the memtable is under its occupancy limits.
+
+        The backpressure valve: when the memtable outruns the flusher, wait
+        up to ``ingest_overload_wait_s`` for a flush to drain it, then raise
+        the typed :class:`IngestOverloadedError` (HTTP 429) instead of
+        growing without bound.  Both limits disabled (0) is the default.
+        """
+        max_docs = self._config.ingest_max_memtable_docs
+        max_bytes = self._config.ingest_max_memtable_bytes
+        if max_docs <= 0 and max_bytes <= 0:
+            return
+        deadline = time.monotonic() + max(self._config.ingest_overload_wait_s, 0.0)
+        while True:
+            documents = self.memtable_documents()
+            nbytes = self.memtable_bytes()
+            over = (max_docs > 0 and documents >= max_docs) or (
+                max_bytes > 0 and nbytes >= max_bytes
+            )
+            if not over:
+                return
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._overloads_metric.inc(index=self._index_name)
+                raise IngestOverloadedError(self._index_name, documents, nbytes)
+            time.sleep(min(0.01, remaining))
+
     def append(self, texts: Sequence[str]) -> dict[str, Any]:
         """Durably accept one batch of documents; searchable on return.
 
         Raises ``ValueError`` for documents the WAL segment format cannot
-        hold (empty, or containing newlines).
+        hold (empty, or containing newlines) and
+        :class:`IngestOverloadedError` when the memtable is over its
+        configured limits (nothing durable happens in that case).
         """
         from repro.ingest.wal import encode_segment, parse_segment
 
         texts = list(texts)
         data = encode_segment(texts)  # validation before any I/O or locking
+        self._wait_for_capacity()
         with self._write_lock:
             sequence, blob = self._wal.reserve_segment()
         # The heavyweight network write happens OUTSIDE the write lock, so
@@ -249,6 +355,88 @@ class LiveIndex:
             ],
         }
 
+    def delete(self, refs: Sequence[Posting]) -> dict[str, Any]:
+        """Durably delete documents by reference; invisible on return.
+
+        The commit point is the manifest PUT referencing the tombstone
+        record: before it, a crash strands at most an unreferenced record
+        blob; after it, every tier filters the refs until a compaction
+        physically drops them.  Unknown refs are accepted (deletes are
+        idempotent), and the memtable tier applies the delete physically on
+        the spot.
+        """
+        from repro.ingest.wal import encode_tombstones
+
+        refs = list(dict.fromkeys(refs))
+        data = encode_tombstones(refs)  # validation before any I/O or locking
+        with self._write_lock:
+            sequence, blob = self._wal.reserve_tombstone()
+        # Like segment uploads, the record PUT happens outside the write lock.
+        self._store.put(blob, data)
+        with self._write_lock:
+            self._wal.commit_tombstone(sequence, blob)
+            self._record_tombstones(blob, refs)
+            removed = self._active.remove(refs)
+            for table in self._sealed:
+                removed += table.remove(refs)
+        self._deletes_metric.inc(len(refs), index=self._index_name)
+        self._update_gauges()
+        return {
+            "index": self._index_name,
+            "deleted": len(refs),
+            "memtable_removed": removed,
+            "tombstone_record": blob,
+            "tombstones_pending": len(self.tombstone_refs()),
+        }
+
+    def update(self, ref: Posting, text: str) -> dict[str, Any]:
+        """Durably replace one document; read-your-writes on return.
+
+        One new WAL segment (the replacement text) plus one tombstone record
+        (the old reference), committed with a **single** manifest PUT: a
+        crash before it leaves the old document untouched, after it the
+        replacement — no window shows both or neither.  Raises
+        ``ValueError`` for text the segment format cannot hold and
+        :class:`IngestOverloadedError` under backpressure.
+        """
+        from repro.ingest.wal import encode_segment, encode_tombstones, parse_segment
+
+        segment_data = encode_segment([text])  # validation before any I/O
+        tombstone_data = encode_tombstones([ref])
+        self._wait_for_capacity()
+        with self._write_lock:
+            segment_sequence, segment = self._wal.reserve_segment()
+            tombstone_sequence, tombstone = self._wal.reserve_tombstone()
+        self._store.put(segment, segment_data)
+        self._store.put(tombstone, tombstone_data)
+        documents = parse_segment(segment, segment_data)
+        with self._write_lock:
+            self._wal.commit_update(
+                segment_sequence, segment, tombstone_sequence, tombstone
+            )
+            self._record_tombstones(tombstone, [ref])
+            self._active.remove([ref])
+            for table in self._sealed:
+                table.remove([ref])
+            self._active.add(documents)
+        self._updates_metric.inc(index=self._index_name)
+        self._documents_metric.inc(len(documents), index=self._index_name)
+        self._wal_segments_metric.inc(index=self._index_name)
+        self._wal_bytes_metric.inc(len(segment_data), index=self._index_name)
+        self._update_gauges()
+        new_ref = documents[0].ref
+        return {
+            "index": self._index_name,
+            "updated": {"blob": ref.blob, "offset": ref.offset, "length": ref.length},
+            "ref": {
+                "blob": new_ref.blob,
+                "offset": new_ref.offset,
+                "length": new_ref.length,
+            },
+            "wal_segment": segment,
+            "tombstone_record": tombstone,
+        }
+
     def should_flush(self) -> bool:
         """Whether the flush policy (doc count / byte budget) has triggered."""
         with self._write_lock:
@@ -265,31 +453,49 @@ class LiveIndex:
         catalog is invalidated *before* it is dropped, so readers never lose
         sight of a document (they may briefly see it from both places; the
         combined view de-duplicates).
+
+        Deletes interact here in two ways: documents tombstoned before the
+        seal are filtered out of the delta build (they must not reappear in
+        the persisted tier), and a memtable fully emptied by deletes still
+        retires its WAL segments — the tombstone records, not the segments,
+        carry the deletes forward.
         """
         started = time.perf_counter()
         with self._maintenance_lock:
             with self._write_lock:
-                if len(self._active) == 0:
+                segments = self._wal.manifest().active_segments
+                if len(self._active) == 0 and not segments:
                     return None
                 sealed = self._active
-                segments = self._wal.manifest().active_segments
                 self._active = Memtable(self._tokenizer_factory())
                 self._sealed.append(sealed)
-            try:
-                built = self._manager.append(sealed.documents(), corpus_name="ingest")
-            except BaseException:
-                # Undo the seal: the documents return to the (new) active
-                # memtable — still searchable, still WAL-covered — so the
-                # next flush retries them.
-                with self._write_lock:
-                    self._sealed.remove(sealed)
-                    self._active.add(sealed.documents())
-                raise
-            self._delta_count += 1
-            self._ratio_dirty = True
-            # New delta first, then drop the sealed memtable: queries in the
-            # gap see the documents twice (de-duplicated), never zero times.
-            self._invalidate(self._index_name)
+                # Snapshot once: the build input, the undo payload, and the
+                # survivor filter all read this same list (the old code
+                # re-queried the sealed memtable in the undo path, racing
+                # with concurrent deletes against it).
+                documents = sealed.documents()
+                tombstones = self._tombstone_set
+            survivors = [
+                document for document in documents if document.ref not in tombstones
+            ]
+            built = None
+            if survivors:
+                try:
+                    built = self._manager.append(survivors, corpus_name="ingest")
+                except BaseException:
+                    # Undo the seal: the documents return to the (new) active
+                    # memtable — still searchable, still WAL-covered — so the
+                    # next flush retries them.
+                    with self._write_lock:
+                        self._sealed.remove(sealed)
+                        self._active.add(documents)
+                    raise
+                self._delta_count += 1
+                self._ratio_dirty = True
+                # New delta first, then drop the sealed memtable: queries in
+                # the gap see the documents twice (de-duplicated), never zero
+                # times.
+                self._invalidate(self._index_name)
             with self._write_lock:
                 self._sealed.remove(sealed)
                 self._wal.retire(segments)
@@ -299,8 +505,8 @@ class LiveIndex:
         self._update_gauges()
         return {
             "index": self._index_name,
-            "flushed": len(sealed),
-            "delta": built.index_name,
+            "flushed": len(survivors),
+            "delta": built.index_name if built is not None else None,
             "seconds": elapsed,
         }
 
@@ -354,28 +560,49 @@ class LiveIndex:
         """Flush, then fold every delta into a new base generation.
 
         Returns ``None`` when there is nothing to fold (no memtable
-        documents and no deltas).
+        documents, no deltas, and no pending deletes).
+
+        This is where deletes become physical: the rebuild excludes every
+        tombstoned reference, so the new generation — including its ranking
+        stats — contains only surviving documents, and the applied tombstone
+        records are retired from the WAL afterwards.  Tombstones committed
+        *during* the rebuild are not retired; they keep filtering until the
+        next compaction.
         """
         started = time.perf_counter()
         with self._maintenance_lock:
             self.flush()
             manifest = self._manager.manifest()
-            if not manifest.delta_indexes:
+            with self._write_lock:
+                tombstone_records = tuple(self._tombstones.keys())
+                tombstone_refs = self._tombstone_set
+            if not manifest.delta_indexes and not tombstone_refs:
                 return None
             folded = len(manifest.delta_indexes)
-            built = self._manager.compact(corpus_name="compacted")
+            built = self._manager.compact(
+                corpus_name="compacted", exclude=tombstone_refs
+            )
             self._delta_count = 0
             self._ratio_dirty = False
             self._invalidate(self._index_name)
+            with self._write_lock:
+                self._wal.retire_tombstones(tombstone_records)
+                for record in tombstone_records:
+                    self._tombstones.pop(record, None)
+                self._tombstone_set = frozenset(
+                    ref for refs in self._tombstones.values() for ref in refs
+                )
         elapsed = time.perf_counter() - started
         self._compactions_metric.inc(index=self._index_name)
         self._compact_seconds_metric.observe(elapsed)
+        self._update_gauges()
         manager_manifest = self._manager.manifest()
         return {
             "index": self._index_name,
             "deltas_folded": folded,
             "generation": manager_manifest.generation,
             "base": built.index_name,
+            "tombstones_purged": len(tombstone_refs),
             "seconds": elapsed,
         }
 
@@ -475,9 +702,14 @@ class IngestCoordinator:
             if needs_replay:
                 live.replay()
             self._probed.add(name)
-            if not create and live.memtable_documents() == 0:
-                # The WAL manifest exists but everything was flushed: no
-                # write state to serve; queries stay on the persisted view.
+            if (
+                not create
+                and live.memtable_documents() == 0
+                and not live.tombstone_refs()
+            ):
+                # The WAL manifest exists but everything was flushed and no
+                # deletes are pending: no write state to serve; queries stay
+                # on the persisted view.
                 return None
             self._lives[name] = live
             self._ensure_worker()
@@ -487,6 +719,11 @@ class IngestCoordinator:
         """Memtable searchers to splice into ``name``'s combined view."""
         live = self.live(name)
         return live.memtable_searchers() if live is not None else []
+
+    def tombstone_refs(self, name: str) -> frozenset[Posting]:
+        """Pending deletes of ``name`` (empty when it has no live state)."""
+        live = self.live(name)
+        return live.tombstone_refs() if live is not None else frozenset()
 
     def discard(self, name: str, destroy_wal: bool = False) -> None:
         """Forget ``name``'s live state (full rebuild path).
@@ -520,6 +757,7 @@ class IngestCoordinator:
                 len(live.wal.manifest().active_segments) for live in lives
             ),
             "delta_indexes": sum(live.delta_count for live in lives),
+            "tombstones_pending": sum(len(live.tombstone_refs()) for live in lives),
             "worker_running": self._worker is not None and self._worker.is_alive(),
         }
 

@@ -72,6 +72,30 @@ class Memtable:
                 added += 1
         return added
 
+    def remove(self, refs: Iterable[Posting]) -> int:
+        """Drop documents by reference (the delete path); returns how many held.
+
+        The memtable tier applies deletes *physically* — the document and its
+        postings vanish at once — so unflushed documents never need tombstone
+        filtering at query time.  References not held are ignored (deletes
+        are idempotent and may target already-flushed documents).
+        """
+        removed = 0
+        with self._lock:
+            for ref in refs:
+                document = self._documents.pop(ref, None)
+                if document is None:
+                    continue
+                self._bytes -= document.length
+                for word in self._tokenizer.distinct_terms(document.text):
+                    postings = self._postings.get(word)
+                    if postings is not None:
+                        postings.discard(ref)
+                        if not postings:
+                            del self._postings[word]
+                removed += 1
+        return removed
+
     def documents(self) -> list[Document]:
         """Every held document, in insertion order."""
         with self._lock:

@@ -22,15 +22,27 @@ acknowledged.  Two deliberate choices make the design cheap:
 
 Segment numbering never resets (the counter outlives flushes), so a replayed
 or retried writer can never overwrite a segment readers may hold.
+
+Deletes and updates ride the same machinery as **tombstone records**: a
+``DELETE`` writes a ``tomb-NNNNNNNN.json`` blob (numbered from the same
+monotonic counter as document segments) listing the condemned
+``(blob, offset, length)`` references, then commits it into the manifest's
+``tombstone_segments`` list.  An ``UPDATE`` is a document segment plus a
+tombstone for the old reference committed in **one** manifest write, so
+readers never observe the delete without the replacement (or vice versa).
+Tombstones outlive flushes — they must keep shadowing copies of the document
+in delta and base indexes — and are retired (and their blobs deleted) only
+when a compaction physically drops the condemned documents.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.parsing.corpus import LineDelimitedCorpusParser
-from repro.parsing.documents import Document
+from repro.parsing.documents import Document, Posting
 from repro.storage.base import ObjectStore
 
 #: Directory (blob-prefix) fragment holding an index's WAL state.
@@ -50,12 +62,27 @@ def segment_blob(index_name: str, sequence: int) -> str:
     return f"{index_name}/{INGEST_DIR}/seg-{sequence:08d}.log"
 
 
+def tombstone_blob(index_name: str, sequence: int) -> str:
+    """Blob holding tombstone record number ``sequence`` of ``index_name``.
+
+    Tombstones draw from the same monotonic counter as document segments, so
+    a sequence number is never reused across the two record kinds either.
+    """
+    return f"{index_name}/{INGEST_DIR}/tomb-{sequence:08d}.json"
+
+
 @dataclass(frozen=True)
 class IngestManifest:
-    """Durable ingest state of one index: unflushed segments + counter."""
+    """Durable ingest state of one index: unflushed segments + counter.
+
+    ``tombstone_segments`` lists the tombstone record blobs whose deletes
+    have not yet been applied physically by a compaction; manifests written
+    before deletes existed load with the empty default.
+    """
 
     next_segment: int = 0
     active_segments: tuple[str, ...] = ()
+    tombstone_segments: tuple[str, ...] = ()
 
     def to_bytes(self) -> bytes:
         """Serialize for the manifest blob."""
@@ -63,6 +90,7 @@ class IngestManifest:
             "version": 1,
             "next_segment": self.next_segment,
             "active_segments": list(self.active_segments),
+            "tombstone_segments": list(self.tombstone_segments),
         }
         return json.dumps(payload).encode("utf-8")
 
@@ -73,6 +101,7 @@ class IngestManifest:
         return cls(
             next_segment=int(payload["next_segment"]),
             active_segments=tuple(payload["active_segments"]),
+            tombstone_segments=tuple(payload.get("tombstone_segments", ())),
         )
 
 
@@ -97,6 +126,46 @@ def encode_segment(texts: list[str]) -> bytes:
         if not text.strip():
             raise ValueError(f"document {position} is empty (or whitespace only)")
     return ("\n".join(texts) + "\n").encode("utf-8")
+
+
+#: Format version written into tombstone record blobs.
+TOMBSTONE_FORMAT_V1 = 1
+
+
+def encode_tombstones(refs: Sequence[Posting]) -> bytes:
+    """Encode one batch of condemned document references as a tombstone record.
+
+    Raises ``ValueError`` on an empty batch — an empty tombstone would be a
+    durable no-op that still costs a manifest entry forever.
+    """
+    refs = list(refs)
+    if not refs:
+        raise ValueError("a tombstone record needs at least one document reference")
+    for position, ref in enumerate(refs):
+        if not isinstance(ref, Posting):
+            raise ValueError(f"tombstone entry {position} is not a document reference")
+        if not ref.blob or ref.offset < 0 or ref.length <= 0:
+            raise ValueError(
+                f"tombstone entry {position} is not a valid document reference: "
+                f"({ref.blob!r}, {ref.offset}, {ref.length})"
+            )
+    payload = {
+        "version": TOMBSTONE_FORMAT_V1,
+        "refs": [[ref.blob, ref.offset, ref.length] for ref in refs],
+    }
+    return json.dumps(payload).encode("utf-8")
+
+
+def parse_tombstones(data: bytes) -> list[Posting]:
+    """Decode a tombstone record blob back into document references."""
+    payload = json.loads(data.decode("utf-8"))
+    version = payload.get("version")
+    if version != TOMBSTONE_FORMAT_V1:
+        raise ValueError(f"unknown tombstone record version {version!r}")
+    return [
+        Posting(blob=str(blob), offset=int(offset), length=int(length))
+        for blob, offset, length in payload["refs"]
+    ]
 
 
 def parse_segment(blob_name: str, data: bytes) -> list[Document]:
@@ -177,8 +246,73 @@ class WriteAheadLog:
             IngestManifest(
                 next_segment=max(manifest.next_segment, sequence + 1),
                 active_segments=manifest.active_segments + (blob,),
+                tombstone_segments=manifest.tombstone_segments,
             )
         )
+
+    def reserve_tombstone(self) -> tuple[int, str]:
+        """Allocate the next tombstone record number and blob name (no I/O).
+
+        Same contract as :meth:`reserve_segment` — one shared monotonic
+        counter, caller-serialized, crash-before-commit leaves at most an
+        unreferenced blob.
+        """
+        sequence = max(self.manifest().next_segment, self._reserved)
+        self._reserved = sequence + 1
+        return sequence, tombstone_blob(self._index_name, sequence)
+
+    def commit_tombstone(self, sequence: int, blob: str) -> None:
+        """Reference an already-written tombstone record from the manifest.
+
+        The commit point of a DELETE: until this manifest PUT lands, the
+        delete was never acknowledged and a crash simply strands the record
+        blob.
+        """
+        manifest = self.manifest()
+        self._commit(
+            IngestManifest(
+                next_segment=max(manifest.next_segment, sequence + 1),
+                active_segments=manifest.active_segments,
+                tombstone_segments=manifest.tombstone_segments + (blob,),
+            )
+        )
+
+    def commit_update(
+        self,
+        segment_sequence: int,
+        segment: str,
+        tombstone_sequence: int,
+        tombstone: str,
+    ) -> IngestManifest:
+        """Commit an UPDATE: new document segment + old-reference tombstone.
+
+        One manifest PUT references both blobs, so the operation is atomic:
+        a crash before it shows the old document untouched, after it the
+        replacement — never a window with both or neither visible.
+        """
+        manifest = self.manifest()
+        updated = IngestManifest(
+            next_segment=max(
+                manifest.next_segment, segment_sequence + 1, tombstone_sequence + 1
+            ),
+            active_segments=manifest.active_segments + (segment,),
+            tombstone_segments=manifest.tombstone_segments + (tombstone,),
+        )
+        self._commit(updated)
+        return updated
+
+    def append_tombstones(self, refs: Sequence[Posting]) -> str:
+        """Persist one batch of deletes as a tombstone record; returns its blob.
+
+        Convenience wrapper over reserve → PUT → commit for single-threaded
+        callers; LiveIndex drives the three steps itself so the record PUT
+        happens outside its write lock.
+        """
+        data = encode_tombstones(refs)
+        sequence, blob = self.reserve_tombstone()
+        self._store.put(blob, data)
+        self.commit_tombstone(sequence, blob)
+        return blob
 
     def append(self, texts: list[str]) -> tuple[str, list[Document]]:
         """Persist one batch as a new segment; returns ``(blob, documents)``.
@@ -204,9 +338,62 @@ class WriteAheadLog:
             blob for blob in manifest.active_segments if blob not in set(segments)
         )
         committed = IngestManifest(
-            next_segment=manifest.next_segment, active_segments=remaining
+            next_segment=manifest.next_segment,
+            active_segments=remaining,
+            tombstone_segments=manifest.tombstone_segments,
         )
         self._commit(committed)
+        return committed
+
+    def retire_tombstones(self, tombstones: Sequence[str]) -> IngestManifest:
+        """Drop applied ``tombstones`` from the manifest (the compaction commit).
+
+        Only valid once a compaction has physically dropped the condemned
+        documents from the persisted indexes.  Unlike document segments the
+        record blobs hold no document bytes, so they are deleted afterwards
+        (best-effort: an unreferenced leftover is harmless).
+        """
+        manifest = self.manifest()
+        dropped = set(tombstones)
+        committed = IngestManifest(
+            next_segment=manifest.next_segment,
+            active_segments=manifest.active_segments,
+            tombstone_segments=tuple(
+                blob for blob in manifest.tombstone_segments if blob not in dropped
+            ),
+        )
+        self._commit(committed)
+        for blob in dropped:
+            try:
+                self._store.delete(blob)
+            except Exception:  # noqa: BLE001 - unreferenced blob, cleanup only
+                pass
+        return committed
+
+    def restore(self, tombstones: Sequence[Posting] = ()) -> IngestManifest:
+        """Reset the WAL to a snapshot's write state (the restore commit).
+
+        Active document segments are dropped (their blobs stay — persisted
+        indexes reference document bytes inside them) and the pending-delete
+        set is replaced by ``tombstones``, written as one fresh record.  The
+        segment counter is preserved so post-restore writers never reuse a
+        blob name from the abandoned timeline.
+        """
+        manifest = self.manifest(refresh=True)
+        next_segment = max(manifest.next_segment, self._reserved)
+        tombstone_segments: tuple[str, ...] = ()
+        if tombstones:
+            blob = tombstone_blob(self._index_name, next_segment)
+            self._store.put(blob, encode_tombstones(tombstones))
+            tombstone_segments = (blob,)
+            next_segment += 1
+        committed = IngestManifest(
+            next_segment=next_segment,
+            active_segments=(),
+            tombstone_segments=tombstone_segments,
+        )
+        self._commit(committed)
+        self._reserved = next_segment
         return committed
 
     # -- recovery ------------------------------------------------------------------
@@ -217,6 +404,19 @@ class WriteAheadLog:
         for blob in self.manifest(refresh=True).active_segments:
             documents.extend(parse_segment(blob, self._store.get(blob)))
         return documents
+
+    def load_tombstones(self, refresh: bool = False) -> dict[str, tuple[Posting, ...]]:
+        """Pending deletes, per tombstone record blob (crash recovery).
+
+        Returns ``{record_blob: condemned_refs}`` for every record the
+        manifest still references — the in-memory shadow set a reopened
+        :class:`~repro.ingest.live.LiveIndex` filters queries with until the
+        next compaction applies the deletes physically.
+        """
+        return {
+            blob: tuple(parse_tombstones(self._store.get(blob)))
+            for blob in self.manifest(refresh=refresh).tombstone_segments
+        }
 
     def destroy(self) -> None:
         """Delete the manifest and every segment blob (full index rebuild).

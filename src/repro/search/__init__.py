@@ -14,6 +14,7 @@ from repro.search.replication import HedgingPolicy
 from repro.search.results import LatencyBreakdown, SearchResult
 from repro.search.searcher import AirphantSearcher
 from repro.search.sharded import ShardedSearcher, ShardState
+from repro.search.visibility import TombstoneView, apply_tombstones
 
 __all__ = [
     "AirphantSearcher",
@@ -28,6 +29,8 @@ __all__ = [
     "ShardState",
     "ShardedSearcher",
     "Term",
+    "TombstoneView",
+    "apply_tombstones",
     "extract_required_terms",
     "parse_boolean_query",
 ]

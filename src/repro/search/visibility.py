@@ -1,0 +1,155 @@
+"""Query-time delete visibility: the tombstone filter over any searcher tier.
+
+Deletes are recorded as WAL tombstone records and applied *physically* only
+at compaction (see :mod:`repro.ingest.wal`).  Until then, the persisted
+tiers — delta indexes, the sharded base, cluster-routed shard views — still
+contain the condemned documents.  :class:`TombstoneView` is the one piece of
+plumbing that hides them: a transparent wrapper implementing the full member
+contract of :class:`~repro.search.multi.MultiIndexSearcher`, filtering every
+result surface (documents, candidates, postings, ranking statistics) against
+the pending tombstone set.
+
+Correctness of ranked retrieval is the subtle part.  BM25 scores depend on
+corpus-wide aggregates (``N``, ``df``, ``avgdl``), so simply dropping deleted
+documents from a ranked list would keep scoring the survivors against the
+*pre-delete* corpus and break the cross-tier byte-identical-ranking
+invariant.  The view therefore prunes the member's ranking statistics with
+:func:`~repro.index.stats.prune_stats` — exact integer surgery, so the
+merged statistics (and hence every score) equal a fresh rebuild over the
+surviving documents.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import AbstractSet, Any, Iterable, Sequence
+
+from repro.core.superpost import Superpost
+from repro.index.stats import IndexStats, prune_stats
+from repro.parsing.documents import Document, Posting
+from repro.search.boolean import BooleanQuery
+from repro.search.results import LatencyBreakdown, SearchResult
+
+
+class TombstoneView:
+    """A searcher member with the pending deletes filtered out.
+
+    Wraps any member (a :class:`~repro.search.sharded.ShardedSearcher`, a
+    restricted shard view, a memtable searcher) and delegates everything to
+    it, excising documents whose references appear in ``tombstones`` from
+    every query result.  Attribute access falls through to the wrapped
+    member, so code inspecting ``_index_name`` or calling lifecycle methods
+    keeps working unchanged.
+    """
+
+    def __init__(self, inner: Any, tombstones: AbstractSet[Posting]) -> None:
+        self._inner = inner
+        self._tombstones = frozenset(tombstones)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+    @property
+    def inner(self) -> Any:
+        """The wrapped member."""
+        return self._inner
+
+    @property
+    def tombstones(self) -> frozenset[Posting]:
+        """The reference set this view hides."""
+        return self._tombstones
+
+    # -- membership / boolean ------------------------------------------------------
+
+    def search(self, query: str, top_k: int | None = None) -> SearchResult:
+        """Keyword search with condemned documents removed."""
+        return self._filtered(self._inner.search(query, top_k=self._inner_k(top_k)), top_k)
+
+    def search_boolean(
+        self, query: BooleanQuery | str, top_k: int | None = None
+    ) -> SearchResult:
+        """Boolean search with condemned documents removed."""
+        return self._filtered(
+            self._inner.search_boolean(query, top_k=self._inner_k(top_k)), top_k
+        )
+
+    def lookup_postings(self, word: str) -> tuple[list[Posting], LatencyBreakdown]:
+        """Term lookup with condemned postings removed."""
+        postings, latency = self._inner.lookup_postings(word)
+        return [posting for posting in postings if posting not in self._tombstones], latency
+
+    def _inner_k(self, top_k: int | None) -> int | None:
+        # A member truncating to top_k *before* the filter could return
+        # fewer than top_k survivors even though it holds more; ask for the
+        # full result and truncate after filtering instead.
+        return None if self._tombstones else top_k
+
+    def _filtered(self, result: SearchResult, top_k: int | None) -> SearchResult:
+        if not self._tombstones:
+            return result
+        documents = [
+            document
+            for document in result.documents
+            if document.ref not in self._tombstones
+        ]
+        candidates = [
+            posting
+            for posting in result.candidate_postings
+            if posting not in self._tombstones
+        ]
+        removed_candidates = len(result.candidate_postings) - len(candidates)
+        removed_matches = len(result.documents) - len(documents)
+        # Condemned candidates that were *not* matches were counted as false
+        # positives by the member; they are no longer fetched-and-discarded
+        # work attributable to the query, so the count shrinks with them.
+        false_positives = max(
+            0, result.false_positive_count - (removed_candidates - removed_matches)
+        )
+        if top_k is not None:
+            documents = documents[:top_k]
+        return dataclasses.replace(
+            result,
+            documents=documents,
+            candidate_postings=candidates,
+            false_positive_count=false_positives,
+        )
+
+    # -- ranked retrieval (member protocol of execute_topk) ------------------------
+
+    def ranking_stats(self) -> IndexStats:
+        """Member statistics with the condemned documents excised (exact)."""
+        return prune_stats(self._inner.ranking_stats(), self._tombstones)
+
+    def ranked_candidates(
+        self, words: Sequence[str], latency: LatencyBreakdown
+    ) -> Superpost:
+        """Conjunctive candidates minus the condemned postings."""
+        candidates = self._inner.ranked_candidates(words, latency)
+        if not self._tombstones:
+            return candidates
+        return Superpost(set(candidates.postings) - self._tombstones)
+
+    def fetch_documents(
+        self, postings: Sequence[Posting], latency: LatencyBreakdown
+    ) -> list[Document]:
+        """Resolve postings, never fetching a condemned document's bytes."""
+        surviving = [
+            posting for posting in postings if posting not in self._tombstones
+        ]
+        return self._inner.fetch_documents(surviving, latency)
+
+
+def apply_tombstones(
+    members: Iterable[Any], tombstones: AbstractSet[Posting]
+) -> list[Any]:
+    """Wrap ``members`` in :class:`TombstoneView` when deletes are pending.
+
+    With an empty tombstone set the members are returned as-is — the common
+    case (no deletes outstanding) pays nothing.
+    """
+    if not tombstones:
+        return list(members)
+    return [TombstoneView(member, tombstones) for member in members]
+
+
+__all__ = ["TombstoneView", "apply_tombstones"]

@@ -24,7 +24,11 @@ from repro.index.metadata import (
     merge_shard_metadata,
 )
 from repro.index.sharding import SHARD_MARKER, read_shard_manifest
-from repro.index.updates import GENERATION_MARKER, AppendOnlyIndexManager
+from repro.index.updates import (
+    GENERATION_MARKER,
+    SNAPSHOT_MARKER,
+    AppendOnlyIndexManager,
+)
 from repro.search.multi import MultiIndexSearcher
 from repro.service.api import IndexInfo
 from repro.service.config import ServiceConfig
@@ -78,14 +82,24 @@ class IndexCatalog:
                 name = blob[: -len(updates_suffix)]
             else:
                 continue
-            if _DELTA_MARKER in name or SHARD_MARKER in name or GENERATION_MARKER in name:
+            if (
+                _DELTA_MARKER in name
+                or SHARD_MARKER in name
+                or GENERATION_MARKER in name
+                or SNAPSHOT_MARKER in name
+            ):
                 continue
             names.add(name)
         return sorted(names)
 
     def contains(self, name: str) -> bool:
         """Whether ``name`` is a servable index."""
-        if _DELTA_MARKER in name or SHARD_MARKER in name or GENERATION_MARKER in name:
+        if (
+            _DELTA_MARKER in name
+            or SHARD_MARKER in name
+            or GENERATION_MARKER in name
+            or SNAPSHOT_MARKER in name
+        ):
             return False
         return (
             self._store.exists(f"{name}/{HEADER_BLOB_SUFFIX}")

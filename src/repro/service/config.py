@@ -82,6 +82,16 @@ class ServiceConfig:
     ingest_interval_s:
         Poll interval of the background ingest worker; 0 disables the
         worker entirely (flush/compaction happen only on explicit calls).
+    ingest_max_memtable_docs:
+        Memtable occupancy (documents) above which writes are rejected
+        with ``ingest_overloaded`` (HTTP 429); 0 — the default — disables
+        the limit.  Backpressure for when the memtable outruns the flusher.
+    ingest_max_memtable_bytes:
+        Memtable occupancy (raw document bytes) above which writes are
+        rejected with ``ingest_overloaded``; 0 disables the limit.
+    ingest_overload_wait_s:
+        How long an over-limit write blocks waiting for a flush to drain
+        the memtable before the 429 is raised; 0 rejects immediately.
     peers:
         Base URLs of the cluster's searcher nodes (normally including this
         node's own URL).  Empty — the default — keeps the node standalone;
@@ -135,6 +145,9 @@ class ServiceConfig:
     ingest_compact_deltas: int = 4
     ingest_compact_ratio: float = 0.0
     ingest_interval_s: float = 0.25
+    ingest_max_memtable_docs: int = 0
+    ingest_max_memtable_bytes: int = 0
+    ingest_overload_wait_s: float = 0.0
     peers: tuple[str, ...] = ()
     replication_factor: int = 2
     shard_timeout_s: float = 5.0
@@ -180,6 +193,12 @@ class ServiceConfig:
             raise ValueError("ingest_compact_ratio must be non-negative")
         if self.ingest_interval_s < 0:
             raise ValueError("ingest_interval_s must be non-negative")
+        if self.ingest_max_memtable_docs < 0:
+            raise ValueError("ingest_max_memtable_docs must be non-negative")
+        if self.ingest_max_memtable_bytes < 0:
+            raise ValueError("ingest_max_memtable_bytes must be non-negative")
+        if self.ingest_overload_wait_s < 0:
+            raise ValueError("ingest_overload_wait_s must be non-negative")
         # Normalize peers: accept any iterable of URLs (from_dict hands a
         # JSON list), dedupe preserving order, strip trailing slashes.
         if isinstance(self.peers, (str, bytes)):
@@ -270,6 +289,9 @@ class ServiceConfig:
             "ingest_compact_deltas": self.ingest_compact_deltas,
             "ingest_compact_ratio": self.ingest_compact_ratio,
             "ingest_interval_s": self.ingest_interval_s,
+            "ingest_max_memtable_docs": self.ingest_max_memtable_docs,
+            "ingest_max_memtable_bytes": self.ingest_max_memtable_bytes,
+            "ingest_overload_wait_s": self.ingest_overload_wait_s,
             "peers": list(self.peers),
             "replication_factor": self.replication_factor,
             "shard_timeout_s": self.shard_timeout_s,

@@ -24,14 +24,16 @@ from repro.core.config import SketchConfig
 from repro.observability import NULL_REGISTRY, MetricsRegistry, get_registry
 from repro.index.builder import AirphantBuilder
 from repro.index.stats import RankingUnsupportedError
-from repro.index.updates import AppendOnlyIndexManager
-from repro.ingest.live import IngestCoordinator, LiveSearcher
+from repro.index.updates import AppendOnlyIndexManager, SnapshotRestoreError
+from repro.ingest.live import IngestCoordinator, IngestOverloadedError, LiveSearcher
+from repro.ingest.wal import WriteAheadLog
 from repro.parsing.documents import Posting
 from repro.search.multi import MultiIndexSearcher
 from repro.search.ranking import DEFAULT_RANKED_K
 from repro.search.regexsearch import RegexSearcher
 from repro.search.results import LatencyBreakdown, SearchResult
 from repro.search.sharded import ShardedSearcher
+from repro.search.visibility import apply_tombstones
 from repro.service.api import IndexInfo, SearchRequest, SearchResponse, ServiceError
 from repro.service.catalog import IndexCatalog
 from repro.service.config import ServiceConfig
@@ -452,24 +454,30 @@ class AirphantService:
 
     def _live_members(self, index: str, shards: Sequence[int] | None = None) -> list[Any]:
         members = [*self._catalog.open(index).searchers, *self._ingest.members(index)]
-        if shards is None:
-            return members
-        # Shard-subset execution (the scatter half of the cluster tier): a
-        # sharded member answers with a view over the requested ordinals it
-        # actually holds; everything unsharded — plain indexes, deltas, live
-        # memtables — rides with ordinal 0.  Disjoint ordinal subsets across
-        # nodes therefore partition the full member set exactly: each shard
-        # is answered once, and the write-path members exactly once (by
-        # whichever node owns ordinal 0).
-        restricted: list[Any] = []
-        for member in members:
-            if isinstance(member, ShardedSearcher):
-                held = [o for o in shards if o < member.num_shards]
-                if held:
-                    restricted.append(member.restrict(held))
-            elif 0 in shards:
-                restricted.append(member)
-        return restricted
+        if shards is not None:
+            # Shard-subset execution (the scatter half of the cluster tier):
+            # a sharded member answers with a view over the requested
+            # ordinals it actually holds; everything unsharded — plain
+            # indexes, deltas, live memtables — rides with ordinal 0.
+            # Disjoint ordinal subsets across nodes therefore partition the
+            # full member set exactly: each shard is answered once, and the
+            # write-path members exactly once (by whichever node owns
+            # ordinal 0).
+            restricted: list[Any] = []
+            for member in members:
+                if isinstance(member, ShardedSearcher):
+                    held = [o for o in shards if o < member.num_shards]
+                    if held:
+                        restricted.append(member.restrict(held))
+                elif 0 in shards:
+                    restricted.append(member)
+            members = restricted
+        # Pending deletes filter *after* shard restriction, so every route a
+        # condemned document could surface through — local, shard-pinned, or
+        # cluster-scattered — is covered by the same wrapper.  Memtable
+        # members carry no condemned documents (deletes are physical there),
+        # but wrapping them too is harmless and keeps this one line.
+        return apply_tombstones(members, self._ingest.tombstone_refs(index))
 
     # -- live ingestion ----------------------------------------------------------------
 
@@ -494,6 +502,50 @@ class AirphantService:
             live = self._ingest.live(index, create=True)
             try:
                 return live.append(documents)
+            except IngestOverloadedError as error:
+                raise ServiceError(429, "ingest_overloaded", str(error)) from error
+            except ValueError as error:
+                raise ServiceError(400, "bad_ingest_request", str(error)) from error
+
+    def delete_documents(
+        self, index: str, refs: Sequence[Posting]
+    ) -> dict[str, Any]:
+        """Durably delete documents by reference; invisible on return.
+
+        The deletes are committed as a WAL tombstone record, applied
+        physically in the memtable tier, filtered at query time everywhere
+        else, and purged for good at the next compaction.  Unknown refs are
+        accepted (deletes are idempotent).  Raises :class:`ServiceError` 404
+        for unknown indexes and 400 for an empty batch.
+        """
+        if not refs:
+            raise ServiceError(
+                400, "bad_ingest_request", "delete needs at least one document reference"
+            )
+        with self._store_errors():
+            self._require_index(index)
+            live = self._ingest.live(index, create=True)
+            try:
+                return live.delete(refs)
+            except ValueError as error:
+                raise ServiceError(400, "bad_ingest_request", str(error)) from error
+
+    def update_document(self, index: str, ref: Posting, text: str) -> dict[str, Any]:
+        """Durably replace one document; read-your-writes on return.
+
+        Atomic: one WAL manifest write commits the replacement segment and
+        the old reference's tombstone together, so no query sees both (or
+        neither) version.  Raises :class:`ServiceError` 404 for unknown
+        indexes, 400 for text the WAL format cannot hold, and 429 under
+        memtable backpressure.
+        """
+        with self._store_errors():
+            self._require_index(index)
+            live = self._ingest.live(index, create=True)
+            try:
+                return live.update(ref, text)
+            except IngestOverloadedError as error:
+                raise ServiceError(429, "ingest_overloaded", str(error)) from error
             except ValueError as error:
                 raise ServiceError(400, "bad_ingest_request", str(error)) from error
 
@@ -542,6 +594,106 @@ class AirphantService:
         if outcome is None:
             return {"index": index, "compacted": False, "deltas_folded": 0}
         return {"compacted": True, **outcome}
+
+    # -- snapshots ---------------------------------------------------------------------
+
+    def _manager(self, index: str) -> AppendOnlyIndexManager:
+        return AppendOnlyIndexManager(
+            self.store, base_index=index, tokenizer=self._config.make_tokenizer()
+        )
+
+    def create_snapshot(self, index: str, snapshot: str) -> dict[str, Any]:
+        """Create (or overwrite) a named point-in-time snapshot of ``index``.
+
+        The memtable is flushed first, so the frozen manifest covers every
+        acknowledged write; pending deletes ride along as the snapshot's
+        tombstone set.  Raises :class:`ServiceError` 404 for unknown indexes
+        and 400 for invalid snapshot names.
+        """
+        with self._store_errors():
+            self._require_index(index)
+            live = self._ingest.live(index)
+            tombstones: Sequence[Posting] = ()
+            if live is not None:
+                live.flush()
+                tombstones = sorted(live.tombstone_refs())
+            try:
+                info = self._manager(index).create_snapshot(snapshot, tombstones)
+            except ValueError as error:
+                raise ServiceError(400, "bad_snapshot_name", str(error)) from error
+        return {
+            "index": index,
+            "snapshot": info.snapshot,
+            "created_at": info.created_at,
+            "generation": info.manifest.generation,
+            "delta_indexes": len(info.manifest.delta_indexes),
+            "tombstones": len(info.tombstones),
+        }
+
+    def list_snapshots(self, index: str) -> list[dict[str, Any]]:
+        """Describe every snapshot of ``index`` (404 for unknown indexes)."""
+        with self._store_errors():
+            self._require_index(index)
+            infos = self._manager(index).list_snapshots()
+        return [
+            {
+                "snapshot": info.snapshot,
+                "created_at": info.created_at,
+                "generation": info.manifest.generation,
+                "delta_indexes": len(info.manifest.delta_indexes),
+                "tombstones": len(info.tombstones),
+            }
+            for info in infos
+        ]
+
+    def restore_snapshot(self, index: str, snapshot: str) -> dict[str, Any]:
+        """Roll ``index`` back to a snapshot (point-in-time restore).
+
+        One atomic manifest PUT re-points the index at the frozen base +
+        delta set; the WAL is reset to the snapshot's write state (its
+        tombstones pending again, every later append abandoned) and the live
+        registry, catalog, and router caches are invalidated so the next
+        query serves the restored timeline.  Raises :class:`ServiceError`
+        404 for unknown indexes/snapshots and 409 when the snapshot's blobs
+        no longer exist.
+        """
+        with self._store_errors():
+            self._require_index(index)
+            try:
+                info = self._manager(index).restore_snapshot(snapshot)
+            except KeyError:
+                raise ServiceError(
+                    404, "snapshot_not_found", f"index {index!r} has no snapshot {snapshot!r}"
+                ) from None
+            except SnapshotRestoreError as error:
+                raise ServiceError(409, "snapshot_unrestorable", str(error)) from error
+            # Abandon the live write state *after* the manifest swap: the
+            # restored WAL carries exactly the snapshot's tombstones, and the
+            # next touch of the index replays from it.
+            self._ingest.discard(index)
+            WriteAheadLog(self.store, index).restore(info.tombstones)
+            self._catalog.invalidate(index)
+            if self._router is not None:
+                self._router.invalidate(index)
+        return {
+            "index": index,
+            "snapshot": info.snapshot,
+            "restored": True,
+            "generation": self._manager(index).manifest().generation,
+            "tombstones": len(info.tombstones),
+        }
+
+    def delete_snapshot(self, index: str, snapshot: str) -> dict[str, Any]:
+        """Drop one snapshot; its pinned blobs become purgeable at compaction."""
+        with self._store_errors():
+            self._require_index(index)
+            try:
+                self._manager(index).delete_snapshot(snapshot)
+            except KeyError:
+                raise ServiceError(
+                    404, "snapshot_not_found", f"index {index!r} has no snapshot {snapshot!r}"
+                ) from None
+        return {"index": index, "snapshot": snapshot, "deleted": True}
 
     # -- building ---------------------------------------------------------------------
 
@@ -599,6 +751,7 @@ class AirphantService:
             or "/delta-" in name
             or "/shard-" in name
             or "/gen-" in name
+            or "/snapshots/" in name
         ):
             raise ServiceError(400, "bad_index_name", f"invalid index name {name!r}")
         blobs = list(blobs)
@@ -629,9 +782,11 @@ class AirphantService:
         with self._store_errors():
             builder.build_from_blobs(blobs, index_name=name, corpus_name=name)
         # A full rebuild is authoritative: any previous generational bases,
-        # deltas, and unflushed WAL segments describe documents that are no
-        # longer part of this index.
+        # deltas, unflushed WAL segments, and snapshots describe documents
+        # that are no longer part of this index.  Snapshots go first, so the
+        # reset's purge is total (nothing left pinned).
         manager = AppendOnlyIndexManager(self.store, base_index=name)
+        manager.delete_all_snapshots()
         if self.store.exists(manager.manifest_blob):
             manager.reset()
         self._ingest.discard(name, destroy_wal=True)

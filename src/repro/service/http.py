@@ -21,9 +21,19 @@ query node can be started anywhere the bucket is reachable:
 * ``POST /indexes/{name}/docs`` — append documents to a live index (body:
   ``{"documents": ["one doc per entry", ...]}``); WAL-durable and
   searchable in every query mode when the call returns;
+* ``POST /indexes/{name}/docs/delete`` — tombstone documents by reference
+  (body: ``{"refs": [{"blob": ..., "offset": ..., "length": ...}, ...]}``);
+  WAL-durable and invisible in every tier when the call returns;
+* ``POST /indexes/{name}/docs/update`` — atomically replace one document
+  (body: ``{"ref": {...}, "document": "new text"}``);
 * ``POST /indexes/{name}/flush`` — fold the memtable into a delta index now;
 * ``POST /indexes/{name}/compact`` — flush, then fold all deltas into a new
-  base generation now.
+  base generation now (this is also what physically purges tombstones);
+* ``GET  /indexes/{name}/snapshots`` — list the index's snapshots;
+* ``POST /indexes/{name}/snapshots`` — create a point-in-time snapshot
+  (body: ``{"snapshot": "nightly-01"}``);
+* ``POST /indexes/{name}/snapshots/{snap}/restore`` — roll the index back;
+* ``POST /indexes/{name}/snapshots/{snap}/delete`` — drop a snapshot.
 
 Errors come back as ``ErrorInfo`` JSON bodies with matching HTTP status
 codes.  Requests are served by a thread pool (``ThreadingHTTPServer``);
@@ -67,6 +77,54 @@ _BUILD_SHARD_FIELDS = ("num_shards", "partitioner")
 
 #: Superpost codec names a build request's ``format`` field may use.
 _BUILD_FORMATS = {"v1": 1, "v2": 2}
+
+
+def _parse_ref(entry: Any) -> "Posting":
+    """Validate one ``{blob, offset, length}`` document reference (400 on junk)."""
+    from repro.parsing.documents import Posting
+
+    if not isinstance(entry, Mapping):
+        raise ServiceError(
+            400, "bad_ingest_request", "a document reference must be a "
+            "{blob, offset, length} object"
+        )
+    unknown = set(entry) - {"blob", "offset", "length"}
+    if unknown:
+        raise ServiceError(
+            400,
+            "bad_ingest_request",
+            f"unknown reference field(s): {', '.join(sorted(unknown))}",
+        )
+    blob = entry.get("blob")
+    offset = entry.get("offset")
+    length = entry.get("length")
+    if (
+        not isinstance(blob, str)
+        or not blob
+        or not isinstance(offset, int)
+        or isinstance(offset, bool)
+        or offset < 0
+        or not isinstance(length, int)
+        or isinstance(length, bool)
+        or length <= 0
+    ):
+        raise ServiceError(
+            400,
+            "bad_ingest_request",
+            "a document reference needs a non-empty 'blob' string, a "
+            "non-negative 'offset' integer, and a positive 'length' integer",
+        )
+    return Posting(blob=blob, offset=offset, length=length)
+
+
+def _split_snapshot_path(path: str, action: str) -> tuple[str, str]:
+    """Split ``/indexes/{name}/snapshots/{snap}{action}`` into its two names."""
+    middle = path[len("/indexes/") : -len(action)]
+    marker = "/snapshots/"
+    position = middle.rfind(marker)
+    if position <= 0 or not middle[position + len(marker) :]:
+        raise ServiceError(404, "not_found", f"no route for POST {path}")
+    return middle[:position], middle[position + len(marker) :]
 
 
 class AirphantHTTPServer(ThreadingHTTPServer):
@@ -132,6 +190,9 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
             return 200, service.router.describe()
         if path == "/indexes":
             return 200, {"indexes": [info.to_dict() for info in service.list_indexes()]}
+        if path.startswith("/indexes/") and path.endswith("/snapshots"):
+            name = path[len("/indexes/") : -len("/snapshots")]
+            return 200, {"snapshots": service.list_snapshots(name)}
         if path.startswith("/indexes/"):
             name = path[len("/indexes/") :]
             return 200, service.index_info(name).to_dict()
@@ -151,6 +212,43 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
             name = path[len("/indexes/") : -len("/build")]
             body = self._read_json_body()
             return 200, self._build(name, body).to_dict()
+        if path.startswith("/indexes/") and path.endswith("/docs/delete"):
+            name = path[len("/indexes/") : -len("/docs/delete")]
+            body = self._read_json_body()
+            refs = body.get("refs")
+            if not isinstance(refs, list) or not refs:
+                raise ServiceError(
+                    400,
+                    "bad_ingest_request",
+                    "delete body needs a non-empty 'refs' list of "
+                    "{blob, offset, length} objects",
+                )
+            unknown = set(body) - {"refs"}
+            if unknown:
+                raise ServiceError(
+                    400,
+                    "bad_ingest_request",
+                    f"unknown delete field(s): {', '.join(sorted(unknown))}",
+                )
+            return 200, service.delete_documents(
+                name, [_parse_ref(entry) for entry in refs]
+            )
+        if path.startswith("/indexes/") and path.endswith("/docs/update"):
+            name = path[len("/indexes/") : -len("/docs/update")]
+            body = self._read_json_body()
+            text = body.get("document")
+            if not isinstance(text, str):
+                raise ServiceError(
+                    400, "bad_ingest_request", "update body needs a 'document' string"
+                )
+            unknown = set(body) - {"ref", "document"}
+            if unknown:
+                raise ServiceError(
+                    400,
+                    "bad_ingest_request",
+                    f"unknown update field(s): {', '.join(sorted(unknown))}",
+                )
+            return 200, service.update_document(name, _parse_ref(body.get("ref")), text)
         if path.startswith("/indexes/") and path.endswith("/docs"):
             name = path[len("/indexes/") : -len("/docs")]
             body = self._read_json_body()
@@ -179,6 +277,28 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
         if path.startswith("/indexes/") and path.endswith("/compact"):
             name = path[len("/indexes/") : -len("/compact")]
             return 200, service.compact_index(name)
+        if path.startswith("/indexes/") and path.endswith("/snapshots"):
+            name = path[len("/indexes/") : -len("/snapshots")]
+            body = self._read_json_body()
+            snapshot = body.get("snapshot")
+            if not isinstance(snapshot, str) or not snapshot:
+                raise ServiceError(
+                    400, "bad_snapshot_name", "snapshot body needs a 'snapshot' name"
+                )
+            unknown = set(body) - {"snapshot"}
+            if unknown:
+                raise ServiceError(
+                    400,
+                    "bad_snapshot_name",
+                    f"unknown snapshot field(s): {', '.join(sorted(unknown))}",
+                )
+            return 200, service.create_snapshot(name, snapshot)
+        if path.startswith("/indexes/") and path.endswith("/restore"):
+            name, snapshot = _split_snapshot_path(path, "/restore")
+            return 200, service.restore_snapshot(name, snapshot)
+        if path.startswith("/indexes/") and path.endswith("/delete"):
+            name, snapshot = _split_snapshot_path(path, "/delete")
+            return 200, service.delete_snapshot(name, snapshot)
         raise ServiceError(404, "not_found", f"no route for POST {self.path}")
 
     def _build(self, name: str, body: Mapping[str, Any]):

@@ -9,11 +9,23 @@ directory on ``sys.path``):
 * :mod:`harness.prometheus` — a strict parser for the Prometheus text
   exposition format, used to assert ``GET /metrics`` payloads are valid;
 * :mod:`harness.stores` — counting/observing store wrappers for asserting
-  exactly what traffic reached a backend.
+  exactly what traffic reached a backend;
+* :mod:`harness.crashpoints` — a fault-point store wrapper that simulates
+  process death at exact WAL/flush/compaction mutation points, for
+  crash-consistency tests of the mutable-document lifecycle.
 """
 
+from harness.crashpoints import FaultPoint, FaultPointStore, SimulatedCrash
 from harness.prometheus import MetricFamily, parse_prometheus
 from harness.s3_emulator import S3Emulator
 from harness.stores import CountingStore
 
-__all__ = ["CountingStore", "MetricFamily", "S3Emulator", "parse_prometheus"]
+__all__ = [
+    "CountingStore",
+    "FaultPoint",
+    "FaultPointStore",
+    "MetricFamily",
+    "S3Emulator",
+    "SimulatedCrash",
+    "parse_prometheus",
+]
