@@ -23,6 +23,7 @@ from repro.bench.tables import format_table
 from repro.core.config import SketchConfig
 from repro.index.builder import AirphantBuilder
 from repro.observability import get_registry
+from repro.observability.tracing import Tracer
 from repro.parsing.tokenizer import WhitespaceAnalyzer
 from repro.search.sharded import ShardedSearcher
 from repro.storage.latency import AffineLatencyModel
@@ -118,7 +119,8 @@ def _run(catalog):
     for row, num_shards in zip(rows, SHARD_COUNTS):
         row.append(round(record[str(num_shards)]["latency_vs_single_shard"], 3))
     overhead = _metrics_overhead(store, queries)
-    return corpus, queries, rows, record, overhead
+    tracing_overhead = _tracing_overhead(store, queries)
+    return corpus, queries, rows, record, overhead, tracing_overhead
 
 
 def _metrics_overhead(store, queries):
@@ -164,8 +166,57 @@ def _metrics_overhead(store, queries):
     }
 
 
+def _tracing_overhead(store, queries):
+    """Replay the 4-shard workload untraced vs. fully traced.
+
+    Same fresh identically seeded stores as :func:`_metrics_overhead`.  The
+    untraced replay runs with no ambient span, i.e. the tracing-disabled
+    path (each instrumented site costs one contextvar read); the traced
+    replay opens a root span per query at ``sample_rate=1.0`` so every
+    span tree is built and retained.  Simulated latency must be identical
+    either way — tracing observes the fetch pattern, it must never change
+    it — and the ratios are asserted within 5%.
+    """
+    index_name = "ablation/sharding-04"
+
+    def _fresh_store():
+        return SimulatedCloudStore(
+            backend=store.backend,
+            latency_model=AffineLatencyModel(seed=99, jitter_sigma=0.1),
+        )
+
+    def _replay(sim_store, tracer=None):
+        searcher = ShardedSearcher.open(
+            sim_store, index_name=index_name, coalesce_gap=COALESCE_GAP
+        )
+        started = time.perf_counter()
+        latencies = []
+        for query in queries:
+            handle = tracer.begin("query", query=query) if tracer is not None else None
+            latencies.append(searcher.search(query).latency.total_ms)
+            if handle is not None:
+                handle.finish()
+        wall_seconds = time.perf_counter() - started
+        searcher.close()
+        return sum(latencies) / len(latencies), wall_seconds
+
+    mean_untraced, wall_untraced = _replay(_fresh_store())
+    tracer = Tracer(sample_rate=1.0, capacity=len(queries) + 1)
+    mean_traced, wall_traced = _replay(_fresh_store(), tracer)
+    return {
+        "mean_query_latency_ms_untraced": mean_untraced,
+        "mean_query_latency_ms_traced": mean_traced,
+        "latency_overhead_ratio": (
+            mean_traced / mean_untraced if mean_untraced else 1.0
+        ),
+        "wall_seconds_untraced": wall_untraced,
+        "wall_seconds_traced": wall_traced,
+        "retained_traces": len(tracer.store),
+    }
+
+
 def test_ablation_sharding(benchmark, catalog):
-    corpus, queries, rows, record, overhead = benchmark.pedantic(
+    corpus, queries, rows, record, overhead, tracing_overhead = benchmark.pedantic(
         _run, args=(catalog,), rounds=1, iterations=1
     )
     table = format_table(
@@ -196,6 +247,7 @@ def test_ablation_sharding(benchmark, catalog):
             "smoke_mode": smoke_mode(),
             "by_shard_count": record,
             "metrics_overhead": overhead,
+            "tracing_overhead": tracing_overhead,
             # Process-wide registry totals at the time of the run — the
             # same counters GET /metrics would export while serving.
             "registry_summary": registry_summary,
@@ -221,3 +273,7 @@ def test_ablation_sharding(benchmark, catalog):
     # replays use identically seeded latency models, so any drift here is
     # the accounting path changing what gets fetched — a bug.
     assert abs(overhead["latency_overhead_ratio"] - 1.0) <= 0.05
+    # Same contract for tracing: neither the tracing-disabled path (no
+    # ambient span) nor a fully traced replay may change what gets fetched.
+    assert abs(tracing_overhead["latency_overhead_ratio"] - 1.0) <= 0.05
+    assert tracing_overhead["retained_traces"] == len(queries)

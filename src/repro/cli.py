@@ -123,6 +123,11 @@ def _service_config(args: argparse.Namespace) -> ServiceConfig:
         node_retries=getattr(args, "node_retries", defaults.node_retries),
         probe_interval_s=getattr(args, "probe_interval_s", defaults.probe_interval_s),
         metrics_enabled=not getattr(args, "no_metrics", False),
+        tracing_enabled=not getattr(args, "no_tracing", False),
+        trace_sample_rate=getattr(
+            args, "trace_sample_rate", defaults.trace_sample_rate
+        ),
+        slow_query_ms=getattr(args, "slow_query_ms", defaults.slow_query_ms),
     )
 
 
@@ -322,7 +327,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
             mode=mode,
             top_k=args.top_k,
             weights=_parse_weights(args.weight),
+            explain=bool(getattr(args, "explain", False)),
         )
+        if request.explain:
+            # The facade's search() path attaches the span tree; execute()
+            # (below) returns the raw result without one.
+            return _search_explain(service, request, args)
         result = service.execute(request)
     except (ServiceError, ValueError) as error:
         message = error.info.message if isinstance(error, ServiceError) else str(error)
@@ -343,6 +353,111 @@ def _cmd_search(args: argparse.Namespace) -> int:
         summary += f", {result.latency_ms:.1f} ms simulated"
     print(summary, file=sys.stderr)
     return 0 if result.num_results > 0 else 1
+
+
+def _search_explain(
+    service: AirphantService, request: SearchRequest, args: argparse.Namespace
+) -> int:
+    """Run one explained query and render its span tree + wave summary."""
+    from repro.observability.tracing import render_trace
+
+    try:
+        response = service.search(request)
+    except (ServiceError, ValueError) as error:
+        message = error.info.message if isinstance(error, ServiceError) else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(response.to_json(indent=2))
+        return 0 if response.documents else 1
+    for hit in response.documents:
+        text = hit.text if hit.text is not None else f"{hit.blob}@{hit.offset}+{hit.length}"
+        if hit.score is not None:
+            print(f"{hit.score:.4f}\t{text}")
+        else:
+            print(text)
+    trace = response.trace
+    if trace is None:
+        print("(no trace attached; tracing is disabled)", file=sys.stderr)
+    else:
+        print(f"\ntrace {trace['trace_id']}:", file=sys.stderr)
+        print(render_trace(trace["spans"]), file=sys.stderr)
+        summary = trace.get("summary") or {}
+        for number, wave in enumerate(summary.get("waves") or [], start=1):
+            print(
+                f"wave {number}: requests={wave['requests']} "
+                f"physical={wave['physical_requests']} "
+                f"bytes={wave['bytes_fetched']} cache_hits={wave['cache_hits']}",
+                file=sys.stderr,
+            )
+        totals = summary.get("totals") or {}
+        if totals:
+            print(
+                f"totals: spans={totals['spans']} waves={totals['waves']} "
+                f"requests={totals['requests']} bytes={totals['bytes_fetched']} "
+                f"cache_hits={totals['cache_hits']} hedges={totals['hedges']} "
+                f"retries={totals['retries']} "
+                f"refunded_bytes={totals['refunded_bytes']}",
+                file=sys.stderr,
+            )
+    print(
+        f"{len(response.documents)} result(s), "
+        f"{response.false_positive_count} false positive(s) filtered",
+        file=sys.stderr,
+    )
+    return 0 if response.documents else 1
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    """List (or fetch one of) the traces a running serve node retained."""
+    import urllib.error
+    import urllib.request
+
+    from repro.observability.tracing import render_trace
+
+    base = args.url.rstrip("/")
+    path = f"/traces/{args.trace}" if args.trace else f"/traces?limit={args.limit}"
+    try:
+        with urllib.request.urlopen(f"{base}{path}", timeout=10.0) as response:
+            payload = json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        body = error.read().decode("utf-8", "replace")
+        try:
+            message = json.loads(body).get("message", body)
+        except json.JSONDecodeError:
+            message = body
+        print(f"error: {base}{path} answered {error.code}: {message}", file=sys.stderr)
+        return 2
+    except (
+        urllib.error.URLError,
+        TimeoutError,
+        ConnectionError,
+        OSError,
+        json.JSONDecodeError,
+    ) as error:
+        print(f"error: could not fetch {base}{path}: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    if args.trace:
+        print(f"trace {payload['trace_id']}:")
+        print(render_trace(payload["spans"]))
+        return 0
+    traces = payload.get("traces") or []
+    if not traces:
+        print("(no retained traces)", file=sys.stderr)
+        return 0
+    for entry in traces:
+        duration = entry.get("duration_ms")
+        timing = f"{duration:.2f} ms" if isinstance(duration, (int, float)) else "?"
+        attrs = entry.get("attrs") or {}
+        detail = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+        print(
+            f"{entry['trace_id']}\t{entry['name']}\t{timing}\t"
+            f"{entry['spans']} span(s)\t{detail}"
+        )
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -612,7 +727,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"on http://{args.host}:{args.port} ({role})",
         file=sys.stderr,
     )
-    serve_forever(service, host=args.host, port=args.port)
+    serve_forever(
+        service,
+        host=args.host,
+        port=args.port,
+        log_format=getattr(args, "log_format", "text"),
+    )
     return 0
 
 
@@ -705,6 +825,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full SearchResponse JSON instead of document text",
     )
     search.add_argument(
+        "--explain",
+        action="store_true",
+        help="trace the query and print its span tree and per-wave fetch "
+        "summary (requests, bytes, cache hits) after the results",
+    )
+    search.add_argument(
         "--query-cache-size",
         type=int,
         default=0,
@@ -747,6 +873,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-word postings cache capacity (0 disables)",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    traces = subparsers.add_parser(
+        "traces",
+        help="list or render the query traces a running serve node retained",
+    )
+    traces.add_argument(
+        "--url",
+        required=True,
+        help="base URL of a running `airphant serve` node",
+    )
+    traces.add_argument("--trace", help="render one trace id as a span tree")
+    traces.add_argument(
+        "--limit", type=int, default=20, help="newest-first traces to list"
+    )
+    traces.add_argument(
+        "--json", action="store_true", help="print the raw JSON payload instead"
+    )
+    traces.set_defaults(func=_cmd_traces)
 
     ingest = subparsers.add_parser(
         "ingest",
@@ -812,6 +956,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the metrics exports (GET /metrics answers 404, /healthz "
         "drops its metrics block) and service-level query accounting",
+    )
+    serve.add_argument(
+        "--log-format",
+        default="text",
+        choices=["text", "json"],
+        help="request-log format: stdlib text lines or one JSON object per "
+        "request (method, path, status, duration_ms, trace_id)",
+    )
+    serve.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable query tracing (GET /traces answers 404, explain "
+        "requests carry no trace)",
+    )
+    serve.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=ServiceConfig.trace_sample_rate,
+        help="fraction of ordinary queries whose traces are retained for "
+        "GET /traces (explained and slow queries are always kept)",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=ServiceConfig.slow_query_ms,
+        help="queries slower than this emit a structured slow-query log "
+        "line and are always retained (0 disables)",
     )
     _add_pipeline_arguments(serve)
     _add_ingest_arguments(serve)

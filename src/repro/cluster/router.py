@@ -37,6 +37,7 @@ error — a *request* defect is not a node failure and must not fail over.
 
 from __future__ import annotations
 
+import inspect
 import json
 import threading
 import time
@@ -49,6 +50,14 @@ from typing import Any, Callable, Iterable, Mapping
 from repro.cluster.health import HealthTracker
 from repro.cluster.topology import ClusterTopology
 from repro.observability import NULL_REGISTRY, MetricsRegistry
+from repro.observability.tracing import (
+    PARENT_SPAN_HEADER,
+    TRACE_ID_HEADER,
+    Span,
+    attach,
+    current_span,
+    span,
+)
 from repro.service.api import (
     DocumentHit,
     ErrorInfo,
@@ -63,7 +72,10 @@ from repro.service.api import (
 #: → decoded JSON.  ``payload=None`` means GET.  Implementations raise
 #: :class:`NodeQueryError` for node-level failures (unreachable, timeout,
 #: 5xx) and :class:`~repro.service.api.ServiceError` for definitive 4xx
-#: answers.
+#: answers.  A transport *may* accept a keyword-only ``headers`` mapping;
+#: the router detects support by signature and uses it to propagate trace
+#: context to peers (transports without the parameter simply don't carry
+#: trace headers — routing is unaffected).
 Transport = Callable[[str, str, Mapping[str, Any] | None, float], Any]
 
 
@@ -76,13 +88,20 @@ class NodeQueryError(Exception):
 
 
 def http_transport(
-    url: str, path: str, payload: Mapping[str, Any] | None, timeout_s: float
+    url: str,
+    path: str,
+    payload: Mapping[str, Any] | None,
+    timeout_s: float,
+    headers: Mapping[str, str] | None = None,
 ) -> Any:
     """Default JSON-over-HTTP transport (stdlib ``urllib`` only)."""
+    request_headers = {"Content-Type": "application/json"}
+    if headers:
+        request_headers.update(headers)
     request = urllib.request.Request(
         f"{url}{path}",
         data=None if payload is None else json.dumps(payload).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
+        headers=request_headers,
         method="GET" if payload is None else "POST",
     )
     try:
@@ -151,6 +170,15 @@ class QueryRouter:
         self._node_hedge_ms = node_hedge_ms
         self._node_retries = node_retries
         self._transport: Transport = transport if transport is not None else http_transport
+        # Trace headers are an optional transport capability: carry them
+        # only when the transport's signature declares a ``headers``
+        # parameter (older 4-arg transports keep working unchanged).
+        try:
+            self._transport_headers = (
+                "headers" in inspect.signature(self._transport).parameters
+            )
+        except (TypeError, ValueError):
+            self._transport_headers = False
         self._metrics = metrics if metrics is not None else NULL_REGISTRY
         if health is not None:
             self._health = health
@@ -316,45 +344,62 @@ class QueryRouter:
     def _route(self, request: SearchRequest) -> SearchResponse:
         num_shards = self._resolve_num_shards(request.index)
         plan = self.plan(request.index, num_shards)
-        futures = {
-            self._pool.submit(self._query_group, request, candidates, ordinals): (
-                candidates,
-                ordinals,
-            )
-            for candidates, ordinals in plan.groups
-        }
-        responses: list[SearchResponse] = []
-        shard_errors: list[ShardErrorInfo] = []
-        definitive: ServiceError | None = None
-        for future in futures:
-            candidates, ordinals = futures[future]
-            try:
-                responses.append(future.result())
-            except ServiceError as error:
-                # A typed 4xx from any node condemns the whole request
-                # (same query everywhere — the others would reject it too).
-                definitive = definitive or error
-            except NodeQueryError as error:
-                self._shard_errors_metric.inc(len(ordinals))
-                shard_errors.extend(
-                    ShardErrorInfo(
-                        shard=ordinal,
-                        node=candidates[-1] if candidates else "",
-                        error=error.code,
-                        message=str(error),
-                    )
-                    for ordinal in ordinals
+        with span(
+            "router.route",
+            index=request.index,
+            shards=num_shards,
+            groups=len(plan.groups),
+        ):
+            # Pool threads do not inherit contextvars; re-attach the ambient
+            # span so each group's node spans land under this route span.
+            parent = current_span()
+
+            def query_group(
+                candidates: tuple[str, ...], ordinals: tuple[int, ...]
+            ) -> SearchResponse:
+                with attach(parent):
+                    return self._query_group(request, candidates, ordinals)
+
+            futures = {
+                self._pool.submit(query_group, candidates, ordinals): (
+                    candidates,
+                    ordinals,
                 )
-        if definitive is not None:
-            raise definitive
-        if not responses:
-            detail = "; ".join(
-                f"shard {e.shard} via {e.node}: {e.message}" for e in shard_errors[:4]
-            )
-            raise ServiceError(
-                503, "cluster_unavailable", f"every shard failed: {detail}"
-            )
-        return self._merge(request, responses, shard_errors)
+                for candidates, ordinals in plan.groups
+            }
+            responses: list[SearchResponse] = []
+            shard_errors: list[ShardErrorInfo] = []
+            definitive: ServiceError | None = None
+            for future in futures:
+                candidates, ordinals = futures[future]
+                try:
+                    responses.append(future.result())
+                except ServiceError as error:
+                    # A typed 4xx from any node condemns the whole request
+                    # (same query everywhere — the others would reject it too).
+                    definitive = definitive or error
+                except NodeQueryError as error:
+                    self._shard_errors_metric.inc(len(ordinals))
+                    shard_errors.extend(
+                        ShardErrorInfo(
+                            shard=ordinal,
+                            node=candidates[-1] if candidates else "",
+                            error=error.code,
+                            message=str(error),
+                        )
+                        for ordinal in ordinals
+                    )
+            if definitive is not None:
+                raise definitive
+            if not responses:
+                detail = "; ".join(
+                    f"shard {e.shard} via {e.node}: {e.message}"
+                    for e in shard_errors[:4]
+                )
+                raise ServiceError(
+                    503, "cluster_unavailable", f"every shard failed: {detail}"
+                )
+            return self._merge(request, responses, shard_errors)
 
     def _query_group(
         self,
@@ -403,16 +448,18 @@ class QueryRouter:
         ordinals: tuple[int, ...],
     ) -> SearchResponse:
         """Race the primary against a backup started ``node_hedge_ms`` later."""
-        primary = self._hedge_pool.submit(
-            self._query_node, request, candidates[0], ordinals
-        )
+        parent = current_span()
+
+        def query_node(node: str) -> SearchResponse:
+            with attach(parent):
+                return self._query_node(request, node, ordinals)
+
+        primary = self._hedge_pool.submit(query_node, candidates[0])
         done, _ = wait([primary], timeout=self._node_hedge_ms / 1000.0)
         if done:
             return primary.result()  # raises the primary's NodeQueryError
         self._hedges_metric.inc()
-        backup = self._hedge_pool.submit(
-            self._query_node, request, candidates[1], ordinals
-        )
+        backup = self._hedge_pool.submit(query_node, candidates[1])
         pending = {primary, backup}
         last_error: NodeQueryError | None = None
         while pending:
@@ -432,25 +479,47 @@ class QueryRouter:
         """POST one shard-subset request to ``node`` and record the outcome."""
         payload = request.to_dict()
         payload["shards"] = list(ordinals)
-        try:
-            body = self._transport(node, "/search", payload, self._shard_timeout_s)
-        except NodeQueryError as error:
-            self._node_requests_metric.inc(node=node, outcome="failure")
-            self._health.record_failure(node, str(error))
-            raise
-        except ServiceError:
-            # The node is alive and answered; the request is at fault.
-            self._node_requests_metric.inc(node=node, outcome="rejected")
+        with span("router.node", node=node, shards=list(ordinals)) as node_span:
+            headers: dict[str, str] | None = None
+            trace_id = getattr(node_span, "trace_id", None)
+            if trace_id is not None and self._transport_headers:
+                # Ask the peer to trace its share of the query under our
+                # trace id; its response carries the sub-tree to graft.
+                headers = {
+                    TRACE_ID_HEADER: trace_id,
+                    PARENT_SPAN_HEADER: node_span.span_id,
+                }
+            try:
+                if headers is not None:
+                    body = self._transport(
+                        node, "/search", payload, self._shard_timeout_s, headers=headers
+                    )
+                else:
+                    body = self._transport(node, "/search", payload, self._shard_timeout_s)
+            except NodeQueryError as error:
+                node_span.set(error=error.code)
+                self._node_requests_metric.inc(node=node, outcome="failure")
+                self._health.record_failure(node, str(error))
+                raise
+            except ServiceError:
+                # The node is alive and answered; the request is at fault.
+                self._node_requests_metric.inc(node=node, outcome="rejected")
+                self._health.record_success(node)
+                raise
+            self._node_requests_metric.inc(node=node, outcome="ok")
             self._health.record_success(node)
-            raise
-        self._node_requests_metric.inc(node=node, outcome="ok")
-        self._health.record_success(node)
-        try:
-            return SearchResponse.from_dict(body)
-        except (KeyError, TypeError, ValueError) as error:
-            raise NodeQueryError(
-                "node_error", f"{node} answered a malformed response: {error}"
-            ) from error
+            peer_trace = body.pop("trace", None) if isinstance(body, dict) else None
+            if isinstance(peer_trace, Mapping) and "spans" in peer_trace:
+                try:
+                    node_span.graft(Span.from_dict(peer_trace["spans"]))
+                except (KeyError, TypeError, ValueError):
+                    pass  # a malformed peer trace must never fail the query
+            try:
+                return SearchResponse.from_dict(body)
+            except (KeyError, TypeError, ValueError) as error:
+                raise NodeQueryError(
+                    "node_error", f"{node} answered a malformed response: {error}"
+                ) from error
 
     # -- merging -----------------------------------------------------------------
 

@@ -35,6 +35,7 @@ from repro.index.updates import AppendOnlyIndexManager
 from repro.ingest.memtable import Memtable, MemtableSearcher
 from repro.ingest.wal import WriteAheadLog, ingest_manifest_blob
 from repro.observability import MetricsRegistry
+from repro.observability.tracing import span
 from repro.parsing.documents import Document, Posting
 from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
 from repro.search.multi import MultiIndexSearcher
@@ -630,7 +631,10 @@ class LiveSearcher(MultiIndexSearcher):
 
     @property
     def _searchers(self) -> list[Any]:  # type: ignore[override]
-        return self._provider()
+        with span("live.members") as members_span:
+            members = self._provider()
+            members_span.set(members=len(members))
+        return members
 
     def initialize(self) -> float:
         """Members are initialized by their owners; nothing to do."""

@@ -29,6 +29,16 @@ from repro.observability.registry import (
     get_registry,
 )
 from repro.observability.stats import MirroredStats
+from repro.observability.tracing import (
+    PARENT_SPAN_HEADER,
+    TRACE_ID_HEADER,
+    Span,
+    Tracer,
+    TraceStore,
+    attach,
+    current_span,
+    span,
+)
 
 __all__ = [
     "Counter",
@@ -39,6 +49,14 @@ __all__ = [
     "MetricsRegistry",
     "MirroredStats",
     "NULL_REGISTRY",
+    "PARENT_SPAN_HEADER",
     "PROMETHEUS_CONTENT_TYPE",
+    "Span",
+    "TRACE_ID_HEADER",
+    "TraceStore",
+    "Tracer",
+    "attach",
+    "current_span",
     "get_registry",
+    "span",
 ]

@@ -40,6 +40,7 @@ from typing import Mapping, Protocol, Sequence
 
 from repro.core.superpost import Superpost
 from repro.index.stats import IndexStats, idf, merge_stats
+from repro.observability.tracing import span
 from repro.parsing.documents import Document, Posting
 from repro.search.results import LatencyBreakdown, SearchResult
 
@@ -180,7 +181,8 @@ def execute_topk(
 
     # Corpus-wide statistics, merged by posting so overlapping members (a
     # document mid-flush) never double-count.
-    member_stats = [member.ranking_stats() for member in members]
+    with span("rank.stats", members=len(members)):
+        member_stats = [member.ranking_stats() for member in members]
     merged = merge_stats(member_stats)
     avg_doc_length = merged.average_length
     idf_by_word = {
@@ -202,28 +204,35 @@ def execute_topk(
     candidate_postings: list[Posting] = []
     candidate_seen: set[Posting] = set()
     scored: dict[Posting, tuple[float, int]] = {}
-    for member_index, member in enumerate(members):
-        member_latency = LatencyBreakdown()
-        candidates = member.ranked_candidates(words, member_latency)
-        member_latencies.append(member_latency)
-        for posting in candidates.sorted_postings():
-            if posting in candidate_seen:
-                continue
-            candidate_seen.add(posting)
-            candidate_postings.append(posting)
-            score = score_posting(
-                posting,
-                words,
-                term_frequencies,
-                merged.doc_lengths,
-                idf_by_word,
-                weight_by_word,
-                params,
-                avg_doc_length,
-                max_score,
-            )
-            if score is not None:
-                scored[posting] = (score, member_index)
+    with span("rank.score", k=k, words=list(words)) as score_span:
+        for member_index, member in enumerate(members):
+            member_latency = LatencyBreakdown()
+            candidates = member.ranked_candidates(words, member_latency)
+            member_latencies.append(member_latency)
+            for posting in candidates.sorted_postings():
+                if posting in candidate_seen:
+                    continue
+                candidate_seen.add(posting)
+                candidate_postings.append(posting)
+                score = score_posting(
+                    posting,
+                    words,
+                    term_frequencies,
+                    merged.doc_lengths,
+                    idf_by_word,
+                    weight_by_word,
+                    params,
+                    avg_doc_length,
+                    max_score,
+                )
+                if score is not None:
+                    scored[posting] = (score, member_index)
+        # Candidates the exact statistics disprove (tf == 0 or unknown doc)
+        # are refuted without ever fetching their bytes.
+        score_span.set(
+            candidates=len(candidate_postings),
+            refuted=len(candidate_postings) - len(scored),
+        )
 
     ranked = sorted(scored.items(), key=lambda item: (-item[1][0], item[0]))[:k]
 

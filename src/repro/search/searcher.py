@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from collections.abc import Set as AbstractSet
 
 from repro.core.analysis import top_k_sample_size
 from repro.core.mht import MultilayerHashTable
@@ -30,6 +31,7 @@ from repro.index.stats import (
     decode_stats,
     stats_blob_name,
 )
+from repro.observability.tracing import span
 from repro.parsing.documents import Document, Posting
 from repro.parsing.tokenizer import Tokenizer, WhitespaceAnalyzer
 from repro.search.boolean import BooleanQuery, Term, parse_boolean_query
@@ -67,6 +69,12 @@ class AirphantSearcher:
     touches the store.  Hedged lookups bypass the pipeline: hedging reasons
     about individual request latencies, which coalescing would merge away.
     """
+
+    #: Membership queries accept an ``exclude`` set of condemned postings and
+    #: drop them *before* the document-fetch wave.  Wrappers (TombstoneView)
+    #: probe this flag: members without it (exact memtable searchers, whose
+    #: deletes are physical) keep the over-fetch + post-filter fallback.
+    SUPPORTS_EXCLUDE = True
 
     def __init__(
         self,
@@ -263,12 +271,18 @@ class AirphantSearcher:
             and len(fetch_words) == 1
             and not self._mht.is_common(fetch_words[0])
         )
-        if single_word_hedging:
-            # Hedging needs per-request latencies, so it bypasses the pipeline.
-            required = self._hedging.required_of(len(requests))
-            fetch = self._fetcher.fetch_hedged(requests, required=required)
-        else:
-            fetch = self._pipeline.fetch(requests)
+        with span(
+            "search.lookup",
+            words=list(fetch_words),
+            requests=len(requests),
+            hedged=single_word_hedging,
+        ):
+            if single_word_hedging:
+                # Hedging needs per-request latencies, so it bypasses the pipeline.
+                required = self._hedging.required_of(len(requests))
+                fetch = self._fetcher.fetch_hedged(requests, required=required)
+            else:
+                fetch = self._pipeline.fetch(requests)
         if fetch.batch.requests:
             latency.add_lookup(
                 fetch.batch.total_ms,
@@ -349,16 +363,17 @@ class AirphantSearcher:
         from repro.storage.base import BlobNotFoundError
 
         blob = stats_blob_name(self._index_name)
-        try:
-            if isinstance(self._store, SimulatedCloudStore):
-                data, record = self._store.timed_get(blob)
-                self.stats_load_ms += record.total_ms
-            else:
-                data = self._store.get(blob)
-        except BlobNotFoundError:
-            raise RankingUnsupportedError(
-                self._index_name, "no ranking statistics blob"
-            ) from None
+        with span("rank.stats_load", index=self._index_name):
+            try:
+                if isinstance(self._store, SimulatedCloudStore):
+                    data, record = self._store.timed_get(blob)
+                    self.stats_load_ms += record.total_ms
+                else:
+                    data = self._store.get(blob)
+            except BlobNotFoundError:
+                raise RankingUnsupportedError(
+                    self._index_name, "no ranking statistics blob"
+                ) from None
         return decode_stats(data, index_name=self._index_name)
 
     def ranked_candidates(
@@ -379,7 +394,8 @@ class AirphantSearcher:
         if not postings:
             return []
         requests = [posting.to_range_read() for posting in postings]
-        fetch = self._pipeline.fetch(requests)
+        with span("search.fetch_documents", postings=len(postings)):
+            fetch = self._pipeline.fetch(requests)
         if fetch.batch.requests:
             latency.add_retrieval(
                 fetch.batch.total_ms,
@@ -411,28 +427,47 @@ class AirphantSearcher:
 
     # -- full searches ---------------------------------------------------------------
 
-    def query_word(self, word: str, top_k: int | None = None) -> SearchResult:
+    def query_word(
+        self,
+        word: str,
+        top_k: int | None = None,
+        exclude: AbstractSet[Posting] | None = None,
+    ) -> SearchResult:
         """Search for documents containing a single keyword."""
-        return self._execute([word], Term(word), word, top_k)
+        return self._execute([word], Term(word), word, top_k, exclude=exclude)
 
-    def search(self, query: str, top_k: int | None = None) -> SearchResult:
-        """Search for documents containing *all* keywords of ``query``."""
+    def search(
+        self,
+        query: str,
+        top_k: int | None = None,
+        exclude: AbstractSet[Posting] | None = None,
+    ) -> SearchResult:
+        """Search for documents containing *all* keywords of ``query``.
+
+        ``exclude`` names condemned postings (tombstoned documents) whose
+        bytes must not be fetched: they are dropped between candidate
+        computation and the document-fetch wave, exactly like the ranked
+        path's pre-retrieval filtering.
+        """
         words = list(dict.fromkeys(self._tokenizer.tokenize(query)))
         if not words:
             return SearchResult(query=query)
         if len(words) == 1:
-            return self.query_word(words[0], top_k=top_k)
+            return self.query_word(words[0], top_k=top_k, exclude=exclude)
         predicate = parse_boolean_query(" AND ".join(words))
-        return self._execute(words, predicate, query, top_k)
+        return self._execute(words, predicate, query, top_k, exclude=exclude)
 
     def search_boolean(
-        self, query: BooleanQuery | str, top_k: int | None = None
+        self,
+        query: BooleanQuery | str,
+        top_k: int | None = None,
+        exclude: AbstractSet[Posting] | None = None,
     ) -> SearchResult:
         """Execute a Boolean query (AND/OR tree) over the index."""
         tree = parse_boolean_query(query) if isinstance(query, str) else query
         words = sorted(tree.terms())
         label = query if isinstance(query, str) else " ".join(words)
-        return self._execute_boolean(words, tree, label, top_k)
+        return self._execute_boolean(words, tree, label, top_k, exclude=exclude)
 
     # -- execution helpers -------------------------------------------------------------
 
@@ -442,11 +477,14 @@ class AirphantSearcher:
         predicate: BooleanQuery,
         label: str,
         top_k: int | None,
+        exclude: AbstractSet[Posting] | None = None,
     ) -> SearchResult:
         self._require_initialized()
         latency = LatencyBreakdown()
         candidates = self._lookup_terms(words, latency)
-        return self._retrieve_and_filter(candidates, predicate, label, top_k, latency)
+        return self._retrieve_and_filter(
+            candidates, predicate, label, top_k, latency, exclude=exclude
+        )
 
     def _execute_boolean(
         self,
@@ -454,6 +492,7 @@ class AirphantSearcher:
         tree: BooleanQuery,
         label: str,
         top_k: int | None,
+        exclude: AbstractSet[Posting] | None = None,
     ) -> SearchResult:
         self._require_initialized()
         latency = LatencyBreakdown()
@@ -461,7 +500,9 @@ class AirphantSearcher:
         # query tree combine the per-term candidate sets.
         per_word = self._lookup_per_word(words, latency)
         candidates = tree.candidates(lambda word: per_word[word])
-        return self._retrieve_and_filter(candidates, tree, label, top_k, latency)
+        return self._retrieve_and_filter(
+            candidates, tree, label, top_k, latency, exclude=exclude
+        )
 
     def _retrieve_and_filter(
         self,
@@ -470,31 +511,61 @@ class AirphantSearcher:
         label: str,
         top_k: int | None,
         latency: LatencyBreakdown,
+        exclude: AbstractSet[Posting] | None = None,
     ) -> SearchResult:
         candidate_postings = candidates.sorted_postings()
-        if not candidate_postings:
-            return SearchResult(query=label, candidate_postings=[], latency=latency)
+        excluded_count = 0
+        refunded_bytes = 0
+        if exclude:
+            # Pre-retrieval tombstone filtering: condemned candidates never
+            # reach the fetch wave, so their bytes are refunded outright
+            # (the ranked path has always worked this way).
+            kept = [p for p in candidate_postings if p not in exclude]
+            excluded_count = len(candidate_postings) - len(kept)
+            if excluded_count:
+                refunded_bytes = sum(
+                    p.length for p in candidate_postings if p in exclude
+                )
+                candidate_postings = kept
+        with span("search.retrieve", candidates=len(candidate_postings)) as retrieve_span:
+            if excluded_count:
+                retrieve_span.set(
+                    excluded=excluded_count, refunded_bytes=refunded_bytes
+                )
+            if not candidate_postings:
+                return SearchResult(query=label, candidate_postings=[], latency=latency)
 
-        expected_fp = (
-            self._metadata.expected_false_positives if self._metadata is not None else 0.0
-        )
-        to_fetch = candidate_postings
-        if top_k is not None and top_k > 0:
-            sample_size = top_k_sample_size(
-                top_k, len(candidate_postings), expected_fp, self._top_k_delta
+            expected_fp = (
+                self._metadata.expected_false_positives
+                if self._metadata is not None
+                else 0.0
             )
-            to_fetch = candidate_postings[:sample_size]
+            to_fetch = candidate_postings
+            if top_k is not None and top_k > 0:
+                sample_size = top_k_sample_size(
+                    top_k, len(candidate_postings), expected_fp, self._top_k_delta
+                )
+                to_fetch = candidate_postings[:sample_size]
 
-        matched, fetched_count = self._fetch_and_filter(to_fetch, predicate, latency)
-        if top_k is not None and len(matched) < top_k and len(to_fetch) < len(candidate_postings):
-            # The probabilistic sample came up short (probability <= delta);
-            # fall back to fetching the remaining candidates.
-            remainder = candidate_postings[len(to_fetch) :]
-            more, more_count = self._fetch_and_filter(remainder, predicate, latency)
-            matched.extend(more)
-            fetched_count += more_count
-        if top_k is not None:
-            matched = matched[:top_k]
+            matched, fetched_count = self._fetch_and_filter(to_fetch, predicate, latency)
+            if (
+                top_k is not None
+                and len(matched) < top_k
+                and len(to_fetch) < len(candidate_postings)
+            ):
+                # The probabilistic sample came up short (probability <= delta);
+                # fall back to fetching the remaining candidates.
+                remainder = candidate_postings[len(to_fetch) :]
+                more, more_count = self._fetch_and_filter(remainder, predicate, latency)
+                matched.extend(more)
+                fetched_count += more_count
+            if top_k is not None:
+                matched = matched[:top_k]
+            retrieve_span.set(
+                fetched=fetched_count,
+                matched=len(matched),
+                false_positives=fetched_count - len(matched),
+            )
 
         return SearchResult(
             query=label,

@@ -42,6 +42,7 @@ from repro.index.stats import (
     merge_stats,
     stats_blob_name,
 )
+from repro.observability.tracing import span
 from repro.search.results import LatencyBreakdown
 from repro.search.searcher import AirphantSearcher
 from repro.storage.base import BlobNotFoundError, RangeRead
@@ -239,7 +240,10 @@ class ShardedSearcher(AirphantSearcher):
             for entry in self._shard_manifest.shards
         ]
         try:
-            fetch = self._fetcher.fetch(requests)
+            with span(
+                "rank.stats_load", index=self._index_name, shards=len(requests)
+            ):
+                fetch = self._fetcher.fetch(requests)
         except BlobNotFoundError:
             raise RankingUnsupportedError(
                 self._index_name, "one or more shards have no ranking statistics blob"
@@ -303,7 +307,13 @@ class ShardedSearcher(AirphantSearcher):
                 results[word] = Superpost()
             return results
 
-        fetch = self._pipeline.fetch(requests)
+        with span(
+            "search.lookup",
+            words=list(fetch_words),
+            requests=len(requests),
+            shards=len(self._shards),
+        ):
+            fetch = self._pipeline.fetch(requests)
         if fetch.batch.requests:
             latency.add_lookup(
                 fetch.batch.total_ms,

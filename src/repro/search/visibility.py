@@ -26,6 +26,7 @@ from typing import AbstractSet, Any, Iterable, Sequence
 
 from repro.core.superpost import Superpost
 from repro.index.stats import IndexStats, prune_stats
+from repro.observability.tracing import span
 from repro.parsing.documents import Document, Posting
 from repro.search.boolean import BooleanQuery
 from repro.search.results import LatencyBreakdown, SearchResult
@@ -59,19 +60,50 @@ class TombstoneView:
         """The reference set this view hides."""
         return self._tombstones
 
+    @property
+    def _pre_excludes(self) -> bool:
+        """Whether the wrapped member filters condemned postings pre-fetch.
+
+        Index-backed members (:class:`AirphantSearcher` and subclasses)
+        advertise ``SUPPORTS_EXCLUDE`` and drop condemned candidates before
+        the document-fetch wave — their bytes are never requested.  Members
+        without the flag (exact memtable searchers, whose deletes are
+        already physical) fall back to over-fetch + post-filter.
+        """
+        return bool(self._tombstones) and getattr(
+            self._inner, "SUPPORTS_EXCLUDE", False
+        )
+
     # -- membership / boolean ------------------------------------------------------
 
     def search(self, query: str, top_k: int | None = None) -> SearchResult:
         """Keyword search with condemned documents removed."""
-        return self._filtered(self._inner.search(query, top_k=self._inner_k(top_k)), top_k)
+        with span("visibility.filter", tombstones=len(self._tombstones)):
+            if self._pre_excludes:
+                # The member skips condemned candidates before retrieval, so
+                # top-k sampling stays effective and _filtered finds nothing
+                # left to remove.
+                result = self._inner.search(
+                    query, top_k=top_k, exclude=self._tombstones
+                )
+            else:
+                result = self._inner.search(query, top_k=self._inner_k(top_k))
+            return self._filtered(result, top_k)
 
     def search_boolean(
         self, query: BooleanQuery | str, top_k: int | None = None
     ) -> SearchResult:
         """Boolean search with condemned documents removed."""
-        return self._filtered(
-            self._inner.search_boolean(query, top_k=self._inner_k(top_k)), top_k
-        )
+        with span("visibility.filter", tombstones=len(self._tombstones)):
+            if self._pre_excludes:
+                result = self._inner.search_boolean(
+                    query, top_k=top_k, exclude=self._tombstones
+                )
+            else:
+                result = self._inner.search_boolean(
+                    query, top_k=self._inner_k(top_k)
+                )
+            return self._filtered(result, top_k)
 
     def lookup_postings(self, word: str) -> tuple[list[Posting], LatencyBreakdown]:
         """Term lookup with condemned postings removed."""
@@ -136,6 +168,19 @@ class TombstoneView:
         surviving = [
             posting for posting in postings if posting not in self._tombstones
         ]
+        skipped = len(postings) - len(surviving)
+        if skipped:
+            with span(
+                "visibility.filter",
+                tombstones=len(self._tombstones),
+                excluded=skipped,
+                refunded_bytes=sum(
+                    posting.length
+                    for posting in postings
+                    if posting in self._tombstones
+                ),
+            ):
+                return self._inner.fetch_documents(surviving, latency)
         return self._inner.fetch_documents(surviving, latency)
 
 

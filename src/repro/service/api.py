@@ -107,6 +107,9 @@ class SearchRequest:
     ``shards`` list and merges the partial answers.  ``None`` (the default)
     answers over every shard; unsharded members (a plain index, deltas, the
     memtable) belong to ordinal 0.
+
+    ``explain`` asks the service to attach the query's full span tree (plus
+    a per-wave summary) to the response — see ``docs/OBSERVABILITY.md``.
     """
 
     query: str
@@ -116,10 +119,13 @@ class SearchRequest:
     include_text: bool = True
     shards: tuple[int, ...] | None = None
     weights: tuple[tuple[str, float], ...] | None = None
+    explain: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.query, str) or not self.query.strip():
             raise ValueError("query must be a non-empty string")
+        if not isinstance(self.explain, bool):
+            raise ValueError(f"explain must be a boolean, got {self.explain!r}")
         if not isinstance(self.index, str) or not self.index:
             raise ValueError("index must be a non-empty string")
         if self.mode not in SEARCH_MODES:
@@ -195,6 +201,8 @@ class SearchRequest:
             payload["shards"] = list(self.shards)
         if self.weights is not None:
             payload["weights"] = dict(self.weights)
+        if self.explain:
+            payload["explain"] = True
         return payload
 
     def to_json(self, indent: int | None = None) -> str:
@@ -340,6 +348,10 @@ class SearchResponse:
     every fully-merged routed one) leaves them at their defaults, and
     ``to_dict`` omits them — so a healthy routed answer serializes exactly
     like a single-node one.
+
+    ``trace`` carries the query's serialized span tree (plus a per-wave
+    summary): attached on explain queries and on sub-requests that received
+    trace-propagation headers, omitted from the wire otherwise.
     """
 
     query: str
@@ -351,6 +363,7 @@ class SearchResponse:
     latency: LatencyInfo = field(default_factory=LatencyInfo)
     partial: bool = False
     shard_errors: tuple[ShardErrorInfo, ...] = ()
+    trace: Mapping[str, Any] | None = None
 
     @property
     def num_results(self) -> int:
@@ -408,6 +421,8 @@ class SearchResponse:
         if self.partial or self.shard_errors:
             payload["partial"] = self.partial
             payload["shard_errors"] = [error.to_dict() for error in self.shard_errors]
+        if self.trace is not None:
+            payload["trace"] = dict(self.trace)
         return payload
 
     def to_json(self, indent: int | None = None) -> str:
@@ -431,6 +446,7 @@ class SearchResponse:
             shard_errors=tuple(
                 ShardErrorInfo.from_dict(entry) for entry in data.get("shard_errors", ())
             ),
+            trace=data.get("trace"),
         )
 
     @classmethod

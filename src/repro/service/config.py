@@ -124,6 +124,22 @@ class ServiceConfig:
         storage-layer counters (pipeline, backends, simulated store) still
         record into the process-wide registry — they are shared across
         services and near-free — they are simply not served by this node.
+    tracing_enabled:
+        Whether the service builds a :class:`~repro.observability.tracing.Tracer`
+        at all.  When off, ``explain`` requests carry no trace, ``GET
+        /traces`` answers 404, and queries run with the no-op ambient span
+        (a single contextvar read per instrumented site).
+    trace_sample_rate:
+        Fraction of ordinary (non-explain) queries whose span trees are
+        retained in the in-memory trace buffer; 0 keeps only explained,
+        propagated, and slow queries, 1 keeps everything.
+    trace_buffer:
+        Capacity of the in-memory trace ring buffer served by ``GET
+        /traces`` (oldest traces evicted first).
+    slow_query_ms:
+        Queries slower than this emit a structured JSON line to the
+        slow-query log and are always retained in the trace buffer
+        regardless of sampling; 0 disables slow-query capture.
     """
 
     tokenizer: str = "whitespace"
@@ -155,6 +171,10 @@ class ServiceConfig:
     node_retries: int = 1
     probe_interval_s: float = 5.0
     metrics_enabled: bool = True
+    tracing_enabled: bool = True
+    trace_sample_rate: float = 0.0
+    trace_buffer: int = 256
+    slow_query_ms: float = 1000.0
 
     def __post_init__(self) -> None:
         if self.tokenizer not in TOKENIZERS:
@@ -218,6 +238,12 @@ class ServiceConfig:
             raise ValueError("node_retries must be non-negative")
         if self.probe_interval_s < 0:
             raise ValueError("probe_interval_s must be non-negative")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be within [0, 1]")
+        if self.trace_buffer <= 0:
+            raise ValueError("trace_buffer must be positive")
+        if self.slow_query_ms < 0:
+            raise ValueError("slow_query_ms must be non-negative")
 
     def make_tokenizer(self) -> Tokenizer:
         """Instantiate the configured tokenizer."""
@@ -299,6 +325,10 @@ class ServiceConfig:
             "node_retries": self.node_retries,
             "probe_interval_s": self.probe_interval_s,
             "metrics_enabled": self.metrics_enabled,
+            "tracing_enabled": self.tracing_enabled,
+            "trace_sample_rate": self.trace_sample_rate,
+            "trace_buffer": self.trace_buffer,
+            "slow_query_ms": self.slow_query_ms,
         }
 
     @classmethod

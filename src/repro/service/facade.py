@@ -22,6 +22,7 @@ from typing import Any, Iterator, Sequence
 from repro.cluster.router import QueryRouter
 from repro.core.config import SketchConfig
 from repro.observability import NULL_REGISTRY, MetricsRegistry, get_registry
+from repro.observability.tracing import Tracer, current_span, explain_payload
 from repro.index.builder import AirphantBuilder
 from repro.index.stats import RankingUnsupportedError
 from repro.index.updates import AppendOnlyIndexManager, SnapshotRestoreError
@@ -112,6 +113,16 @@ class AirphantService:
             "Bytes currently held by read-pipeline block caches, all open indexes",
         ).set_function(
             lambda: s._read_cache_bytes() if (s := service_ref()) is not None else 0
+        )
+        # Request-scoped tracing: with tracing enabled every query builds a
+        # span tree (explain / propagated / slow / sampled trees are kept in
+        # the ring served by GET /traces); disabled, the instrumentation
+        # collapses to one contextvar read per site.
+        self._tracer = Tracer(
+            enabled=self._config.tracing_enabled,
+            sample_rate=self._config.trace_sample_rate,
+            capacity=self._config.trace_buffer,
+            slow_query_ms=self._config.slow_query_ms,
         )
         # The live write path: per-index ingesters (WAL + memtable) plus the
         # background flush/compaction worker.
@@ -204,6 +215,11 @@ class AirphantService:
         ``metrics_enabled=False``.
         """
         return self._metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        """The per-service tracer (disabled when the config says so)."""
+        return self._tracer
 
     @property
     def catalog(self) -> IndexCatalog:
@@ -316,22 +332,67 @@ class AirphantService:
         """The cluster query router (``None`` when no peers are configured)."""
         return self._router
 
-    def search(self, request: SearchRequest) -> SearchResponse:
+    def search(
+        self,
+        request: SearchRequest,
+        trace_id: str | None = None,
+        parent_span_id: str | None = None,
+    ) -> SearchResponse:
         """Answer one typed search request (the service's main entry point).
 
         On a clustered node a whole-index request scatter-gathers over the
         peers; a request already pinned to shard ordinals — the routed
         sub-requests themselves — is always answered locally, which is what
         keeps routing from recursing.
+
+        ``trace_id``/``parent_span_id`` carry propagated trace context from
+        the HTTP layer (a router upstream asked this node to trace its share
+        of a query).  The span tree is attached to the response — for the
+        client on ``explain`` requests, for the router to graft on
+        propagated ones; otherwise tracing stays internal (the ``/traces``
+        ring and the slow-query log).
         """
         if request.mode == "topk_bm25" and request.top_k is None:
             # Materialize the default k into the request *before* any
             # routing: the scattered sub-requests and the router's global
             # truncation must agree on the same explicit k.
             request = dataclasses.replace(request, top_k=self._ranked_k(None))
-        if self._router is not None and request.shards is None:
-            return self._router.route(request)
-        return SearchResponse.from_result(request, self.execute(request))
+        # A parent span id marks a routed sub-request (the caller grafts the
+        # returned tree); a bare trace_id only *names* the trace — the HTTP
+        # layer pre-generates one so access-log lines correlate — and must
+        # not force retention or a trace-bearing response.
+        propagated = parent_span_id is not None
+        handle = self._tracer.begin(
+            "query",
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
+            force=request.explain or propagated,
+            index=request.index,
+            mode=request.mode,
+            query=request.query,
+        )
+        try:
+            if self._router is not None and request.shards is None:
+                response = self._router.route(request)
+            else:
+                response = SearchResponse.from_result(request, self.execute(request))
+        except ServiceError as error:
+            if handle is not None:
+                handle.root.set(error=error.info.error)
+                handle.finish()
+            raise
+        except Exception:
+            if handle is not None:
+                handle.root.set(error="internal_error")
+                handle.finish()
+            raise
+        if handle is not None:
+            root = handle.finish()
+            if request.explain or propagated:
+                response = dataclasses.replace(
+                    response, trace=explain_payload(root)
+                )
+        return response
 
     def _ranked_k(self, top_k: int | None) -> int:
         """The effective ranked k: explicit, else configured, else 10."""
@@ -351,21 +412,40 @@ class AirphantService:
         latency, rejected ones by typed error code.
         """
         started = time.perf_counter()
+        # Callers arriving through search() already run inside that root
+        # span; direct callers (the CLI's document-rendering path, library
+        # embedders) get their own so sampling and the slow-query log still
+        # see every query exactly once.
+        handle = (
+            self._tracer.begin(
+                "query", index=request.index, mode=request.mode, query=request.query
+            )
+            if current_span() is None
+            else None
+        )
         try:
             result = self._execute(request)
         except ServiceError as error:
             self._query_errors_metric.inc(error=error.info.error)
+            if handle is not None:
+                handle.root.set(error=error.info.error)
+                handle.finish()
             raise
         except Exception:
             # Anything without a typed code (a corrupted index blob, a
             # programming error) surfaces as HTTP 500 — count it under the
             # same label so the worst outage class is never a flat line.
             self._query_errors_metric.inc(error="internal_error")
+            if handle is not None:
+                handle.root.set(error="internal_error")
+                handle.finish()
             raise
         self._queries_metric.inc(mode=request.mode, index=request.index)
         self._query_seconds_metric.observe(
             time.perf_counter() - started, mode=request.mode, index=request.index
         )
+        if handle is not None:
+            handle.finish()
         return result
 
     def _execute(self, request: SearchRequest) -> SearchResult:

@@ -7,6 +7,10 @@ query node can be started anywhere the bucket is reachable:
   clustered nodes, the ``cluster`` peer-health block);
 * ``GET  /metrics`` — the node's metrics registry in Prometheus text
   exposition format (404 when ``metrics_enabled`` is off);
+* ``GET  /traces`` — newest-first summaries of the retained query traces
+  (404 when ``tracing_enabled`` is off; ``?limit=N`` caps the list);
+* ``GET  /traces/{id}`` — one retained trace as its full span tree plus
+  the per-wave fetch summary;
 * ``GET  /cluster`` — topology, per-index shard assignments, and peer
   health of a clustered node (404 when no peers are configured);
 * ``GET  /indexes`` — every servable index as an ``IndexInfo`` list;
@@ -45,15 +49,25 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.config import SketchConfig
 from repro.observability import PROMETHEUS_CONTENT_TYPE
+from repro.observability.tracing import (
+    PARENT_SPAN_HEADER,
+    TRACE_ID_HEADER,
+    explain_payload,
+    new_id,
+)
 from repro.service.api import ErrorInfo, SearchRequest, ServiceError
 from repro.service.facade import AirphantService
+
+#: Request-log formats ``serve --log-format`` may choose from.
+LOG_FORMATS = ("text", "json")
 
 
 @dataclass(frozen=True)
@@ -138,10 +152,16 @@ class AirphantHTTPServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         quiet: bool = True,
+        log_format: str = "text",
     ) -> None:
+        if log_format not in LOG_FORMATS:
+            raise ValueError(
+                f"unknown log_format {log_format!r}; expected one of {', '.join(LOG_FORMATS)}"
+            )
         super().__init__((host, port), AirphantRequestHandler)
         self.service = service
         self.quiet = quiet
+        self.log_format = log_format
 
     @property
     def port(self) -> int:
@@ -188,6 +208,18 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
                     404, "not_clustered", "this node has no peers configured"
                 )
             return 200, service.router.describe()
+        if path == "/traces":
+            self._require_tracing()
+            return 200, {"traces": service.tracer.store.list(limit=self._limit(50))}
+        if path.startswith("/traces/"):
+            self._require_tracing()
+            trace_id = path[len("/traces/") :]
+            root = service.tracer.store.get(trace_id)
+            if root is None:
+                raise ServiceError(
+                    404, "trace_not_found", f"no retained trace {trace_id!r}"
+                )
+            return 200, explain_payload(root)
         if path == "/indexes":
             return 200, {"indexes": [info.to_dict() for info in service.list_indexes()]}
         if path.startswith("/indexes/") and path.endswith("/snapshots"):
@@ -207,7 +239,17 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
                 request = SearchRequest.from_dict(body)
             except (ValueError, TypeError) as error:
                 raise ServiceError(400, "bad_request", str(error)) from error
-            return 200, service.search(request).to_dict()
+            # Propagated trace context (a router upstream) rides in on the
+            # two trace headers; without them a trace id is pre-generated
+            # so this request's access-log line still correlates.
+            trace_id = self.headers.get(TRACE_ID_HEADER)
+            parent_span_id = self.headers.get(PARENT_SPAN_HEADER)
+            if trace_id is None and service.tracer.enabled:
+                trace_id = new_id()
+            self._trace_id = trace_id
+            return 200, service.search(
+                request, trace_id=trace_id, parent_span_id=parent_span_id
+            ).to_dict()
         if path.startswith("/indexes/") and path.endswith("/build"):
             name = path[len("/indexes/") : -len("/build")]
             body = self._read_json_body()
@@ -361,8 +403,30 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
         """The request path without query string or trailing slash."""
         return urlsplit(self.path).path.rstrip("/")
 
+    def _require_tracing(self) -> None:
+        if not self.server.service.tracer.enabled:
+            raise ServiceError(
+                404, "tracing_disabled", "tracing is disabled on this node"
+            )
+
+    def _limit(self, default: int) -> int:
+        """The ``?limit=N`` query parameter (400 on junk)."""
+        values = parse_qs(urlsplit(self.path).query).get("limit")
+        if not values:
+            return default
+        try:
+            limit = int(values[-1])
+        except ValueError as error:
+            raise ServiceError(400, "bad_request", f"invalid limit: {values[-1]!r}") from error
+        if limit <= 0:
+            raise ServiceError(400, "bad_request", "limit must be positive")
+        return limit
+
     def _handle(self, route) -> None:
         self._body_consumed = 0
+        self._trace_id: str | None = None
+        self._last_status = 0
+        started = time.perf_counter()
         try:
             status, payload = route()
         except ServiceError as error:
@@ -377,6 +441,19 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send_json(status, payload)
+        if self.server.log_format == "json" and not self.server.quiet:
+            # One structured line per request, replacing the stdlib's
+            # free-text log_message output (suppressed below).
+            line: dict[str, Any] = {
+                "event": "request",
+                "method": self.command,
+                "path": self.path,
+                "status": self._last_status,
+                "duration_ms": round((time.perf_counter() - started) * 1000.0, 3),
+            }
+            if self._trace_id is not None:
+                line["trace_id"] = self._trace_id
+            sys.stderr.write(json.dumps(line) + "\n")
 
     def _read_json_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -406,6 +483,7 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
             if not chunk:
                 break
             remaining -= len(chunk)
+        self._last_status = status
         try:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
@@ -420,7 +498,8 @@ class AirphantRequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        if not self.server.quiet:
+        # The JSON access line from _handle replaces these free-text lines.
+        if not self.server.quiet and self.server.log_format != "json":
             sys.stderr.write(
                 f"{self.address_string()} - {format % args}\n"
             )
@@ -431,16 +510,24 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
+    log_format: str = "text",
 ) -> AirphantHTTPServer:
     """Bind (but do not start) an HTTP server for ``service``."""
-    return AirphantHTTPServer(service, host=host, port=port, quiet=quiet)
+    return AirphantHTTPServer(
+        service, host=host, port=port, quiet=quiet, log_format=log_format
+    )
 
 
 def serve_forever(
-    service: AirphantService, host: str = "127.0.0.1", port: int = 8080
+    service: AirphantService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    log_format: str = "text",
 ) -> None:
     """Run the HTTP server until interrupted (the ``airphant serve`` loop)."""
-    server = create_server(service, host=host, port=port, quiet=False)
+    server = create_server(
+        service, host=host, port=port, quiet=False, log_format=log_format
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown

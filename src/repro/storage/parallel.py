@@ -16,6 +16,7 @@ import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.observability.tracing import attach, current_span
 from repro.storage.base import ObjectStore, RangeRead
 from repro.storage.metrics import BatchRecord, RequestRecord
 from repro.storage.simulated import SimulatedCloudStore
@@ -237,6 +238,14 @@ class ParallelFetcher:
         # Keep the `required` fastest requests; drop the rest.
         order = sorted(range(len(records)), key=lambda i: records[i].total_ms)
         kept = set(order[:required])
+        ambient = current_span()
+        if ambient is not None:
+            ambient.child(
+                "fetch.hedged",
+                requests=len(requests),
+                required=required,
+                dropped=len(requests) - len(kept),
+            ).finish()
         kept_records = [records[i] for i in sorted(kept)]
         for index in range(len(payloads)):
             if index not in kept:
@@ -259,8 +268,21 @@ class ParallelFetcher:
         return FetchResult(payloads=payloads, batch=batch)
 
     def _fetch_threaded(self, requests: list[RangeRead]) -> FetchResult:
+        # Pool threads do not inherit contextvars from the submitter, so the
+        # active trace span (if any) is captured here and re-attached inside
+        # each worker — store-level attempt spans then nest under the right
+        # request instead of vanishing.
+        parent = current_span()
+        if parent is None:
+            reader = self._store.read
+        else:
+
+            def reader(request: RangeRead) -> bytes:
+                with attach(parent):
+                    return self._store.read(request)
+
         try:
-            payloads = list(self._ensure_pool().map(self._store.read, requests))
+            payloads = list(self._ensure_pool().map(reader, requests))
         except RuntimeError as error:
             # close() raced this fetch and shut the pool down between
             # _ensure_pool() and submission.  Range reads are idempotent, so
@@ -268,7 +290,7 @@ class ParallelFetcher:
             # (e.g. from the store itself) propagates untouched.
             if "shutdown" not in str(error):
                 raise
-            payloads = list(self._ensure_pool().map(self._store.read, requests))
+            payloads = list(self._ensure_pool().map(reader, requests))
         records = tuple(
             RequestRecord(blob=request.blob, nbytes=len(data), wait_ms=0.0, download_ms=0.0)
             for request, data in zip(requests, payloads)

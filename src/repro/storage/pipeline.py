@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.observability import MetricsRegistry, MirroredStats, get_registry
+from repro.observability.tracing import span
 from repro.storage.base import ObjectStore, RangeRead
 from repro.storage.metrics import BatchRecord
 from repro.storage.parallel import FetchResult, ParallelFetcher
@@ -280,24 +281,40 @@ class ReadPipeline:
             empty = BatchRecord(requests=(), wait_ms=0.0, download_ms=0.0)
             return FetchResult(payloads=[], batch=empty)
 
-        placements, physical, deltas = self._plan(requests)
-        # Commit everything known at planning time — including the physical
-        # requests about to be issued — BEFORE the fetch: if the store fails
-        # (e.g. retries exhausted), the batch must still be accounted, or
-        # the pipeline counters would flatline exactly when the backend
-        # counters spike and operators look at them.
-        deltas["requests_out"] = len(physical)
-        deltas["batches"] = 1 if physical else 0
-        self.stats.add(**deltas)
-        if physical:
-            fetch = self._fetcher.fetch(physical)
-        else:
-            fetch = FetchResult(
-                payloads=[], batch=BatchRecord(requests=(), wait_ms=0.0, download_ms=0.0)
-            )
+        with span("pipeline.fetch") as trace_span:
+            placements, physical, deltas = self._plan(requests)
+            # Commit everything known at planning time — including the physical
+            # requests about to be issued — BEFORE the fetch: if the store fails
+            # (e.g. retries exhausted), the batch must still be accounted, or
+            # the pipeline counters would flatline exactly when the backend
+            # counters spike and operators look at them.
+            deltas["requests_out"] = len(physical)
+            deltas["batches"] = 1 if physical else 0
+            self.stats.add(**deltas)
+            if physical:
+                fetch = self._fetcher.fetch(physical)
+            else:
+                fetch = FetchResult(
+                    payloads=[],
+                    batch=BatchRecord(requests=(), wait_ms=0.0, download_ms=0.0),
+                )
 
-        payloads = self._resolve(requests, placements, fetch.payloads)
-        self.stats.add(bytes_fetched=sum(len(data) for data in fetch.payloads))
+            payloads = self._resolve(requests, placements, fetch.payloads)
+            fetched_bytes = sum(len(data) for data in fetch.payloads)
+            self.stats.add(bytes_fetched=fetched_bytes)
+            # The span mirrors exactly the deltas committed to PipelineStats,
+            # so explain output is checkable against the counters to the byte.
+            trace_span.set(
+                requests=deltas["requests_in"],
+                physical_requests=deltas["requests_out"],
+                batches=deltas["batches"],
+                cache_hits=deltas["cache_hits"],
+                cache_misses=deltas["cache_misses"],
+                coalesced=deltas["coalesced_requests"],
+                bytes_requested=deltas["bytes_requested"],
+                bytes_fetched=fetched_bytes,
+                batch_ms=round(fetch.batch.total_ms, 3),
+            )
         return FetchResult(payloads=payloads, batch=fetch.batch)
 
     # -- planning ----------------------------------------------------------------

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, TypeVar
 
 from repro.observability import MetricsRegistry, MirroredStats, get_registry
+from repro.observability.tracing import current_span, span
 from repro.storage.base import (
     BlobNotFoundError,
     ObjectStore,
@@ -370,24 +371,31 @@ class ResilientStore(ObjectStore):
         self.stats.add(operations=1)
         for attempt in range(attempts):
             self.stats.add(attempts=1, retries=1 if attempt else 0)
-            try:
-                if hedge and self.hedging_enabled:
-                    result = self._hedged_call(fn)
-                else:
-                    result = self._guarded_call(fn)
-                if attempt:
-                    self.stats.add(recoveries=1)
-                return result
-            except (BlobNotFoundError, ReadOnlyStoreError):
-                raise
-            except (TransientStoreError, OSError) as error:
-                last_error = error
-                if attempt + 1 >= attempts:
-                    break
-                with self._lock:
-                    jitter = 1.0 + self._backoff_jitter * self._rng.random()
-                self._sleep(min(backoff_s, self._max_backoff_ms / 1000.0) * jitter)
-                backoff_s *= self._backoff_multiplier
+            with span(
+                "store.attempt", operation=operation, retry=bool(attempt)
+            ) as attempt_span:
+                try:
+                    if hedge and self.hedging_enabled:
+                        result = self._hedged_call(fn)
+                    else:
+                        result = self._guarded_call(fn)
+                    if attempt:
+                        self.stats.add(recoveries=1)
+                        attempt_span.set(recovered=True)
+                    return result
+                except (BlobNotFoundError, ReadOnlyStoreError):
+                    raise
+                except (TransientStoreError, OSError) as error:
+                    last_error = error
+                    attempt_span.set(error=type(error).__name__)
+                    if isinstance(error, StoreTimeoutError):
+                        attempt_span.set(timeout=True)
+            if attempt + 1 >= attempts:
+                break
+            with self._lock:
+                jitter = 1.0 + self._backoff_jitter * self._rng.random()
+            self._sleep(min(backoff_s, self._max_backoff_ms / 1000.0) * jitter)
+            backoff_s *= self._backoff_multiplier
         self.stats.add(failures=1)
         assert last_error is not None
         raise RetriesExhaustedError(operation, attempts, last_error)
@@ -461,6 +469,9 @@ class ResilientStore(ObjectStore):
             ) from None
 
         self.stats.add(hedges=1)
+        attempt_span = current_span()
+        if attempt_span is not None:
+            attempt_span.set(hedged=True)
         hedge_started = self._clock()
         secondary: Future[T] = pool.submit(fn)
         pending: set[Future[T]] = {primary, secondary}
@@ -487,12 +498,16 @@ class ResilientStore(ObjectStore):
                     continue
                 if future is secondary:
                     self.stats.add(hedge_wins=1)
+                    if attempt_span is not None:
+                        attempt_span.set(winner="hedge")
                     # Observe the winner's OWN latency, not delay + latency:
                     # feeding the hedge wait back into the reservoir would
                     # ratchet the adaptive delay upward every win until
                     # hedging disabled itself under sustained stragglers.
                     self._observe(self._clock() - hedge_started)
                 else:
+                    if attempt_span is not None:
+                        attempt_span.set(winner="primary")
                     self._observe(self._clock() - started)
                 return payload
         # Both the primary and the hedge failed: a definitive not-found wins

@@ -307,6 +307,96 @@ class TestClusterEndpoints:
         assert "airphant_cluster_live_nodes" in text
 
 
+def _spans_named(node, name):
+    """Every span dict named ``name`` in a serialized trace tree."""
+    found = [node] if node.get("name") == name else []
+    for child in node.get("children") or []:
+        found.extend(_spans_named(child, name))
+    return found
+
+
+def _walk_spans(node):
+    yield node
+    for child in node.get("children") or []:
+        yield from _walk_spans(child)
+
+
+class TestTracePropagation:
+    """A routed explain query yields ONE span tree spanning the cluster.
+
+    The router sends trace-propagation headers with every sub-request; each
+    peer traces its share, attaches the serialized sub-tree to its response,
+    and the router grafts it under the corresponding per-node span — so the
+    client sees the whole scatter, peers included, under a single trace id.
+    """
+
+    def test_routed_explain_returns_one_cross_node_tree(self, cluster):
+        body = http_transport(
+            cluster.router_server.url,
+            "/search",
+            {"query": "INFO block", "index": "logs", "explain": True},
+            30.0,
+        )
+        trace = body["trace"]
+        root = trace["spans"]
+        assert root["name"] == "query"
+        # Ids are consistent across the graft boundary: every span of the
+        # merged tree — the peers' included — carries the router's trace id.
+        assert {node["trace_id"] for node in _walk_spans(root)} == {trace["trace_id"]}
+        (route_span,) = _spans_named(root, "router.route")
+        node_spans = _spans_named(root, "router.node")
+        assert len(node_spans) == route_span["attrs"]["groups"] >= 2
+        assert {span["attrs"]["node"] for span in node_spans} <= set(cluster.peers)
+        # The per-node shard subsets partition the index's ordinals exactly.
+        scattered = [
+            ordinal for span in node_spans for ordinal in span["attrs"]["shards"]
+        ]
+        assert sorted(scattered) == list(range(NUM_SHARDS))
+        for node_span in node_spans:
+            grafted = [
+                child
+                for child in node_span.get("children") or []
+                if child["name"] == "query"
+            ]
+            assert len(grafted) == 1, "exactly one peer sub-tree per node span"
+            peer_root = grafted[0]
+            assert peer_root["parent_id"] == node_span["span_id"]
+            # The peer really traced its share of the work, down to the
+            # storage pipeline.
+            assert _spans_named(peer_root, "pipeline.fetch")
+        totals = trace["summary"]["totals"]
+        assert totals["requests"] > 0
+        assert totals["bytes_fetched"] > 0
+
+    def test_unexplained_routed_query_carries_no_trace(self, cluster):
+        body = http_transport(
+            cluster.router_server.url,
+            "/search",
+            {"query": "INFO block", "index": "logs"},
+            30.0,
+        )
+        assert "trace" not in body
+
+    def test_routed_trace_served_by_traces_endpoints(self, cluster):
+        body = http_transport(
+            cluster.router_server.url,
+            "/search",
+            {"query": "Served block", "index": "logs", "explain": True},
+            30.0,
+        )
+        trace_id = body["trace"]["trace_id"]
+        url = cluster.router_server.url
+        with urllib.request.urlopen(f"{url}/traces") as response:
+            listing = json.loads(response.read().decode("utf-8"))
+        assert any(entry["trace_id"] == trace_id for entry in listing["traces"])
+        with urllib.request.urlopen(f"{url}/traces/{trace_id}") as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        assert payload["trace_id"] == trace_id
+        assert payload["spans"]["name"] == "query"
+        # The retained tree is the merged one, peer sub-trees included.
+        assert _spans_named(payload["spans"], "router.node")
+
+
 class TestDegradedCluster:
     def test_dead_node_yields_typed_partial_response(self, cluster):
         # A dedicated RF=1 router over one live and one dead peer: the dead

@@ -1,0 +1,321 @@
+"""Unit tests for the zero-dependency tracing module.
+
+Covers the span tree itself (building, serialization, grafting), ambient
+contextvar propagation (including across pool threads via ``attach``), the
+bounded trace ring, the tracer's keep/drop decisions (force, deterministic
+sampling, slow-query capture), and the explain-payload helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.observability.tracing import (
+    NOOP_SPAN,
+    PARENT_SPAN_HEADER,
+    TRACE_ID_HEADER,
+    Span,
+    TraceStore,
+    Tracer,
+    attach,
+    current_span,
+    explain_payload,
+    new_id,
+    render_trace,
+    span,
+    summarize_trace,
+)
+
+
+class TestSpan:
+    def test_child_inherits_trace_id_and_links_parent(self):
+        root = Span("query")
+        child = root.child("search.lookup", words=2)
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.attrs == {"words": 2}
+        assert root.children == [child]
+
+    def test_set_and_inc(self):
+        node = Span("pipeline.fetch")
+        node.set(requests=3)
+        node.inc(requests=2, bytes_fetched=100)
+        node.inc(bytes_fetched=28)
+        assert node.attrs == {"requests": 5, "bytes_fetched": 128}
+
+    def test_finish_is_idempotent(self):
+        node = Span("query")
+        first = node.finish().duration_ms
+        assert first is not None
+        assert node.finish().duration_ms == first
+
+    def test_span_count_and_walk(self):
+        root = Span("query")
+        lookup = root.child("search.lookup")
+        lookup.child("pipeline.fetch")
+        root.child("search.retrieve")
+        assert root.span_count() == 4
+        assert [node.name for node in root.walk()] == [
+            "query",
+            "search.lookup",
+            "pipeline.fetch",
+            "search.retrieve",
+        ]
+
+    def test_to_dict_from_dict_round_trip(self):
+        root = Span("query", attrs={"index": "logs"})
+        root.child("search.lookup", words=1).finish()
+        root.finish()
+        rebuilt = Span.from_dict(root.to_dict())
+        assert rebuilt.name == "query"
+        assert rebuilt.trace_id == root.trace_id
+        assert rebuilt.span_id == root.span_id
+        assert rebuilt.attrs == {"index": "logs"}
+        assert len(rebuilt.children) == 1
+        assert rebuilt.children[0].name == "search.lookup"
+        assert rebuilt.children[0].parent_id == root.span_id
+        assert rebuilt.to_dict() == root.to_dict()
+
+    def test_graft_reparents_external_tree(self):
+        node_span = Span("router.node")
+        peer_root = Span.from_dict(Span("query", trace_id=node_span.trace_id).to_dict())
+        node_span.graft(peer_root)
+        assert peer_root.parent_id == node_span.span_id
+        assert node_span.children == [peer_root]
+
+    def test_from_dict_tolerates_malformed_children(self):
+        rebuilt = Span.from_dict(
+            {"name": "query", "children": ["junk", {"name": "ok"}, 7]}
+        )
+        assert [child.name for child in rebuilt.children] == ["ok"]
+
+
+class TestAmbientPropagation:
+    def test_span_without_ambient_parent_is_noop(self):
+        assert current_span() is None
+        with span("search.lookup", words=1) as node:
+            assert node is NOOP_SPAN
+        # The noop accepts the whole Span surface.
+        NOOP_SPAN.set(a=1)
+        NOOP_SPAN.inc(b=2)
+        assert NOOP_SPAN.child("x") is NOOP_SPAN
+        assert NOOP_SPAN.finish() is NOOP_SPAN
+
+    def test_span_nests_under_attached_root(self):
+        root = Span("query")
+        with attach(root):
+            with span("search.lookup") as lookup:
+                assert current_span() is lookup
+                with span("pipeline.fetch") as fetch:
+                    fetch.set(requests=2)
+            assert current_span() is root
+        assert current_span() is None
+        assert root.span_count() == 3
+        assert root.children[0].children[0].attrs == {"requests": 2}
+        # Exiting the context finished the children.
+        assert root.children[0].duration_ms is not None
+
+    def test_pool_threads_need_explicit_attach(self):
+        root = Span("query")
+
+        def traced():
+            with attach(root):
+                with span("store.attempt", operation="read"):
+                    pass
+            return True
+
+        def untraced():
+            # No attach: contextvars do not cross the pool boundary.
+            return current_span()
+
+        with attach(root):
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                assert pool.submit(untraced).result() is None
+                assert pool.submit(traced).result() is True
+        assert [child.name for child in root.children] == ["store.attempt"]
+
+
+class TestTraceStore:
+    def _finished(self, name="query"):
+        return Span(name).finish()
+
+    def test_ring_evicts_oldest(self):
+        store = TraceStore(capacity=2)
+        first, second, third = (self._finished() for _ in range(3))
+        for root in (first, second, third):
+            store.add(root)
+        assert len(store) == 2
+        assert store.get(first.trace_id) is None
+        assert store.get(second.trace_id) is second
+        assert store.get(third.trace_id) is third
+
+    def test_list_is_newest_first_and_limited(self):
+        store = TraceStore(capacity=8)
+        roots = [self._finished() for _ in range(4)]
+        for root in roots:
+            store.add(root)
+        summaries = store.list(limit=3)
+        assert [entry["trace_id"] for entry in summaries] == [
+            roots[3].trace_id,
+            roots[2].trace_id,
+            roots[1].trace_id,
+        ]
+        assert summaries[0]["spans"] == 1
+        assert summaries[0]["duration_ms"] is not None
+
+    def test_clear(self):
+        store = TraceStore(capacity=4)
+        store.add(self._finished())
+        store.clear()
+        assert len(store) == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+
+class TestTracer:
+    def test_disabled_tracer_begins_nothing(self):
+        tracer = Tracer(enabled=False, sample_rate=1.0)
+        assert tracer.begin("query") is None
+        assert current_span() is None
+
+    def test_begin_makes_root_ambient_and_finish_detaches(self):
+        tracer = Tracer(sample_rate=1.0)
+        handle = tracer.begin("query", index="logs")
+        assert current_span() is handle.root
+        root = handle.finish()
+        assert current_span() is None
+        assert root.duration_ms is not None
+        assert tracer.store.get(handle.trace_id) is root
+        # finish is idempotent: no double-add.
+        handle.finish()
+        assert len(tracer.store) == 1
+
+    def test_propagated_context_lands_on_root(self):
+        tracer = Tracer()
+        handle = tracer.begin(
+            "query", trace_id="cafe" * 4, parent_span_id="beef1234", force=True
+        )
+        assert handle.root.trace_id == "cafe" * 4
+        assert handle.root.parent_id == "beef1234"
+        handle.finish()
+        assert tracer.store.get("cafe" * 4) is handle.root
+
+    def test_unsampled_trace_is_dropped_unless_forced(self):
+        tracer = Tracer(sample_rate=0.0)
+        tracer.begin("query").finish()
+        assert len(tracer.store) == 0
+        tracer.begin("query", force=True).finish()
+        assert len(tracer.store) == 1
+
+    def test_sampling_is_deterministic(self):
+        tracer = Tracer(sample_rate=0.5)
+        for _ in range(10):
+            tracer.begin("query").finish()
+        # Every round(1/rate)-th request is kept: the 1st, 3rd, 5th, ...
+        assert len(tracer.store) == 5
+
+    def test_slow_query_always_kept_and_logged(self):
+        lines: list[str] = []
+        tracer = Tracer(sample_rate=0.0, slow_query_ms=0.000001, slow_log=lines.append)
+        handle = tracer.begin("query", index="logs")
+        root = handle.finish()
+        assert root.attrs["slow"] is True
+        assert tracer.store.get(handle.trace_id) is root
+        (line,) = lines
+        record = json.loads(line)
+        assert record["event"] == "slow_query"
+        assert record["trace_id"] == handle.trace_id
+        assert record["threshold_ms"] == 0.000001
+        assert record["attrs"]["index"] == "logs"
+
+    def test_slow_capture_disabled_at_zero_threshold(self):
+        lines: list[str] = []
+        tracer = Tracer(sample_rate=0.0, slow_query_ms=0.0, slow_log=lines.append)
+        tracer.begin("query").finish()
+        assert lines == []
+        assert len(tracer.store) == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(slow_query_ms=-1.0)
+
+
+class TestExplainHelpers:
+    def _sample_tree(self) -> Span:
+        root = Span("query", attrs={"index": "logs"})
+        lookup = root.child("search.lookup", words=2)
+        lookup.child(
+            "pipeline.fetch",
+            requests=2,
+            physical_requests=1,
+            bytes_requested=64,
+            bytes_fetched=64,
+            cache_hits=0,
+            cache_misses=2,
+        ).finish()
+        lookup.finish()
+        retrieve = root.child("search.retrieve", candidates=3, refunded_bytes=10)
+        fetch = retrieve.child(
+            "pipeline.fetch",
+            requests=3,
+            physical_requests=3,
+            bytes_requested=90,
+            bytes_fetched=90,
+            cache_hits=1,
+            cache_misses=2,
+        )
+        attempt = fetch.child("store.attempt", operation="read_many")
+        attempt.set(retry=True)
+        attempt.finish()
+        fetch.child("store.attempt", operation="read_many", hedged=True).finish()
+        fetch.finish()
+        retrieve.finish()
+        root.finish()
+        return root
+
+    def test_summarize_trace_totals_and_waves(self):
+        summary = summarize_trace(self._sample_tree().to_dict())
+        assert len(summary["waves"]) == 2
+        assert summary["waves"][0]["requests"] == 2
+        totals = summary["totals"]
+        assert totals["requests"] == 5
+        assert totals["physical_requests"] == 4
+        assert totals["bytes_requested"] == 154
+        assert totals["bytes_fetched"] == 154
+        assert totals["cache_hits"] == 1
+        assert totals["refunded_bytes"] == 10
+        assert totals["attempts"] == 2
+        assert totals["retries"] == 1
+        assert totals["hedges"] == 1
+        assert totals["timeouts"] == 0
+        assert totals["spans"] == 7
+        assert totals["waves"] == 2
+
+    def test_explain_payload_shape(self):
+        root = self._sample_tree()
+        payload = explain_payload(root)
+        assert payload["trace_id"] == root.trace_id
+        assert payload["duration_ms"] == root.to_dict()["duration_ms"]
+        assert payload["spans"]["name"] == "query"
+        assert payload["summary"]["totals"]["spans"] == 7
+
+    def test_render_trace_is_indented_and_attributed(self):
+        text = render_trace(self._sample_tree().to_dict())
+        lines = text.splitlines()
+        assert lines[0].startswith("query")
+        assert "[index=logs]" in lines[0]
+        assert lines[1].startswith("  └─ search.lookup")
+        assert any("store.attempt" in line for line in lines)
+
+    def test_new_id_and_headers(self):
+        assert len(new_id()) == 16
+        assert len(new_id(4)) == 8
+        assert TRACE_ID_HEADER == "X-Airphant-Trace-Id"
+        assert PARENT_SPAN_HEADER == "X-Airphant-Parent-Span"

@@ -431,3 +431,110 @@ class TestStoreFailures:
         status, payload = _get(server, "/healthz")
         assert status == 200
         assert payload["status"] == "degraded"
+
+
+class TestTracesEndpoints:
+    def test_explain_trace_is_retained_and_served(self, server):
+        _build_index(server)
+        status, body = _post(
+            server, "/search", {"query": "error", "index": "logs-index", "explain": True}
+        )
+        assert status == 200
+        trace_id = body["trace"]["trace_id"]
+        status, listing = _get(server, "/traces")
+        assert status == 200
+        assert any(entry["trace_id"] == trace_id for entry in listing["traces"])
+        status, payload = _get(server, f"/traces/{trace_id}")
+        assert status == 200
+        assert payload["trace_id"] == trace_id
+        assert payload["spans"]["name"] == "query"
+        assert payload["summary"]["totals"]["requests"] > 0
+
+    def test_plain_search_attaches_no_trace(self, server):
+        _build_index(server)
+        status, body = _post(server, "/search", {"query": "error", "index": "logs-index"})
+        assert status == 200
+        assert "trace" not in body
+
+    def test_unknown_trace_is_404(self, server):
+        status, payload = _get(server, "/traces/deadbeefdeadbeef")
+        assert status == 404
+        assert payload["error"] == "trace_not_found"
+
+    def test_bad_limit_is_400(self, server):
+        for limit in ("0", "junk"):
+            status, payload = _get(server, f"/traces?limit={limit}")
+            assert status == 400
+            assert payload["error"] == "bad_request"
+
+    def test_traces_404_when_tracing_disabled(self, tmp_path):
+        store = LocalObjectStore(str(tmp_path / "bucket"))
+        service = AirphantService(store, ServiceConfig(tracing_enabled=False))
+        server = create_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, payload = _get(server, "/traces")
+            assert status == 404
+            assert payload["error"] == "tracing_disabled"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestJsonRequestLog:
+    def _capture_server(self, tmp_path, monkeypatch):
+        import io
+
+        store = LocalObjectStore(str(tmp_path / "bucket"))
+        store.put("corpora/logs.txt", CORPUS)
+        service = AirphantService(store)
+        buffer = io.StringIO()
+        monkeypatch.setattr("sys.stderr", buffer)
+        server = create_server(service, quiet=False, log_format="json")
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return server, thread, buffer
+
+    @staticmethod
+    def _wait_lines(buffer, count, timeout=5.0):
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            lines = [line for line in buffer.getvalue().splitlines() if line.strip()]
+            if len(lines) >= count:
+                return lines
+            time.sleep(0.01)
+        return [line for line in buffer.getvalue().splitlines() if line.strip()]
+
+    def test_one_structured_line_per_request(self, tmp_path, monkeypatch):
+        server, thread, buffer = self._capture_server(tmp_path, monkeypatch)
+        try:
+            _get(server, "/healthz")
+            _post(server, "/search", {"query": "error", "index": "missing"})
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        lines = self._wait_lines(buffer, 2)
+        records = [json.loads(line) for line in lines]
+        assert [r["event"] for r in records] == ["request", "request"]
+        health, search = records
+        assert health["method"] == "GET"
+        assert health["path"] == "/healthz"
+        assert health["status"] == 200
+        assert health["duration_ms"] >= 0
+        assert "trace_id" not in health
+        # The search line correlates with the query's trace even on errors.
+        assert search["method"] == "POST"
+        assert search["path"] == "/search"
+        assert search["status"] == 404
+        assert len(search["trace_id"]) == 16
+
+    def test_unknown_log_format_is_rejected(self, tmp_path):
+        store = LocalObjectStore(str(tmp_path / "bucket"))
+        service = AirphantService(store)
+        with pytest.raises(ValueError, match="log_format"):
+            create_server(service, log_format="xml")
